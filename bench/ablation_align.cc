@@ -1,0 +1,96 @@
+// Ablation for Lemma C.1: the LCS-based AlignChildren versus a greedy
+// increasing-chain baseline. Both produce correct scripts; the LCS produces
+// the provably minimal number of intra-parent moves. The gap widens with
+// how shuffled the sibling order is.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/edit_script_gen.h"
+#include "core/matching.h"
+#include "tree/tree.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace treediff;
+
+  std::printf(
+      "AlignChildren ablation: LCS (Lemma C.1) vs greedy chain\n"
+      "(random sibling permutations; moves averaged over 40 trials)\n\n");
+
+  TablePrinter table({"children", "shuffle", "LCS moves", "greedy moves",
+                      "greedy/LCS"});
+
+  auto labels = std::make_shared<LabelTable>();
+  Rng rng(123);
+
+  for (int n : {8, 16, 32, 64}) {
+    for (double shuffle : {0.1, 0.3, 1.0}) {
+      StatAccumulator lcs_moves, greedy_moves;
+      for (int trial = 0; trial < 40; ++trial) {
+        // A flat parent with n matched children; permute a fraction.
+        std::vector<int> order(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+        const int swaps =
+            std::max(1, static_cast<int>(shuffle * n / 2.0));
+        for (int s = 0; s < swaps; ++s) {
+          size_t i = rng.Uniform(order.size());
+          size_t j = rng.Uniform(order.size());
+          std::swap(order[i], order[j]);
+        }
+
+        Tree t1(labels), t2(labels);
+        NodeId r1 = t1.AddRoot("D");
+        NodeId r2 = t2.AddRoot("D");
+        std::vector<NodeId> kids1;
+        for (int i = 0; i < n; ++i) {
+          kids1.push_back(t1.AddChild(r1, "S", "v" + std::to_string(i)));
+        }
+        std::vector<NodeId> kids2(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+          kids2[static_cast<size_t>(i)] = t2.AddChild(
+              r2, "S", "v" + std::to_string(order[static_cast<size_t>(i)]));
+        }
+        Matching m(t1.id_bound(), t2.id_bound());
+        m.Add(r1, r2);
+        for (int i = 0; i < n; ++i) {
+          // kids1[v] pairs with the kids2 slot holding value v.
+          for (int j = 0; j < n; ++j) {
+            if (order[static_cast<size_t>(j)] == i) {
+              m.Add(kids1[static_cast<size_t>(i)],
+                    kids2[static_cast<size_t>(j)]);
+            }
+          }
+        }
+
+        auto lcs = GenerateEditScript(t1, t2, m, nullptr, true);
+        auto greedy = GenerateEditScript(t1, t2, m, nullptr, false);
+        if (!lcs.ok() || !greedy.ok()) {
+          std::fprintf(stderr, "generation failed\n");
+          return 1;
+        }
+        lcs_moves.Add(static_cast<double>(lcs->intra_parent_moves));
+        greedy_moves.Add(static_cast<double>(greedy->intra_parent_moves));
+      }
+      table.AddRow(
+          {TablePrinter::Fmt(static_cast<size_t>(n)),
+           TablePrinter::Fmt(shuffle, 1),
+           TablePrinter::Fmt(lcs_moves.Mean(), 1),
+           TablePrinter::Fmt(greedy_moves.Mean(), 1),
+           TablePrinter::Fmt(lcs_moves.Mean() > 0
+                                 ? greedy_moves.Mean() / lcs_moves.Mean()
+                                 : 1.0,
+                             2)});
+    }
+  }
+
+  table.Print();
+  std::printf(
+      "\n[expected: LCS <= greedy everywhere (Lemma C.1 minimality); the "
+      "gap grows with shuffle intensity — on near-reversals the greedy "
+      "chain keeps almost nothing fixed]\n");
+  return 0;
+}

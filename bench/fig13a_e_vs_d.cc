@@ -1,0 +1,81 @@
+// Figure 13(a): weighted edit distance e versus unweighted edit distance d,
+// for version pairs drawn from three document sets. The paper reports an
+// approximately linear relationship, low variance across document sets (so
+// e/d is insensitive to document size n), and an average e/d of 3.4 — far
+// below the analytical log(n) bound.
+//
+// Workload substitution (see DESIGN.md): the authors' private sets of
+// conference-paper versions are replaced by synthetic documents with a
+// realistic edit mix; d and e are measured from the scripts produced by the
+// full FastMatch + EditScript pipeline.
+
+#include <cstdio>
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "core/diff.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace treediff;
+  using bench::DocumentSet;
+
+  Vocabulary vocab(3000, 1.0);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<DocumentSet> sets = bench::MakeDocumentSets(vocab, labels);
+  const EditMix mix = bench::PaperEditMix();
+
+  std::printf(
+      "Figure 13(a): weighted edit distance e vs unweighted distance d\n"
+      "(three document sets; n = number of sentences)\n\n");
+
+  TablePrinter table({"set", "n", "edits", "d", "e", "e/d"});
+  StatAccumulator ratio_all;
+  Rng rng(42);
+
+  for (DocumentSet& set : sets) {
+    std::vector<double> xs, ys;
+    StatAccumulator ratio_set;
+    for (int edits = 2; edits <= 40; edits += 2) {
+      SimulatedVersion v =
+          SimulateNewVersion(set.base, edits, mix, vocab, &rng);
+      auto diff = DiffTrees(set.base, v.new_tree);
+      if (!diff.ok()) {
+        std::fprintf(stderr, "diff failed: %s\n",
+                     diff.status().ToString().c_str());
+        return 1;
+      }
+      const double d =
+          static_cast<double>(diff->stats.unweighted_edit_distance);
+      const double e =
+          static_cast<double>(diff->stats.weighted_edit_distance);
+      if (d > 0) {
+        ratio_set.Add(e / d);
+        ratio_all.Add(e / d);
+      }
+      xs.push_back(d);
+      ys.push_back(e);
+      table.AddRow({set.name, TablePrinter::Fmt(size_t(set.leaves)),
+                    TablePrinter::Fmt(size_t(edits)),
+                    TablePrinter::Fmt(d, 0), TablePrinter::Fmt(e, 0),
+                    d > 0 ? TablePrinter::Fmt(e / d, 2) : "-"});
+    }
+    LinearFit fit = FitLine(xs, ys);
+    std::printf("%s: n=%d, e = %.2f*d %+.1f (R^2 = %.3f), mean e/d = %.2f\n",
+                set.name.c_str(), set.leaves, fit.slope, fit.intercept,
+                fit.r_squared, ratio_set.Mean());
+  }
+
+  std::printf("\n");
+  table.Print();
+
+  const double n_max = static_cast<double>(sets.back().leaves);
+  std::printf(
+      "\nsummary: mean e/d = %.2f (stddev %.2f) across all sets "
+      "[paper: ~3.4, near-linear, size-insensitive]\n"
+      "analytical bound: e/d <= log n = %.1f for the largest set — the "
+      "measured ratio is far below it, as the paper conjectures.\n",
+      ratio_all.Mean(), ratio_all.StdDev(), std::log2(n_max));
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 13(b): the running time of FastMatch — measured as the number of
+// comparisons it makes (r1 leaf compare() calls, each costing c, plus r2
+// partner checks) — versus the weighted edit distance e. The paper reports
+// (i) an approximately linear relationship with high variance, and (ii)
+// measured comparison counts on average ~20x below the analytical bound
+// (ne + e^2)c + 2lne of Appendix B.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/criteria.h"
+#include "core/diff.h"
+#include "core/fast_match.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace treediff;
+  using bench::DocumentSet;
+
+  Vocabulary vocab(3000, 1.0);
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<DocumentSet> sets = bench::MakeDocumentSets(vocab, labels);
+  const EditMix mix = bench::PaperEditMix();
+
+  // l = number of internal node labels in the document schema actually used
+  // (document, section, paragraph, list, item).
+  const double l = 5.0;
+
+  std::printf(
+      "Figure 13(b): FastMatch comparisons vs weighted edit distance e\n\n");
+
+  TablePrinter table({"set", "n", "e", "r1 (compares)", "r2 (partner)",
+                      "total", "analytical bound", "bound/total"});
+  StatAccumulator ratios;
+  std::vector<double> es, totals;
+  Rng rng(7);
+
+  for (DocumentSet& set : sets) {
+    const double n = static_cast<double>(set.leaves);
+    for (int edits = 2; edits <= 40; edits += 2) {
+      SimulatedVersion v =
+          SimulateNewVersion(set.base, edits, mix, vocab, &rng);
+
+      WordLcsComparator cmp;
+      CriteriaEvaluator eval(set.base, v.new_tree, &cmp, {});
+      Matching m = ComputeFastMatch(set.base, v.new_tree, eval);
+      const double r1 = static_cast<double>(eval.compare_calls());
+      const double r2 = static_cast<double>(eval.partner_checks());
+      const double total = r1 + r2;
+
+      // e measured from the script for this matching.
+      auto gen = GenerateEditScript(set.base, v.new_tree, [&] {
+        Matching fixed = m;
+        if (fixed.PartnerOfT2(v.new_tree.root()) != set.base.root()) {
+          if (fixed.HasT1(set.base.root())) {
+            fixed.Remove(set.base.root(),
+                         fixed.PartnerOfT1(set.base.root()));
+          }
+          if (fixed.HasT2(v.new_tree.root())) {
+            fixed.Remove(fixed.PartnerOfT2(v.new_tree.root()),
+                         v.new_tree.root());
+          }
+          fixed.Add(set.base.root(), v.new_tree.root());
+        }
+        return fixed;
+      }());
+      if (!gen.ok()) {
+        std::fprintf(stderr, "script failed: %s\n",
+                     gen.status().ToString().c_str());
+        return 1;
+      }
+      const double e =
+          static_cast<double>(gen->weighted_edit_distance);
+
+      // Appendix B bound: (ne + e^2) compare-equivalents + 2lne partner
+      // checks, all counted as comparisons.
+      const double bound = (n * e + e * e) + 2.0 * l * n * e;
+      if (total > 0 && e > 0) {
+        es.push_back(e);
+        totals.push_back(total);
+        // The looseness statistic is only meaningful for substantive deltas
+        // (tiny e makes the bound's ne term degenerate while FastMatch
+        // still pays its O(n) chain setup).
+        if (e >= 10) ratios.Add(bound / total);
+      }
+      table.AddRow({set.name, TablePrinter::Fmt(size_t(set.leaves)),
+                    TablePrinter::Fmt(e, 0), TablePrinter::Fmt(r1, 0),
+                    TablePrinter::Fmt(r2, 0), TablePrinter::Fmt(total, 0),
+                    TablePrinter::Fmt(bound, 0),
+                    TablePrinter::Fmt(total > 0 ? bound / total : 0.0, 1)});
+    }
+  }
+
+  table.Print();
+  LinearFit fit = FitLine(es, totals);
+  std::printf(
+      "\ncomparisons vs e: slope %.0f per unit e, R^2 = %.3f "
+      "[paper: approximately linear, high variance]\n"
+      "analytical bound looseness: mean %.1fx, min %.1fx, max %.1fx "
+      "[paper: ~20x fewer comparisons than the bound]\n",
+      fit.slope, fit.r_squared, ratios.Mean(), ratios.Min(), ratios.Max());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation (Sections 5.2 vs 5.3): Algorithm Match — O(n^2 c + mn) — against
+// Algorithm FastMatch — O((ne + e^2)c + 2lne) — on nearly-alike trees. The
+// claim: FastMatch does dramatically fewer leaf comparisons (and less wall
+// time) when e << n, while producing the same matching.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/criteria.h"
+#include "core/fast_match.h"
+#include "core/match.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace treediff;
+
+  Vocabulary vocab(3000, 1.0);
+  auto labels = std::make_shared<LabelTable>();
+  const EditMix mix = bench::SentenceEditMix();
+  Rng rng(19);
+
+  std::printf(
+      "Match vs FastMatch (fixed 12 sentence-level edits, growing n)\n\n");
+
+  TablePrinter table({"n (leaves)", "match cmp", "fast cmp", "cmp ratio",
+                      "match ms", "fast ms", "same pairs"});
+
+  for (int sections : {4, 8, 16, 32, 64}) {
+    DocGenParams params;
+    params.sections = sections;
+    Tree base = GenerateDocument(params, vocab, &rng, labels);
+    SimulatedVersion v = SimulateNewVersion(base, 12, mix, vocab, &rng);
+
+    WordLcsComparator cmp_slow;
+    CriteriaEvaluator eval_slow(base, v.new_tree, &cmp_slow, {});
+    WallTimer timer;
+    Matching slow = ComputeMatch(base, v.new_tree, eval_slow);
+    const double slow_ms = timer.ElapsedMicros() / 1e3;
+
+    WordLcsComparator cmp_fast;
+    CriteriaEvaluator eval_fast(base, v.new_tree, &cmp_fast, {});
+    timer.Restart();
+    Matching fast = ComputeFastMatch(base, v.new_tree, eval_fast);
+    const double fast_ms = timer.ElapsedMicros() / 1e3;
+
+    const double ratio =
+        eval_fast.compare_calls() > 0
+            ? static_cast<double>(eval_slow.compare_calls()) /
+                  static_cast<double>(eval_fast.compare_calls())
+            : 0.0;
+    table.AddRow(
+        {TablePrinter::Fmt(base.Leaves().size()),
+         TablePrinter::Fmt(eval_slow.compare_calls()),
+         TablePrinter::Fmt(eval_fast.compare_calls()),
+         TablePrinter::Fmt(ratio, 1), TablePrinter::Fmt(slow_ms, 2),
+         TablePrinter::Fmt(fast_ms, 2),
+         slow.Pairs() == fast.Pairs() ? "yes" : "no"});
+  }
+
+  table.Print();
+  std::printf(
+      "\n[expected: the comparison ratio grows with n — Match is quadratic "
+      "in n while FastMatch scales with e; matchings agree on this "
+      "duplicate-free workload]\n");
+  return 0;
+}

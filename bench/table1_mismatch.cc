@@ -1,0 +1,121 @@
+// Table 1: upper bound on the percentage of mismatched paragraphs as a
+// function of the match threshold t. The paper's necessary (not sufficient)
+// condition: a paragraph can only be mismatched if more than a certain
+// number of its sentences violate Matching Criterion 3 (i.e., have more
+// than one close counterpart in the other tree), where that number depends
+// on t. We flag a paragraph as potentially mismatched when its ambiguous
+// sentences could tip a wrong pairing over the threshold:
+//
+//     #ambiguous(x) > (1 - t) * |x|.
+//
+// Paper values: t = 0.5..1.0 -> 0, 1, 3, 7, 9, 10 percent. The shape to
+// reproduce: the bound is small and rises monotonically with t.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/compare.h"
+#include "core/criteria.h"
+#include "tree/schema.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace treediff;
+
+/// Counts T1 leaves violating Matching Criterion 3: more than one T2 leaf
+/// within compare() distance 1.
+std::vector<bool> AmbiguousLeaves(const Tree& t1, const Tree& t2,
+                                  const ValueComparator& cmp) {
+  std::vector<bool> ambiguous(t1.id_bound(), false);
+  std::vector<NodeId> leaves2 = t2.Leaves();
+  for (NodeId x : t1.Leaves()) {
+    int close = 0;
+    for (NodeId y : leaves2) {
+      if (t1.label(x) != t2.label(y)) continue;
+      if (cmp.Compare(t1, x, t2, y) <= 1.0 && ++close > 1) break;
+    }
+    ambiguous[static_cast<size_t>(x)] = close > 1;
+  }
+  return ambiguous;
+}
+
+}  // namespace
+
+int main() {
+  Vocabulary vocab(8000, 0.6);
+  auto labels = std::make_shared<LabelTable>();
+  const LabelId paragraph = labels->Intern(doc_labels::kParagraph);
+
+  // Documents with a small rate of duplicated sentences — the Criterion 3
+  // violations real documents (legal boilerplate, repeated phrases) show.
+  DocGenParams params;
+  params.sections = 10;
+  params.min_words_per_sentence = 8;
+  params.max_words_per_sentence = 20;
+  params.duplicate_sentence_probability = 0.015;
+
+  std::printf(
+      "Table 1: upper bound on mismatched paragraphs (%%) vs match "
+      "threshold t\n(documents with ~1.5%% duplicated sentences; averaged "
+      "over versions)\n\n");
+
+  const double thresholds[] = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  double sums[6] = {0};
+  int rounds = 0;
+
+  Rng rng(11);
+  const EditMix mix = bench::PaperEditMix();
+  for (int round = 0; round < 6; ++round) {
+    Tree base = GenerateDocument(params, vocab, &rng, labels);
+    SimulatedVersion v = SimulateNewVersion(base, 12, mix, vocab, &rng);
+    WordLcsComparator cmp;
+    std::vector<bool> ambiguous = AmbiguousLeaves(base, v.new_tree, cmp);
+
+    // Per threshold: fraction of paragraphs whose ambiguous-children count
+    // satisfies the necessary mismatch condition.
+    size_t paragraphs = 0;
+    std::vector<size_t> flagged(6, 0);
+    for (NodeId p : base.PreOrder()) {
+      if (base.label(p) != paragraph || base.IsLeaf(p)) continue;
+      ++paragraphs;
+      int amb = 0, total = 0;
+      for (NodeId s : base.children(p)) {
+        ++total;
+        if (ambiguous[static_cast<size_t>(s)]) ++amb;
+      }
+      for (int i = 0; i < 6; ++i) {
+        if (amb > (1.0 - thresholds[i]) * total) ++flagged[i];
+      }
+    }
+    if (paragraphs == 0) continue;
+    for (int i = 0; i < 6; ++i) {
+      sums[i] += 100.0 * static_cast<double>(flagged[i]) /
+                 static_cast<double>(paragraphs);
+    }
+    ++rounds;
+  }
+
+  TablePrinter table({"Match threshold (t)", "0.5", "0.6", "0.7", "0.8",
+                      "0.9", "1.0"});
+  std::vector<std::string> row = {"Upper bound on mismatches (%)"};
+  for (int i = 0; i < 6; ++i) {
+    row.push_back(TablePrinter::Fmt(sums[i] / rounds, 1));
+  }
+  table.AddRow(row);
+  table.Print();
+
+  std::printf(
+      "\n[paper: 0, 1, 3, 7, 9, 10 — small and monotonically increasing in "
+      "t]\nNote: this is the paper's weak necessary condition; actual "
+      "mismatches are far rarer, and a non-optimal matching affects only "
+      "script length, never correctness (Section 8).\n");
+
+  bool monotone = true;
+  for (int i = 1; i < 6; ++i) {
+    if (sums[i] + 1e-9 < sums[i - 1]) monotone = false;
+  }
+  std::printf("monotone in t: %s\n", monotone ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "core/compare.h"
+
+#include <algorithm>
+
+#include "lcs/lcs.h"
+#include "util/tokenize.h"
+
+namespace treediff {
+
+double ExactComparator::CompareImpl(const Tree& t1, NodeId x, const Tree& t2,
+                                    NodeId y) const {
+  return t1.value(x) == t2.value(y) ? 0.0 : 2.0;
+}
+
+const std::vector<std::string>& WordLcsComparator::Tokens(const Tree& t,
+                                                          NodeId x) const {
+  CacheKey key{&t, x};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  auto [ins, inserted] =
+      cache_.emplace(key, SplitWords(t.value(x), normalize_words_));
+  return ins->second;
+}
+
+namespace {
+
+double WordLcsDistanceOnTokens(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  const size_t common = LcsLength(a, b);
+  const double total_off = static_cast<double>(a.size() + b.size()) -
+                           2.0 * static_cast<double>(common);
+  return total_off / static_cast<double>(std::max(a.size(), b.size()));
+}
+
+}  // namespace
+
+double WordLcsComparator::CompareImpl(const Tree& t1, NodeId x, const Tree& t2,
+                                      NodeId y) const {
+  // Fast path: identical strings need no tokenization.
+  if (t1.value(x) == t2.value(y)) return 0.0;
+  return WordLcsDistanceOnTokens(Tokens(t1, x), Tokens(t2, y));
+}
+
+double WordLcsDistance(const std::string& a, const std::string& b,
+                       bool normalize_words) {
+  if (a == b) return 0.0;
+  return WordLcsDistanceOnTokens(SplitWords(a, normalize_words),
+                                 SplitWords(b, normalize_words));
+}
+
+}  // namespace treediff

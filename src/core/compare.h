@@ -1,0 +1,104 @@
+#ifndef TREEDIFF_CORE_COMPARE_H_
+#define TREEDIFF_CORE_COMPARE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tree/tree.h"
+
+namespace treediff {
+
+/// The paper's `compare` function (Section 3.2): given two nodes, returns a
+/// distance in [0, 2] between their values. Distances <= 1 mean "similar
+/// enough that move+update beats delete+insert"; distances > 1 mean the
+/// opposite. Implementations must be symmetric in the values.
+///
+/// Calls are counted (the r1 term of the Section 8 cost model); counters are
+/// mutable so that const evaluators can be instrumented.
+class ValueComparator {
+ public:
+  virtual ~ValueComparator() = default;
+
+  /// Returns the distance in [0, 2] between v(x) in `t1` and v(y) in `t2`.
+  double Compare(const Tree& t1, NodeId x, const Tree& t2, NodeId y) const {
+    ++calls_;
+    return CompareImpl(t1, x, t2, y);
+  }
+
+  /// Number of Compare invocations since construction or ResetCalls.
+  size_t calls() const { return calls_; }
+  void ResetCalls() { calls_ = 0; }
+
+ protected:
+  virtual double CompareImpl(const Tree& t1, NodeId x, const Tree& t2,
+                             NodeId y) const = 0;
+
+ private:
+  mutable size_t calls_ = 0;
+};
+
+/// Exact comparison: distance 0 when the values are byte-identical, 2
+/// otherwise. The natural choice for keyed or atomic values.
+class ExactComparator : public ValueComparator {
+ protected:
+  double CompareImpl(const Tree& t1, NodeId x, const Tree& t2,
+                     NodeId y) const override;
+};
+
+/// The LaDiff sentence comparator (Section 7): computes the LCS of the words
+/// of the two sentences and counts the words not in the LCS, normalized into
+/// [0, 2] as (|a| + |b| - 2*|LCS|) / max(|a|, |b|). Identical sentences score
+/// 0, disjoint sentences approach 2.
+///
+/// Tokenizations are memoized per (tree, node) because the matching
+/// algorithms compare the same sentence against many candidates. The cache
+/// assumes node values do not change between Compare calls; clear it (or use
+/// a fresh comparator) after mutating a tree.
+class WordLcsComparator : public ValueComparator {
+ public:
+  /// If `normalize_words` is true, words are lowercased and stripped of
+  /// surrounding punctuation before comparison, so small editorial changes
+  /// ("The," vs "the") do not register.
+  explicit WordLcsComparator(bool normalize_words = false)
+      : normalize_words_(normalize_words) {}
+
+  /// Drops all memoized tokenizations.
+  void ClearCache() const { cache_.clear(); }
+
+ protected:
+  double CompareImpl(const Tree& t1, NodeId x, const Tree& t2,
+                     NodeId y) const override;
+
+ private:
+  const std::vector<std::string>& Tokens(const Tree& t, NodeId x) const;
+
+  struct CacheKey {
+    const Tree* tree;
+    NodeId node;
+    bool operator==(const CacheKey& o) const {
+      return tree == o.tree && node == o.node;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      return std::hash<const void*>()(k.tree) * 1000003u ^
+             std::hash<int>()(k.node);
+    }
+  };
+
+  bool normalize_words_;
+  mutable std::unordered_map<CacheKey, std::vector<std::string>, CacheKeyHash>
+      cache_;
+};
+
+/// Compares two raw strings with the word-LCS metric (the same arithmetic as
+/// WordLcsComparator, without trees or caching). Exposed for tests and for
+/// the document mark-up layer.
+double WordLcsDistance(const std::string& a, const std::string& b,
+                       bool normalize_words = false);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_CORE_COMPARE_H_

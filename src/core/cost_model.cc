@@ -1,0 +1,41 @@
+#include "core/cost_model.h"
+
+namespace treediff {
+
+double CostModel::InsertCost(const Tree& t, NodeId x) const {
+  (void)t;
+  (void)x;
+  return 1.0;
+}
+
+double CostModel::DeleteCost(const Tree& t, NodeId x) const {
+  (void)t;
+  (void)x;
+  return 1.0;
+}
+
+double CostModel::MoveCost(const Tree& t, NodeId x) const {
+  (void)t;
+  (void)x;
+  return 1.0;
+}
+
+const PerLabelCostModel::OpCosts& PerLabelCostModel::For(
+    LabelId label) const {
+  auto it = per_label_.find(label);
+  return it == per_label_.end() ? default_ : it->second;
+}
+
+double PerLabelCostModel::InsertCost(const Tree& t, NodeId x) const {
+  return For(t.label(x)).insert;
+}
+
+double PerLabelCostModel::DeleteCost(const Tree& t, NodeId x) const {
+  return For(t.label(x)).remove;
+}
+
+double PerLabelCostModel::MoveCost(const Tree& t, NodeId x) const {
+  return For(t.label(x)).move;
+}
+
+}  // namespace treediff

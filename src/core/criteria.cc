@@ -1,0 +1,60 @@
+#include "core/criteria.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace treediff {
+
+CriteriaEvaluator::CriteriaEvaluator(const Tree& t1, const Tree& t2,
+                                     const ValueComparator* comparator,
+                                     MatchOptions options)
+    : t1_(t1),
+      t2_(t2),
+      comparator_(comparator),
+      options_(options),
+      euler2_(t2.ComputeEuler()),
+      leaf_counts1_(t1.LeafCounts()),
+      leaf_counts2_(t2.LeafCounts()) {
+  assert(comparator_ != nullptr);
+  assert(t1.label_table().get() == t2.label_table().get() &&
+         "trees being compared must share one LabelTable");
+}
+
+bool CriteriaEvaluator::LeafEqual(NodeId x, NodeId y) const {
+  if (t1_.label(x) != t2_.label(y)) return false;
+  return comparator_->Compare(t1_, x, t2_, y) <= options_.leaf_threshold_f;
+}
+
+int CriteriaEvaluator::CommonLeaves(NodeId x, NodeId y,
+                                    const Matching& m) const {
+  // Walk the subtree of x; for each matched leaf w, check whether its partner
+  // lies under y. Each containment test is the pair of integer comparisons
+  // the paper calls a "partner check" (Section 8).
+  int common = 0;
+  std::vector<NodeId> stack = {x};
+  while (!stack.empty()) {
+    NodeId w = stack.back();
+    stack.pop_back();
+    const auto& kids = t1_.children(w);
+    if (kids.empty()) {
+      NodeId z = m.PartnerOfT1(w);
+      ++partner_checks_;
+      if (z != kInvalidNode && euler2_.Contains(y, z)) ++common;
+    } else {
+      for (NodeId c : kids) stack.push_back(c);
+    }
+  }
+  return common;
+}
+
+bool CriteriaEvaluator::InternalEqual(NodeId x, NodeId y,
+                                      const Matching& m) const {
+  if (t1_.label(x) != t2_.label(y)) return false;
+  const int max_size = std::max(LeafCount1(x), LeafCount2(y));
+  if (max_size == 0) return true;  // Two childless interior nodes.
+  const int common = CommonLeaves(x, y, m);
+  return static_cast<double>(common) >
+         options_.internal_threshold_t * static_cast<double>(max_size);
+}
+
+}  // namespace treediff

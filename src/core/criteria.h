@@ -1,0 +1,84 @@
+#ifndef TREEDIFF_CORE_CRITERIA_H_
+#define TREEDIFF_CORE_CRITERIA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/compare.h"
+#include "core/matching.h"
+#include "tree/tree.h"
+
+namespace treediff {
+
+/// Parameters of the matching criteria (Section 5.1).
+struct MatchOptions {
+  /// Matching Criterion 1: leaves x, y may match only if l(x) = l(y) and
+  /// compare(v(x), v(y)) <= f, with 0 <= f <= 1.
+  double leaf_threshold_f = 0.5;
+
+  /// Matching Criterion 2: internal nodes x, y may match only if l(x) = l(y)
+  /// and |common(x, y)| / max(|x|, |y|) > t, with 1/2 <= t <= 1.
+  double internal_threshold_t = 0.6;
+};
+
+/// Evaluates the leaf and internal equality predicates of Section 5.2 over a
+/// fixed pair of trees, with the instrumentation counters the Section 8
+/// evaluation reports:
+///
+///  * `compare` invocations (r1) are counted by the ValueComparator;
+///  * partner checks (r2) — the integer comparisons performed while
+///    intersecting leaf descendants for |common(x, y)| — are counted here.
+///
+/// The evaluator precomputes Euler-tour intervals and per-node leaf counts,
+/// so each |common(x, y)| computation walks only the leaves under x, checking
+/// each leaf's partner for containment under y in O(1).
+///
+/// Both trees must share one LabelTable and must not be mutated while the
+/// evaluator is alive.
+class CriteriaEvaluator {
+ public:
+  CriteriaEvaluator(const Tree& t1, const Tree& t2,
+                    const ValueComparator* comparator, MatchOptions options);
+
+  /// Matching Criterion 1 for a leaf pair (x in T1, y in T2).
+  bool LeafEqual(NodeId x, NodeId y) const;
+
+  /// Matching Criterion 2 for an internal pair (x in T1, y in T2), given the
+  /// leaf matches recorded in `m` so far.
+  bool InternalEqual(NodeId x, NodeId y, const Matching& m) const;
+
+  /// |common(x, y)| under matching `m`: the number of matched leaf pairs
+  /// (w, z) with w under x and z under y.
+  int CommonLeaves(NodeId x, NodeId y, const Matching& m) const;
+
+  /// |x| for T1 / T2 nodes (number of leaf descendants; a leaf counts itself).
+  int LeafCount1(NodeId x) const {
+    return leaf_counts1_[static_cast<size_t>(x)];
+  }
+  int LeafCount2(NodeId y) const {
+    return leaf_counts2_[static_cast<size_t>(y)];
+  }
+
+  const MatchOptions& options() const { return options_; }
+  const ValueComparator& comparator() const { return *comparator_; }
+
+  /// Number of compare() invocations so far (r1).
+  size_t compare_calls() const { return comparator_->calls(); }
+
+  /// Number of partner checks so far (r2).
+  size_t partner_checks() const { return partner_checks_; }
+
+ private:
+  const Tree& t1_;
+  const Tree& t2_;
+  const ValueComparator* comparator_;
+  MatchOptions options_;
+  Tree::EulerIntervals euler2_;
+  std::vector<int> leaf_counts1_;
+  std::vector<int> leaf_counts2_;
+  mutable size_t partner_checks_ = 0;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_CORE_CRITERIA_H_

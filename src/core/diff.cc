@@ -1,0 +1,93 @@
+#include "core/diff.h"
+
+#include "core/fast_match.h"
+#include "core/match.h"
+#include "core/post_process.h"
+#include "util/timer.h"
+
+namespace treediff {
+
+StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
+                               const DiffOptions& options) {
+  if (t1.root() == kInvalidNode || t2.root() == kInvalidNode) {
+    return Status::InvalidArgument("both trees must be non-empty");
+  }
+  if (t1.label_table().get() != t2.label_table().get()) {
+    return Status::InvalidArgument(
+        "trees being diffed must share one LabelTable");
+  }
+  if (options.leaf_threshold_f < 0.0 || options.leaf_threshold_f > 1.0) {
+    return Status::InvalidArgument("leaf_threshold_f must be in [0, 1]");
+  }
+  if (options.internal_threshold_t < 0.5 ||
+      options.internal_threshold_t > 1.0) {
+    return Status::InvalidArgument(
+        "internal_threshold_t must be in [1/2, 1]");
+  }
+
+  WordLcsComparator default_comparator;
+  const ValueComparator* comparator = options.comparator != nullptr
+                                          ? options.comparator
+                                          : &default_comparator;
+
+  MatchOptions match_options;
+  match_options.leaf_threshold_f = options.leaf_threshold_f;
+  match_options.internal_threshold_t = options.internal_threshold_t;
+  CriteriaEvaluator eval(t1, t2, comparator, match_options);
+
+  DiffStats stats;
+  WallTimer timer;
+
+  // Phase 1: the Good Matching problem (Section 5).
+  Matching matching =
+      options.use_fast_match
+          ? ComputeFastMatch(t1, t2, eval, options.schema,
+                             options.fallback_limit_k)
+          : ComputeMatch(t1, t2, eval);
+  // The roots of the trees being compared always correspond (the generator
+  // would add the pair anyway); making it explicit here lets the post
+  // passes treat the root as matched context.
+  if (matching.PartnerOfT2(t2.root()) != t1.root() &&
+      !matching.HasT1(t1.root()) && !matching.HasT2(t2.root()) &&
+      t1.label(t1.root()) == t2.label(t2.root())) {
+    matching.Add(t1.root(), t2.root());
+  }
+  if (options.post_process) {
+    stats.post_process_rematched =
+        PostProcessMatching(t1, t2, eval, &matching);
+  }
+  if (options.complete_context) {
+    stats.context_completed = CompleteContextMatching(t1, t2, &matching);
+  }
+  stats.match_seconds = timer.ElapsedSeconds();
+  stats.compare_calls = eval.compare_calls();
+  stats.partner_checks = eval.partner_checks();
+
+  // Phase 2: the Minimum Conforming Edit Script problem (Section 4).
+  timer.Restart();
+  StatusOr<EditScriptResult> gen =
+      GenerateEditScript(t1, t2, matching, comparator,
+                         /*use_lcs_alignment=*/true, options.cost_model);
+  if (!gen.ok()) return gen.status();
+  stats.script_seconds = timer.ElapsedSeconds();
+
+  stats.inserts = gen->script.num_inserts();
+  stats.deletes = gen->script.num_deletes();
+  stats.updates = gen->script.num_updates();
+  stats.moves = gen->script.num_moves();
+  stats.intra_parent_moves = gen->intra_parent_moves;
+  stats.inter_parent_moves = gen->inter_parent_moves;
+  stats.weighted_edit_distance = gen->weighted_edit_distance;
+  stats.unweighted_edit_distance = gen->unweighted_edit_distance;
+  stats.script_cost = gen->script.TotalCost();
+
+  DiffResult result{std::move(matching), std::move(gen->script), stats};
+  return result;
+}
+
+StatusOr<DeltaTree> BuildDeltaTree(const Tree& t1, const Tree& t2,
+                                   const DiffResult& result) {
+  return BuildDeltaTree(t1, t2, result.matching, result.script);
+}
+
+}  // namespace treediff

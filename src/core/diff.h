@@ -1,0 +1,127 @@
+#ifndef TREEDIFF_CORE_DIFF_H_
+#define TREEDIFF_CORE_DIFF_H_
+
+#include <memory>
+
+#include "core/compare.h"
+#include "core/cost_model.h"
+#include "core/criteria.h"
+#include "core/delta_tree.h"
+#include "core/edit_script.h"
+#include "core/edit_script_gen.h"
+#include "core/matching.h"
+#include "tree/schema.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Options controlling the end-to-end change-detection pipeline.
+struct DiffOptions {
+  /// Matching Criterion 1 threshold f (leaves; 0 <= f <= 1).
+  double leaf_threshold_f = 0.5;
+
+  /// Matching Criterion 2 threshold t (internal nodes; 1/2 <= t <= 1). The
+  /// paper's "match threshold" parameter, swept in Table 1.
+  double internal_threshold_t = 0.6;
+
+  /// Use Algorithm FastMatch (Section 5.3); when false, the simple Algorithm
+  /// Match (Section 5.2) is used instead.
+  bool use_fast_match = true;
+
+  /// Run the Section 8 post-processing pass that repairs mismatches caused
+  /// by Matching Criterion 3 violations.
+  bool post_process = true;
+
+  /// Run the context-completion pass (see CompleteContextMatching): under
+  /// matched parents, pair leftover same-label children in order so short
+  /// data values ("<price>12</price>" -> "<price>10</price>") surface as
+  /// updates rather than delete+insert. Recommended for data-bearing XML;
+  /// off by default to keep the paper's document behaviour.
+  bool complete_context = false;
+
+  /// Comparator for leaf values; when null, a WordLcsComparator owned by the
+  /// call is used (the LaDiff sentence metric, Section 7).
+  const ValueComparator* comparator = nullptr;
+
+  /// Optional label schema; when set, FastMatch processes label chains in
+  /// ascending rank order (deterministic and cache-friendly for documents).
+  const LabelSchema* schema = nullptr;
+
+  /// Optional general cost model (Section 3.2): prices inserts, deletes,
+  /// and moves per node; null = the paper's unit costs. Affects the script
+  /// cost accounting, not which operations are chosen.
+  const CostModel* cost_model = nullptr;
+
+  /// The Section 9 A(k) optimality/efficiency knob: bound on candidates
+  /// examined per node in FastMatch's quadratic fallback (0 = exhaustive).
+  /// Smaller values cap the worst case; out-of-order matches beyond the
+  /// window are then represented as delete+insert instead of moves.
+  int fallback_limit_k = 0;
+};
+
+/// Counters and measures reported by DiffTrees; these are the quantities the
+/// Section 8 evaluation plots.
+struct DiffStats {
+  /// Leaf compare() invocations during matching (r1 in Section 8).
+  size_t compare_calls = 0;
+
+  /// Partner checks during matching (r2 in Section 8).
+  size_t partner_checks = 0;
+
+  /// Pairs repaired by the post-processing pass.
+  size_t post_process_rematched = 0;
+
+  /// Pairs added by the context-completion pass.
+  size_t context_completed = 0;
+
+  size_t inserts = 0;
+  size_t deletes = 0;
+  size_t updates = 0;
+  size_t moves = 0;
+  size_t intra_parent_moves = 0;
+  size_t inter_parent_moves = 0;
+
+  /// Weighted edit distance e (Section 5.3) of the generated script.
+  size_t weighted_edit_distance = 0;
+
+  /// Unweighted edit distance d: operations in the generated script.
+  size_t unweighted_edit_distance = 0;
+
+  /// Total script cost under the Section 3.2 cost model.
+  double script_cost = 0.0;
+
+  /// Wall-clock seconds spent in matching and script generation.
+  double match_seconds = 0.0;
+  double script_seconds = 0.0;
+};
+
+/// Result of the end-to-end pipeline.
+struct DiffResult {
+  /// The "good matching" over original t1/t2 ids (input to EditScript).
+  Matching matching;
+
+  /// The minimum-cost conforming edit script.
+  EditScript script;
+
+  DiffStats stats;
+};
+
+/// End-to-end change detection (the paper's two-phase method): computes a
+/// good matching between `t1` (old) and `t2` (new) under the criteria in
+/// `options`, then generates a minimum-cost conforming edit script.
+///
+/// The trees must share one LabelTable. If the roots do not match under the
+/// criteria but carry equal labels they are matched anyway (the standard
+/// device for document trees, whose roots always correspond); trees with
+/// differently-labeled roots must be wrapped (Tree::WrapRoot) by the caller.
+StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
+                               const DiffOptions& options = {});
+
+/// Convenience: builds the delta tree for a DiffResult (Section 6).
+StatusOr<DeltaTree> BuildDeltaTree(const Tree& t1, const Tree& t2,
+                                   const DiffResult& result);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_CORE_DIFF_H_

@@ -1,0 +1,215 @@
+#include "core/edit_script.h"
+
+#include <utility>
+
+namespace treediff {
+
+const char* EditOpKindName(EditOpKind kind) {
+  switch (kind) {
+    case EditOpKind::kInsert:
+      return "INS";
+    case EditOpKind::kDelete:
+      return "DEL";
+    case EditOpKind::kUpdate:
+      return "UPD";
+    case EditOpKind::kMove:
+      return "MOV";
+  }
+  return "???";
+}
+
+EditOp EditOp::Insert(NodeId node, LabelId label, std::string value,
+                      NodeId parent, int position) {
+  EditOp op;
+  op.kind = EditOpKind::kInsert;
+  op.node = node;
+  op.label = label;
+  op.value = std::move(value);
+  op.parent = parent;
+  op.position = position;
+  op.cost = 1.0;
+  return op;
+}
+
+EditOp EditOp::Delete(NodeId node) {
+  EditOp op;
+  op.kind = EditOpKind::kDelete;
+  op.node = node;
+  op.cost = 1.0;
+  return op;
+}
+
+EditOp EditOp::Update(NodeId node, std::string value, double cost) {
+  EditOp op;
+  op.kind = EditOpKind::kUpdate;
+  op.node = node;
+  op.value = std::move(value);
+  op.cost = cost;
+  return op;
+}
+
+EditOp EditOp::Move(NodeId node, NodeId parent, int position) {
+  EditOp op;
+  op.kind = EditOpKind::kMove;
+  op.node = node;
+  op.parent = parent;
+  op.position = position;
+  op.cost = 1.0;
+  return op;
+}
+
+std::string EditOp::ToString(const LabelTable& labels) const {
+  std::string out = EditOpKindName(kind);
+  switch (kind) {
+    case EditOpKind::kInsert:
+      out.append("((");
+      out.append(std::to_string(node));
+      out.append(", ");
+      out.append(labels.Name(label));
+      out.append(", \"");
+      out.append(value);
+      out.append("\"), ");
+      out.append(std::to_string(parent));
+      out.append(", ");
+      out.append(std::to_string(position));
+      out.append(")");
+      break;
+    case EditOpKind::kDelete:
+      out.append("(");
+      out.append(std::to_string(node));
+      out.append(")");
+      break;
+    case EditOpKind::kUpdate:
+      out.append("(");
+      out.append(std::to_string(node));
+      out.append(", \"");
+      out.append(value);
+      out.append("\")");
+      break;
+    case EditOpKind::kMove:
+      out.append("(");
+      out.append(std::to_string(node));
+      out.append(", ");
+      out.append(std::to_string(parent));
+      out.append(", ");
+      out.append(std::to_string(position));
+      out.append(")");
+      break;
+  }
+  return out;
+}
+
+void EditScript::Append(EditOp op) {
+  total_cost_ += op.cost;
+  ++counts_[static_cast<int>(op.kind)];
+  ops_.push_back(std::move(op));
+}
+
+Status EditScript::ApplyTo(Tree* tree) const {
+  for (const EditOp& op : ops_) {
+    switch (op.kind) {
+      case EditOpKind::kInsert: {
+        // An insert whose recorded id names a dead slot revives that node —
+        // this is how inverse scripts (InvertScript) undo deletions while
+        // preserving node identity.
+        if (op.node >= 0 && static_cast<size_t>(op.node) < tree->id_bound() &&
+            !tree->Alive(op.node)) {
+          TREEDIFF_RETURN_IF_ERROR(
+              tree->ReviveLeaf(op.node, op.parent, op.position));
+          TREEDIFF_RETURN_IF_ERROR(tree->UpdateValue(op.node, op.value));
+          break;
+        }
+        StatusOr<NodeId> id =
+            tree->InsertLeaf(op.label, op.value, op.parent, op.position);
+        if (!id.ok()) return id.status();
+        if (*id != op.node) {
+          return Status::FailedPrecondition(
+              "insert allocated id " + std::to_string(*id) +
+              " but the script recorded " + std::to_string(op.node) +
+              "; was the script generated against this tree?");
+        }
+        break;
+      }
+      case EditOpKind::kDelete:
+        TREEDIFF_RETURN_IF_ERROR(tree->DeleteLeaf(op.node));
+        break;
+      case EditOpKind::kUpdate:
+        TREEDIFF_RETURN_IF_ERROR(tree->UpdateValue(op.node, op.value));
+        break;
+      case EditOpKind::kMove:
+        TREEDIFF_RETURN_IF_ERROR(
+            tree->MoveSubtree(op.node, op.parent, op.position));
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string EditScript::ToString(const LabelTable& labels) const {
+  std::string out;
+  for (const EditOp& op : ops_) {
+    out += op.ToString(labels);
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<EditScript> InvertScript(const EditScript& script,
+                                  const Tree& tree) {
+  Tree work = tree.Clone();
+  std::vector<EditOp> reversed;
+  reversed.reserve(script.size());
+
+  for (const EditOp& op : script.ops()) {
+    switch (op.kind) {
+      case EditOpKind::kInsert: {
+        reversed.push_back(EditOp::Delete(op.node));
+        break;
+      }
+      case EditOpKind::kDelete: {
+        if (!work.Alive(op.node)) {
+          return Status::FailedPrecondition(
+              "invert: delete of a node that is not live");
+        }
+        const NodeId parent = work.parent(op.node);
+        const int position = work.ChildIndex(op.node) + 1;
+        reversed.push_back(EditOp::Insert(op.node, work.label(op.node),
+                                          work.value(op.node), parent,
+                                          position));
+        break;
+      }
+      case EditOpKind::kUpdate: {
+        if (!work.Alive(op.node)) {
+          return Status::FailedPrecondition(
+              "invert: update of a node that is not live");
+        }
+        reversed.push_back(
+            EditOp::Update(op.node, work.value(op.node), op.cost));
+        break;
+      }
+      case EditOpKind::kMove: {
+        if (!work.Alive(op.node)) {
+          return Status::FailedPrecondition(
+              "invert: move of a node that is not live");
+        }
+        const NodeId old_parent = work.parent(op.node);
+        const int old_position = work.ChildIndex(op.node) + 1;
+        reversed.push_back(EditOp::Move(op.node, old_parent, old_position));
+        break;
+      }
+    }
+    // Keep the working tree in lockstep so later inverses see the right
+    // pre-state.
+    EditScript single;
+    single.Append(op);
+    TREEDIFF_RETURN_IF_ERROR(single.ApplyTo(&work));
+  }
+
+  EditScript inverse;
+  for (auto it = reversed.rbegin(); it != reversed.rend(); ++it) {
+    inverse.Append(std::move(*it));
+  }
+  return inverse;
+}
+
+}  // namespace treediff

@@ -1,0 +1,108 @@
+#ifndef TREEDIFF_CORE_EDIT_SCRIPT_H_
+#define TREEDIFF_CORE_EDIT_SCRIPT_H_
+
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Kind of an edit operation (Section 3.2).
+enum class EditOpKind {
+  kInsert,  // INS((x, l, v), y, k): new leaf x as kth child of y.
+  kDelete,  // DEL(x): remove leaf x.
+  kUpdate,  // UPD(x, v): set v(x) = v.
+  kMove,    // MOV(x, y, k): subtree x becomes kth child of y.
+};
+
+/// Returns "INS"/"DEL"/"UPD"/"MOV".
+const char* EditOpKindName(EditOpKind kind);
+
+/// One edit operation over a tree. Node ids refer to the old tree's id
+/// space; an insert records the id that the new node receives when the
+/// script is applied in order (ids are allocated densely, so re-applying the
+/// script to a fresh copy of the old tree reproduces the same ids).
+struct EditOp {
+  EditOpKind kind = EditOpKind::kInsert;
+
+  /// Target node: the new node's id for kInsert; the affected node otherwise.
+  NodeId node = kInvalidNode;
+
+  /// Label of the inserted node (kInsert only).
+  LabelId label = kInvalidLabel;
+
+  /// New value (kInsert, kUpdate).
+  std::string value;
+
+  /// Target parent (kInsert, kMove).
+  NodeId parent = kInvalidNode;
+
+  /// 1-based position among the parent's children (kInsert, kMove). For a
+  /// move, the position is counted after the subtree is detached.
+  int position = 0;
+
+  /// Cost of this operation under the paper's cost model: 1 for
+  /// insert/delete/move, compare(old, new) for an update.
+  double cost = 1.0;
+
+  static EditOp Insert(NodeId node, LabelId label, std::string value,
+                       NodeId parent, int position);
+  static EditOp Delete(NodeId node);
+  static EditOp Update(NodeId node, std::string value, double cost);
+  static EditOp Move(NodeId node, NodeId parent, int position);
+
+  /// Renders e.g. "INS((17, sentence, \"foo\"), 3, 2)" using `labels` for
+  /// label names.
+  std::string ToString(const LabelTable& labels) const;
+};
+
+/// A sequence of edit operations transforming one tree into another
+/// (Section 3.2), together with the aggregate measures the paper's analysis
+/// uses.
+class EditScript {
+ public:
+  EditScript() = default;
+
+  void Append(EditOp op);
+
+  const std::vector<EditOp>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  size_t num_inserts() const { return counts_[0]; }
+  size_t num_deletes() const { return counts_[1]; }
+  size_t num_updates() const { return counts_[2]; }
+  size_t num_moves() const { return counts_[3]; }
+
+  /// Total cost: sum of per-op costs (Section 3.2's cost model).
+  double TotalCost() const { return total_cost_; }
+
+  /// Applies every operation, in order, to `tree`. Fails (leaving `tree` in
+  /// the state reached so far) if any operation is invalid — including an
+  /// insert whose recorded id does not match the id the tree allocates,
+  /// which indicates the script was generated against a different tree.
+  Status ApplyTo(Tree* tree) const;
+
+  /// Renders one operation per line.
+  std::string ToString(const LabelTable& labels) const;
+
+ private:
+  std::vector<EditOp> ops_;
+  size_t counts_[4] = {0, 0, 0, 0};
+  double total_cost_ = 0.0;
+};
+
+/// Computes the inverse of `script` with respect to `tree` (the tree the
+/// script applies to): applying `script` and then its inverse to a clone of
+/// `tree` restores the original exactly — same node identities, not merely
+/// an isomorphic tree (deleted nodes are revived in their dead slots).
+/// Enables undo/rollback over version chains.
+///
+/// Fails if `script` does not apply cleanly to `tree`.
+StatusOr<EditScript> InvertScript(const EditScript& script, const Tree& tree);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_CORE_EDIT_SCRIPT_H_

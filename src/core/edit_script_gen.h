@@ -1,0 +1,74 @@
+#ifndef TREEDIFF_CORE_EDIT_SCRIPT_GEN_H_
+#define TREEDIFF_CORE_EDIT_SCRIPT_GEN_H_
+
+#include "core/compare.h"
+#include "core/cost_model.h"
+#include "core/edit_script.h"
+#include "core/matching.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Output of Algorithm EditScript.
+struct EditScriptResult {
+  /// The minimum-cost edit script conforming to the input matching. Node ids
+  /// refer to the old tree; inserted nodes receive fresh ids in application
+  /// order, so `script.ApplyTo` on a clone of the old tree reproduces the
+  /// transformation.
+  EditScript script;
+
+  /// The total matching M' between the transformed old tree and the new tree
+  /// (every node on both sides matched); extends the input matching.
+  Matching total_matching;
+
+  /// The old tree after applying the script; isomorphic to the new tree.
+  Tree transformed;
+
+  /// Weighted edit distance e (Section 5.3): inserts and deletes weigh 1,
+  /// a move weighs the number of leaves of the moved subtree, updates 0.
+  size_t weighted_edit_distance = 0;
+
+  /// Unweighted edit distance d: the number of operations in the script.
+  size_t unweighted_edit_distance = 0;
+
+  /// Align-phase moves (the paper's intra-parent moves; their minimum count
+  /// is the number of misaligned nodes D in the O(ND) bound).
+  size_t intra_parent_moves = 0;
+
+  /// Moves generated because the parents of a matched pair are not matched.
+  size_t inter_parent_moves = 0;
+};
+
+/// Algorithm EditScript (Section 4, Figures 8 and 9): given the old tree
+/// `t1`, the new tree `t2`, and a (partial) matching between them, produces
+/// a minimum-cost edit script that conforms to the matching and transforms
+/// `t1` into a tree isomorphic to `t2` (Theorem C.2). Runs in O(ND) time,
+/// N = total nodes, D = misaligned nodes.
+///
+/// Requirements (checked, returning FailedPrecondition on violation):
+///  * both trees share one LabelTable and are non-empty;
+///  * every matched pair has equal labels (no edit operation relabels);
+///  * the roots are matched to each other — except that if both roots are
+///    unmatched and carry equal labels the pair is added automatically. For
+///    trees whose roots cannot match, wrap both with Tree::WrapRoot (the
+///    paper's dummy-root device) before diffing.
+///
+/// `update_cost_comparator`, if non-null, prices each update as
+/// compare(old, new) per the Section 3.2 cost model; otherwise updates cost 1.
+///
+/// `use_lcs_alignment` selects the AlignChildren strategy: true (default)
+/// uses the paper's LCS-based minimum-move alignment (Lemma C.1); false
+/// uses a greedy increasing-chain alignment, kept as the ablation baseline
+/// showing why the LCS matters (it can emit far more intra-parent moves on
+/// adversarial orders while remaining correct).
+/// `cost_model`, if non-null, prices inserts/deletes/moves per the general
+/// Section 3.2 model (see CostModel); null means unit costs.
+StatusOr<EditScriptResult> GenerateEditScript(
+    const Tree& t1, const Tree& t2, const Matching& matching,
+    const ValueComparator* update_cost_comparator = nullptr,
+    bool use_lcs_alignment = true, const CostModel* cost_model = nullptr);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_CORE_EDIT_SCRIPT_GEN_H_

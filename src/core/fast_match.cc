@@ -1,0 +1,106 @@
+#include "core/fast_match.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "lcs/lcs.h"
+
+namespace treediff {
+
+namespace {
+
+/// Document-order chain of nodes with one label and one structural kind
+/// (leaf or internal); the paper's chain_T(l).
+struct Chain {
+  std::vector<NodeId> t1_nodes;
+  std::vector<NodeId> t2_nodes;
+};
+
+/// Runs steps 2a-2e of Figure 11 on one label chain: LCS first, then the
+/// Match-style scan over the leftovers.
+void MatchChain(const Chain& chain, bool leaves,
+                const CriteriaEvaluator& eval, int fallback_limit_k,
+                Matching* m) {
+  const auto& s1 = chain.t1_nodes;
+  const auto& s2 = chain.t2_nodes;
+  auto equal = [&](NodeId x, NodeId y) {
+    return leaves ? eval.LeafEqual(x, y) : eval.InternalEqual(x, y, *m);
+  };
+
+  // Step 2c: lcs <- LCS(S1, S2, equal).
+  std::vector<LcsPair> lcs =
+      Lcs(static_cast<int>(s1.size()), static_cast<int>(s2.size()),
+          [&](int i, int j) {
+            return equal(s1[static_cast<size_t>(i)],
+                         s2[static_cast<size_t>(j)]);
+          });
+
+  // Step 2d: adopt the LCS pairs.
+  for (const LcsPair& p : lcs) {
+    m->Add(s1[static_cast<size_t>(p.a_index)],
+           s2[static_cast<size_t>(p.b_index)]);
+  }
+
+  // Step 2e: pair remaining unmatched nodes as in Algorithm Match. With a
+  // positive fallback limit (the A(k) trade-off), each node examines at
+  // most k candidates.
+  for (NodeId x : s1) {
+    if (m->HasT1(x)) continue;
+    int examined = 0;
+    for (NodeId y : s2) {
+      if (m->HasT2(y)) continue;
+      if (fallback_limit_k > 0 && ++examined > fallback_limit_k) break;
+      if (equal(x, y)) {
+        m->Add(x, y);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matching ComputeFastMatch(const Tree& t1, const Tree& t2,
+                          const CriteriaEvaluator& eval,
+                          const LabelSchema* schema, int fallback_limit_k) {
+  Matching m(t1.id_bound(), t2.id_bound());
+
+  // Build per-(label, kind) chains in document order. std::map keeps label
+  // iteration deterministic.
+  std::map<LabelId, Chain> leaf_chains;
+  std::map<LabelId, Chain> internal_chains;
+  for (NodeId x : t1.PreOrder()) {
+    auto& chains = t1.IsLeaf(x) ? leaf_chains : internal_chains;
+    chains[t1.label(x)].t1_nodes.push_back(x);
+  }
+  for (NodeId y : t2.PreOrder()) {
+    auto& chains = t2.IsLeaf(y) ? leaf_chains : internal_chains;
+    chains[t2.label(y)].t2_nodes.push_back(y);
+  }
+
+  auto ordered_labels = [&](const std::map<LabelId, Chain>& chains) {
+    std::vector<LabelId> labels;
+    labels.reserve(chains.size());
+    for (const auto& [label, chain] : chains) labels.push_back(label);
+    if (schema != nullptr) {
+      std::stable_sort(labels.begin(), labels.end(),
+                       [&](LabelId a, LabelId b) {
+                         return schema->Rank(a) < schema->Rank(b);
+                       });
+    }
+    return labels;
+  };
+
+  // Step 2: leaf labels first (the internal criterion needs leaf matches).
+  for (LabelId label : ordered_labels(leaf_chains)) {
+    MatchChain(leaf_chains[label], /*leaves=*/true, eval, fallback_limit_k, &m);
+  }
+  // Step 3: internal labels.
+  for (LabelId label : ordered_labels(internal_chains)) {
+    MatchChain(internal_chains[label], /*leaves=*/false, eval, fallback_limit_k, &m);
+  }
+  return m;
+}
+
+}  // namespace treediff

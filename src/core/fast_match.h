@@ -1,0 +1,40 @@
+#ifndef TREEDIFF_CORE_FAST_MATCH_H_
+#define TREEDIFF_CORE_FAST_MATCH_H_
+
+#include "core/criteria.h"
+#include "core/matching.h"
+#include "tree/schema.h"
+#include "tree/tree.h"
+
+namespace treediff {
+
+/// Algorithm FastMatch (Section 5.3, Figure 11). For each label l, the nodes
+/// labeled l are chained in document order in both trees and an LCS of the
+/// two chains (under the criteria equality) matches the nodes that appear in
+/// the same relative order; only the leftovers fall back to the quadratic
+/// Algorithm Match scan. When the trees are nearly alike — the common case —
+/// almost everything is matched by the LCS pass, giving the
+/// O((ne + e^2)c + 2lne) bound of Appendix B.
+///
+/// Leaf chains are processed before internal chains so that the
+/// internal-node criterion (which counts matched leaf descendants) is
+/// well-defined. If `schema` is non-null, labels are processed in ascending
+/// schema rank for determinism; otherwise in label-id order.
+///
+/// `eval` carries thresholds, comparator, and instrumentation counters.
+///
+/// `fallback_limit_k` implements the paper's Section 9 "parameterized
+/// algorithm A(k)": each node left unmatched by the LCS pass examines at
+/// most k candidates in the quadratic fallback scan (0 = unlimited, the
+/// exact Figure 11 behaviour). Smaller k bounds the worst case at the cost
+/// of possibly missing out-of-order matches — a controlled
+/// optimality-for-efficiency trade (the result is still a correct matching,
+/// only potentially smaller).
+Matching ComputeFastMatch(const Tree& t1, const Tree& t2,
+                          const CriteriaEvaluator& eval,
+                          const LabelSchema* schema = nullptr,
+                          int fallback_limit_k = 0);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_CORE_FAST_MATCH_H_

@@ -1,0 +1,118 @@
+#include "core/keyed_match.h"
+
+#include <map>
+#include <string_view>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "lcs/lcs.h"
+
+namespace treediff {
+
+namespace {
+
+/// Key space: (label, leaf-ness, key) -> node. Duplicate keys map to
+/// kInvalidNode, voiding the uniqueness guarantee for that key.
+using KeyIndex = std::map<std::tuple<LabelId, bool, std::string>, NodeId>;
+
+KeyIndex IndexKeys(const Tree& t, const KeyFn& key_fn) {
+  KeyIndex index;
+  for (NodeId x : t.PreOrder()) {
+    std::optional<std::string> key = key_fn(t, x);
+    if (!key.has_value()) continue;
+    auto slot = std::make_tuple(t.label(x), t.IsLeaf(x), std::move(*key));
+    auto [it, inserted] = index.emplace(std::move(slot), x);
+    if (!inserted) it->second = kInvalidNode;  // Duplicate: void the key.
+  }
+  return index;
+}
+
+}  // namespace
+
+Matching ComputeKeyedMatch(const Tree& t1, const Tree& t2,
+                           const KeyFn& key_fn) {
+  Matching m(t1.id_bound(), t2.id_bound());
+  KeyIndex index2 = IndexKeys(t2, key_fn);
+  KeyIndex index1 = IndexKeys(t1, key_fn);
+  for (const auto& [slot, x] : index1) {
+    if (x == kInvalidNode) continue;  // Duplicate key in T1.
+    auto it = index2.find(slot);
+    if (it == index2.end() || it->second == kInvalidNode) continue;
+    m.Add(x, it->second);
+  }
+  return m;
+}
+
+Matching ComputeHybridMatch(const Tree& t1, const Tree& t2,
+                            const KeyFn& key_fn,
+                            const CriteriaEvaluator& eval) {
+  Matching m = ComputeKeyedMatch(t1, t2, key_fn);
+
+  // FastMatch over the remainder: per-(label, kind) chains of unmatched
+  // nodes, LCS first, then the quadratic fallback (Figure 11 restricted to
+  // the keyless part).
+  std::map<std::pair<LabelId, bool>,
+           std::pair<std::vector<NodeId>, std::vector<NodeId>>>
+      chains;
+  for (NodeId x : t1.PreOrder()) {
+    if (!m.HasT1(x)) {
+      chains[{t1.label(x), t1.IsLeaf(x)}].first.push_back(x);
+    }
+  }
+  for (NodeId y : t2.PreOrder()) {
+    if (!m.HasT2(y)) {
+      chains[{t2.label(y), t2.IsLeaf(y)}].second.push_back(y);
+    }
+  }
+
+  // Leaf chains first so the internal criterion sees all leaf matches.
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool leaves = pass == 0;
+    for (auto& [slot, chain] : chains) {
+      if (slot.second != leaves) continue;
+      auto& s1 = chain.first;
+      auto& s2 = chain.second;
+      auto equal = [&](NodeId x, NodeId y) {
+        return leaves ? eval.LeafEqual(x, y) : eval.InternalEqual(x, y, m);
+      };
+      std::vector<LcsPair> lcs =
+          Lcs(static_cast<int>(s1.size()), static_cast<int>(s2.size()),
+              [&](int i, int j) {
+                return equal(s1[static_cast<size_t>(i)],
+                             s2[static_cast<size_t>(j)]);
+              });
+      for (const LcsPair& p : lcs) {
+        m.Add(s1[static_cast<size_t>(p.a_index)],
+              s2[static_cast<size_t>(p.b_index)]);
+      }
+      for (NodeId x : s1) {
+        if (m.HasT1(x)) continue;
+        for (NodeId y : s2) {
+          if (m.HasT2(y)) continue;
+          if (equal(x, y)) {
+            m.Add(x, y);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
+std::optional<std::string> ValuePrefixKey(const Tree& tree, NodeId node) {
+  const std::string& value = tree.value(node);
+  constexpr std::string_view kPrefix = "key=";
+  if (value.size() <= kPrefix.size() ||
+      std::string_view(value).substr(0, kPrefix.size()) != kPrefix) {
+    return std::nullopt;
+  }
+  const size_t end = value.find(' ', kPrefix.size());
+  return value.substr(kPrefix.size(), end == std::string::npos
+                                          ? std::string::npos
+                                          : end - kPrefix.size());
+}
+
+}  // namespace treediff

@@ -1,0 +1,49 @@
+#ifndef TREEDIFF_CORE_KEYED_MATCH_H_
+#define TREEDIFF_CORE_KEYED_MATCH_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/criteria.h"
+#include "core/matching.h"
+#include "tree/tree.h"
+
+namespace treediff {
+
+/// Extracts the key of a node, or nullopt for keyless nodes. Keys need only
+/// be unique per (tree, label); different labels live in different key
+/// spaces.
+using KeyFn =
+    std::function<std::optional<std::string>(const Tree&, NodeId)>;
+
+/// The keyed fast path the paper describes in Sections 1 and 5: "if the
+/// information we are comparing does have unique identifiers, then our
+/// algorithms can take advantage of them to quickly match fragments".
+///
+/// Nodes whose keys agree (same label, same key, same structural kind) are
+/// matched directly in O(n) — one hash lookup per node, zero compare()
+/// calls. Keyless nodes (and keyed nodes whose key disappeared) are left to
+/// the value-based algorithms: pass the result as the starting matching of
+/// ComputeHybridMatch, which runs FastMatch over the remainder.
+///
+/// Duplicate keys on either side are treated as keyless (the guarantee is
+/// void), so the result is always a valid one-to-one matching.
+Matching ComputeKeyedMatch(const Tree& t1, const Tree& t2,
+                           const KeyFn& key_fn);
+
+/// Keyed pre-pass + FastMatch over the unkeyed remainder. The returned
+/// matching contains every keyed pair plus the criteria-based pairs for the
+/// rest; suitable as input to GenerateEditScript.
+Matching ComputeHybridMatch(const Tree& t1, const Tree& t2,
+                            const KeyFn& key_fn,
+                            const CriteriaEvaluator& eval);
+
+/// A ready-made KeyFn for values of the form "key=K ...": nodes whose value
+/// starts with "key=" are keyed by the token following it. Mirrors how
+/// database dumps carry row identifiers inline.
+std::optional<std::string> ValuePrefixKey(const Tree& tree, NodeId node);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_CORE_KEYED_MATCH_H_

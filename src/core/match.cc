@@ -1,0 +1,52 @@
+#include "core/match.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace treediff {
+
+namespace {
+
+/// A node may match only a node of the same structural kind: the leaf
+/// criterion compares values, the internal criterion compares descendant
+/// sets, and the two are not interchangeable.
+bool Equal(const Tree& t1, NodeId x, const Tree& t2, NodeId y,
+           const CriteriaEvaluator& eval, const Matching& m) {
+  const bool leaf1 = t1.IsLeaf(x);
+  if (leaf1 != t2.IsLeaf(y)) return false;
+  return leaf1 ? eval.LeafEqual(x, y) : eval.InternalEqual(x, y, m);
+}
+
+}  // namespace
+
+Matching ComputeMatch(const Tree& t1, const Tree& t2,
+                      const CriteriaEvaluator& eval) {
+  Matching m(t1.id_bound(), t2.id_bound());
+
+  // Bucket T2 candidates by (label, is-leaf) in document order.
+  std::unordered_map<LabelId, std::vector<NodeId>> t2_leaves;
+  std::unordered_map<LabelId, std::vector<NodeId>> t2_internal;
+  for (NodeId y : t2.PreOrder()) {
+    (t2.IsLeaf(y) ? t2_leaves : t2_internal)[t2.label(y)].push_back(y);
+  }
+
+  // Bottom-up over T1 (post-order visits all descendants of a node before
+  // the node itself, so leaf matches are in place when internal nodes are
+  // evaluated).
+  for (NodeId x : t1.PostOrder()) {
+    if (m.HasT1(x)) continue;
+    auto& bucket = t1.IsLeaf(x) ? t2_leaves : t2_internal;
+    auto it = bucket.find(t1.label(x));
+    if (it == bucket.end()) continue;
+    for (NodeId y : it->second) {
+      if (m.HasT2(y)) continue;
+      if (Equal(t1, x, t2, y, eval, m)) {
+        m.Add(x, y);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace treediff

@@ -1,0 +1,28 @@
+#ifndef TREEDIFF_CORE_MATCH_H_
+#define TREEDIFF_CORE_MATCH_H_
+
+#include "core/criteria.h"
+#include "core/matching.h"
+#include "tree/tree.h"
+
+namespace treediff {
+
+/// Algorithm Match (Section 5.2, Figure 10): the simple O(n^2 c + mn)
+/// matching algorithm. Proceeds bottom-up over T1 (so leaves are matched
+/// before the internal-node criterion is evaluated); each unmatched T1 node
+/// is compared against the unmatched T2 nodes with the same label, and the
+/// first equal candidate is taken.
+///
+/// Under Matching Criteria 1-3 and the acyclic-labels condition the result
+/// is the unique maximal matching (Theorem 5.2), so "first equal candidate"
+/// is unambiguous; without Criterion 3 the result is a correct but possibly
+/// sub-optimal matching.
+///
+/// `eval` carries the thresholds, the comparator, and the instrumentation
+/// counters; it must have been built over the same (t1, t2).
+Matching ComputeMatch(const Tree& t1, const Tree& t2,
+                      const CriteriaEvaluator& eval);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_CORE_MATCH_H_

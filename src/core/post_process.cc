@@ -1,0 +1,101 @@
+#include "core/post_process.h"
+
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace treediff {
+
+namespace {
+
+bool Equal(const Tree& t1, NodeId c, const Tree& t2, NodeId cc,
+           const CriteriaEvaluator& eval, const Matching& m) {
+  if (t1.label(c) != t2.label(cc)) return false;
+  if (t1.IsLeaf(c) != t2.IsLeaf(cc)) return false;
+  return t1.IsLeaf(c) ? eval.LeafEqual(c, cc)
+                      : eval.InternalEqual(c, cc, m);
+}
+
+}  // namespace
+
+size_t PostProcessMatching(const Tree& t1, const Tree& t2,
+                           const CriteriaEvaluator& eval,
+                           Matching* matching) {
+  size_t rematched = 0;
+  // Top-down (pre-order) so that repaired parents guide their children.
+  for (NodeId x : t1.PreOrder()) {
+    const NodeId y = matching->PartnerOfT1(x);
+    if (y == kInvalidNode) continue;
+    for (NodeId c : t1.children(x)) {
+      const NodeId c_partner = matching->PartnerOfT1(c);
+      if (c_partner == kInvalidNode || t2.parent(c_partner) == y) continue;
+      // c is matched across parents; look for a sibling slot under y that c
+      // could take instead.
+      for (NodeId cc : t2.children(y)) {
+        const NodeId cc_partner = matching->PartnerOfT2(cc);
+        if (cc_partner == c) continue;
+        if (!Equal(t1, c, t2, cc, eval, *matching)) continue;
+        if (cc_partner == kInvalidNode) {
+          // Simple repair: take the free slot, releasing c's old partner.
+          matching->Remove(c, c_partner);
+          matching->Add(c, cc);
+          ++rematched;
+          break;
+        }
+        // Occupied slot: repair only if the displaced partner fits c's old
+        // slot equally well — a swap, which unwinds the symmetric
+        // cross-matches near-duplicate leaves cause (Section 8).
+        if (t2.parent(c_partner) != y &&
+            Equal(t1, cc_partner, t2, c_partner, eval, *matching)) {
+          matching->Remove(c, c_partner);
+          matching->Remove(cc_partner, cc);
+          matching->Add(c, cc);
+          matching->Add(cc_partner, c_partner);
+          ++rematched;
+          break;
+        }
+      }
+    }
+  }
+  return rematched;
+}
+
+size_t CompleteContextMatching(const Tree& t1, const Tree& t2,
+                               Matching* matching) {
+  size_t added = 0;
+  // Worklist of matched pairs whose children should be reconciled; newly
+  // created pairs are appended so the completion cascades downward.
+  std::deque<std::pair<NodeId, NodeId>> queue;
+  for (const auto& [x, y] : matching->Pairs()) queue.emplace_back(x, y);
+
+  while (!queue.empty()) {
+    const auto [x, y] = queue.front();
+    queue.pop_front();
+    // Group unmatched children by (label, kind), preserving document order.
+    std::map<std::pair<LabelId, bool>,
+             std::pair<std::vector<NodeId>, std::vector<NodeId>>>
+        groups;
+    for (NodeId c : t1.children(x)) {
+      if (!matching->HasT1(c)) {
+        groups[{t1.label(c), t1.IsLeaf(c)}].first.push_back(c);
+      }
+    }
+    for (NodeId c : t2.children(y)) {
+      if (!matching->HasT2(c)) {
+        groups[{t2.label(c), t2.IsLeaf(c)}].second.push_back(c);
+      }
+    }
+    for (const auto& [slot, pair] : groups) {
+      const size_t n = std::min(pair.first.size(), pair.second.size());
+      for (size_t i = 0; i < n; ++i) {
+        matching->Add(pair.first[i], pair.second[i]);
+        ++added;
+        queue.emplace_back(pair.first[i], pair.second[i]);
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace treediff

@@ -1,0 +1,48 @@
+#ifndef TREEDIFF_CORE_POST_PROCESS_H_
+#define TREEDIFF_CORE_POST_PROCESS_H_
+
+#include "core/criteria.h"
+#include "core/matching.h"
+#include "tree/tree.h"
+
+namespace treediff {
+
+/// The Section 8 post-processing pass: FastMatch is only guaranteed optimal
+/// when Matching Criterion 3 holds (no near-duplicate leaves). When it does
+/// not, a leaf can latch onto a duplicate far from its context, producing a
+/// spurious move. This pass repairs such mistakes:
+///
+///   Proceeding top-down, consider each matched pair (x, y). For each child
+///   c of x matched to some c' with parent(c') != y, check whether c could
+///   instead match a child c'' of y (same label, same structural kind,
+///   compare(c, c'') <= f for leaves / Criterion 2 for internal nodes). If
+///   c'' is unmatched, re-point the matching to (c, c''); if c'' is matched
+///   and its partner fits c's old slot equally well, swap the two pairs
+///   (repairing the symmetric cross-matches duplicates typically cause).
+///
+/// Returns the number of pairs re-matched. Mismatches that already
+/// propagated to higher levels are not repaired (the paper measures an upper
+/// bound on those in Table 1).
+size_t PostProcessMatching(const Tree& t1, const Tree& t2,
+                           const CriteriaEvaluator& eval, Matching* matching);
+
+/// Context-completion pass (an extension beyond the paper, standard in
+/// XML-diff practice): top-down over matched pairs (x, y), the remaining
+/// unmatched children of x and y with the same (label, structural kind) are
+/// paired up in document order, and the pass recurses into the new pairs.
+///
+/// This converts delete+insert pairs into updates for data-bearing trees
+/// whose leaf values are too short for Matching Criterion 1 to ever hold
+/// (e.g., "<price>12</price>" -> "<price>10</price>"). By Lemma 5.1 the
+/// enlarged matching never yields a costlier script (an update costs
+/// compare <= 2 = delete+insert); it can, however, pair semantically
+/// unrelated siblings, which is why it is off by default for documents
+/// (DiffOptions::complete_context).
+///
+/// Returns the number of pairs added.
+size_t CompleteContextMatching(const Tree& t1, const Tree& t2,
+                               Matching* matching);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_CORE_POST_PROCESS_H_

@@ -1,0 +1,181 @@
+#include "core/script_io.h"
+
+#include <cctype>
+#include <string>
+
+namespace treediff {
+
+namespace {
+
+/// Escapes a value for serialization: the inverse of the parser below.
+std::string EscapeValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Cursor-based parser over one line.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : line_(line) {}
+
+  void SkipSpace() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view expected) {
+    SkipSpace();
+    if (line_.substr(pos_).substr(0, expected.size()) != expected) {
+      return false;
+    }
+    pos_ += expected.size();
+    return true;
+  }
+
+  bool Int(int* out) {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < line_.size() && (line_[pos_] == '-' || line_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < line_.size() &&
+           std::isdigit(static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = std::atoi(std::string(line_.substr(start, pos_ - start)).c_str());
+    return true;
+  }
+
+  bool Identifier(std::string* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < line_.size() &&
+           (std::isalnum(static_cast<unsigned char>(line_[pos_])) != 0 ||
+            line_[pos_] == '_' || line_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = std::string(line_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool QuotedString(std::string* out) {
+    SkipSpace();
+    if (pos_ >= line_.size() || line_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < line_.size() && line_[pos_] != '"') {
+      if (line_[pos_] == '\\' && pos_ + 1 < line_.size()) ++pos_;
+      out->push_back(line_[pos_++]);
+    }
+    if (pos_ >= line_.size()) return false;  // Unterminated.
+    ++pos_;
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= line_.size();
+  }
+
+ private:
+  std::string_view line_;
+  size_t pos_ = 0;
+};
+
+StatusOr<EditOp> ParseLine(std::string_view line, LabelTable* labels) {
+  LineParser p(line);
+  auto fail = [&](const char* what) {
+    return Status::ParseError(std::string(what) + " in edit-script line: " +
+                              std::string(line));
+  };
+
+  if (p.Literal("INS((")) {
+    int node = 0, parent = 0, position = 0;
+    std::string label, value;
+    if (!p.Int(&node) || !p.Literal(",") || !p.Identifier(&label) ||
+        !p.Literal(",") || !p.QuotedString(&value) || !p.Literal("),") ||
+        !p.Int(&parent) || !p.Literal(",") || !p.Int(&position) ||
+        !p.Literal(")") || !p.AtEnd()) {
+      return fail("malformed INS");
+    }
+    return EditOp::Insert(node, labels->Intern(label), std::move(value),
+                          parent, position);
+  }
+  if (p.Literal("DEL(")) {
+    int node = 0;
+    if (!p.Int(&node) || !p.Literal(")") || !p.AtEnd()) {
+      return fail("malformed DEL");
+    }
+    return EditOp::Delete(node);
+  }
+  if (p.Literal("UPD(")) {
+    int node = 0;
+    std::string value;
+    if (!p.Int(&node) || !p.Literal(",") || !p.QuotedString(&value) ||
+        !p.Literal(")") || !p.AtEnd()) {
+      return fail("malformed UPD");
+    }
+    return EditOp::Update(node, std::move(value), 1.0);
+  }
+  if (p.Literal("MOV(")) {
+    int node = 0, parent = 0, position = 0;
+    if (!p.Int(&node) || !p.Literal(",") || !p.Int(&parent) ||
+        !p.Literal(",") || !p.Int(&position) || !p.Literal(")") ||
+        !p.AtEnd()) {
+      return fail("malformed MOV");
+    }
+    return EditOp::Move(node, parent, position);
+  }
+  return fail("unknown operation");
+}
+
+}  // namespace
+
+std::string FormatEditScript(const EditScript& script,
+                             const LabelTable& labels) {
+  std::string out;
+  for (const EditOp& op : script.ops()) {
+    // Re-render with escaping (EditOp::ToString is for human display; this
+    // is the machine round-trip format).
+    EditOp escaped = op;
+    escaped.value = EscapeValue(op.value);
+    out += escaped.ToString(labels);
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<EditScript> ParseEditScript(std::string_view text,
+                                     LabelTable* labels) {
+  EditScript script;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    // Trim and skip blanks/comments.
+    size_t begin = 0;
+    while (begin < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[begin]))) {
+      ++begin;
+    }
+    line = line.substr(begin);
+    if (line.empty() || line[0] == '#') continue;
+    StatusOr<EditOp> op = ParseLine(line, labels);
+    if (!op.ok()) return op.status();
+    script.Append(std::move(*op));
+  }
+  return script;
+}
+
+}  // namespace treediff

@@ -1,0 +1,41 @@
+#ifndef TREEDIFF_CORE_SCRIPT_IO_H_
+#define TREEDIFF_CORE_SCRIPT_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/edit_script.h"
+#include "tree/label.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Text serialization of edit scripts, so deltas can be shipped between
+/// systems (the data-warehousing scenario: compute the delta at the source,
+/// apply it at the warehouse). The format is line-oriented and matches the
+/// paper's notation:
+///
+///   INS((17, sentence, "new text"), 3, 2)
+///   UPD(9, "changed")
+///   MOV(5, 11, 1)
+///   DEL(6)
+///
+/// String values use \" and \\ escapes; the format is line-oriented, so
+/// values must not contain newlines (tree values produced by the document
+/// parsers never do — whitespace is collapsed).
+/// Update costs are not serialized (they are recomputed when needed);
+/// parsed updates carry cost 1.
+
+/// Serializes `script` (same output as EditScript::ToString).
+std::string FormatEditScript(const EditScript& script,
+                             const LabelTable& labels);
+
+/// Parses a serialized script. Labels are interned into `labels`, which
+/// must be the table of the tree the script will be applied to. Blank lines
+/// and lines starting with '#' are skipped.
+StatusOr<EditScript> ParseEditScript(std::string_view text,
+                                     LabelTable* labels);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_CORE_SCRIPT_IO_H_

@@ -1,0 +1,300 @@
+#include "doc/html_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "doc/sentence.h"
+#include "tree/schema.h"
+#include "util/tokenize.h"
+
+namespace treediff {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+/// Decodes the common named entities and numeric character references we
+/// care about; unknown entities are kept verbatim.
+std::string DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '&') {
+      out.push_back(text[i]);
+      continue;
+    }
+    const size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 8) {
+      out.push_back('&');
+      continue;
+    }
+    std::string_view name = text.substr(i + 1, semi - i - 1);
+    if (name == "amp") {
+      out.push_back('&');
+    } else if (name == "lt") {
+      out.push_back('<');
+    } else if (name == "gt") {
+      out.push_back('>');
+    } else if (name == "quot") {
+      out.push_back('"');
+    } else if (name == "apos") {
+      out.push_back('\'');
+    } else if (name == "nbsp") {
+      out.push_back(' ');
+    } else if (!name.empty() && name[0] == '#') {
+      int code = 0;
+      bool ok = true;
+      for (char c : name.substr(1)) {
+        if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+          ok = false;
+          break;
+        }
+        code = code * 10 + (c - '0');
+      }
+      if (ok && code > 0 && code < 128) {
+        out.push_back(static_cast<char>(code));
+      } else {
+        out.push_back(' ');
+      }
+    } else {
+      out.append(text.substr(i, semi - i + 1));
+    }
+    i = semi;
+  }
+  return out;
+}
+
+/// A scanned tag: name lowercased, closing flag.
+struct TagToken {
+  std::string name;
+  bool closing = false;
+};
+
+/// Mirrors the LaTeX DocBuilder: maintains the section/subsection/list
+/// context while the tag scanner drives it.
+class HtmlDocBuilder {
+ public:
+  explicit HtmlDocBuilder(Tree* tree) : tree_(tree) {
+    document_ = tree_->AddRoot(doc_labels::kDocument);
+  }
+
+  void StartSection(std::string heading) {
+    FlushParagraph();
+    list_stack_.clear();
+    subsection_ = kInvalidNode;
+    section_ = tree_->AddChild(document_, doc_labels::kSection,
+                               CollapseWhitespace(heading));
+  }
+
+  void StartSubsection(std::string heading) {
+    FlushParagraph();
+    list_stack_.clear();
+    NodeId parent = section_ != kInvalidNode ? section_ : document_;
+    subsection_ = tree_->AddChild(parent, doc_labels::kSubsection,
+                                  CollapseWhitespace(heading));
+  }
+
+  void BeginList() {
+    FlushParagraph();
+    NodeId parent = ProseContainer();
+    list_stack_.push_back(
+        {tree_->AddChild(parent, doc_labels::kList), kInvalidNode});
+  }
+
+  void EndList() {
+    FlushParagraph();
+    if (!list_stack_.empty()) list_stack_.pop_back();
+  }
+
+  void StartItem() {
+    FlushParagraph();
+    if (list_stack_.empty()) BeginList();
+    list_stack_.back().item =
+        tree_->AddChild(list_stack_.back().list, doc_labels::kItem);
+  }
+
+  void AddProse(std::string_view chunk) {
+    pending_ += std::string(chunk);
+    pending_ += " ";
+  }
+
+  void ParagraphBreak() { FlushParagraph(); }
+
+  void Finish() { FlushParagraph(); }
+
+ private:
+  struct ListFrame {
+    NodeId list;
+    NodeId item;
+  };
+
+  NodeId ProseContainer() const {
+    if (!list_stack_.empty() && list_stack_.back().item != kInvalidNode) {
+      return list_stack_.back().item;
+    }
+    if (!list_stack_.empty()) return list_stack_.back().list;
+    if (subsection_ != kInvalidNode) return subsection_;
+    if (section_ != kInvalidNode) return section_;
+    return document_;
+  }
+
+  void FlushParagraph() {
+    std::vector<std::string> sentences = SplitSentences(pending_);
+    pending_.clear();
+    if (sentences.empty()) return;
+    NodeId parent = ProseContainer();
+    if (!list_stack_.empty() && parent == list_stack_.back().list) {
+      list_stack_.back().item =
+          tree_->AddChild(list_stack_.back().list, doc_labels::kItem);
+      parent = list_stack_.back().item;
+    }
+    NodeId para = tree_->AddChild(parent, doc_labels::kParagraph);
+    for (auto& s : sentences) {
+      tree_->AddChild(para, doc_labels::kSentence, std::move(s));
+    }
+  }
+
+  Tree* tree_;
+  NodeId document_ = kInvalidNode;
+  NodeId section_ = kInvalidNode;
+  NodeId subsection_ = kInvalidNode;
+  std::vector<ListFrame> list_stack_;
+  std::string pending_;
+};
+
+bool IsListTag(const std::string& name) {
+  return name == "ul" || name == "ol" || name == "dl";
+}
+
+bool IsItemTag(const std::string& name) {
+  return name == "li" || name == "dd" || name == "dt";
+}
+
+bool IsSkippedContainer(const std::string& name) {
+  return name == "script" || name == "style" || name == "head";
+}
+
+}  // namespace
+
+StatusOr<Tree> ParseHtml(std::string_view text,
+                         std::shared_ptr<LabelTable> labels) {
+  Tree tree(std::move(labels));
+  HtmlDocBuilder builder(&tree);
+
+  const size_t n = text.size();
+  size_t pos = 0;
+  std::string skip_until;       // Non-empty while inside <script>/<style>/...
+  std::string heading_capture;  // Non-empty tag name while inside <h1>..<h3>.
+  std::string heading_text;
+
+  auto emit_text = [&](std::string_view chunk) {
+    std::string decoded = DecodeEntities(chunk);
+    if (IsBlank(decoded)) return;
+    if (!heading_capture.empty()) {
+      heading_text += decoded;
+      heading_text += " ";
+    } else {
+      builder.AddProse(decoded);
+    }
+  };
+
+  while (pos < n) {
+    const size_t lt = text.find('<', pos);
+    if (lt == std::string_view::npos) {
+      if (skip_until.empty()) emit_text(text.substr(pos));
+      break;
+    }
+    if (skip_until.empty()) emit_text(text.substr(pos, lt - pos));
+
+    // Comments and doctype.
+    if (text.substr(lt).substr(0, 4) == "<!--") {
+      const size_t end = text.find("-->", lt + 4);
+      pos = end == std::string_view::npos ? n : end + 3;
+      continue;
+    }
+    if (lt + 1 < n && text[lt + 1] == '!') {
+      const size_t gt = text.find('>', lt);
+      pos = gt == std::string_view::npos ? n : gt + 1;
+      continue;
+    }
+
+    const size_t gt = text.find('>', lt);
+    if (gt == std::string_view::npos) {
+      pos = n;
+      break;
+    }
+    std::string_view inside = text.substr(lt + 1, gt - lt - 1);
+    pos = gt + 1;
+
+    TagToken tag;
+    size_t name_start = 0;
+    if (!inside.empty() && inside[0] == '/') {
+      tag.closing = true;
+      name_start = 1;
+    }
+    size_t name_end = name_start;
+    while (name_end < inside.size() &&
+           (std::isalnum(static_cast<unsigned char>(inside[name_end])) != 0)) {
+      ++name_end;
+    }
+    tag.name = ToLower(inside.substr(name_start, name_end - name_start));
+    if (tag.name.empty()) continue;
+
+    if (!skip_until.empty()) {
+      if (tag.closing && tag.name == skip_until) skip_until.clear();
+      continue;
+    }
+    if (!tag.closing && IsSkippedContainer(tag.name)) {
+      skip_until = tag.name;
+      continue;
+    }
+
+    if (tag.name == "h1" || tag.name == "h2" || tag.name == "h3") {
+      if (!tag.closing) {
+        heading_capture = tag.name;
+        heading_text.clear();
+      } else if (heading_capture == tag.name) {
+        if (tag.name == "h1") {
+          builder.StartSection(heading_text);
+        } else {
+          builder.StartSubsection(heading_text);
+        }
+        heading_capture.clear();
+      }
+    } else if (tag.name == "p") {
+      builder.ParagraphBreak();
+    } else if (tag.name == "br") {
+      builder.ParagraphBreak();
+    } else if (IsListTag(tag.name)) {
+      if (tag.closing) {
+        builder.EndList();
+      } else {
+        builder.BeginList();
+      }
+    } else if (IsItemTag(tag.name)) {
+      if (!tag.closing) {
+        builder.StartItem();
+      } else {
+        builder.ParagraphBreak();
+      }
+    } else if (tag.name == "div" || tag.name == "section" ||
+               tag.name == "body" || tag.name == "html" ||
+               tag.name == "table" || tag.name == "tr" || tag.name == "td") {
+      builder.ParagraphBreak();
+    }
+    // Inline tags (b, i, em, a, span, code, ...) are simply dropped.
+  }
+  builder.Finish();
+  return tree;
+}
+
+}  // namespace treediff

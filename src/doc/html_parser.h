@@ -1,0 +1,33 @@
+#ifndef TREEDIFF_DOC_HTML_PARSER_H_
+#define TREEDIFF_DOC_HTML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Parses an HTML subset into the same document schema the LaTeX parser
+/// produces (the paper's planned HTML extension, Section 9):
+///
+///  * <h1> -> section heading, <h2>/<h3> -> subsection heading (the heading
+///    text becomes the node's value);
+///  * <p>...</p> -> paragraph; bare text between block elements forms
+///    implicit paragraphs; <br> and blank lines break paragraphs;
+///  * <ul>/<ol>/<dl> -> "list" (all list kinds merged, as with LaTeX),
+///    <li>/<dd> -> item;
+///  * inline tags (<b>, <em>, <a>, ...) are stripped; entities &amp; &lt;
+///    &gt; &quot; &apos; &nbsp; and numeric &#NN; are decoded;
+///  * <head>, <script> and <style> contents, comments, and doctypes are
+///    skipped.
+///
+/// Prose is split into sentence leaves. Labels intern into `labels` (fresh
+/// table when null); parse both versions with one table before diffing.
+StatusOr<Tree> ParseHtml(std::string_view text,
+                         std::shared_ptr<LabelTable> labels = nullptr);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_DOC_HTML_PARSER_H_

@@ -1,0 +1,59 @@
+#include "doc/ladiff.h"
+
+#include <memory>
+#include <utility>
+
+#include "doc/html_parser.h"
+#include "doc/latex_parser.h"
+#include "tree/schema.h"
+
+namespace treediff {
+
+namespace {
+
+using Parser = StatusOr<Tree> (*)(std::string_view,
+                                  std::shared_ptr<LabelTable>);
+
+StatusOr<LaDiffResult> DiffWithParser(Parser parse, std::string_view old_text,
+                                      std::string_view new_text,
+                                      const LaDiffOptions& options) {
+  auto labels = std::make_shared<LabelTable>();
+  StatusOr<Tree> old_tree = parse(old_text, labels);
+  if (!old_tree.ok()) return old_tree.status();
+  StatusOr<Tree> new_tree = parse(new_text, labels);
+  if (!new_tree.ok()) return new_tree.status();
+
+  // The document schema gives FastMatch its deterministic label order and
+  // lets callers validate the acyclicity condition.
+  LabelSchema schema = MakeDocumentSchema(labels.get());
+  DiffOptions diff_options = options.diff;
+  if (diff_options.schema == nullptr) diff_options.schema = &schema;
+
+  StatusOr<DiffResult> diff = DiffTrees(*old_tree, *new_tree, diff_options);
+  if (!diff.ok()) return diff.status();
+
+  StatusOr<DeltaTree> delta = BuildDeltaTree(*old_tree, *new_tree, *diff);
+  if (!delta.ok()) return delta.status();
+
+  std::string markup = RenderMarkup(*delta, *labels, options.format);
+
+  LaDiffResult result{std::move(*old_tree), std::move(*new_tree),
+                      std::move(*diff), std::move(*delta), std::move(markup)};
+  return result;
+}
+
+}  // namespace
+
+StatusOr<LaDiffResult> DiffLatexDocuments(std::string_view old_text,
+                                          std::string_view new_text,
+                                          const LaDiffOptions& options) {
+  return DiffWithParser(&ParseLatex, old_text, new_text, options);
+}
+
+StatusOr<LaDiffResult> DiffHtmlDocuments(std::string_view old_text,
+                                         std::string_view new_text,
+                                         const LaDiffOptions& options) {
+  return DiffWithParser(&ParseHtml, old_text, new_text, options);
+}
+
+}  // namespace treediff

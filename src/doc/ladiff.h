@@ -1,0 +1,47 @@
+#ifndef TREEDIFF_DOC_LADIFF_H_
+#define TREEDIFF_DOC_LADIFF_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/diff.h"
+#include "doc/markup.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Options of the LaDiff pipeline (Section 7).
+struct LaDiffOptions {
+  /// Matching thresholds and algorithm selection.
+  DiffOptions diff;
+
+  /// Output format of the marked-up document.
+  MarkupFormat format = MarkupFormat::kLatex;
+};
+
+/// Everything LaDiff computes for one pair of document versions.
+struct LaDiffResult {
+  Tree old_tree;
+  Tree new_tree;
+  DiffResult diff;
+  DeltaTree delta;
+  std::string markup;
+};
+
+/// The LaDiff system (Section 7): parses two versions of a LaTeX document,
+/// computes the matching and minimum-cost edit script, builds the delta
+/// tree, and renders the new version with the changes marked (Appendix A).
+StatusOr<LaDiffResult> DiffLatexDocuments(std::string_view old_text,
+                                          std::string_view new_text,
+                                          const LaDiffOptions& options = {});
+
+/// Same pipeline for the HTML subset (the web-document scenario of the
+/// introduction and Section 9's planned extension).
+StatusOr<LaDiffResult> DiffHtmlDocuments(std::string_view old_text,
+                                         std::string_view new_text,
+                                         const LaDiffOptions& options = {});
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_DOC_LADIFF_H_

@@ -1,0 +1,296 @@
+#include "doc/latex_parser.h"
+
+#include <string>
+#include <vector>
+
+#include "doc/sentence.h"
+#include "tree/schema.h"
+#include "util/tokenize.h"
+
+namespace treediff {
+
+namespace {
+
+/// Removes % comments (a '%' not preceded by a backslash kills the rest of
+/// the line, including the newline, per TeX rules; we keep the newline so
+/// blank-line structure is preserved).
+std::string StripComments(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_comment = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_comment) {
+      if (c == '\n') {
+        in_comment = false;
+        out.push_back(c);
+      }
+      continue;
+    }
+    if (c == '\\' && i + 1 < text.size() && text[i + 1] == '%') {
+      out.append("\\%");
+      ++i;
+      continue;
+    }
+    if (c == '%') {
+      in_comment = true;
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Reads a balanced {...} group starting at `pos` (which must point at '{');
+/// returns the contents and advances `pos` past the closing brace.
+Status ReadBraceGroup(std::string_view text, size_t* pos, std::string* out) {
+  if (*pos >= text.size() || text[*pos] != '{') {
+    return Status::ParseError("expected '{' at offset " +
+                              std::to_string(*pos));
+  }
+  size_t depth = 0;
+  size_t i = *pos;
+  std::string content;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '{') {
+      ++depth;
+      if (depth == 1) continue;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) {
+        *pos = i + 1;
+        *out = std::move(content);
+        return Status::Ok();
+      }
+    }
+    content.push_back(c);
+  }
+  return Status::ParseError("unbalanced braces starting at offset " +
+                            std::to_string(*pos));
+}
+
+/// Builds the document tree while the scanner walks the source.
+class DocBuilder {
+ public:
+  explicit DocBuilder(Tree* tree) : tree_(tree) {
+    document_ = tree_->AddRoot(doc_labels::kDocument);
+  }
+
+  void StartSection(std::string heading) {
+    FlushParagraph();
+    list_stack_.clear();
+    subsection_ = kInvalidNode;
+    section_ = tree_->AddChild(document_, doc_labels::kSection,
+                               CollapseWhitespace(heading));
+  }
+
+  void StartSubsection(std::string heading) {
+    FlushParagraph();
+    list_stack_.clear();
+    NodeId parent = section_ != kInvalidNode ? section_ : document_;
+    subsection_ = tree_->AddChild(parent, doc_labels::kSubsection,
+                                  CollapseWhitespace(heading));
+  }
+
+  void BeginList() {
+    FlushParagraph();
+    NodeId parent = CurrentProseContainer();
+    list_stack_.push_back(
+        {tree_->AddChild(parent, doc_labels::kList), kInvalidNode});
+  }
+
+  void EndList() {
+    FlushParagraph();
+    if (!list_stack_.empty()) list_stack_.pop_back();
+  }
+
+  void StartItem() {
+    FlushParagraph();
+    if (list_stack_.empty()) BeginList();  // Tolerate a stray \item.
+    list_stack_.back().item =
+        tree_->AddChild(list_stack_.back().list, doc_labels::kItem);
+  }
+
+  void AddProse(std::string_view chunk) { pending_ += std::string(chunk); }
+
+  void ParagraphBreak() { FlushParagraph(); }
+
+  void Finish() { FlushParagraph(); }
+
+ private:
+  struct ListFrame {
+    NodeId list;
+    NodeId item;
+  };
+
+  /// Where prose paragraphs currently go: innermost item, else subsection,
+  /// else section, else document.
+  NodeId CurrentProseContainer() const {
+    if (!list_stack_.empty() && list_stack_.back().item != kInvalidNode) {
+      return list_stack_.back().item;
+    }
+    if (!list_stack_.empty()) {
+      // Prose inside a list before any \item: start an implicit item lazily
+      // at flush time (handled in FlushParagraph).
+      return list_stack_.back().list;
+    }
+    if (subsection_ != kInvalidNode) return subsection_;
+    if (section_ != kInvalidNode) return section_;
+    return document_;
+  }
+
+  void FlushParagraph() {
+    std::vector<std::string> sentences = SplitSentences(pending_);
+    pending_.clear();
+    if (sentences.empty()) return;
+    NodeId parent = CurrentProseContainer();
+    if (!list_stack_.empty() && parent == list_stack_.back().list) {
+      // Prose directly inside a list: wrap in an implicit item.
+      list_stack_.back().item =
+          tree_->AddChild(list_stack_.back().list, doc_labels::kItem);
+      parent = list_stack_.back().item;
+    }
+    NodeId para = tree_->AddChild(parent, doc_labels::kParagraph);
+    for (auto& s : sentences) {
+      tree_->AddChild(para, doc_labels::kSentence, std::move(s));
+    }
+  }
+
+  Tree* tree_;
+  NodeId document_ = kInvalidNode;
+  NodeId section_ = kInvalidNode;
+  NodeId subsection_ = kInvalidNode;
+  std::vector<ListFrame> list_stack_;
+  std::string pending_;
+};
+
+bool IsListEnvironment(std::string_view name) {
+  return name == "itemize" || name == "enumerate" || name == "description";
+}
+
+}  // namespace
+
+StatusOr<Tree> ParseLatex(std::string_view raw,
+                          std::shared_ptr<LabelTable> labels) {
+  Tree tree(std::move(labels));
+  const std::string text = StripComments(raw);
+  DocBuilder builder(&tree);
+
+  size_t pos = 0;
+  const size_t n = text.size();
+  // If there is a preamble, skip to \begin{document}.
+  const size_t doc_begin = text.find("\\begin{document}");
+  if (doc_begin != std::string_view::npos) {
+    pos = doc_begin + std::string_view("\\begin{document}").size();
+  }
+
+  size_t blank_scan = pos;  // For blank-line paragraph detection.
+  auto flush_prose_until = [&](size_t end) {
+    // Emit prose [blank_scan, end), breaking paragraphs at blank lines. A
+    // flush can stop mid-line (at a \command); in that case no separator is
+    // appended so the rest of the line continues seamlessly, and blank
+    // partial segments do not fake a paragraph break.
+    size_t start = blank_scan;
+    while (start < end) {
+      size_t newline = text.find('\n', start);
+      const bool hit_newline = newline != std::string::npos && newline < end;
+      const size_t seg_end = hit_newline ? newline : end;
+      std::string_view segment(text.data() + start, seg_end - start);
+      const bool full_line =
+          hit_newline && (start == 0 || text[start - 1] == '\n');
+      if (IsBlank(segment)) {
+        if (full_line) builder.ParagraphBreak();
+      } else {
+        builder.AddProse(segment);
+      }
+      if (hit_newline && !IsBlank(segment)) builder.AddProse(" ");
+      start = seg_end + 1;
+      if (!hit_newline) break;
+    }
+    blank_scan = end;
+  };
+
+  while (pos < n) {
+    size_t next = text.find('\\', pos);
+    if (next == std::string::npos) {
+      flush_prose_until(n);
+      break;
+    }
+    // Identify the command name.
+    size_t name_end = next + 1;
+    while (name_end < n &&
+           (std::isalpha(static_cast<unsigned char>(text[name_end])) != 0)) {
+      ++name_end;
+    }
+    std::string_view cmd(text.data() + next + 1, name_end - next - 1);
+
+    auto handle_heading = [&](bool subsection) -> Status {
+      flush_prose_until(next);
+      size_t cursor = name_end;
+      // Tolerate the starred forms \section*{...}.
+      if (cursor < n && text[cursor] == '*') ++cursor;
+      std::string heading;
+      TREEDIFF_RETURN_IF_ERROR(ReadBraceGroup(text, &cursor, &heading));
+      if (subsection) {
+        builder.StartSubsection(std::move(heading));
+      } else {
+        builder.StartSection(std::move(heading));
+      }
+      pos = cursor;
+      blank_scan = cursor;
+      return Status::Ok();
+    };
+
+    if (cmd == "section") {
+      TREEDIFF_RETURN_IF_ERROR(handle_heading(false));
+    } else if (cmd == "subsection") {
+      TREEDIFF_RETURN_IF_ERROR(handle_heading(true));
+    } else if (cmd == "begin" || cmd == "end") {
+      size_t cursor = name_end;
+      std::string env;
+      Status st = ReadBraceGroup(text, &cursor, &env);
+      if (!st.ok()) return st;
+      if (IsListEnvironment(env)) {
+        flush_prose_until(next);
+        if (cmd == "begin") {
+          builder.BeginList();
+        } else {
+          builder.EndList();
+        }
+        pos = cursor;
+        blank_scan = cursor;
+      } else if (env == "document") {
+        flush_prose_until(next);
+        pos = cursor;
+        blank_scan = cursor;
+        if (cmd == "end") break;  // \end{document}: stop.
+      } else {
+        // Unknown environment: keep the markers out of the prose but parse
+        // the contents as ordinary text.
+        flush_prose_until(next);
+        pos = cursor;
+        blank_scan = cursor;
+      }
+    } else if (cmd == "item") {
+      flush_prose_until(next);
+      builder.StartItem();
+      pos = name_end;
+      blank_scan = name_end;
+    } else {
+      // Any other command: leave it in the prose verbatim (it is part of a
+      // sentence, e.g. \emph{...} or math).
+      flush_prose_until(name_end);
+      pos = name_end;
+      // Ensure at least one character of progress for lone backslashes.
+      if (name_end == next + 1) {
+        flush_prose_until(std::min(n, name_end + 1));
+        pos = std::min(n, name_end + 1);
+      }
+    }
+  }
+  builder.Finish();
+  return tree;
+}
+
+}  // namespace treediff

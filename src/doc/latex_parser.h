@@ -1,0 +1,35 @@
+#ifndef TREEDIFF_DOC_LATEX_PARSER_H_
+#define TREEDIFF_DOC_LATEX_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Parses the LaDiff subset of LaTeX (Section 7) into a document tree:
+///
+///   document > section > subsection > { paragraph | list > item >
+///   paragraph } > sentence
+///
+/// Recognized constructs:
+///  * \section{...} and \subsection{...} (heading text becomes the node's
+///    value, so heading edits surface as updates);
+///  * \begin{itemize} / \begin{enumerate} / \begin{description}, \item,
+///    \end{...} — all three list kinds map to the single label "list",
+///    the paper's fix for the acyclic-labels condition (Section 5.1);
+///  * blank lines separate paragraphs; prose is split into sentence leaves;
+///  * % comments (except \%) are stripped; an optional preamble up to
+///    \begin{document} and the trailing \end{document} are skipped;
+///  * other \commands inside prose are kept verbatim as sentence text.
+///
+/// Labels are interned into `labels` (fresh table when null). Both versions
+/// of a document must be parsed with the same table before diffing.
+StatusOr<Tree> ParseLatex(std::string_view text,
+                          std::shared_ptr<LabelTable> labels = nullptr);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_DOC_LATEX_PARSER_H_

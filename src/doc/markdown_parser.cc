@@ -1,0 +1,207 @@
+#include "doc/markdown_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "doc/sentence.h"
+#include "tree/schema.h"
+#include "util/tokenize.h"
+
+namespace treediff {
+
+namespace {
+
+/// Label for opaque fenced-code leaves.
+constexpr std::string_view kCodeBlockLabel = "codeblock";
+
+/// True if `line` opens/closes a fence; returns the fence marker length.
+bool IsFence(std::string_view line) {
+  std::string_view trimmed = TrimWhitespace(line);
+  return trimmed.substr(0, 3) == "```" || trimmed.substr(0, 3) == "~~~";
+}
+
+/// If `line` is a heading, returns its level (1-6) and strips the marker
+/// into `text`; otherwise returns 0.
+int HeadingLevel(std::string_view line, std::string* text) {
+  size_t hashes = 0;
+  while (hashes < line.size() && line[hashes] == '#') ++hashes;
+  if (hashes == 0 || hashes > 6) return 0;
+  if (hashes < line.size() && line[hashes] != ' ') return 0;
+  *text = CollapseWhitespace(line.substr(hashes));
+  return static_cast<int>(hashes);
+}
+
+/// If `line` starts a list item, strips the bullet into `text` and returns
+/// true. Handles -, *, + and "N." ordered markers.
+bool ListItemStart(std::string_view line, std::string* text) {
+  std::string_view t = TrimWhitespace(line);
+  if (t.size() >= 2 && (t[0] == '-' || t[0] == '*' || t[0] == '+') &&
+      t[1] == ' ') {
+    *text = std::string(TrimWhitespace(t.substr(2)));
+    return true;
+  }
+  size_t digits = 0;
+  while (digits < t.size() &&
+         std::isdigit(static_cast<unsigned char>(t[digits]))) {
+    ++digits;
+  }
+  if (digits > 0 && digits + 1 < t.size() && t[digits] == '.' &&
+      t[digits + 1] == ' ') {
+    *text = std::string(TrimWhitespace(t.substr(digits + 2)));
+    return true;
+  }
+  return false;
+}
+
+/// Builds the tree while the line scanner drives it (same pattern as the
+/// LaTeX builder).
+class MarkdownBuilder {
+ public:
+  explicit MarkdownBuilder(Tree* tree) : tree_(tree) {
+    document_ = tree_->AddRoot(doc_labels::kDocument);
+  }
+
+  void Heading(int level, std::string text) {
+    Flush();
+    CloseList();
+    if (level <= 1) {
+      subsection_ = kInvalidNode;
+      section_ = tree_->AddChild(document_, doc_labels::kSection,
+                                 std::move(text));
+    } else {
+      NodeId parent = section_ != kInvalidNode ? section_ : document_;
+      subsection_ = tree_->AddChild(parent, doc_labels::kSubsection,
+                                    std::move(text));
+    }
+  }
+
+  void StartItem(std::string first_text) {
+    Flush();
+    if (list_ == kInvalidNode) {
+      list_ = tree_->AddChild(ProseContainer(), doc_labels::kList);
+    }
+    item_ = tree_->AddChild(list_, doc_labels::kItem);
+    pending_ = std::move(first_text);
+    pending_ += " ";
+  }
+
+  void Prose(std::string_view line) {
+    pending_ += std::string(TrimWhitespace(line));
+    pending_ += " ";
+  }
+
+  void Blank() {
+    Flush();
+    CloseList();
+  }
+
+  void CodeBlock(std::string content) {
+    Flush();
+    CloseList();
+    tree_->AddChild(ProseContainer(), kCodeBlockLabel, std::move(content));
+  }
+
+  void Finish() {
+    Flush();
+    CloseList();
+  }
+
+ private:
+  NodeId ProseContainer() const {
+    if (item_ != kInvalidNode) return item_;
+    if (subsection_ != kInvalidNode) return subsection_;
+    if (section_ != kInvalidNode) return section_;
+    return document_;
+  }
+
+  void Flush() {
+    std::vector<std::string> sentences = SplitSentences(pending_);
+    pending_.clear();
+    if (sentences.empty()) return;
+    NodeId para = tree_->AddChild(ProseContainer(), doc_labels::kParagraph);
+    for (auto& s : sentences) {
+      tree_->AddChild(para, doc_labels::kSentence, std::move(s));
+    }
+    // A flushed paragraph ends the current item's prose; the next bullet
+    // starts a fresh item, further prose joins a new paragraph in the item.
+  }
+
+  void CloseList() {
+    list_ = kInvalidNode;
+    item_ = kInvalidNode;
+  }
+
+  Tree* tree_;
+  NodeId document_ = kInvalidNode;
+  NodeId section_ = kInvalidNode;
+  NodeId subsection_ = kInvalidNode;
+  NodeId list_ = kInvalidNode;
+  NodeId item_ = kInvalidNode;
+  std::string pending_;
+};
+
+}  // namespace
+
+StatusOr<Tree> ParseMarkdown(std::string_view text,
+                             std::shared_ptr<LabelTable> labels) {
+  Tree tree(std::move(labels));
+  MarkdownBuilder builder(&tree);
+
+  size_t pos = 0;
+  bool in_fence = false;
+  std::string code;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+
+    if (in_fence) {
+      if (IsFence(line)) {
+        in_fence = false;
+        builder.CodeBlock(std::move(code));
+        code.clear();
+      } else {
+        code += std::string(line);
+        code += "\n";
+      }
+      if (end == text.size()) break;
+      continue;
+    }
+    if (IsFence(line)) {
+      in_fence = true;
+      if (end == text.size()) break;
+      continue;
+    }
+
+    // Strip blockquote markers.
+    std::string_view effective = line;
+    std::string_view t = TrimWhitespace(effective);
+    while (!t.empty() && t[0] == '>') {
+      t = TrimWhitespace(t.substr(1));
+    }
+    if (t != TrimWhitespace(effective)) effective = t;
+
+    std::string captured;
+    int level = HeadingLevel(TrimWhitespace(effective), &captured);
+    if (level > 0) {
+      builder.Heading(level, std::move(captured));
+    } else if (ListItemStart(effective, &captured)) {
+      builder.StartItem(std::move(captured));
+    } else if (IsBlank(effective)) {
+      builder.Blank();
+    } else {
+      builder.Prose(effective);
+    }
+    if (end == text.size()) break;
+  }
+  if (in_fence) {
+    // Unterminated fence: keep the code collected so far.
+    builder.CodeBlock(std::move(code));
+  }
+  builder.Finish();
+  return tree;
+}
+
+}  // namespace treediff

@@ -1,0 +1,35 @@
+#ifndef TREEDIFF_DOC_MARKDOWN_PARSER_H_
+#define TREEDIFF_DOC_MARKDOWN_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Parses a Markdown subset into the document schema (a third structured
+/// front end beside LaTeX and HTML):
+///
+///  * `# Heading` -> section, `## Heading` / deeper -> subsection (heading
+///    text becomes the node value);
+///  * blank-line-separated prose -> paragraph > sentence leaves;
+///  * `- ` / `* ` / `+ ` / `1. ` items -> list > item > paragraph >
+///    sentence (consecutive items form one list; all bullet kinds merge,
+///    like the paper's LaTeX list merging);
+///  * fenced code blocks (``` ... ```) -> a single opaque "codeblock" leaf
+///    whose value is the verbatim content — code is compared as a unit, not
+///    sentence-split;
+///  * `> ` blockquote markers are stripped (quotes diff as prose);
+///  * inline formatting (emphasis, links, inline code) stays verbatim in
+///    the sentence text.
+///
+/// Labels intern into `labels` (fresh table when null); parse both versions
+/// with one table before diffing.
+StatusOr<Tree> ParseMarkdown(std::string_view text,
+                             std::shared_ptr<LabelTable> labels = nullptr);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_DOC_MARKDOWN_PARSER_H_

@@ -1,0 +1,487 @@
+#include "doc/markup.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "tree/schema.h"
+
+namespace treediff {
+
+namespace {
+
+/// Assigns display labels ("S1", "P2", ...) to move ids, numbered per node
+/// kind in the order markers appear in the new document.
+class MoveLabels {
+ public:
+  MoveLabels(const DeltaTree& dt, const LabelTable& labels) {
+    std::unordered_map<std::string, int> counters;
+    Walk(dt, labels, dt.root(), &counters);
+  }
+
+  std::string Label(int move_id) const {
+    auto it = labels_.find(move_id);
+    return it == labels_.end() ? "M?" : it->second;
+  }
+
+ private:
+  void Walk(const DeltaTree& dt, const LabelTable& labels, int index,
+            std::unordered_map<std::string, int>* counters) {
+    const DeltaNode& n = dt.node(index);
+    if (n.annotation == DeltaAnnotation::kMoveMarker && n.move_id >= 0) {
+      const std::string& name = labels.Name(n.label);
+      std::string prefix = "M";
+      if (name == doc_labels::kSentence) {
+        prefix = "S";
+      } else if (name == doc_labels::kParagraph) {
+        prefix = "P";
+      } else if (name == doc_labels::kItem) {
+        prefix = "I";
+      }
+      labels_[n.move_id] = prefix + std::to_string(++(*counters)[prefix]);
+    }
+    for (int c : n.children) Walk(dt, labels, c, counters);
+  }
+
+  std::unordered_map<int, std::string> labels_;
+};
+
+std::string EscapeHtml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// ----- LaTeX renderer (Table 2) -----
+
+class LatexRenderer {
+ public:
+  LatexRenderer(const DeltaTree& dt, const LabelTable& labels)
+      : dt_(dt), labels_(labels), moves_(dt, labels) {}
+
+  std::string Render() {
+    out_.clear();
+    Node(dt_.root());
+    return out_;
+  }
+
+ private:
+  const std::string& Name(const DeltaNode& n) const {
+    return labels_.Name(n.label);
+  }
+
+  static const char* HeadingAnnotation(const DeltaNode& n) {
+    switch (n.annotation) {
+      case DeltaAnnotation::kInserted:
+        return "(ins) ";
+      case DeltaAnnotation::kDeleted:
+        return "(del) ";
+      case DeltaAnnotation::kMoveMarker:
+        return "(mov) ";
+      default:
+        break;
+    }
+    return n.value_updated ? "(upd) " : "";
+  }
+
+  void Children(const DeltaNode& n) {
+    for (int c : n.children) Node(c);
+  }
+
+  void Node(int index) {
+    const DeltaNode& n = dt_.node(index);
+    const std::string& name = Name(n);
+    if (name == doc_labels::kDocument) {
+      Children(n);
+    } else if (name == doc_labels::kSection ||
+               name == doc_labels::kSubsection) {
+      out_ += name == doc_labels::kSection ? "\\section{" : "\\subsection{";
+      out_ += HeadingAnnotation(n);
+      out_ += n.value;
+      out_ += "}\n\n";
+      Children(n);
+    } else if (name == doc_labels::kList) {
+      out_ += "\\begin{itemize}\n";
+      Children(n);
+      out_ += "\\end{itemize}\n\n";
+    } else if (name == doc_labels::kItem) {
+      out_ += "\\item ";
+      BlockNote(n);
+      Children(n);
+      out_ += "\n";
+    } else if (name == doc_labels::kParagraph) {
+      BlockNote(n);
+      Children(n);
+      out_ += "\n\n";
+    } else if (name == doc_labels::kSentence) {
+      Sentence(n);
+    } else {
+      // Unknown label: render value and children transparently.
+      if (!n.value.empty()) {
+        out_ += n.value;
+        out_ += " ";
+      }
+      Children(n);
+    }
+  }
+
+  /// Marginal notes for paragraphs and items (Table 2, rows 2-3).
+  void BlockNote(const DeltaNode& n) {
+    switch (n.annotation) {
+      case DeltaAnnotation::kInserted:
+        out_ += "\\marginpar{Inserted para} ";
+        break;
+      case DeltaAnnotation::kDeleted:
+        out_ += "\\marginpar{Deleted para} ";
+        break;
+      case DeltaAnnotation::kMoveMarker:
+        out_ += "\\marginpar{Moved from " + moves_.Label(n.move_id) + "} ";
+        break;
+      case DeltaAnnotation::kMoved:
+        out_ += moves_.Label(n.move_id) + ": ";
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Font changes for sentences (Table 2, row 1).
+  void Sentence(const DeltaNode& n) {
+    switch (n.annotation) {
+      case DeltaAnnotation::kIdentical:
+        out_ += n.value;
+        break;
+      case DeltaAnnotation::kInserted:
+        out_ += "\\textbf{" + n.value + "}";
+        break;
+      case DeltaAnnotation::kDeleted:
+        out_ += "{\\small " + n.value + "}";
+        break;
+      case DeltaAnnotation::kUpdated:
+        out_ += "\\textit{" + n.value + "}";
+        break;
+      case DeltaAnnotation::kMoved:
+        out_ += moves_.Label(n.move_id) + ":[{\\small " + n.value + "}]";
+        break;
+      case DeltaAnnotation::kMoveMarker: {
+        std::string body =
+            n.value_updated ? "\\textit{" + n.value + "}" : n.value;
+        out_ += "[" + body + "]\\footnote{Moved from " +
+                moves_.Label(n.move_id) + "}";
+        break;
+      }
+    }
+    out_ += "\n";
+  }
+
+  const DeltaTree& dt_;
+  const LabelTable& labels_;
+  MoveLabels moves_;
+  std::string out_;
+};
+
+// ----- HTML renderer -----
+
+class HtmlRenderer {
+ public:
+  HtmlRenderer(const DeltaTree& dt, const LabelTable& labels)
+      : dt_(dt), labels_(labels), moves_(dt, labels) {}
+
+  std::string Render() {
+    out_ =
+        "<!DOCTYPE html>\n<html><head><style>\n"
+        "ins { background: #d4f7d4; text-decoration: none; }\n"
+        "del { background: #f7d4d4; }\n"
+        ".upd { background: #fff3c4; font-style: italic; }\n"
+        ".mov-src { background: #e0e0e0; font-size: smaller; }\n"
+        ".mov-dst { background: #d4e4f7; }\n"
+        ".note { color: #888; font-size: smaller; }\n"
+        "</style></head><body>\n";
+    Node(dt_.root());
+    out_ += "</body></html>\n";
+    return out_;
+  }
+
+ private:
+  const std::string& Name(const DeltaNode& n) const {
+    return labels_.Name(n.label);
+  }
+
+  void Children(const DeltaNode& n) {
+    for (int c : n.children) Node(c);
+  }
+
+  std::string NoteFor(const DeltaNode& n) {
+    switch (n.annotation) {
+      case DeltaAnnotation::kInserted:
+        return "<span class=\"note\">[inserted]</span> ";
+      case DeltaAnnotation::kDeleted:
+        return "<span class=\"note\">[deleted]</span> ";
+      case DeltaAnnotation::kMoveMarker:
+        return "<span class=\"note\">[moved from " +
+               moves_.Label(n.move_id) + "]</span> ";
+      case DeltaAnnotation::kMoved:
+        return "<span class=\"note\" id=\"mov-" + moves_.Label(n.move_id) +
+               "\">[" + moves_.Label(n.move_id) + ", moved away]</span> ";
+      default:
+        break;
+    }
+    return n.value_updated ? "<span class=\"note\">[updated]</span> " : "";
+  }
+
+  void Node(int index) {
+    const DeltaNode& n = dt_.node(index);
+    const std::string& name = Name(n);
+    if (name == doc_labels::kDocument) {
+      Children(n);
+    } else if (name == doc_labels::kSection) {
+      out_ += "<h1>" + NoteFor(n) + EscapeHtml(n.value) + "</h1>\n";
+      Children(n);
+    } else if (name == doc_labels::kSubsection) {
+      out_ += "<h2>" + NoteFor(n) + EscapeHtml(n.value) + "</h2>\n";
+      Children(n);
+    } else if (name == doc_labels::kList) {
+      out_ += "<ul>\n";
+      Children(n);
+      out_ += "</ul>\n";
+    } else if (name == doc_labels::kItem) {
+      out_ += "<li>" + NoteFor(n);
+      Children(n);
+      out_ += "</li>\n";
+    } else if (name == doc_labels::kParagraph) {
+      out_ += "<p>" + NoteFor(n);
+      Children(n);
+      out_ += "</p>\n";
+    } else if (name == doc_labels::kSentence) {
+      Sentence(n);
+    } else {
+      if (!n.value.empty()) out_ += EscapeHtml(n.value) + " ";
+      Children(n);
+    }
+  }
+
+  void Sentence(const DeltaNode& n) {
+    const std::string text = EscapeHtml(n.value);
+    switch (n.annotation) {
+      case DeltaAnnotation::kIdentical:
+        out_ += text;
+        break;
+      case DeltaAnnotation::kInserted:
+        out_ += "<ins>" + text + "</ins>";
+        break;
+      case DeltaAnnotation::kDeleted:
+        out_ += "<del>" + text + "</del>";
+        break;
+      case DeltaAnnotation::kUpdated:
+        out_ += "<span class=\"upd\">" + text + "</span>";
+        break;
+      case DeltaAnnotation::kMoved:
+        out_ += "<span class=\"mov-src\" id=\"mov-" +
+                moves_.Label(n.move_id) + "\">" + text + "</span>";
+        break;
+      case DeltaAnnotation::kMoveMarker:
+        out_ += "<span class=\"mov-dst\">" + text +
+                "<sup><a href=\"#mov-" + moves_.Label(n.move_id) + "\">" +
+                moves_.Label(n.move_id) + "</a></sup></span>";
+        break;
+    }
+    out_ += "\n";
+  }
+
+  const DeltaTree& dt_;
+  const LabelTable& labels_;
+  MoveLabels moves_;
+  std::string out_;
+};
+
+// ----- Markdown renderer -----
+
+class MarkdownRenderer {
+ public:
+  MarkdownRenderer(const DeltaTree& dt, const LabelTable& labels)
+      : dt_(dt), labels_(labels), moves_(dt, labels) {}
+
+  std::string Render() {
+    out_.clear();
+    Node(dt_.root(), 1);
+    return out_;
+  }
+
+ private:
+  const std::string& Name(const DeltaNode& n) const {
+    return labels_.Name(n.label);
+  }
+
+  std::string NoteFor(const DeltaNode& n) {
+    switch (n.annotation) {
+      case DeltaAnnotation::kInserted:
+        return "*[inserted]* ";
+      case DeltaAnnotation::kDeleted:
+        return "*[deleted]* ";
+      case DeltaAnnotation::kMoveMarker:
+        return "*[moved from " + moves_.Label(n.move_id) + "]* ";
+      case DeltaAnnotation::kMoved:
+        return "*[" + moves_.Label(n.move_id) + ", moved away]* ";
+      default:
+        break;
+    }
+    return n.value_updated ? "*[updated]* " : "";
+  }
+
+  void Children(const DeltaNode& n, int level) {
+    for (int c : n.children) Node(c, level);
+  }
+
+  void Node(int index, int level) {
+    const DeltaNode& n = dt_.node(index);
+    const std::string& name = Name(n);
+    if (name == doc_labels::kDocument) {
+      Children(n, 1);
+    } else if (name == doc_labels::kSection ||
+               name == doc_labels::kSubsection) {
+      out_ += name == doc_labels::kSection ? "# " : "## ";
+      out_ += NoteFor(n);
+      out_ += n.value;
+      out_ += "\n\n";
+      Children(n, level + 1);
+    } else if (name == doc_labels::kList) {
+      Children(n, level);
+      out_ += "\n";
+    } else if (name == doc_labels::kItem) {
+      out_ += "- ";
+      out_ += NoteFor(n);
+      ItemBody(n);
+      out_ += "\n";
+    } else if (name == doc_labels::kParagraph) {
+      const std::string note = NoteFor(n);
+      if (!note.empty()) out_ += note;
+      Children(n, level);
+      out_ += "\n\n";
+    } else if (name == "codeblock") {
+      out_ += NoteFor(n);
+      if (n.value_updated) out_ += "\n";
+      out_ += "```\n" + n.value;
+      if (!n.value.empty() && n.value.back() != '\n') out_ += "\n";
+      out_ += "```\n\n";
+    } else if (name == doc_labels::kSentence) {
+      Sentence(n);
+    } else {
+      if (!n.value.empty()) out_ += n.value + " ";
+      Children(n, level);
+    }
+  }
+
+  /// Items inline their paragraphs' sentences on one bullet line.
+  void ItemBody(const DeltaNode& n) {
+    for (int c : n.children) {
+      const DeltaNode& child = dt_.node(c);
+      if (Name(child) == doc_labels::kParagraph) {
+        for (int s : child.children) {
+          SentenceInline(dt_.node(s));
+          out_ += " ";
+        }
+      } else if (Name(child) == doc_labels::kSentence) {
+        SentenceInline(child);
+        out_ += " ";
+      }
+    }
+  }
+
+  void Sentence(const DeltaNode& n) {
+    SentenceInline(n);
+    out_ += "\n";
+  }
+
+  void SentenceInline(const DeltaNode& n) {
+    switch (n.annotation) {
+      case DeltaAnnotation::kIdentical:
+        out_ += n.value;
+        break;
+      case DeltaAnnotation::kInserted:
+        out_ += "**" + n.value + "**";
+        break;
+      case DeltaAnnotation::kDeleted:
+        out_ += "~~" + n.value + "~~";
+        break;
+      case DeltaAnnotation::kUpdated:
+        out_ += "*" + n.value + "*";
+        break;
+      case DeltaAnnotation::kMoved:
+        out_ += "~~" + n.value + "~~ [" + moves_.Label(n.move_id) + "]";
+        break;
+      case DeltaAnnotation::kMoveMarker: {
+        std::string body = n.value_updated ? "*" + n.value + "*" : n.value;
+        out_ += body + " [from " + moves_.Label(n.move_id) + "]";
+        break;
+      }
+    }
+  }
+
+  const DeltaTree& dt_;
+  const LabelTable& labels_;
+  MoveLabels moves_;
+  std::string out_;
+};
+
+// ----- Plain-text renderer -----
+
+void RenderTextRec(const DeltaTree& dt, const LabelTable& labels,
+                   const MoveLabels& moves, int index, int depth,
+                   std::string* out) {
+  const DeltaNode& n = dt.node(index);
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(labels.Name(n.label));
+  if (n.annotation != DeltaAnnotation::kIdentical) {
+    out->push_back('[');
+    out->append(DeltaAnnotationName(n.annotation));
+    if (n.move_id >= 0) out->append(" " + moves.Label(n.move_id));
+    out->push_back(']');
+  }
+  if (n.value_updated) out->append("[upd]");
+  if (!n.value.empty()) {
+    out->append(": ");
+    out->append(n.value);
+  }
+  out->push_back('\n');
+  for (int c : n.children) {
+    RenderTextRec(dt, labels, moves, c, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderMarkup(const DeltaTree& delta, const LabelTable& labels,
+                         MarkupFormat format) {
+  if (delta.empty()) return "";
+  switch (format) {
+    case MarkupFormat::kLatex:
+      return LatexRenderer(delta, labels).Render();
+    case MarkupFormat::kHtml:
+      return HtmlRenderer(delta, labels).Render();
+    case MarkupFormat::kMarkdown:
+      return MarkdownRenderer(delta, labels).Render();
+    case MarkupFormat::kText: {
+      std::string out;
+      MoveLabels moves(delta, labels);
+      RenderTextRec(delta, labels, moves, delta.root(), 0, &out);
+      return out;
+    }
+  }
+  return "";
+}
+
+}  // namespace treediff

@@ -1,0 +1,37 @@
+#ifndef TREEDIFF_DOC_MARKUP_H_
+#define TREEDIFF_DOC_MARKUP_H_
+
+#include <string>
+
+#include "core/delta_tree.h"
+#include "tree/label.h"
+
+namespace treediff {
+
+/// Output formats of the mark-up stage.
+enum class MarkupFormat {
+  kLatex,     // The paper's LaDiff conventions (Table 2).
+  kHtml,      // <ins>/<del>/<em> plus anchors for moves.
+  kText,      // Indented plain-text dump, one node per line.
+  kMarkdown,  // **inserted**, ~~deleted~~, *updated*, [S1] move labels.
+};
+
+/// Renders a document delta tree as a marked-up document, following the
+/// LaDiff conventions of Table 2:
+///
+///   Sentence  insert -> bold; delete -> small font; update -> italic;
+///             move   -> small font + label at the old position, footnote
+///                       "Moved from <label>" at the new position.
+///   Paragraph/Item  insert/delete/move -> marginal note; moves label the
+///                   old position and reference it from the new position.
+///   Section/Subsection  (ins)/(del)/(upd)/(mov) annotation in the heading.
+///
+/// Moved-and-updated nodes are marked for both at once (Appendix A).
+/// Move labels are S1, S2, ... for sentences, P1, ... for paragraphs,
+/// I1, ... for items, numbered in document order of the new version.
+std::string RenderMarkup(const DeltaTree& delta, const LabelTable& labels,
+                         MarkupFormat format);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_DOC_MARKUP_H_

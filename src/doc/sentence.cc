@@ -1,0 +1,82 @@
+#include "doc/sentence.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/tokenize.h"
+
+namespace treediff {
+
+namespace {
+
+bool IsSpaceChar(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// The word ending at text[end_pos] (inclusive, the '.'): walk back to the
+/// previous whitespace.
+std::string_view TrailingWord(std::string_view text, size_t end_pos) {
+  size_t start = end_pos;
+  while (start > 0 && !IsSpaceChar(text[start - 1])) --start;
+  return text.substr(start, end_pos - start + 1);
+}
+
+bool IsAbbreviation(std::string_view word) {
+  static constexpr std::array<std::string_view, 16> kAbbrevs = {
+      "e.g.", "i.e.",  "etc.", "cf.",  "vs.",   "Dr.",   "Mr.",   "Mrs.",
+      "Ms.",  "Prof.", "Fig.", "Sec.", "Eq.",   "No.",   "St.",   "al."};
+  for (std::string_view abbr : kAbbrevs) {
+    if (word == abbr) return true;
+  }
+  // Single-initial abbreviations like "J." or "S.".
+  if (word.size() == 2 && word[1] == '.' &&
+      std::isupper(static_cast<unsigned char>(word[0]))) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> SplitSentences(std::string_view paragraph) {
+  std::vector<std::string> sentences;
+  const size_t n = paragraph.size();
+  size_t start = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const char c = paragraph[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+    // Swallow a run of terminators ("?!", "...").
+    size_t end = i;
+    while (end + 1 < n && (paragraph[end + 1] == '.' ||
+                           paragraph[end + 1] == '!' ||
+                           paragraph[end + 1] == '?' ||
+                           paragraph[end + 1] == ')' ||
+                           paragraph[end + 1] == '"' ||
+                           paragraph[end + 1] == '\'')) {
+      ++end;
+    }
+    // A sentence boundary needs following whitespace (or end of text).
+    if (end + 1 < n && !IsSpaceChar(paragraph[end + 1])) {
+      i = end;
+      continue;
+    }
+    // Decimal points ("3.14") never reach here because the next character
+    // is a digit, not whitespace. Abbreviations do; skip them unless at the
+    // very end of the paragraph.
+    if (c == '.' && end + 1 < n &&
+        IsAbbreviation(TrailingWord(paragraph, i))) {
+      i = end;
+      continue;
+    }
+    std::string sentence =
+        CollapseWhitespace(paragraph.substr(start, end - start + 1));
+    if (!sentence.empty()) sentences.push_back(std::move(sentence));
+    start = end + 1;
+    i = end;
+  }
+  std::string tail = CollapseWhitespace(paragraph.substr(start));
+  if (!tail.empty()) sentences.push_back(std::move(tail));
+  return sentences;
+}
+
+}  // namespace treediff

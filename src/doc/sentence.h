@@ -1,0 +1,19 @@
+#ifndef TREEDIFF_DOC_SENTENCE_H_
+#define TREEDIFF_DOC_SENTENCE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace treediff {
+
+/// Splits a paragraph of prose into sentences, the leaf granularity of the
+/// LaDiff document trees (Section 7). A sentence ends at '.', '!' or '?'
+/// followed by whitespace, except after common abbreviations ("e.g.",
+/// "Dr.", "Fig.", single-initial "J.") and decimal points. Terminators stay
+/// attached to their sentence; whitespace within each sentence is collapsed.
+std::vector<std::string> SplitSentences(std::string_view paragraph);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_DOC_SENTENCE_H_

@@ -1,0 +1,61 @@
+#ifndef TREEDIFF_DOC_XML_H_
+#define TREEDIFF_DOC_XML_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/delta_tree.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Options of the generic XML front end.
+struct XmlParseOptions {
+  /// Represent attributes as leaf children labeled "@name" (in document
+  /// order) so attribute edits surface as updates. When false, attributes
+  /// are dropped.
+  bool keep_attributes = true;
+
+  /// Split text content into sentence leaves (label "#text") instead of one
+  /// leaf per text run — the right granularity for prose-bearing XML such
+  /// as DocBook; leave false for data-bearing XML.
+  bool split_sentences = false;
+};
+
+/// Parses well-formed XML into a tree (the paper's Section 9 SGML/XML
+/// direction, the lineage that became xmldiff):
+///
+///  * an element becomes an internal node labeled with the element name;
+///  * attributes become "@name" leaves with the attribute value;
+///  * text runs become "#text" leaves (whitespace-only runs are dropped,
+///    other whitespace collapsed);
+///  * comments, processing instructions, and the XML declaration are
+///    skipped; CDATA sections become text; the five predefined entities and
+///    numeric character references are decoded.
+///
+/// Unlike the LaTeX/HTML front ends the label set is open (element names),
+/// and nothing guarantees the acyclic-labels condition — the algorithms
+/// stay correct, only the uniqueness theorem's preconditions may not hold.
+///
+/// Returns ParseError for mismatched or unterminated tags.
+StatusOr<Tree> ParseXml(std::string_view text,
+                        std::shared_ptr<LabelTable> labels = nullptr,
+                        const XmlParseOptions& options = {});
+
+/// Serializes a tree back to XML (inverse of ParseXml modulo whitespace):
+/// "@name" leaves render as attributes, "#text" leaves as text content,
+/// everything else as elements. Special characters are escaped.
+std::string RenderXml(const Tree& tree);
+
+/// Renders a delta tree as the new XML document annotated with change
+/// status: changed elements carry td:status="inserted|deleted|moved-from|
+/// moved-to|updated" attributes (tombstones are emitted in place, so the
+/// output superimposes both versions, like the LaDiff output does for
+/// LaTeX). Updated text renders both versions via td:old-value.
+std::string RenderXmlMarkup(const DeltaTree& delta, const LabelTable& labels);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_DOC_XML_H_

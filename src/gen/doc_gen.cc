@@ -1,0 +1,89 @@
+#include "gen/doc_gen.h"
+
+#include <cassert>
+#include <vector>
+
+#include "tree/schema.h"
+
+namespace treediff {
+
+namespace {
+
+/// Generates a sentence, occasionally duplicating an earlier one (the
+/// Criterion 3 violation knob).
+std::string NextSentence(const DocGenParams& p, const Vocabulary& vocab,
+                         Rng* rng, std::vector<std::string>* produced) {
+  if (!produced->empty() &&
+      rng->Bernoulli(p.duplicate_sentence_probability)) {
+    return (*produced)[static_cast<size_t>(
+        rng->Uniform(produced->size()))];
+  }
+  std::string s = vocab.MakeSentence(rng, p.min_words_per_sentence,
+                                     p.max_words_per_sentence);
+  produced->push_back(s);
+  return s;
+}
+
+void AddParagraph(Tree* tree, NodeId parent, const DocGenParams& p,
+                  const Vocabulary& vocab, Rng* rng,
+                  std::vector<std::string>* produced) {
+  NodeId para = tree->AddChild(parent, doc_labels::kParagraph);
+  const int sentences = static_cast<int>(rng->UniformInRange(
+      p.min_sentences_per_paragraph, p.max_sentences_per_paragraph));
+  for (int s = 0; s < sentences; ++s) {
+    tree->AddChild(para, doc_labels::kSentence,
+                   NextSentence(p, vocab, rng, produced));
+  }
+}
+
+}  // namespace
+
+Tree GenerateDocument(const DocGenParams& params, const Vocabulary& vocab,
+                      Rng* rng, std::shared_ptr<LabelTable> labels) {
+  assert(params.sections >= 1);
+  Tree tree(std::move(labels));
+  NodeId doc = tree.AddRoot(doc_labels::kDocument);
+  std::vector<std::string> produced;
+
+  for (int s = 0; s < params.sections; ++s) {
+    std::string heading = vocab.MakeSentence(rng, 2, 5);
+    heading.pop_back();  // Headings have no terminating period.
+    NodeId section = tree.AddChild(doc, doc_labels::kSection, heading);
+    const int paragraphs = static_cast<int>(
+        rng->UniformInRange(params.min_paragraphs_per_section,
+                            params.max_paragraphs_per_section));
+    for (int q = 0; q < paragraphs; ++q) {
+      AddParagraph(&tree, section, params, vocab, rng, &produced);
+    }
+    if (rng->Bernoulli(params.list_probability)) {
+      NodeId list = tree.AddChild(section, doc_labels::kList);
+      const int items = static_cast<int>(rng->UniformInRange(
+          params.min_items_per_list, params.max_items_per_list));
+      for (int i = 0; i < items; ++i) {
+        NodeId item = tree.AddChild(list, doc_labels::kItem);
+        AddParagraph(&tree, item, params, vocab, rng, &produced);
+      }
+    }
+  }
+  return tree;
+}
+
+Tree RebuildFresh(const Tree& tree) {
+  Tree fresh(tree.label_table());
+  if (tree.root() == kInvalidNode) return fresh;
+  // Pre-order copy; parents are created before children.
+  std::vector<NodeId> map(tree.id_bound(), kInvalidNode);
+  for (NodeId x : tree.PreOrder()) {
+    const NodeId parent = tree.parent(x);
+    if (parent == kInvalidNode) {
+      map[static_cast<size_t>(x)] = fresh.AddRoot(tree.label(x),
+                                                  tree.value(x));
+    } else {
+      map[static_cast<size_t>(x)] = fresh.AddChild(
+          map[static_cast<size_t>(parent)], tree.label(x), tree.value(x));
+    }
+  }
+  return fresh;
+}
+
+}  // namespace treediff

@@ -1,0 +1,49 @@
+#ifndef TREEDIFF_GEN_DOC_GEN_H_
+#define TREEDIFF_GEN_DOC_GEN_H_
+
+#include <memory>
+
+#include "gen/vocab.h"
+#include "tree/tree.h"
+#include "util/random.h"
+
+namespace treediff {
+
+/// Shape parameters of a synthetic document (the stand-in for the paper's
+/// corpus of conference-paper versions, Section 8).
+struct DocGenParams {
+  int sections = 6;
+  int min_paragraphs_per_section = 3;
+  int max_paragraphs_per_section = 8;
+  int min_sentences_per_paragraph = 2;
+  int max_sentences_per_paragraph = 6;
+  int min_words_per_sentence = 6;
+  int max_words_per_sentence = 18;
+
+  /// Probability that a section gets a trailing itemized list.
+  double list_probability = 0.25;
+  int min_items_per_list = 2;
+  int max_items_per_list = 5;
+
+  /// Probability that a generated sentence is an exact copy of an earlier
+  /// sentence in the same document. Non-zero values inject Matching
+  /// Criterion 3 violations (near-duplicate leaves), the knob behind the
+  /// Table 1 experiment.
+  double duplicate_sentence_probability = 0.0;
+};
+
+/// Generates a random document tree with the document schema
+/// (document > section > {paragraph | list > item > paragraph} > sentence).
+/// Headings become section values. Deterministic given (`params`, `rng`
+/// state, `vocab`). Labels intern into `labels` (fresh table when null).
+Tree GenerateDocument(const DocGenParams& params, const Vocabulary& vocab,
+                      Rng* rng, std::shared_ptr<LabelTable> labels = nullptr);
+
+/// Rebuilds `tree` into a fresh tree with dense pre-order ids, sharing the
+/// label table. Mimics re-parsing a new snapshot: node identifiers carry no
+/// information across versions (the keyless-data setting, Section 5).
+Tree RebuildFresh(const Tree& tree);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_GEN_DOC_GEN_H_

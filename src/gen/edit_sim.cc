@@ -1,0 +1,310 @@
+#include "gen/edit_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "gen/doc_gen.h"
+#include "tree/schema.h"
+#include "util/tokenize.h"
+
+namespace treediff {
+
+namespace {
+
+/// One simulated editing session over a working copy.
+class Simulator {
+ public:
+  Simulator(Tree* work, const EditMix& mix, const Vocabulary& vocab, Rng* rng,
+            SimulatedVersion* out)
+      : work_(work), mix_(mix), vocab_(vocab), rng_(rng), out_(out) {
+    sentence_ = work_->label_table()->Intern(doc_labels::kSentence);
+    paragraph_ = work_->label_table()->Intern(doc_labels::kParagraph);
+    section_ = work_->label_table()->Intern(doc_labels::kSection);
+  }
+
+  void Run(int num_edits) {
+    for (int i = 0; i < num_edits; ++i) {
+      // Try edit kinds until one finds an eligible target; give up on this
+      // edit after a few attempts (tiny documents).
+      bool applied = false;
+      for (int attempt = 0; attempt < 16 && !applied; ++attempt) {
+        applied = ApplyOne(PickKind());
+      }
+    }
+  }
+
+ private:
+  enum class Kind {
+    kUpdateSentence,
+    kInsertSentence,
+    kDeleteSentence,
+    kMoveSentence,
+    kMoveParagraph,
+    kInsertParagraph,
+    kDeleteParagraph,
+    kMoveSection,
+  };
+
+  Kind PickKind() {
+    const double weights[] = {
+        mix_.update_sentence, mix_.insert_sentence,  mix_.delete_sentence,
+        mix_.move_sentence,   mix_.move_paragraph,   mix_.insert_paragraph,
+        mix_.delete_paragraph, mix_.move_section};
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double draw = rng_->NextDouble() * total;
+    for (int k = 0; k < 8; ++k) {
+      draw -= weights[k];
+      if (draw <= 0.0) return static_cast<Kind>(k);
+    }
+    return Kind::kUpdateSentence;
+  }
+
+  std::vector<NodeId> Collect(LabelId label) const {
+    std::vector<NodeId> nodes;
+    for (NodeId x : work_->PreOrder()) {
+      if (work_->label(x) == label) nodes.push_back(x);
+    }
+    return nodes;
+  }
+
+  NodeId PickFrom(const std::vector<NodeId>& nodes) {
+    return nodes[static_cast<size_t>(rng_->Uniform(nodes.size()))];
+  }
+
+  bool ApplyOne(Kind kind) {
+    switch (kind) {
+      case Kind::kUpdateSentence:
+        return UpdateSentence();
+      case Kind::kInsertSentence:
+        return InsertSentence();
+      case Kind::kDeleteSentence:
+        return DeleteSentence();
+      case Kind::kMoveSentence:
+        return MoveSentence();
+      case Kind::kMoveParagraph:
+        return MoveParagraph();
+      case Kind::kInsertParagraph:
+        return InsertParagraph();
+      case Kind::kDeleteParagraph:
+        return DeleteParagraph();
+      case Kind::kMoveSection:
+        return MoveSection();
+    }
+    return false;
+  }
+
+  bool UpdateSentence() {
+    std::vector<NodeId> sentences = Collect(sentence_);
+    if (sentences.empty()) return false;
+    const NodeId s = PickFrom(sentences);
+    std::vector<std::string> words = SplitWords(work_->value(s));
+    if (words.empty()) return false;
+    bool changed = false;
+    for (auto& w : words) {
+      if (rng_->Bernoulli(mix_.update_word_churn)) {
+        w = vocab_.SampleWord(rng_);
+        changed = true;
+      }
+    }
+    if (!changed) words[static_cast<size_t>(
+        rng_->Uniform(words.size()))] = vocab_.SampleWord(rng_);
+    Status st = work_->UpdateValue(s, JoinStrings(words, " "));
+    assert(st.ok());
+    (void)st;
+    out_->intended_ops += 1;  // Updates weigh 0 in e.
+    ++out_->sentence_updates;
+    return true;
+  }
+
+  bool InsertSentence() {
+    std::vector<NodeId> paragraphs = Collect(paragraph_);
+    if (paragraphs.empty()) return false;
+    const NodeId p = PickFrom(paragraphs);
+    const int k = static_cast<int>(rng_->UniformInRange(
+        1, static_cast<int64_t>(work_->children(p).size()) + 1));
+    StatusOr<NodeId> id =
+        work_->InsertLeaf(sentence_, vocab_.MakeSentence(rng_, 6, 18), p, k);
+    assert(id.ok());
+    (void)id;
+    out_->intended_ops += 1;
+    out_->intended_weighted += 1;
+    ++out_->sentence_inserts;
+    return true;
+  }
+
+  bool DeleteSentence() {
+    // Only from paragraphs that keep at least one sentence, so paragraphs
+    // never become structural leaves.
+    std::vector<NodeId> candidates;
+    for (NodeId s : Collect(sentence_)) {
+      if (work_->children(work_->parent(s)).size() >= 2) {
+        candidates.push_back(s);
+      }
+    }
+    if (candidates.empty()) return false;
+    Status st = work_->DeleteLeaf(PickFrom(candidates));
+    assert(st.ok());
+    (void)st;
+    out_->intended_ops += 1;
+    out_->intended_weighted += 1;
+    ++out_->sentence_deletes;
+    return true;
+  }
+
+  bool MoveSentence() {
+    std::vector<NodeId> sentences = Collect(sentence_);
+    std::vector<NodeId> paragraphs = Collect(paragraph_);
+    if (sentences.empty() || paragraphs.size() < 2) return false;
+    // Keep the source paragraph non-empty.
+    std::vector<NodeId> movable;
+    for (NodeId s : sentences) {
+      if (work_->children(work_->parent(s)).size() >= 2) movable.push_back(s);
+    }
+    if (movable.empty()) return false;
+    const NodeId s = PickFrom(movable);
+    NodeId target = PickFrom(paragraphs);
+    for (int tries = 0; target == work_->parent(s) && tries < 8; ++tries) {
+      target = PickFrom(paragraphs);
+    }
+    const int k = static_cast<int>(rng_->UniformInRange(
+        1, static_cast<int64_t>(work_->children(target).size()) +
+               (target == work_->parent(s) ? 0 : 1)));
+    Status st = work_->MoveSubtree(s, target, std::max(1, k));
+    assert(st.ok());
+    (void)st;
+    out_->intended_ops += 1;
+    out_->intended_weighted += 1;  // A sentence subtree has one leaf.
+    ++out_->sentence_moves;
+    return true;
+  }
+
+  bool MoveParagraph() {
+    std::vector<NodeId> paragraphs;
+    // Only paragraphs directly under sections (not inside items), and only
+    // from sections that keep at least one paragraph.
+    for (NodeId p : Collect(paragraph_)) {
+      const NodeId parent = work_->parent(p);
+      if (work_->label(parent) == section_ &&
+          work_->children(parent).size() >= 2) {
+        paragraphs.push_back(p);
+      }
+    }
+    std::vector<NodeId> sections = Collect(section_);
+    if (paragraphs.empty() || sections.empty()) return false;
+    const NodeId p = PickFrom(paragraphs);
+    const NodeId target = PickFrom(sections);
+    const bool same_parent = target == work_->parent(p);
+    const int limit = static_cast<int>(work_->children(target).size()) +
+                      (same_parent ? 0 : 1);
+    if (limit < 1) return false;
+    const int k = static_cast<int>(rng_->UniformInRange(1, limit));
+    const size_t leaves = work_->LeafCounts()[static_cast<size_t>(p)] > 0
+                              ? static_cast<size_t>(
+                                    work_->LeafCounts()[static_cast<size_t>(p)])
+                              : 1;
+    Status st = work_->MoveSubtree(p, target, k);
+    assert(st.ok());
+    (void)st;
+    out_->intended_ops += 1;
+    out_->intended_weighted += leaves;
+    ++out_->paragraph_moves;
+    return true;
+  }
+
+  bool InsertParagraph() {
+    std::vector<NodeId> sections = Collect(section_);
+    if (sections.empty()) return false;
+    const NodeId sec = PickFrom(sections);
+    const int k = static_cast<int>(rng_->UniformInRange(
+        1, static_cast<int64_t>(work_->children(sec).size()) + 1));
+    StatusOr<NodeId> para = work_->InsertLeaf(paragraph_, "", sec, k);
+    assert(para.ok());
+    const int sentences = static_cast<int>(rng_->UniformInRange(2, 5));
+    for (int i = 0; i < sentences; ++i) {
+      StatusOr<NodeId> id = work_->InsertLeaf(
+          sentence_, vocab_.MakeSentence(rng_, 6, 18), *para, i + 1);
+      assert(id.ok());
+      (void)id;
+    }
+    out_->intended_ops += static_cast<size_t>(sentences) + 1;
+    out_->intended_weighted += static_cast<size_t>(sentences) + 1;
+    ++out_->paragraph_inserts;
+    return true;
+  }
+
+  bool DeleteParagraph() {
+    std::vector<NodeId> candidates;
+    for (NodeId p : Collect(paragraph_)) {
+      const NodeId parent = work_->parent(p);
+      if (work_->label(parent) == section_ &&
+          work_->children(parent).size() >= 2) {
+        candidates.push_back(p);
+      }
+    }
+    if (candidates.empty()) return false;
+    const NodeId p = PickFrom(candidates);
+    // Delete bottom-up (the paper's leaf-only delete).
+    std::vector<NodeId> doomed;
+    std::vector<NodeId> stack = {p};
+    while (!stack.empty()) {
+      NodeId x = stack.back();
+      stack.pop_back();
+      doomed.push_back(x);
+      for (NodeId c : work_->children(x)) stack.push_back(c);
+    }
+    for (auto it = doomed.rbegin(); it != doomed.rend(); ++it) {
+      Status st = work_->DeleteLeaf(*it);
+      assert(st.ok());
+      (void)st;
+    }
+    out_->intended_ops += doomed.size();
+    out_->intended_weighted += doomed.size();
+    ++out_->paragraph_deletes;
+    return true;
+  }
+
+  bool MoveSection() {
+    std::vector<NodeId> sections = Collect(section_);
+    if (sections.size() < 2) return false;
+    const NodeId sec = PickFrom(sections);
+    const NodeId doc = work_->parent(sec);
+    const int limit = static_cast<int>(work_->children(doc).size()) - 1;
+    if (limit < 1) return false;
+    const int k = static_cast<int>(rng_->UniformInRange(1, limit + 1));
+    const int leaves = work_->LeafCounts()[static_cast<size_t>(sec)];
+    Status st = work_->MoveSubtree(sec, doc, k);
+    assert(st.ok());
+    (void)st;
+    out_->intended_ops += 1;
+    out_->intended_weighted += static_cast<size_t>(std::max(1, leaves));
+    ++out_->section_moves;
+    return true;
+  }
+
+  Tree* work_;
+  const EditMix& mix_;
+  const Vocabulary& vocab_;
+  Rng* rng_;
+  SimulatedVersion* out_;
+  LabelId sentence_ = kInvalidLabel;
+  LabelId paragraph_ = kInvalidLabel;
+  LabelId section_ = kInvalidLabel;
+};
+
+}  // namespace
+
+SimulatedVersion SimulateNewVersion(const Tree& old_tree, int num_edits,
+                                    const EditMix& mix,
+                                    const Vocabulary& vocab, Rng* rng) {
+  SimulatedVersion out;
+  Tree work = old_tree.Clone();
+  Simulator sim(&work, mix, vocab, rng, &out);
+  sim.Run(num_edits);
+  out.new_tree = RebuildFresh(work);
+  return out;
+}
+
+}  // namespace treediff

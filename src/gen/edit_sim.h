@@ -1,0 +1,64 @@
+#ifndef TREEDIFF_GEN_EDIT_SIM_H_
+#define TREEDIFF_GEN_EDIT_SIM_H_
+
+#include "gen/vocab.h"
+#include "tree/tree.h"
+#include "util/random.h"
+
+namespace treediff {
+
+/// Relative frequencies of the simulated edit kinds; normalized internally.
+/// The defaults approximate how conference-paper versions evolve (mostly
+/// sentence rewrites, some restructuring) — the workload behind Section 8.
+struct EditMix {
+  double update_sentence = 0.40;
+  double insert_sentence = 0.15;
+  double delete_sentence = 0.15;
+  double move_sentence = 0.10;
+  double move_paragraph = 0.10;
+  double insert_paragraph = 0.05;
+  double delete_paragraph = 0.05;
+
+  /// Section-level restructuring: reorders a whole section under the
+  /// document root (a large-subtree move; dominates the weighted distance
+  /// e, which is what separates Figure 13(a)'s e from d).
+  double move_section = 0.0;
+
+  /// Fraction of words replaced by an update (controls how far compare()
+  /// moves; 0.2 keeps updated sentences within the default f = 0.5).
+  double update_word_churn = 0.2;
+};
+
+/// A simulated new version of a document, with the ground-truth edit
+/// distances the generator intended. `intended_ops` counts one op per node
+/// touched (a paragraph insert is 1 + its sentences), matching the paper's
+/// unweighted distance d; `intended_weighted` weighs moves by the moved
+/// subtree's leaf count, matching the weighted distance e of Section 5.3.
+struct SimulatedVersion {
+  Tree new_tree;
+  size_t intended_ops = 0;
+  size_t intended_weighted = 0;
+
+  size_t sentence_updates = 0;
+  size_t sentence_inserts = 0;
+  size_t sentence_deletes = 0;
+  size_t sentence_moves = 0;
+  size_t paragraph_moves = 0;
+  size_t paragraph_inserts = 0;
+  size_t paragraph_deletes = 0;
+  size_t section_moves = 0;
+};
+
+/// Applies `num_edits` random edits (drawn from `mix`) to a copy of
+/// `old_tree` and returns the result rebuilt with fresh node ids, mimicking
+/// an independently parsed snapshot (node ids are keyless across versions).
+/// The old tree is left untouched. Skipped edits (no eligible target) are
+/// retried with a different kind, so exactly `num_edits` edits are applied
+/// whenever the document is large enough.
+SimulatedVersion SimulateNewVersion(const Tree& old_tree, int num_edits,
+                                    const EditMix& mix,
+                                    const Vocabulary& vocab, Rng* rng);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_GEN_EDIT_SIM_H_

@@ -1,0 +1,67 @@
+#include "gen/vocab.h"
+
+#include <cassert>
+#include <cctype>
+
+namespace treediff {
+
+namespace {
+
+/// Deterministic pronounceable word for a rank: consonant-vowel syllables
+/// derived from the rank's base-105 digits (21 consonants x 5 vowels), with
+/// enough syllables to make every rank unique.
+std::string WordForRank(size_t rank) {
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwxyz";
+  static constexpr char kVowels[] = "aeiou";
+  std::string word;
+  size_t r = rank;
+  do {
+    const size_t syllable = r % 105;
+    word.push_back(kConsonants[syllable / 5]);
+    word.push_back(kVowels[syllable % 5]);
+    r /= 105;
+  } while (r > 0);
+  // Pad single-syllable words to four characters with two consonants. A
+  // multi-syllable word has a vowel at index 3, so padded words (consonant
+  // at index 3) can never collide with them, keeping every rank unique.
+  if (word.size() == 2) {
+    word.push_back(kConsonants[(rank * 7) % 21]);
+    word.push_back(kConsonants[(rank * 11) % 21]);
+  }
+  return word;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(size_t size, double zipf_s)
+    : sampler_(size, zipf_s) {
+  assert(size >= 1);
+  words_.reserve(size);
+  for (size_t r = 0; r < size; ++r) words_.push_back(WordForRank(r));
+}
+
+const std::string& Vocabulary::SampleWord(Rng* rng) const {
+  return words_[sampler_.Sample(rng)];
+}
+
+std::string Vocabulary::MakeSentence(Rng* rng, int min_words,
+                                     int max_words) const {
+  assert(min_words >= 1 && min_words <= max_words);
+  const int count =
+      static_cast<int>(rng->UniformInRange(min_words, max_words));
+  std::string sentence;
+  for (int i = 0; i < count; ++i) {
+    std::string word = SampleWord(rng);
+    if (i == 0) {
+      word[0] = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(word[0])));
+    } else {
+      sentence.push_back(' ');
+    }
+    sentence += word;
+  }
+  sentence.push_back('.');
+  return sentence;
+}
+
+}  // namespace treediff

@@ -1,0 +1,40 @@
+#ifndef TREEDIFF_GEN_VOCAB_H_
+#define TREEDIFF_GEN_VOCAB_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace treediff {
+
+/// A synthetic vocabulary with a Zipfian frequency distribution, standing in
+/// for the natural-language word statistics of the paper's document corpus
+/// (see DESIGN.md, substitutions). Words are deterministic, pronounceable
+/// strings ("taro", "kinu", ...), unique per rank.
+class Vocabulary {
+ public:
+  /// `size` distinct words; `zipf_s` skew (about 1.0 resembles English).
+  Vocabulary(size_t size, double zipf_s);
+
+  /// Word at a rank in [0, size); lower ranks are sampled more often.
+  const std::string& Word(size_t rank) const { return words_[rank]; }
+
+  size_t size() const { return words_.size(); }
+
+  /// Draws one word according to the Zipf distribution.
+  const std::string& SampleWord(Rng* rng) const;
+
+  /// Builds a sentence of uniformly random length in [min_words, max_words],
+  /// capitalized and period-terminated.
+  std::string MakeSentence(Rng* rng, int min_words, int max_words) const;
+
+ private:
+  std::vector<std::string> words_;
+  ZipfSampler sampler_;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_GEN_VOCAB_H_

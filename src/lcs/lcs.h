@@ -1,0 +1,189 @@
+#ifndef TREEDIFF_LCS_LCS_H_
+#define TREEDIFF_LCS_LCS_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace treediff {
+
+/// One aligned pair of a longest common subsequence: element `a_index` of the
+/// first sequence matches element `b_index` of the second.
+struct LcsPair {
+  int a_index = 0;
+  int b_index = 0;
+
+  friend bool operator==(const LcsPair& lhs, const LcsPair& rhs) {
+    return lhs.a_index == rhs.a_index && lhs.b_index == rhs.b_index;
+  }
+};
+
+namespace lcs_internal {
+
+/// Classic O(N*M) dynamic-programming LCS with pair recovery. Reference
+/// implementation used for cross-checking Myers and for small inputs.
+template <typename Equal>
+std::vector<LcsPair> DpLcsImpl(int n, int m, Equal&& equal) {
+  if (n == 0 || m == 0) return {};
+  // len[i][j] = LCS length of a[i..) and b[j..), flattened row-major with
+  // (n+1) x (m+1) entries.
+  std::vector<int> len(static_cast<size_t>(n + 1) * (m + 1), 0);
+  auto at = [&](int i, int j) -> int& {
+    return len[static_cast<size_t>(i) * (m + 1) + j];
+  };
+  for (int i = n - 1; i >= 0; --i) {
+    for (int j = m - 1; j >= 0; --j) {
+      if (equal(i, j)) {
+        at(i, j) = at(i + 1, j + 1) + 1;
+      } else {
+        at(i, j) = std::max(at(i + 1, j), at(i, j + 1));
+      }
+    }
+  }
+  std::vector<LcsPair> pairs;
+  pairs.reserve(static_cast<size_t>(at(0, 0)));
+  int i = 0, j = 0;
+  while (i < n && j < m) {
+    if (equal(i, j) && at(i, j) == at(i + 1, j + 1) + 1) {
+      pairs.push_back({i, j});
+      ++i;
+      ++j;
+    } else if (at(i + 1, j) >= at(i, j + 1)) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return pairs;
+}
+
+/// Myers' greedy O((N+M)*D) LCS [Mye86] with pair recovery, where D is the
+/// size of the shortest edit script (number of non-common elements). Uses
+/// only equality comparisons, which is the property Section 7 of the paper
+/// relies on ("we cannot use the LCS algorithm used by the standard UNIX diff
+/// program, because it requires inequality comparisons").
+///
+/// The V frontier is snapshotted per edit distance d for backtracking, so
+/// memory is O(D^2). Callers with potentially huge D should go through Lcs(),
+/// which bounds the worst case.
+template <typename Equal>
+std::vector<LcsPair> MyersLcsImpl(int n, int m, Equal&& equal) {
+  if (n == 0 || m == 0) return {};
+  const int max_d = n + m;
+  // v[k + offset] = furthest x along diagonal k (k = x - y).
+  const int offset = max_d;
+  std::vector<int> v(static_cast<size_t>(2 * max_d + 1), 0);
+  std::vector<std::vector<int>> trace;  // Snapshot of v per d.
+
+  int final_d = -1;
+  for (int d = 0; d <= max_d && final_d < 0; ++d) {
+    trace.push_back(v);
+    for (int k = -d; k <= d; k += 2) {
+      int x;
+      if (k == -d || (k != d && v[static_cast<size_t>(k - 1 + offset)] <
+                                    v[static_cast<size_t>(k + 1 + offset)])) {
+        x = v[static_cast<size_t>(k + 1 + offset)];  // Move down (insert).
+      } else {
+        x = v[static_cast<size_t>(k - 1 + offset)] + 1;  // Move right.
+      }
+      int y = x - k;
+      while (x < n && y < m && equal(x, y)) {
+        ++x;
+        ++y;
+      }
+      v[static_cast<size_t>(k + offset)] = x;
+      if (x >= n && y >= m) {
+        final_d = d;
+        break;
+      }
+    }
+  }
+  assert(final_d >= 0);
+
+  // Backtrack through the snapshots, collecting diagonal (common) moves.
+  std::vector<LcsPair> reversed;
+  int x = n, y = m;
+  for (int d = final_d; d > 0; --d) {
+    const std::vector<int>& pv = trace[static_cast<size_t>(d)];
+    const int k = x - y;
+    int prev_k;
+    if (k == -d || (k != d && pv[static_cast<size_t>(k - 1 + offset)] <
+                                  pv[static_cast<size_t>(k + 1 + offset)])) {
+      prev_k = k + 1;
+    } else {
+      prev_k = k - 1;
+    }
+    const int prev_x = pv[static_cast<size_t>(prev_k + offset)];
+    const int prev_y = prev_x - prev_k;
+    // Diagonal moves after the horizontal/vertical step of this d-round.
+    const int mid_x = prev_k == k + 1 ? prev_x : prev_x + 1;
+    const int mid_y = mid_x - k;
+    for (int cx = x, cy = y; cx > mid_x && cy > mid_y; --cx, --cy) {
+      reversed.push_back({cx - 1, cy - 1});
+    }
+    x = prev_x;
+    y = prev_y;
+  }
+  // d == 0: leading snake from the origin.
+  for (int cx = x, cy = y; cx > 0 && cy > 0; --cx, --cy) {
+    reversed.push_back({cx - 1, cy - 1});
+  }
+  return {reversed.rbegin(), reversed.rend()};
+}
+
+}  // namespace lcs_internal
+
+/// Computes an LCS of two abstract sequences of lengths `n` and `m`, where
+/// `equal(i, j)` decides whether element i of the first sequence equals
+/// element j of the second. Returns the aligned index pairs in increasing
+/// order on both sides.
+///
+/// Dispatches to Myers' O((N+M)*D) algorithm; falls back to the O(N*M) DP for
+/// short inputs where the DP's simplicity wins. `equal` may be an arbitrary
+/// predicate (e.g., the paper's compare(v(x), v(y)) <= f leaf criterion); no
+/// ordering or transitivity is required.
+template <typename Equal>
+std::vector<LcsPair> Lcs(int n, int m, Equal&& equal) {
+  assert(n >= 0 && m >= 0);
+  // The DP evaluates equal() for every (i, j) cell, which is ruinous when
+  // the predicate is expensive (e.g., the internal-node criterion walks a
+  // subtree); Myers only probes the frontier, so the DP is reserved for
+  // trivial sizes.
+  constexpr int kDpCutoff = 8;
+  if (n <= kDpCutoff && m <= kDpCutoff) {
+    return lcs_internal::DpLcsImpl(n, m, equal);
+  }
+  return lcs_internal::MyersLcsImpl(n, m, equal);
+}
+
+/// Forces the Myers implementation (exposed for tests and benchmarks).
+template <typename Equal>
+std::vector<LcsPair> MyersLcs(int n, int m, Equal&& equal) {
+  return lcs_internal::MyersLcsImpl(n, m, equal);
+}
+
+/// Forces the DP implementation (exposed for tests and benchmarks).
+template <typename Equal>
+std::vector<LcsPair> DpLcs(int n, int m, Equal&& equal) {
+  return lcs_internal::DpLcsImpl(n, m, equal);
+}
+
+/// LCS over two concrete vectors with operator==; convenience for callers
+/// and tests. Returns aligned index pairs.
+template <typename T>
+std::vector<LcsPair> LcsOfVectors(const std::vector<T>& a,
+                                  const std::vector<T>& b) {
+  return Lcs(static_cast<int>(a.size()), static_cast<int>(b.size()),
+             [&](int i, int j) { return a[static_cast<size_t>(i)] ==
+                                        b[static_cast<size_t>(j)]; });
+}
+
+/// Length of the LCS of two concrete vectors.
+template <typename T>
+size_t LcsLength(const std::vector<T>& a, const std::vector<T>& b) {
+  return LcsOfVectors(a, b).size();
+}
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_LCS_LCS_H_

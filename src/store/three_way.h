@@ -1,0 +1,71 @@
+#ifndef TREEDIFF_STORE_THREE_WAY_H_
+#define TREEDIFF_STORE_THREE_WAY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/diff.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// The configuration-management scenario of the paper's introduction: "the
+/// databases are updated independently. However, periodic consistent
+/// configurations of the entire design must be produced. This can be done
+/// by computing the deltas with respect to the last configuration and
+/// highlighting any conflicts that have arisen [HKG+94]."
+///
+/// ThreeWayMerge computes the two deltas (base -> ours, base -> theirs)
+/// with the paper's pipeline, detects conflicting operations on the same
+/// base nodes, and produces a merged tree containing both sides'
+/// non-conflicting changes. On conflicts, "ours" wins in the merged tree
+/// and the conflict is reported for review.
+
+/// Why two concurrent operations clash.
+enum class ConflictKind {
+  kUpdateUpdate,  // Both sides updated the node to different values.
+  kUpdateDelete,  // Ours updated, theirs deleted (or vice versa).
+  kMoveMove,      // Both sides moved the node to different places.
+  kMoveDelete,    // One side moved a subtree the other deleted (a node of).
+  kDeleteEdit,    // Theirs edited inside a subtree ours deleted.
+};
+
+/// Returns "update/update", "update/delete", ...
+const char* ConflictKindName(ConflictKind kind);
+
+/// One detected conflict, anchored at a base-version node.
+struct MergeConflict {
+  ConflictKind kind = ConflictKind::kUpdateUpdate;
+  NodeId base_node = kInvalidNode;
+  std::string description;
+};
+
+/// Result of a three-way merge.
+struct ThreeWayResult {
+  /// Base with ours applied in full, plus theirs' non-conflicting,
+  /// still-applicable operations. Note the standard three-way caveat:
+  /// sibling positions of concurrent inserts/moves are best-effort (clamped
+  /// into range) — concurrent edits to one child list cannot both keep
+  /// their exact offsets.
+  Tree merged;
+
+  std::vector<MergeConflict> conflicts;
+
+  /// Operations applied from each side, and theirs' operations skipped
+  /// (conflicting or no longer applicable).
+  size_t ops_from_ours = 0;
+  size_t ops_from_theirs = 0;
+  size_t skipped_theirs = 0;
+};
+
+/// Merges `ours` and `theirs`, both derived independently from `base`. All
+/// three trees must share one LabelTable. `options` controls the two
+/// underlying diffs.
+StatusOr<ThreeWayResult> ThreeWayMerge(const Tree& base, const Tree& ours,
+                                       const Tree& theirs,
+                                       const DiffOptions& options = {});
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_STORE_THREE_WAY_H_

@@ -1,0 +1,95 @@
+#include "store/version_store.h"
+
+#include <utility>
+
+#include "core/script_io.h"
+
+namespace treediff {
+
+VersionStore::VersionStore(Tree base, DiffOptions options)
+    : base_(base.Clone()), head_(std::move(base)), options_(options) {
+  full_sizes_.push_back(base_.ToDebugString().size());
+}
+
+StatusOr<int> VersionStore::Commit(const Tree& new_version) {
+  if (new_version.label_table().get() != base_.label_table().get()) {
+    return Status::InvalidArgument(
+        "committed versions must share the store's LabelTable");
+  }
+  StatusOr<DiffResult> diff = DiffTrees(head_, new_version, options_);
+  if (!diff.ok()) return diff.status();
+
+  // Apply the delta to the head; the head's id space (not the snapshot's)
+  // is what subsequent scripts address, so replay from the base stays
+  // deterministic.
+  Tree next = head_.Clone();
+  TREEDIFF_RETURN_IF_ERROR(diff->script.ApplyTo(&next));
+  if (!Tree::Isomorphic(next, new_version)) {
+    return Status::Internal("delta replay does not reproduce the snapshot");
+  }
+
+  VersionInfo info;
+  info.inserts = diff->script.num_inserts();
+  info.deletes = diff->script.num_deletes();
+  info.updates = diff->script.num_updates();
+  info.moves = diff->script.num_moves();
+  info.cost = diff->script.TotalCost();
+  info.nodes = next.size();
+
+  head_ = std::move(next);
+  scripts_.push_back(std::move(diff->script));
+  infos_.push_back(info);
+  full_sizes_.push_back(new_version.ToDebugString().size());
+  return VersionCount() - 1;
+}
+
+StatusOr<Tree> VersionStore::Materialize(int v) const {
+  if (v < 0 || v >= VersionCount()) {
+    return Status::OutOfRange("no such version: " + std::to_string(v));
+  }
+  Tree tree = base_.Clone();
+  for (int i = 0; i < v; ++i) {
+    TREEDIFF_RETURN_IF_ERROR(scripts_[static_cast<size_t>(i)].ApplyTo(&tree));
+  }
+  return tree;
+}
+
+StatusOr<int> VersionStore::RollbackHead() {
+  if (scripts_.empty()) {
+    return Status::FailedPrecondition("cannot roll back the base version");
+  }
+  // The inverse must be computed against the pre-state of the last delta,
+  // which replaying the chain up to the previous version reproduces with
+  // the exact node ids the head evolved from.
+  StatusOr<Tree> prev = Materialize(VersionCount() - 2);
+  if (!prev.ok()) return prev.status();
+  StatusOr<EditScript> inverse = InvertScript(scripts_.back(), *prev);
+  if (!inverse.ok()) return inverse.status();
+  TREEDIFF_RETURN_IF_ERROR(inverse->ApplyTo(&head_));
+  if (!Tree::Isomorphic(head_, *prev)) {
+    return Status::Internal("inverse delta did not restore the head");
+  }
+  // The rolled-back head still carries dead id slots from the dropped
+  // delta's inserts; adopt the replayed tree so the id space matches what
+  // future commits' scripts will see when materialized from the base.
+  head_ = std::move(*prev);
+  scripts_.pop_back();
+  infos_.pop_back();
+  full_sizes_.pop_back();
+  return VersionCount() - 1;
+}
+
+VersionStore::StorageStats VersionStore::Storage() const {
+  StorageStats stats;
+  const LabelTable& labels = base_.labels();
+  for (const EditScript& script : scripts_) {
+    stats.delta_bytes += FormatEditScript(script, labels).size();
+  }
+  // The base is stored in full either way; count the subsequent versions.
+  for (size_t i = 1; i < full_sizes_.size(); ++i) {
+    stats.full_copy_bytes += full_sizes_[i];
+  }
+  return stats;
+}
+
+}  // namespace treediff

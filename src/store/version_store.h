@@ -1,0 +1,93 @@
+#ifndef TREEDIFF_STORE_VERSION_STORE_H_
+#define TREEDIFF_STORE_VERSION_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/diff.h"
+#include "core/edit_script.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// A delta-compressed version store for hierarchical data — the version and
+/// configuration management application of the paper's introduction
+/// ([HKG+94], and the C3 project of [WU95] that Section 9 points to).
+///
+/// The store keeps the base version in full and each subsequent version as
+/// the minimum-cost edit script against its predecessor (computed with the
+/// paper's pipeline). Any version can be materialized by replaying the
+/// script chain; scripts address nodes by the deterministic ids the replay
+/// itself produces, so materialization is exact (isomorphic to the
+/// committed snapshot).
+class VersionStore {
+ public:
+  /// Creates a store whose version 0 is `base`.
+  explicit VersionStore(Tree base, DiffOptions options = {});
+
+  /// Commits `new_version` (same LabelTable as the base) as the next
+  /// version, storing only its delta against the current head. Returns the
+  /// new version number.
+  StatusOr<int> Commit(const Tree& new_version);
+
+  /// Number of versions stored (>= 1; version 0 is the base).
+  int VersionCount() const { return static_cast<int>(scripts_.size()) + 1; }
+
+  /// Rebuilds version `v` (0 = base, VersionCount()-1 = head) by replaying
+  /// the stored scripts.
+  StatusOr<Tree> Materialize(int v) const;
+
+  /// Discards the newest version: the head is rolled back to the previous
+  /// version by applying the inverse of the last stored delta
+  /// (InvertScript), and the delta is dropped. Returns the new head version
+  /// number; fails if only the base remains.
+  StatusOr<int> RollbackHead();
+
+  /// The stored delta that takes version v-1 to version v (1-based v).
+  const EditScript& DeltaFor(int v) const {
+    return scripts_[static_cast<size_t>(v - 1)];
+  }
+
+  /// Aggregate per-version change counters, the "querying over changes"
+  /// facility a warehouse needs.
+  struct VersionInfo {
+    size_t inserts = 0;
+    size_t deletes = 0;
+    size_t updates = 0;
+    size_t moves = 0;
+    double cost = 0.0;
+    size_t nodes = 0;  // Size of the version after the delta.
+  };
+  const VersionInfo& Info(int v) const {
+    return infos_[static_cast<size_t>(v - 1)];
+  }
+
+  /// Storage accounting: serialized bytes of all stored scripts versus what
+  /// storing every version in full (as s-expressions) would take — the
+  /// delta-compression argument for shipping scripts.
+  struct StorageStats {
+    size_t delta_bytes = 0;
+    size_t full_copy_bytes = 0;
+
+    double CompressionRatio() const {
+      return delta_bytes == 0
+                 ? 0.0
+                 : static_cast<double>(full_copy_bytes) /
+                       static_cast<double>(delta_bytes);
+    }
+  };
+  StorageStats Storage() const;
+
+ private:
+  Tree base_;
+  Tree head_;  // Materialized head, kept for diffing the next commit.
+  DiffOptions options_;
+  std::vector<EditScript> scripts_;
+  std::vector<VersionInfo> infos_;
+  std::vector<size_t> full_sizes_;  // Serialized size of every version.
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_STORE_VERSION_STORE_H_

@@ -1,0 +1,100 @@
+#include "tree/builder.h"
+
+#include <cctype>
+#include <string>
+
+namespace treediff {
+
+namespace {
+
+/// Recursive-descent parser over the s-expression grammar.
+class SexprParser {
+ public:
+  SexprParser(std::string_view text, Tree* tree)
+      : text_(text), tree_(tree) {}
+
+  Status Parse() {
+    SkipSpace();
+    TREEDIFF_RETURN_IF_ERROR(ParseNode(kInvalidNode));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters after tree at offset " +
+                                std::to_string(pos_));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  Status Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      return Status::ParseError(std::string("expected '") + c +
+                                "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  Status ParseNode(NodeId parent) {
+    TREEDIFF_RETURN_IF_ERROR(Expect('('));
+    SkipSpace();
+    // Label.
+    size_t start = pos_;
+    while (!AtEnd() && !std::isspace(static_cast<unsigned char>(Peek())) &&
+           Peek() != '(' && Peek() != ')' && Peek() != '"') {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("expected label at offset " +
+                                std::to_string(pos_));
+    }
+    std::string_view label = text_.substr(start, pos_ - start);
+    SkipSpace();
+    // Optional quoted value.
+    std::string value;
+    if (!AtEnd() && Peek() == '"') {
+      ++pos_;
+      while (!AtEnd() && Peek() != '"') {
+        if (Peek() == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        value.push_back(text_[pos_++]);
+      }
+      TREEDIFF_RETURN_IF_ERROR(Expect('"'));
+      SkipSpace();
+    }
+    NodeId id = parent == kInvalidNode
+                    ? tree_->AddRoot(label, std::move(value))
+                    : tree_->AddChild(parent, label, std::move(value));
+    // Children.
+    while (!AtEnd() && Peek() == '(') {
+      TREEDIFF_RETURN_IF_ERROR(ParseNode(id));
+      SkipSpace();
+    }
+    return Expect(')');
+  }
+
+  std::string_view text_;
+  Tree* tree_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Tree> ParseSexpr(std::string_view text,
+                          std::shared_ptr<LabelTable> labels) {
+  Tree tree(std::move(labels));
+  SexprParser parser(text, &tree);
+  Status st = parser.Parse();
+  if (!st.ok()) return st;
+  return tree;
+}
+
+}  // namespace treediff

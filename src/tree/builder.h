@@ -1,0 +1,28 @@
+#ifndef TREEDIFF_TREE_BUILDER_H_
+#define TREEDIFF_TREE_BUILDER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Parses a tree from an s-expression, the inverse of Tree::ToDebugString.
+/// Grammar:
+///
+///   tree  := '(' label value? tree* ')'
+///   label := one or more characters other than space, quote, parentheses
+///   value := '"' characters with \" and \\ escapes '"'
+///
+/// Example: (D (P (S "a") (S "b")) (P (S "c")))
+///
+/// Labels are interned into `labels` (a fresh table is created when null).
+/// Used pervasively by tests to state fixtures compactly.
+StatusOr<Tree> ParseSexpr(std::string_view text,
+                          std::shared_ptr<LabelTable> labels = nullptr);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_TREE_BUILDER_H_

@@ -1,0 +1,46 @@
+#ifndef TREEDIFF_TREE_LABEL_H_
+#define TREEDIFF_TREE_LABEL_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace treediff {
+
+/// Interned identifier of a node label (e.g., Document, Paragraph, Sentence).
+/// The paper assumes labels "are chosen from a fixed but arbitrary set"
+/// (Section 3.2); interning gives O(1) label comparisons in the matching
+/// algorithms.
+using LabelId = int;
+
+/// Sentinel for "no label".
+inline constexpr LabelId kInvalidLabel = -1;
+
+/// Bidirectional mapping between label names and dense LabelIds. A table is
+/// shared by all trees participating in one comparison so that equal names
+/// imply equal ids.
+class LabelTable {
+ public:
+  LabelTable() = default;
+
+  /// Returns the id for `name`, interning it if new.
+  LabelId Intern(std::string_view name);
+
+  /// Returns the id for `name`, or kInvalidLabel if it was never interned.
+  LabelId Find(std::string_view name) const;
+
+  /// Returns the name of `id`. `id` must have been returned by Intern.
+  const std::string& Name(LabelId id) const;
+
+  /// Number of distinct labels interned.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, LabelId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_TREE_LABEL_H_

@@ -1,0 +1,212 @@
+#ifndef TREEDIFF_TREE_TREE_H_
+#define TREEDIFF_TREE_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tree/label.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Identifier of a node within one Tree. Ids are dense indices into the
+/// tree's node arena; they are never reused, so a node deleted by an edit
+/// script keeps its id (marked dead). The paper's requirement that "each tree
+/// node has a unique identifier" (Section 3.1) is met per tree; identifiers
+/// are *not* meaningful across trees, which is exactly the keyless-data
+/// setting the matching algorithms address.
+using NodeId = int;
+
+/// Sentinel for "no node" (e.g., the parent of the root).
+inline constexpr NodeId kInvalidNode = -1;
+
+/// An ordered, labeled tree with values (the paper's data model, Section 3.1).
+/// Interior nodes conventionally have empty values; leaves carry the payload
+/// (e.g., sentence text). The tree supports the four edit operations of
+/// Section 3.2 as mutations, which Algorithm EditScript uses to transform the
+/// old tree in place as it emits operations.
+class Tree {
+ public:
+  /// Creates an empty tree whose labels are interned in `labels`. All trees
+  /// being compared must share one table. If `labels` is null a fresh table
+  /// is created.
+  explicit Tree(std::shared_ptr<LabelTable> labels = nullptr);
+
+  Tree(const Tree&) = default;
+  Tree& operator=(const Tree&) = default;
+  Tree(Tree&&) = default;
+  Tree& operator=(Tree&&) = default;
+
+  // ----- Construction -----
+
+  /// Adds the root node. Must be called exactly once, before AddChild.
+  NodeId AddRoot(LabelId label, std::string value = "");
+
+  /// Appends a new node as the last child of `parent`.
+  NodeId AddChild(NodeId parent, LabelId label, std::string value = "");
+
+  /// Convenience overloads that intern the label name.
+  NodeId AddRoot(std::string_view label_name, std::string value = "");
+  NodeId AddChild(NodeId parent, std::string_view label_name,
+                  std::string value = "");
+
+  /// Adds a new node above the current root: the new node becomes the root
+  /// and the old root its only child. This is the "dummy root" device of the
+  /// insert phase (Section 4.1) for comparing trees whose roots are not
+  /// matched. The tree must be non-empty.
+  NodeId WrapRoot(LabelId label, std::string value = "");
+
+  // ----- Accessors -----
+
+  /// The root node, or kInvalidNode for an empty tree.
+  NodeId root() const { return root_; }
+
+  /// Number of live nodes.
+  size_t size() const { return live_count_; }
+
+  /// Total number of node ids ever allocated (dense upper bound for id-indexed
+  /// arrays; includes dead nodes).
+  size_t id_bound() const { return nodes_.size(); }
+
+  bool Alive(NodeId x) const {
+    return x >= 0 && static_cast<size_t>(x) < nodes_.size() &&
+           nodes_[static_cast<size_t>(x)].alive;
+  }
+
+  LabelId label(NodeId x) const { return node(x).label; }
+  const std::string& value(NodeId x) const { return node(x).value; }
+  NodeId parent(NodeId x) const { return node(x).parent; }
+  const std::vector<NodeId>& children(NodeId x) const {
+    return node(x).children;
+  }
+  bool IsLeaf(NodeId x) const { return node(x).children.empty(); }
+
+  /// The label name of node `x` (via the shared LabelTable).
+  const std::string& label_name(NodeId x) const {
+    return labels_->Name(label(x));
+  }
+
+  /// 0-based position of `x` within its parent's child list. Returns -1 for
+  /// the root.
+  int ChildIndex(NodeId x) const;
+
+  /// True if `anc` equals `desc` or is a proper ancestor of `desc`.
+  bool IsAncestorOrSelf(NodeId anc, NodeId desc) const;
+
+  const LabelTable& labels() const { return *labels_; }
+  const std::shared_ptr<LabelTable>& label_table() const { return labels_; }
+
+  /// Interns `name` in the shared label table.
+  LabelId InternLabel(std::string_view name) { return labels_->Intern(name); }
+
+  // ----- Edit operations (paper Section 3.2) -----
+  // Positions `k` are 1-based, matching the paper: INS((x,l,v), y, k) makes x
+  // the kth child of y, with 1 <= k <= (number of children of y) + 1.
+
+  /// INS((new, label, value), parent, k). Returns the id of the new leaf.
+  StatusOr<NodeId> InsertLeaf(LabelId label, std::string value, NodeId parent,
+                              int k);
+
+  /// DEL(x). `x` must be a live leaf (interior nodes must be emptied first,
+  /// per the paper's restricted delete). The dead slot retains its label and
+  /// value, so the deletion can be reversed with ReviveLeaf.
+  Status DeleteLeaf(NodeId x);
+
+  /// Reverses a DeleteLeaf: re-attaches the dead node `x` (with its retained
+  /// label and value) as the kth child of `parent`. Used when applying
+  /// inverse edit scripts, so node identities survive an undo round-trip.
+  Status ReviveLeaf(NodeId x, NodeId parent, int k);
+
+  /// UPD(x, value).
+  Status UpdateValue(NodeId x, std::string value);
+
+  /// MOV(x, new_parent, k): detaches the subtree rooted at `x` and reattaches
+  /// it as the kth child of `new_parent` (position counted after detachment,
+  /// as in the paper's running examples). Moving a node under its own
+  /// descendant or moving the root is rejected.
+  Status MoveSubtree(NodeId x, NodeId new_parent, int k);
+
+  // ----- Traversals (live nodes only) -----
+
+  /// Breadth-first order from the root (the order Algorithm EditScript scans
+  /// the new tree).
+  std::vector<NodeId> BfsOrder() const;
+
+  /// Post-order (children before parents; the delete-phase order).
+  std::vector<NodeId> PostOrder() const;
+
+  /// Pre-order (parents before children).
+  std::vector<NodeId> PreOrder() const;
+
+  /// All live leaves in left-to-right document order.
+  std::vector<NodeId> Leaves() const;
+
+  // ----- Derived structure -----
+
+  /// leaf_counts[x] = |x| = number of leaf descendants of x (a leaf counts
+  /// itself). Dead nodes get 0. Used by Matching Criterion 2.
+  std::vector<int> LeafCounts() const;
+
+  /// depths[x] = distance from the root (root = 0); dead nodes get -1.
+  std::vector<int> Depths() const;
+
+  /// Height of the tree (a single root has height 0); -1 if empty.
+  int Height() const;
+
+  /// Pre-order entry/exit stamps enabling O(1) ancestry checks while the tree
+  /// is not mutated. Recompute after any edit.
+  struct EulerIntervals {
+    std::vector<int> tin;
+    std::vector<int> tout;
+
+    /// True if `anc` equals `desc` or is an ancestor of `desc`.
+    bool Contains(NodeId anc, NodeId desc) const {
+      return tin[static_cast<size_t>(anc)] <= tin[static_cast<size_t>(desc)] &&
+             tout[static_cast<size_t>(desc)] <= tout[static_cast<size_t>(anc)];
+    }
+  };
+  EulerIntervals ComputeEuler() const;
+
+  // ----- Utilities -----
+
+  /// Deep copy preserving node ids (including dead slots) and sharing the
+  /// label table.
+  Tree Clone() const;
+
+  /// Structural equality ignoring node identifiers: equal labels, values and
+  /// child orders (the paper's isomorphism, Section 3.1).
+  static bool Isomorphic(const Tree& a, const Tree& b);
+
+  /// Checks internal invariants (parent/child symmetry, single root,
+  /// acyclicity, live_count consistency). Used by tests and after applying
+  /// edit scripts.
+  Status Validate() const;
+
+  /// Renders the tree as an s-expression, e.g.
+  /// (D (P (S "a") (S "b")) (P (S "c"))). Values are quoted; empty values
+  /// are omitted.
+  std::string ToDebugString() const;
+
+ private:
+  struct NodeRec {
+    LabelId label = kInvalidLabel;
+    std::string value;
+    NodeId parent = kInvalidNode;
+    std::vector<NodeId> children;
+    bool alive = true;
+  };
+
+  const NodeRec& node(NodeId x) const;
+  NodeRec& node(NodeId x);
+  void DebugStringRec(NodeId x, std::string* out) const;
+
+  std::shared_ptr<LabelTable> labels_;
+  std::vector<NodeRec> nodes_;
+  NodeId root_ = kInvalidNode;
+  size_t live_count_ = 0;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_TREE_TREE_H_

@@ -1,0 +1,73 @@
+#ifndef TREEDIFF_UTIL_RANDOM_H_
+#define TREEDIFF_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace treediff {
+
+/// A small, fast, deterministic PRNG (xoshiro256**). All randomized workloads
+/// in tests and benchmarks go through this class so that runs are reproducible
+/// from a seed; std::mt19937 is avoided because its streams differ across
+/// standard library implementations of the distributions.
+class Rng {
+ public:
+  /// Seeds the generator. Two Rng instances with the same seed produce the
+  /// same stream on every platform.
+  explicit Rng(uint64_t seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniformly distributed integer in [0, bound). `bound` must be
+  /// greater than zero.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Returns a uniformly distributed integer in [lo, hi] inclusive.
+  /// Requires lo <= hi.
+  int64_t UniformInRange(int64_t lo, int64_t hi);
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Shuffles `v` in place with a Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples ranks from a Zipf(s) distribution over {0, ..., n-1}: rank r is
+/// drawn with probability proportional to 1/(r+1)^s. Used to generate
+/// natural-language-like word frequency distributions for synthetic
+/// documents (Section 8 workloads).
+class ZipfSampler {
+ public:
+  /// Builds the cumulative distribution. `n` must be >= 1; `s` is the skew
+  /// (s = 0 is uniform, s ~ 1 approximates English word frequencies).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_UTIL_RANDOM_H_

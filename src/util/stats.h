@@ -1,0 +1,49 @@
+#ifndef TREEDIFF_UTIL_STATS_H_
+#define TREEDIFF_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace treediff {
+
+/// Accumulates a stream of doubles and reports summary statistics. Used by
+/// the benchmark harness to report the mean/min/max/stddev rows the paper's
+/// evaluation section describes.
+class StatAccumulator {
+ public:
+  StatAccumulator() = default;
+
+  void Add(double x);
+
+  size_t count() const { return values_.size(); }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double StdDev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> values_;
+  double sum_ = 0.0;
+};
+
+/// Result of an ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 means a perfect linear fit.
+  /// Figure 13 of the paper claims approximately linear relationships; the
+  /// benchmarks report this value as evidence.
+  double r_squared = 0.0;
+};
+
+/// Fits a least-squares line through (x[i], y[i]). Requires x.size() ==
+/// y.size() and at least two points; returns a zero fit otherwise.
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_UTIL_STATS_H_

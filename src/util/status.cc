@@ -1,0 +1,33 @@
+#include "util/status.h"
+
+namespace treediff {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Code::kNotFound:
+      return "NotFound";
+    case Code::kFailedPrecondition:
+      return "FailedPrecondition";
+    case Code::kOutOfRange:
+      return "OutOfRange";
+    case Code::kInternal:
+      return "Internal";
+    case Code::kParseError:
+      return "ParseError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace treediff

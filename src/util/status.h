@@ -1,0 +1,127 @@
+#ifndef TREEDIFF_UTIL_STATUS_H_
+#define TREEDIFF_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace treediff {
+
+/// Error codes used throughout the library. The public API does not throw
+/// exceptions; fallible operations return Status or StatusOr<T>.
+enum class Code {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kInternal = 5,
+  kParseError = 6,
+};
+
+/// Returns a human-readable name for a status code ("OK", "InvalidArgument",
+/// ...). Never returns null.
+const char* CodeName(Code code);
+
+/// A lightweight success-or-error result, modeled after the Status idiom used
+/// by production database engines. An OK status carries no message; an error
+/// status carries a code and a message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  /// Constructs a status with the given code and message. A message on an OK
+  /// status is ignored.
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error result is a programming error (checked by assert in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status.ok()` must be false.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace treediff
+
+/// Propagates an error Status from an expression, returning it from the
+/// enclosing function if it is not OK.
+#define TREEDIFF_RETURN_IF_ERROR(expr)              \
+  do {                                              \
+    ::treediff::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#endif  // TREEDIFF_UTIL_STATUS_H_

@@ -1,0 +1,38 @@
+#ifndef TREEDIFF_UTIL_TABLE_H_
+#define TREEDIFF_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace treediff {
+
+/// Renders rows of strings as an aligned, pipe-delimited console table. The
+/// benchmark binaries use this to print the same rows/series the paper's
+/// tables and figures report.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `precision` digits after the point.
+  static std::string Fmt(double value, int precision = 2);
+  static std::string Fmt(size_t value);
+  static std::string Fmt(int64_t value);
+
+  /// Renders the table, including a header separator line.
+  std::string ToString() const;
+
+  /// Prints the rendered table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_UTIL_TABLE_H_

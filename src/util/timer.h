@@ -1,0 +1,31 @@
+#ifndef TREEDIFF_UTIL_TIMER_H_
+#define TREEDIFF_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace treediff {
+
+/// A steady-clock stopwatch for benchmark harness timing.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_UTIL_TIMER_H_

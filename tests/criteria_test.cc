@@ -1,0 +1,124 @@
+#include "core/criteria.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tree/builder.h"
+
+namespace treediff {
+namespace {
+
+class CriteriaTest : public ::testing::Test {
+ protected:
+  CriteriaTest() {
+    labels_ = std::make_shared<LabelTable>();
+    t1_ = *ParseSexpr(
+        "(D (P (S \"alpha beta gamma delta\") (S \"one two three\")) "
+        "(P (S \"unrelated sentence here\")))",
+        labels_);
+    t2_ = *ParseSexpr(
+        "(D (P (S \"alpha beta gamma zeta\") (S \"one two three\")) "
+        "(P (S \"something else entirely now\")))",
+        labels_);
+  }
+
+  std::shared_ptr<LabelTable> labels_;
+  Tree t1_{nullptr}, t2_{nullptr};
+  WordLcsComparator cmp_;
+};
+
+TEST_F(CriteriaTest, LeafEqualRespectsThresholdF) {
+  NodeId s1 = t1_.children(t1_.children(t1_.root())[0])[0];
+  NodeId s2 = t2_.children(t2_.children(t2_.root())[0])[0];
+  // Distance: 4+4 words, LCS 3 -> (8-6)/4 = 0.5.
+  {
+    CriteriaEvaluator eval(t1_, t2_, &cmp_, {.leaf_threshold_f = 0.5});
+    EXPECT_TRUE(eval.LeafEqual(s1, s2));
+  }
+  {
+    CriteriaEvaluator eval(t1_, t2_, &cmp_, {.leaf_threshold_f = 0.4});
+    EXPECT_FALSE(eval.LeafEqual(s1, s2));
+  }
+}
+
+TEST_F(CriteriaTest, LeafEqualRequiresSameLabel) {
+  // Compare a sentence against the paragraph (different labels).
+  NodeId s1 = t1_.children(t1_.children(t1_.root())[0])[0];
+  NodeId p2 = t2_.children(t2_.root())[0];
+  CriteriaEvaluator eval(t1_, t2_, &cmp_, {});
+  EXPECT_FALSE(eval.LeafEqual(s1, p2));
+}
+
+TEST_F(CriteriaTest, CommonLeavesCountsMatchedDescendants) {
+  CriteriaEvaluator eval(t1_, t2_, &cmp_, {});
+  Matching m(t1_.id_bound(), t2_.id_bound());
+  NodeId p1 = t1_.children(t1_.root())[0];
+  NodeId p2 = t2_.children(t2_.root())[0];
+  EXPECT_EQ(eval.CommonLeaves(p1, p2, m), 0);  // Nothing matched yet.
+  m.Add(t1_.children(p1)[0], t2_.children(p2)[0]);
+  m.Add(t1_.children(p1)[1], t2_.children(p2)[1]);
+  EXPECT_EQ(eval.CommonLeaves(p1, p2, m), 2);
+  // A leaf matched outside y's subtree does not count.
+  Matching cross(t1_.id_bound(), t2_.id_bound());
+  cross.Add(t1_.children(p1)[0],
+            t2_.children(t2_.children(t2_.root())[1])[0]);
+  EXPECT_EQ(eval.CommonLeaves(p1, p2, cross), 0);
+}
+
+TEST_F(CriteriaTest, InternalEqualThresholdT) {
+  NodeId p1 = t1_.children(t1_.root())[0];
+  NodeId p2 = t2_.children(t2_.root())[0];
+  Matching m(t1_.id_bound(), t2_.id_bound());
+  m.Add(t1_.children(p1)[0], t2_.children(p2)[0]);
+  // 1 of 2 leaves matched: ratio 0.5, needs > t.
+  {
+    CriteriaEvaluator eval(t1_, t2_, &cmp_, {.internal_threshold_t = 0.6});
+    EXPECT_FALSE(eval.InternalEqual(p1, p2, m));
+  }
+  m.Add(t1_.children(p1)[1], t2_.children(p2)[1]);
+  {
+    CriteriaEvaluator eval(t1_, t2_, &cmp_, {.internal_threshold_t = 0.6});
+    EXPECT_TRUE(eval.InternalEqual(p1, p2, m));  // 2/2 = 1.0 > 0.6.
+  }
+}
+
+TEST_F(CriteriaTest, InternalEqualUsesMaxOfSizes) {
+  // D in t1 has 3 leaves, D in t2 has 3 leaves; match only both paragraphs'
+  // first sentences via a partial matching and check the root ratio 1/3.
+  Matching m(t1_.id_bound(), t2_.id_bound());
+  NodeId p1 = t1_.children(t1_.root())[0];
+  NodeId p2 = t2_.children(t2_.root())[0];
+  m.Add(t1_.children(p1)[0], t2_.children(p2)[0]);
+  CriteriaEvaluator eval(t1_, t2_, &cmp_, {.internal_threshold_t = 0.5});
+  EXPECT_FALSE(eval.InternalEqual(t1_.root(), t2_.root(), m));  // 1/3.
+  m.Add(t1_.children(p1)[1], t2_.children(p2)[1]);
+  EXPECT_TRUE(eval.InternalEqual(t1_.root(), t2_.root(), m));  // 2/3 > 0.5.
+}
+
+TEST_F(CriteriaTest, LeafCountAccessors) {
+  CriteriaEvaluator eval(t1_, t2_, &cmp_, {});
+  EXPECT_EQ(eval.LeafCount1(t1_.root()), 3);
+  EXPECT_EQ(eval.LeafCount2(t2_.root()), 3);
+  EXPECT_EQ(eval.LeafCount1(t1_.children(t1_.root())[0]), 2);
+}
+
+TEST_F(CriteriaTest, PartnerCheckCounterAdvances) {
+  CriteriaEvaluator eval(t1_, t2_, &cmp_, {});
+  Matching m(t1_.id_bound(), t2_.id_bound());
+  EXPECT_EQ(eval.partner_checks(), 0u);
+  eval.CommonLeaves(t1_.root(), t2_.root(), m);
+  EXPECT_EQ(eval.partner_checks(), 3u);  // One per leaf under x.
+}
+
+TEST_F(CriteriaTest, CompareCallCounterDelegatesToComparator) {
+  CriteriaEvaluator eval(t1_, t2_, &cmp_, {});
+  const size_t before = eval.compare_calls();
+  NodeId s1 = t1_.children(t1_.children(t1_.root())[0])[0];
+  NodeId s2 = t2_.children(t2_.children(t2_.root())[0])[0];
+  eval.LeafEqual(s1, s2);
+  EXPECT_EQ(eval.compare_calls(), before + 1);
+}
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,146 @@
+// The Section 6 correctness property, strengthened: a delta tree is a
+// lossless superimposition of both versions. ReconstructOldVersion and
+// ReconstructNewVersion must recover trees isomorphic to t1 and t2 from the
+// delta alone, on hand-written cases and random workloads.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/diff.h"
+#include "gen/doc_gen.h"
+#include "gen/edit_sim.h"
+#include "tree/builder.h"
+
+namespace treediff {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<LabelTable> labels = std::make_shared<LabelTable>();
+
+  Tree Parse(const std::string& s) { return *ParseSexpr(s, labels); }
+
+  void CheckRoundTrip(const Tree& t1, const Tree& t2) {
+    auto diff = DiffTrees(t1, t2);
+    ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+    auto delta = BuildDeltaTree(t1, t2, *diff);
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+    auto old_again = ReconstructOldVersion(*delta, labels);
+    ASSERT_TRUE(old_again.ok()) << old_again.status().ToString();
+    EXPECT_TRUE(Tree::Isomorphic(*old_again, t1))
+        << "old:   " << t1.ToDebugString() << "\nrecon: "
+        << old_again->ToDebugString() << "\ndelta: "
+        << delta->ToDebugString(*labels);
+    auto new_again = ReconstructNewVersion(*delta, labels);
+    ASSERT_TRUE(new_again.ok()) << new_again.status().ToString();
+    EXPECT_TRUE(Tree::Isomorphic(*new_again, t2))
+        << "new:   " << t2.ToDebugString() << "\nrecon: "
+        << new_again->ToDebugString();
+  }
+};
+
+TEST(DeltaReconstructTest, Identical) {
+  Fixture f;
+  Tree t1 = f.Parse("(D (P (S \"a a\") (S \"b b\")))");
+  Tree t2 = f.Parse("(D (P (S \"a a\") (S \"b b\")))");
+  f.CheckRoundTrip(t1, t2);
+}
+
+TEST(DeltaReconstructTest, InsertDeleteUpdate) {
+  Fixture f;
+  Tree t1 = f.Parse(
+      "(D (P (S \"one two three\") (S \"doomed here now\") "
+      "(S \"four five six\")))");
+  Tree t2 = f.Parse(
+      "(D (P (S \"one two three\") (S \"four five seven\") "
+      "(S \"fresh insert here\")))");
+  f.CheckRoundTrip(t1, t2);
+}
+
+TEST(DeltaReconstructTest, SentenceMove) {
+  Fixture f;
+  Tree t1 = f.Parse(
+      "(D (P (S \"mover goes far\") (S \"stay a\") (S \"stay b\")) "
+      "(P (S \"stay c\") (S \"stay d\")))");
+  Tree t2 = f.Parse(
+      "(D (P (S \"stay a\") (S \"stay b\")) "
+      "(P (S \"stay c\") (S \"stay d\") (S \"mover goes far\")))");
+  f.CheckRoundTrip(t1, t2);
+}
+
+TEST(DeltaReconstructTest, MovedSubtreeWithInternalEdits) {
+  Fixture f;
+  // A paragraph moves across sections AND gains/loses sentences: the old
+  // subtree must be recovered from the marker's children plus tombstones.
+  Tree t1 = f.Parse(
+      "(D (Sec (S \"a1 a1\") (S \"a2 a2\") (S \"a3 a3\") (S \"a4 a4\") "
+      "(P (S \"m1 m1 m1\") (S \"m2 m2 m2\") (S \"gone gone gone\"))) "
+      "(Sec (S \"b1 b1\") (S \"b2 b2\") (S \"b3 b3\") (S \"b4 b4\")))");
+  Tree t2 = f.Parse(
+      "(D (Sec (S \"a1 a1\") (S \"a2 a2\") (S \"a3 a3\") (S \"a4 a4\")) "
+      "(Sec (S \"b1 b1\") (S \"b2 b2\") (S \"b3 b3\") (S \"b4 b4\") "
+      "(P (S \"m1 m1 m1\") (S \"m2 m2 m2\") (S \"added added\"))))");
+  f.CheckRoundTrip(t1, t2);
+}
+
+TEST(DeltaReconstructTest, IntraParentReorder) {
+  Fixture f;
+  Tree t1 = f.Parse(
+      "(D (S \"s1 s1\") (S \"s2 s2\") (S \"s3 s3\") (S \"s4 s4\"))");
+  Tree t2 = f.Parse(
+      "(D (S \"s3 s3\") (S \"s1 s1\") (S \"s2 s2\") (S \"s4 s4\"))");
+  f.CheckRoundTrip(t1, t2);
+}
+
+TEST(DeltaReconstructTest, WholeSubtreeDeleted) {
+  Fixture f;
+  Tree t1 = f.Parse(
+      "(D (P (S \"keep one two\")) (P (S \"dead a b\") (S \"dead c d\")))");
+  Tree t2 = f.Parse("(D (P (S \"keep one two\")))");
+  f.CheckRoundTrip(t1, t2);
+}
+
+TEST(DeltaReconstructTest, WholeSubtreeInserted) {
+  Fixture f;
+  Tree t1 = f.Parse("(D (P (S \"keep one two\")))");
+  Tree t2 = f.Parse(
+      "(D (P (S \"keep one two\")) (P (S \"new a b\") (S \"new c d\")))");
+  f.CheckRoundTrip(t1, t2);
+}
+
+TEST(DeltaReconstructTest, EmptyDeltaRejected) {
+  DeltaTree empty;
+  auto labels = std::make_shared<LabelTable>();
+  EXPECT_FALSE(ReconstructOldVersion(empty, labels).ok());
+  EXPECT_FALSE(ReconstructNewVersion(empty, labels).ok());
+}
+
+class DeltaReconstructPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(DeltaReconstructPropertyTest, RandomWorkloadsRoundTrip) {
+  const auto [sections, edits, seed] = GetParam();
+  Vocabulary vocab(400, 1.0);
+  Rng rng(seed);
+  DocGenParams params;
+  params.sections = sections;
+  Fixture f;
+  Tree t1 = GenerateDocument(params, vocab, &rng, f.labels);
+  SimulatedVersion v = SimulateNewVersion(t1, edits, {}, vocab, &rng);
+  f.CheckRoundTrip(t1, v.new_tree);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeltaReconstructPropertyTest,
+    ::testing::Values(std::make_tuple(2, 2, 21ull),
+                      std::make_tuple(3, 6, 22ull),
+                      std::make_tuple(4, 10, 23ull),
+                      std::make_tuple(5, 15, 24ull),
+                      std::make_tuple(6, 25, 25ull),
+                      std::make_tuple(3, 40, 26ull),
+                      std::make_tuple(8, 20, 27ull),
+                      std::make_tuple(2, 0, 28ull)));
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,115 @@
+#include "core/edit_script.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tree/builder.h"
+
+namespace treediff {
+namespace {
+
+TEST(EditOpTest, Factories) {
+  EditOp ins = EditOp::Insert(5, 2, "v", 1, 3);
+  EXPECT_EQ(ins.kind, EditOpKind::kInsert);
+  EXPECT_EQ(ins.node, 5);
+  EXPECT_EQ(ins.label, 2);
+  EXPECT_EQ(ins.value, "v");
+  EXPECT_EQ(ins.parent, 1);
+  EXPECT_EQ(ins.position, 3);
+  EXPECT_DOUBLE_EQ(ins.cost, 1.0);
+
+  EditOp del = EditOp::Delete(7);
+  EXPECT_EQ(del.kind, EditOpKind::kDelete);
+  EXPECT_EQ(del.node, 7);
+
+  EditOp upd = EditOp::Update(3, "new", 0.25);
+  EXPECT_EQ(upd.kind, EditOpKind::kUpdate);
+  EXPECT_DOUBLE_EQ(upd.cost, 0.25);
+
+  EditOp mov = EditOp::Move(2, 8, 1);
+  EXPECT_EQ(mov.kind, EditOpKind::kMove);
+  EXPECT_EQ(mov.parent, 8);
+}
+
+TEST(EditOpTest, ToStringFormats) {
+  LabelTable labels;
+  LabelId s = labels.Intern("S");
+  EXPECT_EQ(EditOp::Insert(11, s, "foo", 1, 4).ToString(labels),
+            "INS((11, S, \"foo\"), 1, 4)");
+  EXPECT_EQ(EditOp::Delete(2).ToString(labels), "DEL(2)");
+  EXPECT_EQ(EditOp::Update(9, "baz", 1.0).ToString(labels),
+            "UPD(9, \"baz\")");
+  EXPECT_EQ(EditOp::Move(5, 11, 1).ToString(labels), "MOV(5, 11, 1)");
+}
+
+TEST(EditScriptTest, CountsAndCost) {
+  EditScript script;
+  script.Append(EditOp::Insert(1, 0, "", 0, 1));
+  script.Append(EditOp::Delete(2));
+  script.Append(EditOp::Update(3, "v", 0.5));
+  script.Append(EditOp::Move(4, 0, 1));
+  EXPECT_EQ(script.size(), 4u);
+  EXPECT_EQ(script.num_inserts(), 1u);
+  EXPECT_EQ(script.num_deletes(), 1u);
+  EXPECT_EQ(script.num_updates(), 1u);
+  EXPECT_EQ(script.num_moves(), 1u);
+  EXPECT_DOUBLE_EQ(script.TotalCost(), 3.5);
+}
+
+/// Example 3.1 of the paper: applying
+///   INS((11, Sec, foo), 1, 4), MOV(5, 11, 1), DEL(2), UPD(9, baz)
+/// to the Figure 3 tree. We rebuild the same shape with our dense ids.
+class Example31Test : public ::testing::Test {
+ protected:
+  Example31Test() : tree_(std::make_shared<LabelTable>()) {
+    // Paper ids -> our ids: 1->d, 2->a, 5->b, 6->x, 7->y, 9->c ...
+    d_ = tree_.AddRoot("Doc");
+    a_ = tree_.AddChild(d_, "S", "leaf-a");   // paper node 2 (deleted).
+    b_ = tree_.AddChild(d_, "Sec");           // paper node 5 (moved).
+    x_ = tree_.AddChild(b_, "S", "a");        // paper node 6.
+    y_ = tree_.AddChild(b_, "S", "b");        // paper node 7.
+    c_ = tree_.AddChild(d_, "S", "bar");      // paper node 9 (updated).
+  }
+
+  Tree tree_;
+  NodeId d_, a_, b_, x_, y_, c_;
+};
+
+TEST_F(Example31Test, ApplySequenceTransformsTree) {
+  EditScript script;
+  LabelId sec = tree_.InternLabel("Sec");
+  // The new node gets the next dense id (6 nodes exist: ids 0..5 -> new 6).
+  script.Append(EditOp::Insert(6, sec, "foo", d_, 4));
+  script.Append(EditOp::Move(b_, 6, 1));
+  script.Append(EditOp::Delete(a_));
+  script.Append(EditOp::Update(c_, "baz", 1.0));
+
+  ASSERT_TRUE(script.ApplyTo(&tree_).ok());
+  EXPECT_TRUE(tree_.Validate().ok());
+  EXPECT_EQ(tree_.ToDebugString(),
+            "(Doc (S \"baz\") (Sec \"foo\" (Sec (S \"a\") (S \"b\"))))");
+}
+
+TEST_F(Example31Test, ApplyFailsOnWrongInsertId) {
+  EditScript script;
+  script.Append(EditOp::Insert(99, tree_.InternLabel("Sec"), "foo", d_, 4));
+  EXPECT_EQ(script.ApplyTo(&tree_).code(), Code::kFailedPrecondition);
+}
+
+TEST_F(Example31Test, ApplyFailsOnIllegalOp) {
+  EditScript script;
+  script.Append(EditOp::Delete(b_));  // b has children.
+  EXPECT_EQ(script.ApplyTo(&tree_).code(), Code::kFailedPrecondition);
+}
+
+TEST_F(Example31Test, ScriptToStringOnePerLine) {
+  EditScript script;
+  script.Append(EditOp::Delete(a_));
+  script.Append(EditOp::Update(c_, "z", 1.0));
+  const std::string s = script.ToString(tree_.labels());
+  EXPECT_EQ(s, "DEL(1)\nUPD(5, \"z\")\n");
+}
+
+}  // namespace
+}  // namespace treediff

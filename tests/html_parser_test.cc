@@ -1,0 +1,117 @@
+#include "doc/html_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tree/schema.h"
+
+namespace treediff {
+namespace {
+
+NodeId Child(const Tree& t, NodeId x, size_t i) { return t.children(x)[i]; }
+
+TEST(HtmlParserTest, ParagraphsFromPTags) {
+  auto tree = ParseHtml("<p>First one. Second one.</p><p>Next para.</p>");
+  ASSERT_TRUE(tree.ok());
+  NodeId doc = tree->root();
+  EXPECT_EQ(tree->label_name(doc), "document");
+  ASSERT_EQ(tree->children(doc).size(), 2u);
+  NodeId p1 = Child(*tree, doc, 0);
+  ASSERT_EQ(tree->children(p1).size(), 2u);
+  EXPECT_EQ(tree->value(Child(*tree, p1, 0)), "First one.");
+}
+
+TEST(HtmlParserTest, HeadingsBecomeSections) {
+  auto tree = ParseHtml(
+      "<h1>Intro</h1><p>Text one.</p><h2>Details</h2><p>Text two.</p>");
+  ASSERT_TRUE(tree.ok());
+  NodeId sec = Child(*tree, tree->root(), 0);
+  EXPECT_EQ(tree->label_name(sec), "section");
+  EXPECT_EQ(tree->value(sec), "Intro");
+  ASSERT_EQ(tree->children(sec).size(), 2u);
+  NodeId sub = Child(*tree, sec, 1);
+  EXPECT_EQ(tree->label_name(sub), "subsection");
+  EXPECT_EQ(tree->value(sub), "Details");
+}
+
+TEST(HtmlParserTest, ListsAndItems) {
+  auto tree = ParseHtml(
+      "<ul><li>Alpha item.</li><li>Beta item.</li></ul>");
+  ASSERT_TRUE(tree.ok());
+  NodeId list = Child(*tree, tree->root(), 0);
+  EXPECT_EQ(tree->label_name(list), "list");
+  ASSERT_EQ(tree->children(list).size(), 2u);
+  NodeId item = Child(*tree, list, 0);
+  EXPECT_EQ(tree->label_name(item), "item");
+  EXPECT_EQ(tree->value(Child(*tree, Child(*tree, item, 0), 0)),
+            "Alpha item.");
+}
+
+TEST(HtmlParserTest, OlAndDlAlsoMapToList) {
+  for (const char* html :
+       {"<ol><li>One.</li></ol>", "<dl><dd>One.</dd></dl>"}) {
+    auto tree = ParseHtml(html);
+    ASSERT_TRUE(tree.ok()) << html;
+    EXPECT_EQ(tree->label_name(Child(*tree, tree->root(), 0)), "list")
+        << html;
+  }
+}
+
+TEST(HtmlParserTest, InlineTagsStripped) {
+  auto tree = ParseHtml("<p>Some <b>bold</b> and <a href='#'>link</a>.</p>");
+  ASSERT_TRUE(tree.ok());
+  NodeId para = Child(*tree, tree->root(), 0);
+  EXPECT_EQ(tree->value(Child(*tree, para, 0)), "Some bold and link .");
+}
+
+TEST(HtmlParserTest, EntitiesDecoded) {
+  auto tree = ParseHtml("<p>Tom &amp; Jerry &lt;3 &#65;.</p>");
+  ASSERT_TRUE(tree.ok());
+  NodeId para = Child(*tree, tree->root(), 0);
+  EXPECT_EQ(tree->value(Child(*tree, para, 0)), "Tom & Jerry <3 A.");
+}
+
+TEST(HtmlParserTest, ScriptStyleHeadSkipped) {
+  auto tree = ParseHtml(
+      "<head><title>T</title></head><script>var x = 'Nope.';</script>"
+      "<style>p { color: red; }</style><p>Visible.</p>");
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->children(tree->root()).size(), 1u);
+  NodeId para = Child(*tree, tree->root(), 0);
+  EXPECT_EQ(tree->value(Child(*tree, para, 0)), "Visible.");
+}
+
+TEST(HtmlParserTest, CommentsAndDoctypeSkipped) {
+  auto tree = ParseHtml(
+      "<!DOCTYPE html><!-- hidden. --><p>Shown here.</p>");
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->children(tree->root()).size(), 1u);
+}
+
+TEST(HtmlParserTest, BareTextFormsImplicitParagraph) {
+  auto tree = ParseHtml("Loose text outside tags.");
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->children(tree->root()).size(), 1u);
+  EXPECT_EQ(tree->label_name(Child(*tree, tree->root(), 0)), "paragraph");
+}
+
+TEST(HtmlParserTest, OutputSatisfiesDocumentSchema) {
+  auto labels = std::make_shared<LabelTable>();
+  auto tree = ParseHtml(
+      "<h1>A</h1><p>One. Two.</p><ul><li>X.</li></ul><h2>B</h2><p>Three.</p>",
+      labels);
+  ASSERT_TRUE(tree.ok());
+  LabelSchema schema = MakeDocumentSchema(labels.get());
+  EXPECT_TRUE(schema.CheckAcyclic(*tree).ok());
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST(HtmlParserTest, UnclosedTagTolerated) {
+  auto tree = ParseHtml("<p>Fine text here.");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->children(tree->root()).size(), 1u);
+}
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,129 @@
+#include "core/keyed_match.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/edit_script_gen.h"
+#include "tree/builder.h"
+
+namespace treediff {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<LabelTable> labels = std::make_shared<LabelTable>();
+  WordLcsComparator cmp;
+
+  Tree Parse(const std::string& s) { return *ParseSexpr(s, labels); }
+};
+
+TEST(ValuePrefixKeyTest, ExtractsKeyToken) {
+  Fixture f;
+  Tree t = f.Parse(
+      "(D (R \"key=778899 pillar at x=3 y=4\") (R \"no key here\") "
+      "(R \"key=12\"))");
+  auto kids = t.children(t.root());
+  EXPECT_EQ(ValuePrefixKey(t, kids[0]), std::optional<std::string>("778899"));
+  EXPECT_EQ(ValuePrefixKey(t, kids[1]), std::nullopt);
+  EXPECT_EQ(ValuePrefixKey(t, kids[2]), std::optional<std::string>("12"));
+  EXPECT_EQ(ValuePrefixKey(t, t.root()), std::nullopt);
+}
+
+TEST(KeyedMatchTest, MatchesByKeyAcrossPositionsAndValues) {
+  Fixture f;
+  // Records reordered AND updated: keys still pair them up directly.
+  Tree t1 = f.Parse(
+      "(D (R \"key=a height 10\") (R \"key=b height 20\") "
+      "(R \"key=c height 30\"))");
+  Tree t2 = f.Parse(
+      "(D (R \"key=c height 31\") (R \"key=a height 10\") "
+      "(R \"key=b height 99\"))");
+  Matching m = ComputeKeyedMatch(t1, t2, ValuePrefixKey);
+  EXPECT_EQ(m.size(), 3u);
+  auto k1 = t1.children(t1.root());
+  auto k2 = t2.children(t2.root());
+  EXPECT_EQ(m.PartnerOfT1(k1[0]), k2[1]);  // key=a.
+  EXPECT_EQ(m.PartnerOfT1(k1[1]), k2[2]);  // key=b.
+  EXPECT_EQ(m.PartnerOfT1(k1[2]), k2[0]);  // key=c.
+}
+
+TEST(KeyedMatchTest, ZeroCompareCalls) {
+  Fixture f;
+  Tree t1 = f.Parse("(D (R \"key=a v1\") (R \"key=b v2\"))");
+  Tree t2 = f.Parse("(D (R \"key=b v2x\") (R \"key=a v1\"))");
+  Matching m = ComputeKeyedMatch(t1, t2, ValuePrefixKey);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(f.cmp.calls(), 0u);  // The whole point of the fast path.
+}
+
+TEST(KeyedMatchTest, DuplicateKeysVoided) {
+  Fixture f;
+  Tree t1 = f.Parse("(D (R \"key=dup a\") (R \"key=dup b\"))");
+  Tree t2 = f.Parse("(D (R \"key=dup a\"))");
+  Matching m = ComputeKeyedMatch(t1, t2, ValuePrefixKey);
+  EXPECT_EQ(m.size(), 0u);  // Uniqueness guarantee void on the T1 side.
+}
+
+TEST(KeyedMatchTest, LabelsPartitionKeySpaces) {
+  Fixture f;
+  // Same key under different labels: no cross-label match.
+  Tree t1 = f.Parse("(D (A \"key=7 x\"))");
+  Tree t2 = f.Parse("(D (B \"key=7 x\"))");
+  Matching m = ComputeKeyedMatch(t1, t2, ValuePrefixKey);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(KeyedMatchTest, VanishedKeysStayUnmatched) {
+  Fixture f;
+  Tree t1 = f.Parse("(D (R \"key=gone old\"))");
+  Tree t2 = f.Parse("(D (R \"key=new fresh\"))");
+  Matching m = ComputeKeyedMatch(t1, t2, ValuePrefixKey);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(HybridMatchTest, KeyedPlusValueBasedRemainder) {
+  Fixture f;
+  // Keyed records plus keyless prose: the hybrid matches records by key
+  // (even heavily updated ones the value criteria would reject) and prose
+  // by value.
+  Tree t1 = f.Parse(
+      "(D (R \"key=p1 completely original content\") "
+      "(P (S \"shared prose sentence\")))");
+  Tree t2 = f.Parse(
+      "(D (R \"key=p1 entirely different text now\") "
+      "(P (S \"shared prose sentence\")))");
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {});
+  Matching m = ComputeHybridMatch(t1, t2, ValuePrefixKey, eval);
+  // R by key, S by value, P by common leaves, D by common leaves.
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.PartnerOfT1(t1.children(t1.root())[0]),
+            t2.children(t2.root())[0]);
+}
+
+TEST(HybridMatchTest, FeedsEditScriptGeneration) {
+  Fixture f;
+  Tree t1 = f.Parse(
+      "(D (R \"key=a alpha\") (R \"key=b beta\") (P (S \"x y z\")))");
+  Tree t2 = f.Parse(
+      "(D (R \"key=b BETA updated\") (P (S \"x y z\")) (R \"key=a alpha\"))");
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {});
+  Matching m = ComputeHybridMatch(t1, t2, ValuePrefixKey, eval);
+  auto result = GenerateEditScript(t1, t2, m, &f.cmp);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(Tree::Isomorphic(result->transformed, t2));
+  // The keyed record's rewrite is an update, not delete+insert.
+  EXPECT_EQ(result->script.num_updates(), 1u);
+  EXPECT_EQ(result->script.num_deletes(), 0u);
+}
+
+TEST(HybridMatchTest, LeafInternalKindsRespected) {
+  Fixture f;
+  // A keyed internal node vs a keyed leaf with the same key: must not pair.
+  Tree t1 = f.Parse("(D (R \"key=k\" (S \"child\")))");
+  Tree t2 = f.Parse("(D (R \"key=k\"))");
+  Matching m = ComputeKeyedMatch(t1, t2, ValuePrefixKey);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,161 @@
+#include "doc/latex_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tree/schema.h"
+
+namespace treediff {
+namespace {
+
+NodeId Child(const Tree& t, NodeId x, size_t i) { return t.children(x)[i]; }
+
+TEST(LatexParserTest, PlainParagraphs) {
+  auto tree = ParseLatex("First sentence. Second sentence.\n\nNew para.");
+  ASSERT_TRUE(tree.ok());
+  NodeId doc = tree->root();
+  EXPECT_EQ(tree->label_name(doc), "document");
+  ASSERT_EQ(tree->children(doc).size(), 2u);
+  NodeId p1 = Child(*tree, doc, 0);
+  EXPECT_EQ(tree->label_name(p1), "paragraph");
+  ASSERT_EQ(tree->children(p1).size(), 2u);
+  EXPECT_EQ(tree->value(Child(*tree, p1, 0)), "First sentence.");
+  EXPECT_EQ(tree->value(Child(*tree, p1, 1)), "Second sentence.");
+  NodeId p2 = Child(*tree, doc, 1);
+  EXPECT_EQ(tree->value(Child(*tree, p2, 0)), "New para.");
+}
+
+TEST(LatexParserTest, SectionsCaptureHeadings) {
+  auto tree = ParseLatex(
+      "\\section{First things first}\nBody text here.\n"
+      "\\section{Another way}\nMore body.");
+  ASSERT_TRUE(tree.ok());
+  NodeId doc = tree->root();
+  ASSERT_EQ(tree->children(doc).size(), 2u);
+  NodeId s1 = Child(*tree, doc, 0);
+  EXPECT_EQ(tree->label_name(s1), "section");
+  EXPECT_EQ(tree->value(s1), "First things first");
+  EXPECT_EQ(tree->label_name(Child(*tree, s1, 0)), "paragraph");
+}
+
+TEST(LatexParserTest, SubsectionsNestUnderSections) {
+  auto tree = ParseLatex(
+      "\\section{S}\nIntro.\n\\subsection{Sub}\nDetail text.");
+  ASSERT_TRUE(tree.ok());
+  NodeId sec = Child(*tree, tree->root(), 0);
+  ASSERT_EQ(tree->children(sec).size(), 2u);
+  NodeId sub = Child(*tree, sec, 1);
+  EXPECT_EQ(tree->label_name(sub), "subsection");
+  EXPECT_EQ(tree->value(sub), "Sub");
+}
+
+TEST(LatexParserTest, AllListKindsMergeToListLabel) {
+  for (const char* env : {"itemize", "enumerate", "description"}) {
+    std::string text = std::string("\\begin{") + env +
+                       "}\n\\item Alpha one.\n\\item Beta two.\n\\end{" +
+                       env + "}";
+    auto tree = ParseLatex(text);
+    ASSERT_TRUE(tree.ok()) << env;
+    NodeId list = Child(*tree, tree->root(), 0);
+    EXPECT_EQ(tree->label_name(list), "list") << env;
+    ASSERT_EQ(tree->children(list).size(), 2u) << env;
+    NodeId item = Child(*tree, list, 0);
+    EXPECT_EQ(tree->label_name(item), "item");
+    NodeId para = Child(*tree, item, 0);
+    EXPECT_EQ(tree->label_name(para), "paragraph");
+    EXPECT_EQ(tree->value(Child(*tree, para, 0)), "Alpha one.");
+  }
+}
+
+TEST(LatexParserTest, NestedLists) {
+  auto tree = ParseLatex(
+      "\\begin{itemize}\n\\item Outer.\n\\begin{enumerate}\n"
+      "\\item Inner.\n\\end{enumerate}\n\\item Outer two.\n"
+      "\\end{itemize}");
+  ASSERT_TRUE(tree.ok());
+  NodeId outer_list = Child(*tree, tree->root(), 0);
+  EXPECT_EQ(tree->label_name(outer_list), "list");
+  // First item holds "Outer." and the nested list.
+  NodeId item1 = Child(*tree, outer_list, 0);
+  ASSERT_EQ(tree->children(item1).size(), 2u);
+  EXPECT_EQ(tree->label_name(Child(*tree, item1, 1)), "list");
+}
+
+TEST(LatexParserTest, CommentsStripped) {
+  auto tree = ParseLatex("Keep this. % drop this\nAnd this.");
+  ASSERT_TRUE(tree.ok());
+  NodeId para = Child(*tree, tree->root(), 0);
+  ASSERT_EQ(tree->children(para).size(), 2u);
+  EXPECT_EQ(tree->value(Child(*tree, para, 0)), "Keep this.");
+  EXPECT_EQ(tree->value(Child(*tree, para, 1)), "And this.");
+}
+
+TEST(LatexParserTest, EscapedPercentKept) {
+  auto tree = ParseLatex("Growth of 5\\% yearly.");
+  ASSERT_TRUE(tree.ok());
+  NodeId para = Child(*tree, tree->root(), 0);
+  EXPECT_EQ(tree->value(Child(*tree, para, 0)), "Growth of 5\\% yearly.");
+}
+
+TEST(LatexParserTest, PreambleSkipped) {
+  auto tree = ParseLatex(
+      "\\documentclass{article}\n\\usepackage{x}\n\\begin{document}\n"
+      "Only this. \n\\end{document}\nIgnored trailing.");
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->children(tree->root()).size(), 1u);
+  NodeId para = Child(*tree, tree->root(), 0);
+  ASSERT_EQ(tree->children(para).size(), 1u);
+  EXPECT_EQ(tree->value(Child(*tree, para, 0)), "Only this.");
+}
+
+TEST(LatexParserTest, InlineCommandsStayInProse) {
+  auto tree = ParseLatex("This is \\emph{important} text.");
+  ASSERT_TRUE(tree.ok());
+  NodeId para = Child(*tree, tree->root(), 0);
+  EXPECT_EQ(tree->value(Child(*tree, para, 0)),
+            "This is \\emph{important} text.");
+}
+
+TEST(LatexParserTest, StarredSections) {
+  auto tree = ParseLatex("\\section*{No number}\nText.");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->value(Child(*tree, tree->root(), 0)), "No number");
+}
+
+TEST(LatexParserTest, UnbalancedBracesError) {
+  EXPECT_EQ(ParseLatex("\\section{oops").status().code(), Code::kParseError);
+}
+
+TEST(LatexParserTest, OutputSatisfiesDocumentSchema) {
+  auto labels = std::make_shared<LabelTable>();
+  auto tree = ParseLatex(
+      "\\section{A}\nPara one. More.\n\n\\begin{itemize}\n\\item X.\n"
+      "\\end{itemize}\n\\subsection{B}\nPara two.",
+      labels);
+  ASSERT_TRUE(tree.ok());
+  LabelSchema schema = MakeDocumentSchema(labels.get());
+  EXPECT_TRUE(schema.CheckAcyclic(*tree).ok());
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST(LatexParserTest, SharedLabelTableAcrossVersions) {
+  auto labels = std::make_shared<LabelTable>();
+  auto t1 = ParseLatex("One.", labels);
+  auto t2 = ParseLatex("Two.", labels);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t1->label(t1->root()), t2->label(t2->root()));
+}
+
+TEST(LatexParserTest, MultiLineParagraphJoins) {
+  auto tree = ParseLatex("A sentence\nspread over lines. Second.");
+  ASSERT_TRUE(tree.ok());
+  NodeId para = Child(*tree, tree->root(), 0);
+  ASSERT_EQ(tree->children(para).size(), 2u);
+  EXPECT_EQ(tree->value(Child(*tree, para, 0)),
+            "A sentence spread over lines.");
+}
+
+}  // namespace
+}  // namespace treediff

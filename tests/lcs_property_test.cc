@@ -1,0 +1,128 @@
+// Property tests: Myers' O(ND) LCS must agree with the reference DP on
+// random inputs across alphabet sizes and length regimes, and its output
+// must always be a valid common subsequence.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lcs/lcs.h"
+#include "util/random.h"
+
+namespace treediff {
+namespace {
+
+std::vector<int> RandomSeq(Rng* rng, int len, int alphabet) {
+  std::vector<int> v(static_cast<size_t>(len));
+  for (auto& x : v) x = static_cast<int>(rng->Uniform(
+      static_cast<uint64_t>(alphabet)));
+  return v;
+}
+
+void CheckValidCommonSubsequence(const std::vector<int>& a,
+                                 const std::vector<int>& b,
+                                 const std::vector<LcsPair>& pairs) {
+  int last_a = -1, last_b = -1;
+  for (const LcsPair& p : pairs) {
+    ASSERT_GE(p.a_index, 0);
+    ASSERT_LT(p.a_index, static_cast<int>(a.size()));
+    ASSERT_GE(p.b_index, 0);
+    ASSERT_LT(p.b_index, static_cast<int>(b.size()));
+    ASSERT_GT(p.a_index, last_a) << "a indices must strictly increase";
+    ASSERT_GT(p.b_index, last_b) << "b indices must strictly increase";
+    ASSERT_EQ(a[static_cast<size_t>(p.a_index)],
+              b[static_cast<size_t>(p.b_index)]);
+    last_a = p.a_index;
+    last_b = p.b_index;
+  }
+}
+
+class LcsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LcsPropertyTest, MyersMatchesDpAndIsValid) {
+  const auto [max_len, alphabet, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + 13);
+  for (int iter = 0; iter < 40; ++iter) {
+    const int n = static_cast<int>(rng.Uniform(
+        static_cast<uint64_t>(max_len) + 1));
+    const int m = static_cast<int>(rng.Uniform(
+        static_cast<uint64_t>(max_len) + 1));
+    std::vector<int> a = RandomSeq(&rng, n, alphabet);
+    std::vector<int> b = RandomSeq(&rng, m, alphabet);
+    auto equal = [&](int i, int j) {
+      return a[static_cast<size_t>(i)] == b[static_cast<size_t>(j)];
+    };
+    auto myers = MyersLcs(n, m, equal);
+    auto dp = DpLcs(n, m, equal);
+    ASSERT_EQ(myers.size(), dp.size())
+        << "n=" << n << " m=" << m << " alphabet=" << alphabet;
+    CheckValidCommonSubsequence(a, b, myers);
+    CheckValidCommonSubsequence(a, b, dp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LcsPropertyTest,
+    ::testing::Values(std::make_tuple(8, 2, 1), std::make_tuple(8, 4, 2),
+                      std::make_tuple(30, 2, 3), std::make_tuple(30, 6, 4),
+                      std::make_tuple(100, 3, 5), std::make_tuple(100, 26, 6),
+                      std::make_tuple(250, 2, 7),
+                      std::make_tuple(250, 50, 8)));
+
+TEST(LcsArbitraryPredicateTest, MyersMatchesDpOnRandomBooleanMatrices) {
+  // Myers' algorithm is a shortest path on the edit graph, where diagonal
+  // edges exist wherever equal(i, j) holds — no transitivity or symmetry of
+  // the predicate is required. Verify against the DP on completely random
+  // equality matrices (the most adversarial predicate possible).
+  Rng rng(4242);
+  for (int iter = 0; iter < 30; ++iter) {
+    const int n = 1 + static_cast<int>(rng.Uniform(25));
+    const int m = 1 + static_cast<int>(rng.Uniform(25));
+    const double density = 0.1 + rng.NextDouble() * 0.6;
+    std::vector<std::vector<char>> matrix(
+        static_cast<size_t>(n), std::vector<char>(static_cast<size_t>(m)));
+    for (auto& row : matrix) {
+      for (auto& cell : row) cell = rng.Bernoulli(density) ? 1 : 0;
+    }
+    auto equal = [&](int i, int j) {
+      return matrix[static_cast<size_t>(i)][static_cast<size_t>(j)] != 0;
+    };
+    auto myers = MyersLcs(n, m, equal);
+    auto dp = DpLcs(n, m, equal);
+    ASSERT_EQ(myers.size(), dp.size())
+        << "n=" << n << " m=" << m << " density=" << density;
+    // Both must be valid under the matrix.
+    int la = -1, lb = -1;
+    for (const LcsPair& p : myers) {
+      ASSERT_TRUE(equal(p.a_index, p.b_index));
+      ASSERT_GT(p.a_index, la);
+      ASSERT_GT(p.b_index, lb);
+      la = p.a_index;
+      lb = p.b_index;
+    }
+  }
+}
+
+TEST(LcsSimilarSequencesTest, NearIdenticalLongSequences) {
+  // The regime FastMatch exploits: large N, small D.
+  Rng rng(42);
+  std::vector<int> a = RandomSeq(&rng, 2000, 1000);
+  std::vector<int> b = a;
+  for (int i = 0; i < 10; ++i) {
+    b[rng.Uniform(b.size())] = static_cast<int>(rng.Uniform(1000)) + 2000;
+  }
+  auto equal = [&](int i, int j) {
+    return a[static_cast<size_t>(i)] == b[static_cast<size_t>(j)];
+  };
+  auto myers = MyersLcs(2000, 2000, equal);
+  auto dp = DpLcs(2000, 2000, equal);
+  EXPECT_EQ(myers.size(), dp.size());
+  EXPECT_GE(myers.size(), 1990u);
+  CheckValidCommonSubsequence(a, b, myers);
+}
+
+}  // namespace
+}  // namespace treediff

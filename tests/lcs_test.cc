@@ -1,0 +1,127 @@
+#include "lcs/lcs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace treediff {
+namespace {
+
+std::vector<char> Chars(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+size_t MyersLen(const std::string& a, const std::string& b) {
+  return MyersLcs(static_cast<int>(a.size()), static_cast<int>(b.size()),
+                  [&](int i, int j) {
+                    return a[static_cast<size_t>(i)] ==
+                           b[static_cast<size_t>(j)];
+                  })
+      .size();
+}
+
+size_t DpLen(const std::string& a, const std::string& b) {
+  return DpLcs(static_cast<int>(a.size()), static_cast<int>(b.size()),
+               [&](int i, int j) {
+                 return a[static_cast<size_t>(i)] ==
+                        b[static_cast<size_t>(j)];
+               })
+      .size();
+}
+
+TEST(LcsTest, EmptySequences) {
+  EXPECT_EQ(MyersLen("", ""), 0u);
+  EXPECT_EQ(MyersLen("abc", ""), 0u);
+  EXPECT_EQ(MyersLen("", "abc"), 0u);
+  EXPECT_EQ(DpLen("", "abc"), 0u);
+}
+
+TEST(LcsTest, IdenticalSequences) {
+  EXPECT_EQ(MyersLen("abcdef", "abcdef"), 6u);
+  EXPECT_EQ(DpLen("abcdef", "abcdef"), 6u);
+}
+
+TEST(LcsTest, ClassicExample) {
+  // LCS(ABCABBA, CBABAC) = 4 (e.g. CABA), the example from Myers' paper.
+  EXPECT_EQ(MyersLen("ABCABBA", "CBABAC"), 4u);
+  EXPECT_EQ(DpLen("ABCABBA", "CBABAC"), 4u);
+}
+
+TEST(LcsTest, DisjointSequences) {
+  EXPECT_EQ(MyersLen("aaa", "bbb"), 0u);
+  EXPECT_EQ(DpLen("aaa", "bbb"), 0u);
+}
+
+TEST(LcsTest, PairsAreStrictlyIncreasingAndEqual) {
+  const std::string a = "ABCABBA", b = "CBABAC";
+  auto pairs = MyersLcs(static_cast<int>(a.size()),
+                        static_cast<int>(b.size()), [&](int i, int j) {
+                          return a[static_cast<size_t>(i)] ==
+                                 b[static_cast<size_t>(j)];
+                        });
+  int last_a = -1, last_b = -1;
+  for (const LcsPair& p : pairs) {
+    EXPECT_GT(p.a_index, last_a);
+    EXPECT_GT(p.b_index, last_b);
+    EXPECT_EQ(a[static_cast<size_t>(p.a_index)],
+              b[static_cast<size_t>(p.b_index)]);
+    last_a = p.a_index;
+    last_b = p.b_index;
+  }
+}
+
+TEST(LcsTest, SingleElementMatch) {
+  EXPECT_EQ(MyersLen("x", "x"), 1u);
+  EXPECT_EQ(MyersLen("x", "y"), 0u);
+}
+
+TEST(LcsTest, PrefixAndSuffix) {
+  EXPECT_EQ(MyersLen("abc", "abcdef"), 3u);
+  EXPECT_EQ(MyersLen("def", "abcdef"), 3u);
+  EXPECT_EQ(MyersLen("abcdef", "abc"), 3u);
+}
+
+TEST(LcsTest, LcsOfVectorsConvenience) {
+  std::vector<int> a = {1, 2, 3, 4, 5};
+  std::vector<int> b = {2, 4, 5, 6};
+  auto pairs = LcsOfVectors(a, b);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (LcsPair{1, 0}));
+  EXPECT_EQ(pairs[1], (LcsPair{3, 1}));
+  EXPECT_EQ(pairs[2], (LcsPair{4, 2}));
+  EXPECT_EQ(LcsLength(a, b), 3u);
+}
+
+TEST(LcsTest, DispatcherMatchesBothImplementations) {
+  const std::string a = "the quick brown fox jumps";
+  const std::string b = "the brown dog jumps high";
+  auto va = Chars(a);
+  auto vb = Chars(b);
+  EXPECT_EQ(LcsOfVectors(va, vb).size(), MyersLen(a, b));
+  EXPECT_EQ(LcsOfVectors(va, vb).size(), DpLen(a, b));
+}
+
+TEST(LcsTest, NonTransitiveEqualityIsAccepted) {
+  // equal(i, j) = |a[i] - b[j]| <= 1 is not transitive; LCS must still
+  // return a valid common subsequence under the predicate (this mirrors the
+  // paper's compare(x, y) <= f leaf criterion).
+  std::vector<int> a = {1, 5, 9};
+  std::vector<int> b = {2, 5, 8};
+  auto pairs = Lcs(3, 3, [&](int i, int j) {
+    return std::abs(a[static_cast<size_t>(i)] - b[static_cast<size_t>(j)]) <=
+           1;
+  });
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+TEST(LcsTest, LargeInputTriggersMyersPath) {
+  // Above the DP cutoff (64): two nearly identical long sequences.
+  std::string a(500, 'x'), b(500, 'x');
+  b[100] = 'y';
+  b[400] = 'z';
+  EXPECT_EQ(LcsOfVectors(Chars(a), Chars(b)).size(), 498u);
+}
+
+}  // namespace
+}  // namespace treediff

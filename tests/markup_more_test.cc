@@ -1,0 +1,129 @@
+// Additional mark-up coverage: list/item rendering, paragraph move labels,
+// HTML move anchors, and the change report over a real document delta.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/delta_query.h"
+#include "doc/ladiff.h"
+
+namespace treediff {
+namespace {
+
+LaDiffResult RunLatex(const std::string& old_text,
+                      const std::string& new_text, MarkupFormat format) {
+  LaDiffOptions options;
+  options.format = format;
+  auto result = DiffLatexDocuments(old_text, new_text, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+TEST(MarkupListTest, ListsRenderAsItemize) {
+  auto r = RunLatex(
+      "\\begin{itemize}\\item Alpha one two.\\item Beta three four."
+      "\\end{itemize}",
+      "\\begin{itemize}\\item Alpha one two.\\item Beta three four."
+      "\\end{itemize}",
+      MarkupFormat::kLatex);
+  EXPECT_NE(r.markup.find("\\begin{itemize}"), std::string::npos);
+  EXPECT_NE(r.markup.find("\\end{itemize}"), std::string::npos);
+  EXPECT_EQ(r.markup.find("marginpar"), std::string::npos);  // No changes.
+}
+
+TEST(MarkupListTest, InsertedItemGetsMarginNote) {
+  auto r = RunLatex(
+      "\\begin{itemize}\\item Alpha one two.\\item Beta three four."
+      "\\end{itemize}",
+      "\\begin{itemize}\\item Alpha one two.\\item Beta three four."
+      "\\item Gamma five six.\\end{itemize}",
+      MarkupFormat::kLatex);
+  EXPECT_NE(r.markup.find("\\item \\marginpar{Inserted para}"),
+            std::string::npos);
+  EXPECT_NE(r.markup.find("\\textbf{Gamma five six.}"), std::string::npos);
+}
+
+TEST(MarkupParagraphMoveTest, OldPositionLabeledNewReferenced) {
+  // A paragraph moves between sections that keep enough other content.
+  // Each section keeps 4 of its 6 leaves (0.667 > t), so both sections
+  // stay matched while the paragraph crosses between them.
+  const char* old_doc =
+      "\\section{A}\nStay a one. Stay a two.\n\nStay a three. Stay a four."
+      "\n\nMover para sentence one. Mover para sentence two.\n\n"
+      "\\section{B}\nStay b one. Stay b two.\n\nStay b three. Stay b four.";
+  const char* new_doc =
+      "\\section{A}\nStay a one. Stay a two.\n\nStay a three. Stay a four."
+      "\n\n\\section{B}\nStay b one. Stay b two.\n\nStay b three. "
+      "Stay b four.\n\nMover para sentence one. Mover para sentence two.";
+  auto r = RunLatex(old_doc, new_doc, MarkupFormat::kLatex);
+  EXPECT_NE(r.markup.find("P1: "), std::string::npos);  // Old position.
+  EXPECT_NE(r.markup.find("\\marginpar{Moved from P1}"), std::string::npos);
+}
+
+TEST(MarkupHtmlMoveTest, AnchorsLinkSourceAndDestination) {
+  const char* old_doc =
+      "Mover sentence goes far. Anchor one stays. Anchor two stays.\n\n"
+      "Target anchor a. Target anchor b.";
+  const char* new_doc =
+      "Anchor one stays. Anchor two stays.\n\n"
+      "Target anchor a. Target anchor b. Mover sentence goes far.";
+  auto r = RunLatex(old_doc, new_doc, MarkupFormat::kHtml);
+  EXPECT_NE(r.markup.find("id=\"mov-S1\""), std::string::npos);
+  EXPECT_NE(r.markup.find("href=\"#mov-S1\""), std::string::npos);
+  EXPECT_NE(r.markup.find("class=\"mov-src\""), std::string::npos);
+  EXPECT_NE(r.markup.find("class=\"mov-dst\""), std::string::npos);
+}
+
+TEST(MarkupHtmlTest, SectionsAndListsRender) {
+  // Three of four leaves stay, so the section remains matched and renders
+  // without an annotation.
+  const char* old_doc =
+      "\\section{Head}\nBody sentence one. Body sentence two. Body three.";
+  const char* new_doc =
+      "\\section{Head}\nBody sentence one. Body sentence two. Body three.\n"
+      "\\begin{itemize}\\item New item text.\\end{itemize}";
+  auto r = RunLatex(old_doc, new_doc, MarkupFormat::kHtml);
+  EXPECT_NE(r.markup.find("<h1>Head</h1>"), std::string::npos);
+  EXPECT_NE(r.markup.find("<ul>"), std::string::npos);
+  EXPECT_NE(r.markup.find("<li>"), std::string::npos);
+}
+
+TEST(MarkupChangeReportTest, ReportOverDocumentDelta) {
+  // Sections keep enough common sentences to stay matched, so the changed
+  // regions are the individual sentences (the report elides unchanged
+  // context and prints one line per maximal changed subtree).
+  auto r = RunLatex(
+      "\\section{One}\nKeep this first. Keep this too. Drop this second.\n"
+      "\\section{Two}\nStays here fine. Also stays put.",
+      "\\section{One}\nKeep this first. Keep this too.\n"
+      "\\section{Two}\nStays here fine. Also stays put. "
+      "Brand new addition.",
+      MarkupFormat::kText);
+  std::string report =
+      RenderChangeReport(r.delta, r.old_tree.labels());
+  EXPECT_NE(report.find("Drop this second."), std::string::npos);
+  EXPECT_NE(report.find("Brand new addition."), std::string::npos);
+  EXPECT_NE(report.find("DEL"), std::string::npos);
+  EXPECT_NE(report.find("INS"), std::string::npos);
+  // Paths descend through sections.
+  EXPECT_NE(report.find("document[0]/section["), std::string::npos);
+}
+
+TEST(MarkupTextTest, MovePairsShareLabel) {
+  auto r = RunLatex(
+      "Mover sentence goes far. Anchor one stays. Anchor two stays.\n\n"
+      "Target anchor a. Target anchor b.",
+      "Anchor one stays. Anchor two stays.\n\n"
+      "Target anchor a. Target anchor b. Mover sentence goes far.",
+      MarkupFormat::kText);
+  // Both the tombstone and the destination carry the same S1 label.
+  const size_t first = r.markup.find("S1");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(r.markup.find("S1", first + 1), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,135 @@
+#include "doc/markup.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "doc/ladiff.h"
+
+namespace treediff {
+namespace {
+
+/// Runs the LaDiff pipeline on two LaTeX sources and returns the delta.
+LaDiffResult RunLaDiff(const std::string& old_text, const std::string& new_text,
+                 MarkupFormat format) {
+  LaDiffOptions options;
+  options.format = format;
+  auto result = DiffLatexDocuments(old_text, new_text, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(*result);
+}
+
+TEST(MarkupTest, InsertedSentenceBoldInLatex) {
+  auto r = RunLaDiff("Kept sentence stays here.",
+               "Kept sentence stays here. Brand new sentence appears.",
+               MarkupFormat::kLatex);
+  EXPECT_NE(r.markup.find("\\textbf{Brand new sentence appears.}"),
+            std::string::npos);
+}
+
+TEST(MarkupTest, DeletedSentenceSmallInLatex) {
+  auto r = RunLaDiff("Kept sentence stays here. Doomed words vanish now.",
+               "Kept sentence stays here.", MarkupFormat::kLatex);
+  EXPECT_NE(r.markup.find("{\\small Doomed words vanish now.}"),
+            std::string::npos);
+}
+
+TEST(MarkupTest, UpdatedSentenceItalicInLatex) {
+  auto r = RunLaDiff("The quick brown fox jumps high.",
+               "The quick brown wolf jumps high.", MarkupFormat::kLatex);
+  EXPECT_NE(r.markup.find("\\textit{The quick brown wolf jumps high.}"),
+            std::string::npos);
+}
+
+TEST(MarkupTest, MovedSentenceLabeledAndFootnoted) {
+  auto r = RunLaDiff(
+      "Mover sentence goes elsewhere. Anchor one stays. Anchor two stays.\n\n"
+      "Second para anchor a. Second para anchor b.",
+      "Anchor one stays. Anchor two stays.\n\n"
+      "Second para anchor a. Second para anchor b. "
+      "Mover sentence goes elsewhere.",
+      MarkupFormat::kLatex);
+  // Old position: S1:[{\small ...}]; new position: footnote.
+  EXPECT_NE(r.markup.find("S1:[{\\small Mover sentence goes elsewhere.}]"),
+            std::string::npos);
+  EXPECT_NE(r.markup.find("\\footnote{Moved from S1}"), std::string::npos);
+}
+
+TEST(MarkupTest, SectionHeadingAnnotations) {
+  auto r = RunLaDiff(
+      "\\section{Introduction}\nShared body sentence one. Shared two.",
+      "\\section{Overview}\nShared body sentence one. Shared two.",
+      MarkupFormat::kLatex);
+  EXPECT_NE(r.markup.find("\\section{(upd) Overview}"), std::string::npos);
+}
+
+TEST(MarkupTest, InsertedSectionAnnotated) {
+  auto r = RunLaDiff(
+      "\\section{Old}\nKeep this sentence alive.",
+      "\\section{Old}\nKeep this sentence alive.\n"
+      "\\section{Fresh}\nTotally new material here.",
+      MarkupFormat::kLatex);
+  EXPECT_NE(r.markup.find("\\section{(ins) Fresh}"), std::string::npos);
+}
+
+TEST(MarkupTest, InsertedParagraphMarginNote) {
+  auto r = RunLaDiff("Original paragraph sentence.",
+               "Original paragraph sentence.\n\n"
+               "Entirely new paragraph with words.",
+               MarkupFormat::kLatex);
+  EXPECT_NE(r.markup.find("\\marginpar{Inserted para}"), std::string::npos);
+}
+
+TEST(MarkupTest, HtmlInsertAndDeleteTags) {
+  auto r = RunLaDiff("Kept sentence stays here. Doomed words vanish now.",
+               "Kept sentence stays here. Brand new sentence appears.",
+               MarkupFormat::kHtml);
+  EXPECT_NE(r.markup.find("<ins>Brand new sentence appears.</ins>"),
+            std::string::npos);
+  EXPECT_NE(r.markup.find("<del>Doomed words vanish now.</del>"),
+            std::string::npos);
+  EXPECT_NE(r.markup.find("<!DOCTYPE html>"), std::string::npos);
+}
+
+TEST(MarkupTest, HtmlEscapesText) {
+  auto r = RunLaDiff("Math a < b holds.", "Math a < b holds. New x > y too.",
+               MarkupFormat::kHtml);
+  EXPECT_NE(r.markup.find("a &lt; b"), std::string::npos);
+  EXPECT_NE(r.markup.find("x &gt; y"), std::string::npos);
+}
+
+TEST(MarkupTest, TextFormatShowsAnnotations) {
+  auto r = RunLaDiff("Kept sentence stays here.",
+               "Kept sentence stays here. Brand new sentence appears.",
+               MarkupFormat::kText);
+  EXPECT_NE(r.markup.find("sentence[INS]: Brand new sentence appears."),
+            std::string::npos);
+  EXPECT_NE(r.markup.find("document"), std::string::npos);
+}
+
+TEST(MarkupTest, MoveLabelsNumberedPerKind) {
+  // Two sentence moves get S1 and S2.
+  // Both paragraphs keep enough common sentences (4/6 and 5/7 > 0.6) to
+  // stay matched while two sentences move between them.
+  auto r = RunLaDiff(
+      "Mover alpha sentence one. Mover beta sentence two. Anchor a. Anchor "
+      "b. Anchor c. Anchor d.\n\nTarget anchor one. Target anchor two. "
+      "Target anchor three. Target anchor four. Target anchor five.",
+      "Anchor a. Anchor b. Anchor c. Anchor d.\n\nTarget anchor one. Mover "
+      "alpha sentence one. Target anchor two. Mover beta sentence two. "
+      "Target anchor three. Target anchor four. Target anchor five.",
+      MarkupFormat::kLatex);
+  EXPECT_NE(r.markup.find("S1:["), std::string::npos);
+  EXPECT_NE(r.markup.find("S2:["), std::string::npos);
+}
+
+TEST(MarkupTest, EmptyDeltaRendersNothingSpecial) {
+  auto r = RunLaDiff("Same text here.", "Same text here.", MarkupFormat::kLatex);
+  EXPECT_EQ(r.markup.find("\\textbf"), std::string::npos);
+  EXPECT_EQ(r.markup.find("\\textit"), std::string::npos);
+  EXPECT_EQ(r.markup.find("\\small"), std::string::npos);
+  EXPECT_NE(r.markup.find("Same text here."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,117 @@
+#include "core/match.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tree/builder.h"
+
+namespace treediff {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<LabelTable> labels = std::make_shared<LabelTable>();
+  WordLcsComparator cmp;
+
+  Tree Parse(const std::string& s) { return *ParseSexpr(s, labels); }
+};
+
+TEST(MatchTest, IdenticalTreesMatchCompletely) {
+  Fixture f;
+  Tree t1 = f.Parse("(D (P (S \"a a a\") (S \"b b b\")) (P (S \"c c c\")))");
+  Tree t2 = f.Parse("(D (P (S \"a a a\") (S \"b b b\")) (P (S \"c c c\")))");
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {});
+  Matching m = ComputeMatch(t1, t2, eval);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m.PartnerOfT1(t1.root()), t2.root());
+}
+
+TEST(MatchTest, CompletelyDifferentLeavesMatchNothing) {
+  Fixture f;
+  Tree t1 = f.Parse("(D (P (S \"aaa bbb ccc\")))");
+  Tree t2 = f.Parse("(D (P (S \"xxx yyy zzz\")))");
+  CriteriaEvaluator eval(t1, t2, &f.cmp,
+                         {.leaf_threshold_f = 0.5, .internal_threshold_t = 0.6});
+  Matching m = ComputeMatch(t1, t2, eval);
+  // No leaf can match; hence no internal node reaches the threshold either.
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(MatchTest, ApproximatelyEqualLeavesMatch) {
+  Fixture f;
+  Tree t1 = f.Parse("(D (P (S \"one two three four\")))");
+  Tree t2 = f.Parse("(D (P (S \"one two three zzz\")))");
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {.leaf_threshold_f = 0.5});
+  Matching m = ComputeMatch(t1, t2, eval);
+  EXPECT_EQ(m.size(), 3u);  // Sentence, paragraph, document.
+}
+
+TEST(MatchTest, LabelMismatchPreventsMatch) {
+  Fixture f;
+  Tree t1 = f.Parse("(D (P (S \"same text\")))");
+  Tree t2 = f.Parse("(D (Q (S \"same text\")))");
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {});
+  Matching m = ComputeMatch(t1, t2, eval);
+  // S and D match; P cannot match Q.
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_FALSE(m.HasT1(t1.children(t1.root())[0]));
+}
+
+TEST(MatchTest, InternalThresholdGovernsParagraphMatch) {
+  Fixture f;
+  // Two sentences, only one survives: ratio 1/2 not > t for any t >= 0.5.
+  Tree t1 = f.Parse("(D (P (S \"alpha beta\") (S \"gamma delta\")))");
+  Tree t2 = f.Parse("(D (P (S \"alpha beta\") (S \"omega psi\")))");
+  CriteriaEvaluator eval(t1, t2, &f.cmp,
+                         {.leaf_threshold_f = 0.5, .internal_threshold_t = 0.6});
+  Matching m = ComputeMatch(t1, t2, eval);
+  NodeId p1 = t1.children(t1.root())[0];
+  EXPECT_FALSE(m.HasT1(p1));
+  // The document also fails (same ratio); only the sentence pair matches.
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(MatchTest, DuplicateLeavesMatchFirstCome) {
+  Fixture f;
+  Tree t1 = f.Parse("(D (P (S \"dup dup dup\") (S \"dup dup dup\")))");
+  Tree t2 = f.Parse("(D (P (S \"dup dup dup\")))");
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {});
+  Matching m = ComputeMatch(t1, t2, eval);
+  // Matching stays one-to-one: exactly one of the duplicates matches.
+  NodeId p1 = t1.children(t1.root())[0];
+  int matched = (m.HasT1(t1.children(p1)[0]) ? 1 : 0) +
+                (m.HasT1(t1.children(p1)[1]) ? 1 : 0);
+  EXPECT_EQ(matched, 1);
+}
+
+TEST(MatchTest, MovedLeavesStillMatchAcrossParents) {
+  Fixture f;
+  Tree t1 = f.Parse(
+      "(D (P (S \"first sentence here\")) (P (S \"second sentence here\")))");
+  Tree t2 = f.Parse(
+      "(D (P (S \"second sentence here\")) (P (S \"first sentence here\")))");
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {});
+  Matching m = ComputeMatch(t1, t2, eval);
+  EXPECT_EQ(m.size(), 5u);  // Every node of both 5-node trees is matched.
+  // The first T1 sentence matches the sentence now under the second T2
+  // paragraph.
+  NodeId s1 = t1.children(t1.children(t1.root())[0])[0];
+  NodeId expect = t2.children(t2.children(t2.root())[1])[0];
+  EXPECT_EQ(m.PartnerOfT1(s1), expect);
+}
+
+TEST(MatchTest, MatchingIsOneToOne) {
+  Fixture f;
+  Tree t1 = f.Parse(
+      "(D (P (S \"a b c\") (S \"a b c\") (S \"a b c\")) (P (S \"x y z\")))");
+  Tree t2 = f.Parse("(D (P (S \"a b c\") (S \"x y z\")))");
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {});
+  Matching m = ComputeMatch(t1, t2, eval);
+  // Every T2 node has at most one partner and vice versa (Add asserts).
+  for (auto [x, y] : m.Pairs()) {
+    EXPECT_EQ(m.PartnerOfT2(y), x);
+  }
+}
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,125 @@
+// End-to-end reproduction of the paper's running example (Figures 1, 4-6):
+// matching, minimum conforming edit script (one align-phase move, one
+// insert, one delete), and the resulting isomorphism.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/diff.h"
+#include "core/edit_script_gen.h"
+#include "core/fast_match.h"
+#include "tree/builder.h"
+
+namespace treediff {
+namespace {
+
+class RunningExampleTest : public ::testing::Test {
+ protected:
+  RunningExampleTest() {
+    labels_ = std::make_shared<LabelTable>();
+    // T1 (Figure 1 left): D(P(a,f), P(b,c,d), P(e)).
+    t1_ = *ParseSexpr(
+        "(D (P (S \"a\") (S \"f\")) (P (S \"b\") (S \"c\") (S \"d\")) "
+        "(P (S \"e\")))",
+        labels_);
+    // T2 (Figure 1 right): D(P(a), P(e), P(b,c,g,d)).
+    t2_ = *ParseSexpr(
+        "(D (P (S \"a\")) (P (S \"e\")) (P (S \"b\") (S \"c\") (S \"g\") "
+        "(S \"d\")))",
+        labels_);
+  }
+
+  Matching PaperMatching() {
+    // The matching the dashed lines of Figure 1 depict.
+    Matching m(t1_.id_bound(), t2_.id_bound());
+    auto leaf1 = [&](const char* v) {
+      for (NodeId s : t1_.Leaves()) {
+        if (t1_.value(s) == v) return s;
+      }
+      return kInvalidNode;
+    };
+    auto leaf2 = [&](const char* v) {
+      for (NodeId s : t2_.Leaves()) {
+        if (t2_.value(s) == v) return s;
+      }
+      return kInvalidNode;
+    };
+    m.Add(t1_.root(), t2_.root());                              // (1, 11).
+    m.Add(t1_.children(t1_.root())[0], t2_.children(t2_.root())[0]);  // 2,12
+    m.Add(t1_.children(t1_.root())[1], t2_.children(t2_.root())[2]);  // 3,14
+    m.Add(t1_.children(t1_.root())[2], t2_.children(t2_.root())[1]);  // 4,13
+    for (const char* v : {"a", "b", "c", "d", "e"}) {
+      m.Add(leaf1(v), leaf2(v));
+    }
+    return m;
+  }
+
+  std::shared_ptr<LabelTable> labels_;
+  Tree t1_{nullptr}, t2_{nullptr};
+};
+
+TEST_F(RunningExampleTest, ScriptHasOneMoveOneInsertOneDelete) {
+  auto result = GenerateEditScript(t1_, t2_, PaperMatching());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Figures 4-6: MOV(4,1,2) in the align phase, INS((21,S,g),3,3) in the
+  // insert phase, no inter-parent moves, DEL(6) in the delete phase.
+  EXPECT_EQ(result->script.num_moves(), 1u);
+  EXPECT_EQ(result->intra_parent_moves, 1u);
+  EXPECT_EQ(result->inter_parent_moves, 0u);
+  EXPECT_EQ(result->script.num_inserts(), 1u);
+  EXPECT_EQ(result->script.num_deletes(), 1u);
+  EXPECT_EQ(result->script.num_updates(), 0u);
+  EXPECT_DOUBLE_EQ(result->script.TotalCost(), 3.0);
+  EXPECT_TRUE(Tree::Isomorphic(result->transformed, t2_));
+}
+
+TEST_F(RunningExampleTest, InsertLandsAtPosition3) {
+  auto result = GenerateEditScript(t1_, t2_, PaperMatching());
+  ASSERT_TRUE(result.ok());
+  for (const EditOp& op : result->script.ops()) {
+    if (op.kind == EditOpKind::kInsert) {
+      EXPECT_EQ(op.value, "g");
+      EXPECT_EQ(op.position, 3);  // INS((21, S, g), 3, 3).
+      // Its parent is the partner of T2's P(b,c,g,d): T1's P(b,c,d).
+      EXPECT_EQ(op.parent, t1_.children(t1_.root())[1]);
+    }
+  }
+}
+
+TEST_F(RunningExampleTest, DeleteRemovesNodeF) {
+  auto result = GenerateEditScript(t1_, t2_, PaperMatching());
+  ASSERT_TRUE(result.ok());
+  for (const EditOp& op : result->script.ops()) {
+    if (op.kind == EditOpKind::kDelete) {
+      EXPECT_EQ(t1_.value(op.node), "f");  // Paper's node 6.
+    }
+  }
+}
+
+TEST_F(RunningExampleTest, FastMatchReproducesThePaperMatching) {
+  ExactComparator exact;
+  CriteriaEvaluator eval(
+      t1_, t2_, &exact,
+      {.leaf_threshold_f = 0.0, .internal_threshold_t = 0.45});
+  Matching m = ComputeFastMatch(t1_, t2_, eval);
+  Matching expected = PaperMatching();
+  EXPECT_EQ(m.Pairs(), expected.Pairs());
+}
+
+TEST_F(RunningExampleTest, EndToEndPipelineOnExample) {
+  ExactComparator exact;
+  DiffOptions options;
+  options.comparator = &exact;
+  options.leaf_threshold_f = 0.0;
+  options.internal_threshold_t = 0.5;  // P(a,f)~P(a) fails at exactly 1/2...
+  auto result = DiffTrees(t1_, t2_, options);
+  ASSERT_TRUE(result.ok());
+  // Whatever the matching, the script must transform T1 into T2.
+  Tree replay = t1_.Clone();
+  ASSERT_TRUE(result->script.ApplyTo(&replay).ok());
+  EXPECT_TRUE(Tree::Isomorphic(replay, t2_));
+}
+
+}  // namespace
+}  // namespace treediff

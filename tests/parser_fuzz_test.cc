@@ -1,0 +1,147 @@
+// Robustness ("fuzz-lite") tests: the parsers must never crash, hang, or
+// produce invalid trees on adversarial input — random bytes, truncated
+// markup, pathological nesting. Deterministic seeds keep failures
+// reproducible.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "doc/html_parser.h"
+#include "doc/latex_parser.h"
+#include "doc/sentence.h"
+#include "tree/builder.h"
+#include "util/random.h"
+
+namespace treediff {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t len, bool printable) {
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    if (printable) {
+      out.push_back(static_cast<char>(32 + rng->Uniform(95)));
+    } else {
+      out.push_back(static_cast<char>(rng->Uniform(256)));
+    }
+  }
+  return out;
+}
+
+std::string RandomMarkupSoup(Rng* rng, size_t tokens) {
+  static const char* kPieces[] = {
+      "\\section{", "}", "\\item ", "\\begin{itemize}", "\\end{itemize}",
+      "\\begin{enumerate}", "\\end{document}", "%comment\n", "\n\n",
+      "word ", "Sentence one. ", "<p>", "</p>", "<ul>", "<li>", "</ul>",
+      "<h1>", "</h1>", "&amp;", "&#300;", "<!-- x -->", "<script>",
+      "</script>", "\"", "\\", "{", "}", "<", ">", "e.g. ", "3.14 "};
+  std::string out;
+  for (size_t i = 0; i < tokens; ++i) {
+    out += kPieces[rng->Uniform(std::size(kPieces))];
+  }
+  return out;
+}
+
+TEST(ParserFuzzTest, LatexSurvivesRandomPrintable) {
+  Rng rng(101);
+  for (int iter = 0; iter < 60; ++iter) {
+    std::string input = RandomBytes(&rng, 64 + rng.Uniform(512), true);
+    auto tree = ParseLatex(input);
+    if (tree.ok()) {
+      EXPECT_TRUE(tree->Validate().ok());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, LatexSurvivesRandomBinary) {
+  Rng rng(102);
+  for (int iter = 0; iter < 60; ++iter) {
+    std::string input = RandomBytes(&rng, 64 + rng.Uniform(512), false);
+    auto tree = ParseLatex(input);
+    if (tree.ok()) {
+      EXPECT_TRUE(tree->Validate().ok());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, LatexSurvivesMarkupSoup) {
+  Rng rng(103);
+  for (int iter = 0; iter < 80; ++iter) {
+    std::string input = RandomMarkupSoup(&rng, 8 + rng.Uniform(60));
+    auto tree = ParseLatex(input);
+    if (tree.ok()) {
+      EXPECT_TRUE(tree->Validate().ok());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, HtmlSurvivesRandomAndSoup) {
+  Rng rng(104);
+  for (int iter = 0; iter < 60; ++iter) {
+    auto t1 = ParseHtml(RandomBytes(&rng, 64 + rng.Uniform(512), false));
+    if (t1.ok()) {
+      EXPECT_TRUE(t1->Validate().ok());
+    }
+    auto t2 = ParseHtml(RandomMarkupSoup(&rng, 8 + rng.Uniform(60)));
+    if (t2.ok()) {
+      EXPECT_TRUE(t2->Validate().ok());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, SexprSurvivesRandomInput) {
+  Rng rng(105);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::string input = RandomBytes(&rng, 1 + rng.Uniform(128), true);
+    auto tree = ParseSexpr(input);
+    if (tree.ok()) {
+      EXPECT_TRUE(tree->Validate().ok());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, SentenceSplitterSurvivesAnything) {
+  Rng rng(106);
+  for (int iter = 0; iter < 100; ++iter) {
+    auto sentences = SplitSentences(RandomBytes(&rng, rng.Uniform(256),
+                                                false));
+    for (const auto& s : sentences) EXPECT_FALSE(s.empty());
+  }
+}
+
+TEST(ParserFuzzTest, PathologicalInputs) {
+  // Deep brace nesting, unterminated constructs, huge runs. Each call must
+  // return (ok or error) without crashing or hanging.
+  auto braces = ParseLatex(std::string(10000, '{'));
+  if (braces.ok()) {
+    EXPECT_TRUE(braces->Validate().ok());
+  }
+  auto deep = ParseLatex("\\section{" + std::string(5000, '{') +
+                         std::string(5000, '}') + "}");
+  if (deep.ok()) {
+    EXPECT_TRUE(deep->Validate().ok());
+  }
+
+  auto many_items = ParseLatex([] {
+    std::string s = "\\begin{itemize}";
+    for (int i = 0; i < 2000; ++i) s += "\\item x" + std::to_string(i) + ". ";
+    return s;  // Missing \end{itemize}: parser must tolerate.
+  }());
+  ASSERT_TRUE(many_items.ok());
+  EXPECT_TRUE(many_items->Validate().ok());
+
+  auto tags = ParseHtml(std::string(5000, '<'));
+  if (tags.ok()) {
+    EXPECT_TRUE(tags->Validate().ok());
+  }
+
+  auto empty_envs = ParseLatex(
+      "\\begin{itemize}\\end{itemize}\\begin{enumerate}\\end{enumerate}");
+  ASSERT_TRUE(empty_envs.ok());
+  EXPECT_TRUE(empty_envs->Validate().ok());
+}
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,111 @@
+#include "core/post_process.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/fast_match.h"
+#include "tree/builder.h"
+
+namespace treediff {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<LabelTable> labels = std::make_shared<LabelTable>();
+  WordLcsComparator cmp;
+
+  Tree Parse(const std::string& s) { return *ParseSexpr(s, labels); }
+};
+
+TEST(PostProcessTest, RepairsDuplicateInducedCrossMatch) {
+  Fixture f;
+  // Two identical sentences ("dup dup dup") violate Matching Criterion 3.
+  // Force the bad cross-match by hand: T1's P1 copy matched to T2's P2 copy.
+  Tree t1 = f.Parse(
+      "(D (P (S \"dup one two\") (S \"anchor a b c\")) "
+      "(P (S \"dup one two\") (S \"other x y z\")))");
+  Tree t2 = f.Parse(
+      "(D (P (S \"dup one two\") (S \"anchor a b c\")) "
+      "(P (S \"dup one two\") (S \"other x y z\")))");
+  NodeId p1a = t1.children(t1.root())[0];
+  NodeId p1b = t1.children(t1.root())[1];
+  NodeId p2a = t2.children(t2.root())[0];
+  NodeId p2b = t2.children(t2.root())[1];
+
+  Matching m(t1.id_bound(), t2.id_bound());
+  m.Add(t1.root(), t2.root());
+  m.Add(p1a, p2a);
+  m.Add(p1b, p2b);
+  m.Add(t1.children(p1a)[1], t2.children(p2a)[1]);  // anchors.
+  m.Add(t1.children(p1b)[1], t2.children(p2b)[1]);
+  // The bad pair: P1's dup matched into P2, and vice versa.
+  m.Add(t1.children(p1a)[0], t2.children(p2b)[0]);
+  m.Add(t1.children(p1b)[0], t2.children(p2a)[0]);
+
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {});
+  const size_t fixed = PostProcessMatching(t1, t2, eval, &m);
+  EXPECT_GE(fixed, 1u);
+  // After repair both dups match within their own paragraphs.
+  EXPECT_EQ(m.PartnerOfT1(t1.children(p1a)[0]), t2.children(p2a)[0]);
+  EXPECT_EQ(m.PartnerOfT1(t1.children(p1b)[0]), t2.children(p2b)[0]);
+}
+
+TEST(PostProcessTest, NoChangeOnCleanMatching) {
+  Fixture f;
+  Tree t1 = f.Parse("(D (P (S \"aa bb\") (S \"cc dd\")))");
+  Tree t2 = f.Parse("(D (P (S \"aa bb\") (S \"cc dd\")))");
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {});
+  Matching m = ComputeFastMatch(t1, t2, eval);
+  const size_t before = m.size();
+  EXPECT_EQ(PostProcessMatching(t1, t2, eval, &m), 0u);
+  EXPECT_EQ(m.size(), before);
+}
+
+TEST(PostProcessTest, DoesNotStealMatchedTargets) {
+  Fixture f;
+  // c is matched across parents, but the only same-label child of y is
+  // already matched: post-processing must leave everything alone.
+  Tree t1 = f.Parse("(D (P (S \"s s s\")) (P (S \"t t t\")))");
+  Tree t2 = f.Parse("(D (P (S \"s s s\")) (P (S \"t t t\")))");
+  NodeId p1a = t1.children(t1.root())[0];
+  NodeId p1b = t1.children(t1.root())[1];
+  NodeId p2a = t2.children(t2.root())[0];
+  NodeId p2b = t2.children(t2.root())[1];
+  Matching m(t1.id_bound(), t2.id_bound());
+  m.Add(t1.root(), t2.root());
+  m.Add(p1a, p2a);
+  m.Add(p1b, p2b);
+  m.Add(t1.children(p1a)[0], t2.children(p2a)[0]);
+  // Cross-match: t's sentence to... construct a cross where target occupied.
+  m.Add(t1.children(p1b)[0], t2.children(p2b)[0]);
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {});
+  EXPECT_EQ(PostProcessMatching(t1, t2, eval, &m), 0u);
+  EXPECT_EQ(m.PartnerOfT1(t1.children(p1a)[0]), t2.children(p2a)[0]);
+}
+
+TEST(PostProcessTest, RespectsThresholdF) {
+  Fixture f;
+  // The candidate sibling under y is too dissimilar: no repair.
+  Tree t1 = f.Parse("(D (P (S \"alpha beta gamma\")) (P (S \"k k k\")))");
+  Tree t2 = f.Parse(
+      "(D (P (S \"completely different words\")) (P (S \"k k k\") "
+      "(S \"alpha beta gamma\")))");
+  NodeId p1a = t1.children(t1.root())[0];
+  NodeId p1b = t1.children(t1.root())[1];
+  NodeId p2a = t2.children(t2.root())[0];
+  NodeId p2b = t2.children(t2.root())[1];
+  Matching m(t1.id_bound(), t2.id_bound());
+  m.Add(t1.root(), t2.root());
+  m.Add(p1a, p2a);
+  m.Add(p1b, p2b);
+  // alpha-sentence matched across parents into p2b.
+  m.Add(t1.children(p1a)[0], t2.children(p2b)[1]);
+  CriteriaEvaluator eval(t1, t2, &f.cmp, {.leaf_threshold_f = 0.5});
+  // The only unmatched child of p2a is "completely different words":
+  // compare > f, so nothing changes.
+  EXPECT_EQ(PostProcessMatching(t1, t2, eval, &m), 0u);
+  EXPECT_EQ(m.PartnerOfT1(t1.children(p1a)[0]), t2.children(p2b)[1]);
+}
+
+}  // namespace
+}  // namespace treediff

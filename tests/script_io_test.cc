@@ -1,0 +1,112 @@
+#include "core/script_io.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/diff.h"
+#include "gen/doc_gen.h"
+#include "gen/edit_sim.h"
+#include "tree/builder.h"
+
+namespace treediff {
+namespace {
+
+TEST(ScriptIoTest, FormatMatchesPaperNotation) {
+  LabelTable labels;
+  LabelId sec = labels.Intern("Sec");
+  EditScript script;
+  script.Append(EditOp::Insert(11, sec, "foo", 1, 4));
+  script.Append(EditOp::Move(5, 11, 1));
+  script.Append(EditOp::Delete(2));
+  script.Append(EditOp::Update(9, "baz", 1.0));
+  EXPECT_EQ(FormatEditScript(script, labels),
+            "INS((11, Sec, \"foo\"), 1, 4)\n"
+            "MOV(5, 11, 1)\n"
+            "DEL(2)\n"
+            "UPD(9, \"baz\")\n");
+}
+
+TEST(ScriptIoTest, ParseRoundTrip) {
+  LabelTable labels;
+  LabelId s = labels.Intern("sentence");
+  EditScript script;
+  script.Append(EditOp::Insert(7, s, "hello world", 3, 2));
+  script.Append(EditOp::Update(4, "with \"quotes\" and \\slashes\\", 1.0));
+  script.Append(EditOp::Move(2, 7, 1));
+  script.Append(EditOp::Delete(5));
+
+  const std::string text = FormatEditScript(script, labels);
+  auto parsed = ParseEditScript(text, &labels);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 4u);
+  const auto& ops = parsed->ops();
+  EXPECT_EQ(ops[0].kind, EditOpKind::kInsert);
+  EXPECT_EQ(ops[0].node, 7);
+  EXPECT_EQ(ops[0].label, s);
+  EXPECT_EQ(ops[0].value, "hello world");
+  EXPECT_EQ(ops[0].parent, 3);
+  EXPECT_EQ(ops[0].position, 2);
+  EXPECT_EQ(ops[1].value, "with \"quotes\" and \\slashes\\");
+  EXPECT_EQ(ops[2].kind, EditOpKind::kMove);
+  EXPECT_EQ(ops[3].kind, EditOpKind::kDelete);
+  EXPECT_EQ(ops[3].node, 5);
+}
+
+TEST(ScriptIoTest, CommentsAndBlankLinesSkipped) {
+  LabelTable labels;
+  auto parsed = ParseEditScript(
+      "# delta shipped from source db\n"
+      "\n"
+      "DEL(3)\n"
+      "   \n"
+      "# trailing comment\n",
+      &labels);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(ScriptIoTest, MalformedLinesRejected) {
+  LabelTable labels;
+  for (const char* bad :
+       {"DEL()", "DEL(x)", "INS((1, S, \"v\"), 2)", "UPD(1)",
+        "MOV(1, 2)", "NOP(1)", "DEL(1) extra", "UPD(1, \"unterminated)",
+        "INS((1, , \"v\"), 2, 3)"}) {
+    auto parsed = ParseEditScript(bad, &labels);
+    EXPECT_EQ(parsed.status().code(), Code::kParseError) << bad;
+  }
+}
+
+TEST(ScriptIoTest, ParsedScriptAppliesToTree) {
+  // The warehouse scenario: compute a delta, serialize, parse at the other
+  // end, apply to the materialized copy.
+  auto labels = std::make_shared<LabelTable>();
+  Vocabulary vocab(200, 1.0);
+  Rng rng(51);
+  DocGenParams params;
+  params.sections = 3;
+  Tree t1 = GenerateDocument(params, vocab, &rng, labels);
+  SimulatedVersion v = SimulateNewVersion(t1, 10, {}, vocab, &rng);
+
+  auto diff = DiffTrees(t1, v.new_tree);
+  ASSERT_TRUE(diff.ok());
+  const std::string wire = FormatEditScript(diff->script, *labels);
+
+  auto parsed = ParseEditScript(wire, labels.get());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Tree materialized = t1.Clone();
+  ASSERT_TRUE(parsed->ApplyTo(&materialized).ok());
+  EXPECT_TRUE(Tree::Isomorphic(materialized, v.new_tree));
+}
+
+TEST(ScriptIoTest, EmptyScript) {
+  LabelTable labels;
+  EditScript empty;
+  EXPECT_EQ(FormatEditScript(empty, labels), "");
+  auto parsed = ParseEditScript("", &labels);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace treediff

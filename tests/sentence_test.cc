@@ -1,0 +1,76 @@
+#include "doc/sentence.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace treediff {
+namespace {
+
+TEST(SplitSentencesTest, EmptyAndBlank) {
+  EXPECT_TRUE(SplitSentences("").empty());
+  EXPECT_TRUE(SplitSentences("   \n ").empty());
+}
+
+TEST(SplitSentencesTest, SingleSentence) {
+  EXPECT_EQ(SplitSentences("Hello world."),
+            (std::vector<std::string>{"Hello world."}));
+}
+
+TEST(SplitSentencesTest, MultipleSentences) {
+  EXPECT_EQ(SplitSentences("One here. Two here! Three here?"),
+            (std::vector<std::string>{"One here.", "Two here!",
+                                      "Three here?"}));
+}
+
+TEST(SplitSentencesTest, NoTerminatorKeepsTail) {
+  EXPECT_EQ(SplitSentences("First one. trailing fragment"),
+            (std::vector<std::string>{"First one.", "trailing fragment"}));
+}
+
+TEST(SplitSentencesTest, CollapsesInternalWhitespace) {
+  EXPECT_EQ(SplitSentences("Spread  over\nlines. Next   one."),
+            (std::vector<std::string>{"Spread over lines.", "Next one."}));
+}
+
+TEST(SplitSentencesTest, AbbreviationsDoNotSplit) {
+  EXPECT_EQ(SplitSentences("See Fig. 3 for details. Next sentence."),
+            (std::vector<std::string>{"See Fig. 3 for details.",
+                                      "Next sentence."}));
+  EXPECT_EQ(SplitSentences("Use LCS, e.g. Myers, here. Done."),
+            (std::vector<std::string>{"Use LCS, e.g. Myers, here.",
+                                      "Done."}));
+}
+
+TEST(SplitSentencesTest, InitialsDoNotSplit) {
+  EXPECT_EQ(SplitSentences("Written by S. Chawathe at Stanford. The end."),
+            (std::vector<std::string>{"Written by S. Chawathe at Stanford.",
+                                      "The end."}));
+}
+
+TEST(SplitSentencesTest, DecimalsDoNotSplit) {
+  EXPECT_EQ(SplitSentences("Pi is 3.14 about. Next."),
+            (std::vector<std::string>{"Pi is 3.14 about.", "Next."}));
+}
+
+TEST(SplitSentencesTest, EllipsisAndMultipleTerminators) {
+  EXPECT_EQ(SplitSentences("Wait... Really?! Yes."),
+            (std::vector<std::string>{"Wait...", "Really?!", "Yes."}));
+}
+
+TEST(SplitSentencesTest, ClosingQuoteAndParenStayAttached) {
+  EXPECT_EQ(SplitSentences("He said \"stop.\" Then left. (Truly.) End."),
+            (std::vector<std::string>{"He said \"stop.\"", "Then left.",
+                                      "(Truly.)", "End."}));
+}
+
+TEST(SplitSentencesTest, TerminatorAtVeryEndAbbreviationStillSplits) {
+  // A final "etc." ends the paragraph; it must not be swallowed.
+  auto got = SplitSentences("Lists itemize, enumerate, etc.");
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "Lists itemize, enumerate, etc.");
+}
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,72 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace treediff {
+namespace {
+
+TEST(StatAccumulatorTest, EmptyIsZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(50), 0.0);
+}
+
+TEST(StatAccumulatorTest, BasicMoments) {
+  StatAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.Max(), 9.0);
+  EXPECT_NEAR(acc.StdDev(), 2.138, 1e-3);  // Sample stddev.
+}
+
+TEST(StatAccumulatorTest, PercentileInterpolates) {
+  StatAccumulator acc;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) acc.Add(v);
+  EXPECT_DOUBLE_EQ(acc.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(acc.Percentile(50), 25.0);
+}
+
+TEST(FitLineTest, PerfectLine) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {3, 5, 7, 9, 11};  // y = 2x + 1.
+  LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitLineTest, NoisyLineHasHighButImperfectR2) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(FitLineTest, DegenerateInputsReturnZeroFit) {
+  EXPECT_DOUBLE_EQ(FitLine({}, {}).slope, 0.0);
+  EXPECT_DOUBLE_EQ(FitLine({1}, {2}).slope, 0.0);
+  EXPECT_DOUBLE_EQ(FitLine({1, 2}, {3}).slope, 0.0);       // Size mismatch.
+  EXPECT_DOUBLE_EQ(FitLine({2, 2, 2}, {1, 2, 3}).slope, 0.0);  // Vertical.
+}
+
+TEST(FitLineTest, ConstantYGivesPerfectR2) {
+  LinearFit fit = FitLine({1, 2, 3}, {5, 5, 5});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+}  // namespace
+}  // namespace treediff

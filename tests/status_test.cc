@@ -1,0 +1,82 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace treediff {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), Code::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), Code::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), Code::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), Code::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Code::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), Code::kInternal);
+  EXPECT_EQ(Status::ParseError("x").code(), Code::kParseError);
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+  EXPECT_FALSE(Status::Internal("boom").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status st = Status::InvalidArgument("k out of range");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: k out of range");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(CodeName(Code::kOk), "OK");
+  EXPECT_STREQ(CodeName(Code::kParseError), "ParseError");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("no such node");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Code::kNotFound);
+  EXPECT_EQ(v.status().message(), "no such node");
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Wrapper(int x) {
+  TREEDIFF_RETURN_IF_ERROR(FailsIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_TRUE(Wrapper(1).ok());
+  EXPECT_EQ(Wrapper(-1).code(), Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace treediff

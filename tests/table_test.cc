@@ -1,0 +1,49 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace treediff {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "n"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "100"});
+  const std::string out = table.ToString();
+  EXPECT_EQ(out,
+            "| name  | n   |\n"
+            "|-------|-----|\n"
+            "| alpha | 1   |\n"
+            "| b     | 100 |\n");
+}
+
+TEST(TablePrinterTest, ShortRowsPadAndLongRowsTruncate) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1"});
+  table.AddRow({"1", "2", "3"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| 1 |   |"), std::string::npos);
+  EXPECT_EQ(out.find("3"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtDouble) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 0), "3");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 1), "2.0");
+}
+
+TEST(TablePrinterTest, FmtIntegers) {
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<size_t>(42)), "42");
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<int64_t>(-7)), "-7");
+}
+
+TEST(TablePrinterTest, HeaderOnlyTable) {
+  TablePrinter table({"x"});
+  const std::string out = table.ToString();
+  EXPECT_EQ(out, "| x |\n|---|\n");
+}
+
+}  // namespace
+}  // namespace treediff

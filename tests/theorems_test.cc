@@ -1,0 +1,142 @@
+// Empirical checks of the paper's formal results on randomized workloads:
+//
+//  * Theorem 5.2 (unique maximal matching): when Matching Criteria 1-3 and
+//    the acyclic-labels condition hold, the maximal matching is unique — so
+//    the order-independent Algorithm Match and the LCS-accelerated
+//    FastMatch must produce the *same* matching.
+//  * Lemma 5.1: a larger matching (superset) never yields a costlier
+//    conforming script.
+//  * Lemma C.3: under Criterion 3, an internal node has at most one
+//    partner satisfying the threshold constraint.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/edit_script_gen.h"
+#include "core/fast_match.h"
+#include "core/match.h"
+#include "gen/doc_gen.h"
+#include "gen/edit_sim.h"
+#include "tree/schema.h"
+
+namespace treediff {
+namespace {
+
+/// A duplicate-free document workload: large vocabulary, low skew, long
+/// sentences, no duplicate injection — Matching Criterion 3 holds with
+/// overwhelming probability.
+struct CleanWorkload {
+  std::shared_ptr<LabelTable> labels = std::make_shared<LabelTable>();
+  Vocabulary vocab{20000, 0.5};
+  Tree t1{nullptr};
+  Tree t2{nullptr};
+
+  CleanWorkload(int sections, int edits, uint64_t seed) {
+    Rng rng(seed);
+    DocGenParams params;
+    params.sections = sections;
+    params.min_words_per_sentence = 8;
+    params.max_words_per_sentence = 18;
+    t1 = GenerateDocument(params, vocab, &rng, labels);
+    SimulatedVersion v = SimulateNewVersion(t1, edits, {}, vocab, &rng);
+    t2 = std::move(v.new_tree);
+  }
+};
+
+class UniqueMaximalMatchingTest
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(UniqueMaximalMatchingTest, MatchAndFastMatchAgree) {
+  const auto [sections, edits, seed] = GetParam();
+  CleanWorkload w(sections, edits, seed);
+  WordLcsComparator cmp1, cmp2;
+  CriteriaEvaluator eval1(w.t1, w.t2, &cmp1, {});
+  CriteriaEvaluator eval2(w.t1, w.t2, &cmp2, {});
+  Matching fast = ComputeFastMatch(w.t1, w.t2, eval1);
+  Matching slow = ComputeMatch(w.t1, w.t2, eval2);
+  EXPECT_EQ(fast.Pairs(), slow.Pairs())
+      << "Theorem 5.2: with Criteria 1-3 holding, the maximal matching is "
+         "unique, so algorithm order must not matter (seed "
+      << seed << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UniqueMaximalMatchingTest,
+    ::testing::Values(std::make_tuple(2, 3, 201ull),
+                      std::make_tuple(3, 6, 202ull),
+                      std::make_tuple(4, 10, 203ull),
+                      std::make_tuple(5, 15, 204ull),
+                      std::make_tuple(6, 20, 205ull),
+                      std::make_tuple(3, 30, 206ull)));
+
+TEST(Lemma51Test, SupersetMatchingNeverCostsMore) {
+  // Build a matching, generate its script cost; then remove one leaf pair
+  // (making a strict subset) and verify the cost does not decrease.
+  CleanWorkload w(3, 10, 301);
+  WordLcsComparator cmp;
+  CriteriaEvaluator eval(w.t1, w.t2, &cmp, {});
+  Matching full = ComputeFastMatch(w.t1, w.t2, eval);
+  auto full_script = GenerateEditScript(w.t1, w.t2, full, &cmp);
+  ASSERT_TRUE(full_script.ok());
+
+  // Drop each of several matched leaf pairs in turn.
+  int tested = 0;
+  for (auto [x, y] : full.Pairs()) {
+    if (!w.t1.IsLeaf(x) || x == w.t1.root()) continue;
+    if (tested >= 8) break;
+    ++tested;
+    Matching subset = full;
+    subset.Remove(x, y);
+    auto subset_script = GenerateEditScript(w.t1, w.t2, subset, &cmp);
+    ASSERT_TRUE(subset_script.ok());
+    EXPECT_GE(subset_script->script.TotalCost() + 1e-9,
+              full_script->script.TotalCost())
+        << "Lemma 5.1: removing pair (" << x << "," << y
+        << ") must not make the script cheaper";
+  }
+  EXPECT_GT(tested, 0);
+}
+
+TEST(LemmaC3Test, AtMostOnePartnerSatisfiesThreshold) {
+  // With the acyclic-labels condition and Criterion 3 holding, every
+  // internal T1 node has at most one T2 candidate over the threshold.
+  CleanWorkload w(3, 8, 401);
+  LabelSchema schema = MakeDocumentSchema(w.labels.get());
+  ASSERT_TRUE(schema.CheckAcyclic(w.t1).ok());
+  ASSERT_TRUE(schema.CheckAcyclic(w.t2).ok());
+
+  WordLcsComparator cmp;
+  CriteriaEvaluator eval(w.t1, w.t2, &cmp, {.internal_threshold_t = 0.6});
+  Matching m = ComputeFastMatch(w.t1, w.t2, eval);
+
+  for (NodeId x : w.t1.PreOrder()) {
+    if (w.t1.IsLeaf(x)) continue;
+    int over_threshold = 0;
+    for (NodeId y : w.t2.PreOrder()) {
+      if (w.t2.IsLeaf(y) || w.t2.label(y) != w.t1.label(x)) continue;
+      if (eval.InternalEqual(x, y, m)) ++over_threshold;
+    }
+    EXPECT_LE(over_threshold, 1)
+        << "Lemma C.3 violated for internal node " << x;
+  }
+}
+
+TEST(TheoremC2Test, ScriptIsNoLongerThanDeleteAllInsertAll) {
+  // Sanity bound: a minimum conforming script can never exceed the trivial
+  // rewrite-everything script.
+  for (uint64_t seed : {501ull, 502ull, 503ull}) {
+    CleanWorkload w(3, 25, seed);
+    WordLcsComparator cmp;
+    CriteriaEvaluator eval(w.t1, w.t2, &cmp, {});
+    Matching m = ComputeFastMatch(w.t1, w.t2, eval);
+    auto result = GenerateEditScript(w.t1, w.t2, m, &cmp);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->script.TotalCost(),
+              static_cast<double>(w.t1.size() + w.t2.size()));
+  }
+}
+
+}  // namespace
+}  // namespace treediff

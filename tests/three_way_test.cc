@@ -1,0 +1,238 @@
+#include "store/three_way.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gen/doc_gen.h"
+#include "gen/edit_sim.h"
+#include "tree/builder.h"
+
+namespace treediff {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<LabelTable> labels = std::make_shared<LabelTable>();
+
+  Tree Parse(const std::string& s) { return *ParseSexpr(s, labels); }
+
+  /// Collects all leaf values of a tree in document order.
+  std::vector<std::string> LeafValues(const Tree& t) {
+    std::vector<std::string> values;
+    for (NodeId s : t.Leaves()) values.push_back(t.value(s));
+    return values;
+  }
+};
+
+TEST(ThreeWayTest, DisjointEditsMergeCleanly) {
+  Fixture f;
+  Tree base = f.Parse(
+      "(D (P (S \"alpha one two\") (S \"beta three four\")) "
+      "(P (S \"gamma five six\") (S \"delta seven eight\")))");
+  // Ours edits the first paragraph, theirs the second.
+  Tree ours = f.Parse(
+      "(D (P (S \"alpha one CHANGED\") (S \"beta three four\")) "
+      "(P (S \"gamma five six\") (S \"delta seven eight\")))");
+  Tree theirs = f.Parse(
+      "(D (P (S \"alpha one two\") (S \"beta three four\")) "
+      "(P (S \"gamma five six\") (S \"delta seven eight\") "
+      "(S \"epsilon nine ten\")))");
+
+  auto merge = ThreeWayMerge(base, ours, theirs);
+  ASSERT_TRUE(merge.ok()) << merge.status().ToString();
+  EXPECT_TRUE(merge->conflicts.empty());
+  auto values = f.LeafValues(merge->merged);
+  EXPECT_NE(std::find(values.begin(), values.end(), "alpha one CHANGED"),
+            values.end());
+  EXPECT_NE(std::find(values.begin(), values.end(), "epsilon nine ten"),
+            values.end());
+  EXPECT_EQ(merge->merged.Leaves().size(), 5u);
+}
+
+TEST(ThreeWayTest, UpdateUpdateConflictOursWins) {
+  Fixture f;
+  Tree base = f.Parse(
+      "(D (S \"shared base text here\") (S \"stable one two\"))");
+  Tree ours = f.Parse(
+      "(D (S \"shared OURS text here\") (S \"stable one two\"))");
+  Tree theirs = f.Parse(
+      "(D (S \"shared THEIRS text here\") (S \"stable one two\"))");
+  auto merge = ThreeWayMerge(base, ours, theirs);
+  ASSERT_TRUE(merge.ok());
+  ASSERT_EQ(merge->conflicts.size(), 1u);
+  EXPECT_EQ(merge->conflicts[0].kind, ConflictKind::kUpdateUpdate);
+  auto values = f.LeafValues(merge->merged);
+  EXPECT_EQ(values[0], "shared OURS text here");  // Ours wins.
+}
+
+TEST(ThreeWayTest, ConvergentEditsAreNotConflicts) {
+  Fixture f;
+  Tree base = f.Parse(
+      "(D (S \"old value sits here\") (S \"keep me now\"))");
+  Tree same = f.Parse(
+      "(D (S \"new value sits here\") (S \"keep me now\"))");
+  auto merge = ThreeWayMerge(base, same, same.Clone());
+  ASSERT_TRUE(merge.ok());
+  EXPECT_TRUE(merge->conflicts.empty());
+  EXPECT_EQ(f.LeafValues(merge->merged)[0], "new value sits here");
+  // The convergent update applied once, not twice.
+  EXPECT_TRUE(Tree::Isomorphic(merge->merged, same));
+}
+
+TEST(ThreeWayTest, UpdateDeleteConflictDetected) {
+  Fixture f;
+  Tree base = f.Parse(
+      "(D (S \"contested text lives here\") (S \"anchor a b\") "
+      "(S \"anchor c d\"))");
+  Tree ours = f.Parse(
+      "(D (S \"contested text lives EDITED\") (S \"anchor a b\") "
+      "(S \"anchor c d\"))");
+  Tree theirs = f.Parse("(D (S \"anchor a b\") (S \"anchor c d\"))");
+  auto merge = ThreeWayMerge(base, ours, theirs);
+  ASSERT_TRUE(merge.ok());
+  ASSERT_GE(merge->conflicts.size(), 1u);
+  EXPECT_EQ(merge->conflicts[0].kind, ConflictKind::kUpdateDelete);
+  // Ours wins: the edited sentence survives.
+  auto values = f.LeafValues(merge->merged);
+  EXPECT_NE(std::find(values.begin(), values.end(),
+                      "contested text lives EDITED"),
+            values.end());
+}
+
+TEST(ThreeWayTest, MoveMoveConflictDetected) {
+  Fixture f;
+  Tree base = f.Parse(
+      "(D (P (S \"mover x y\") (S \"a1 a2\") (S \"a3 a4\")) "
+      "(P (S \"b1 b2\") (S \"b3 b4\")) (P (S \"c1 c2\") (S \"c3 c4\")))");
+  // Ours moves the sentence into P2; theirs into P3.
+  Tree ours = f.Parse(
+      "(D (P (S \"a1 a2\") (S \"a3 a4\")) "
+      "(P (S \"b1 b2\") (S \"b3 b4\") (S \"mover x y\")) "
+      "(P (S \"c1 c2\") (S \"c3 c4\")))");
+  Tree theirs = f.Parse(
+      "(D (P (S \"a1 a2\") (S \"a3 a4\")) (P (S \"b1 b2\") (S \"b3 b4\")) "
+      "(P (S \"c1 c2\") (S \"c3 c4\") (S \"mover x y\")))");
+  auto merge = ThreeWayMerge(base, ours, theirs);
+  ASSERT_TRUE(merge.ok());
+  ASSERT_GE(merge->conflicts.size(), 1u);
+  EXPECT_EQ(merge->conflicts[0].kind, ConflictKind::kMoveMove);
+  // Exactly one instance of the mover survives (ours' placement).
+  auto values = f.LeafValues(merge->merged);
+  EXPECT_EQ(std::count(values.begin(), values.end(), "mover x y"), 1);
+}
+
+TEST(ThreeWayTest, BothSidesInsertInDifferentPlaces) {
+  Fixture f;
+  Tree base = f.Parse(
+      "(D (P (S \"p1 s1 x\") (S \"p1 s2 y\")) (P (S \"p2 s1 z\") "
+      "(S \"p2 s2 w\")))");
+  Tree ours = f.Parse(
+      "(D (P (S \"p1 s1 x\") (S \"ours new here\") (S \"p1 s2 y\")) "
+      "(P (S \"p2 s1 z\") (S \"p2 s2 w\")))");
+  Tree theirs = f.Parse(
+      "(D (P (S \"p1 s1 x\") (S \"p1 s2 y\")) (P (S \"p2 s1 z\") "
+      "(S \"p2 s2 w\") (S \"theirs new here\")))");
+  auto merge = ThreeWayMerge(base, ours, theirs);
+  ASSERT_TRUE(merge.ok());
+  EXPECT_TRUE(merge->conflicts.empty());
+  auto values = f.LeafValues(merge->merged);
+  EXPECT_EQ(values.size(), 6u);
+  EXPECT_NE(std::find(values.begin(), values.end(), "ours new here"),
+            values.end());
+  EXPECT_NE(std::find(values.begin(), values.end(), "theirs new here"),
+            values.end());
+}
+
+TEST(ThreeWayTest, TheirsEditInsideOursDeletedSubtree) {
+  Fixture f;
+  Tree base = f.Parse(
+      "(D (P (S \"keep one two\") (S \"keep three four\")) "
+      "(P (S \"doomed a b\") (S \"doomed c d\")))");
+  // Ours deletes the second paragraph wholesale.
+  Tree ours = f.Parse(
+      "(D (P (S \"keep one two\") (S \"keep three four\")))");
+  // Theirs inserts inside it.
+  Tree theirs = f.Parse(
+      "(D (P (S \"keep one two\") (S \"keep three four\")) "
+      "(P (S \"doomed a b\") (S \"doomed c d\") (S \"late addition e\")))");
+  auto merge = ThreeWayMerge(base, ours, theirs);
+  ASSERT_TRUE(merge.ok());
+  EXPECT_GE(merge->conflicts.size(), 1u);
+  EXPECT_GE(merge->skipped_theirs, 1u);
+  // The deletion won; the late addition has nowhere to go.
+  auto values = f.LeafValues(merge->merged);
+  EXPECT_EQ(std::find(values.begin(), values.end(), "late addition e"),
+            values.end());
+}
+
+TEST(ThreeWayTest, IdenticalSidesAreANoopMerge) {
+  Fixture f;
+  Tree base = f.Parse("(D (S \"same a b\"))");
+  auto merge = ThreeWayMerge(base, base.Clone(), base.Clone());
+  ASSERT_TRUE(merge.ok());
+  EXPECT_TRUE(merge->conflicts.empty());
+  EXPECT_EQ(merge->ops_from_ours, 0u);
+  EXPECT_EQ(merge->ops_from_theirs, 0u);
+  EXPECT_TRUE(Tree::Isomorphic(merge->merged, base));
+}
+
+TEST(ThreeWayTest, RejectsForeignLabelTables) {
+  Fixture f;
+  Tree base = f.Parse("(D (S \"x\"))");
+  Tree other = *ParseSexpr("(D (S \"x\"))");  // Own table.
+  EXPECT_EQ(ThreeWayMerge(base, base.Clone(), other).status().code(),
+            Code::kInvalidArgument);
+}
+
+TEST(ThreeWayTest, RandomDisjointSectionsAlwaysMergeClean) {
+  // Ours edits only the first half of the sections, theirs only the second:
+  // structurally disjoint concurrent work must merge without conflicts and
+  // contain both sides' intended changes.
+  auto labels = std::make_shared<LabelTable>();
+  Vocabulary vocab(500, 1.0);
+  Rng rng(1001);
+  DocGenParams params;
+  params.sections = 6;
+  Tree base = GenerateDocument(params, vocab, &rng, labels);
+
+  // Build "ours" by editing a clone restricted to sections 0-2 via targeted
+  // sentence updates; "theirs" in sections 3-5.
+  auto edit_half = [&](bool first_half) {
+    Tree t = base.Clone();
+    const auto sections = t.children(t.root());
+    int edited = 0;
+    for (size_t i = 0; i < sections.size(); ++i) {
+      const bool in_half = first_half ? i < 3 : i >= 3;
+      if (!in_half) continue;
+      for (NodeId p : t.children(sections[i])) {
+        if (t.IsLeaf(p) || t.children(p).empty()) continue;
+        NodeId s = t.children(p)[0];
+        if (!t.IsLeaf(s)) continue;
+        std::string v = t.value(s);
+        v += first_half ? " oursedit" : " theirsedit";
+        EXPECT_TRUE(t.UpdateValue(s, v).ok());
+        ++edited;
+        break;  // One edit per section keeps sentences within f.
+      }
+    }
+    EXPECT_GT(edited, 0);
+    return t;
+  };
+  Tree ours = edit_half(true);
+  Tree theirs = edit_half(false);
+
+  auto merge = ThreeWayMerge(base, ours, theirs);
+  ASSERT_TRUE(merge.ok()) << merge.status().ToString();
+  EXPECT_TRUE(merge->conflicts.empty());
+  size_t ours_edits = 0, theirs_edits = 0;
+  for (NodeId s : merge->merged.Leaves()) {
+    const std::string& v = merge->merged.value(s);
+    if (v.find(" oursedit") != std::string::npos) ++ours_edits;
+    if (v.find(" theirsedit") != std::string::npos) ++theirs_edits;
+  }
+  EXPECT_GT(ours_edits, 0u);
+  EXPECT_GT(theirs_edits, 0u);
+}
+
+}  // namespace
+}  // namespace treediff

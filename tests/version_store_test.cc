@@ -1,0 +1,197 @@
+#include "store/version_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gen/doc_gen.h"
+#include "gen/edit_sim.h"
+#include "tree/builder.h"
+
+namespace treediff {
+namespace {
+
+TEST(VersionStoreTest, BaseOnlyStore) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree base = *ParseSexpr("(D (S \"v0\"))", labels);
+  VersionStore store(base.Clone());
+  EXPECT_EQ(store.VersionCount(), 1);
+  auto v0 = store.Materialize(0);
+  ASSERT_TRUE(v0.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*v0, base));
+}
+
+TEST(VersionStoreTest, CommitAndMaterializeChain) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree v0 = *ParseSexpr("(D (P (S \"one two three\")))", labels);
+  Tree v1 = *ParseSexpr(
+      "(D (P (S \"one two three\") (S \"four five six\")))", labels);
+  Tree v2 = *ParseSexpr(
+      "(D (P (S \"one two seven\") (S \"four five six\")))", labels);
+
+  VersionStore store(v0.Clone());
+  auto r1 = store.Commit(v1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, 1);
+  auto r2 = store.Commit(v2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, 2);
+  EXPECT_EQ(store.VersionCount(), 3);
+
+  for (int v = 0; v < 3; ++v) {
+    auto tree = store.Materialize(v);
+    ASSERT_TRUE(tree.ok()) << "version " << v;
+    const Tree& expected = v == 0 ? v0 : (v == 1 ? v1 : v2);
+    EXPECT_TRUE(Tree::Isomorphic(*tree, expected)) << "version " << v;
+  }
+}
+
+TEST(VersionStoreTest, InfoTracksPerVersionChanges) {
+  auto labels = std::make_shared<LabelTable>();
+  // The paragraph keeps 2/3 of its sentences, so it stays matched and the
+  // delta is exactly one sentence delete.
+  Tree v0 = *ParseSexpr(
+      "(D (P (S \"aa bb cc\") (S \"dd ee ff\") (S \"gg hh ii\")))",
+      labels);
+  Tree v1 = *ParseSexpr(
+      "(D (P (S \"aa bb cc\") (S \"gg hh ii\")))", labels);
+  VersionStore store(v0.Clone());
+  ASSERT_TRUE(store.Commit(v1).ok());
+  EXPECT_EQ(store.Info(1).deletes, 1u);
+  EXPECT_EQ(store.Info(1).inserts, 0u);
+  EXPECT_EQ(store.Info(1).nodes, 4u);
+  EXPECT_EQ(store.DeltaFor(1).num_deletes(), 1u);
+}
+
+TEST(VersionStoreTest, RejectsForeignLabelTable) {
+  Tree base = *ParseSexpr("(D (S \"x\"))");
+  Tree foreign = *ParseSexpr("(D (S \"x\"))");  // Own table.
+  VersionStore store(base.Clone());
+  EXPECT_EQ(store.Commit(foreign).status().code(), Code::kInvalidArgument);
+}
+
+TEST(VersionStoreTest, MaterializeRangeChecks) {
+  Tree base = *ParseSexpr("(D (S \"x\"))");
+  VersionStore store(base.Clone());
+  EXPECT_EQ(store.Materialize(-1).status().code(), Code::kOutOfRange);
+  EXPECT_EQ(store.Materialize(1).status().code(), Code::kOutOfRange);
+}
+
+TEST(VersionStoreTest, LongChainOnSimulatedHistory) {
+  auto labels = std::make_shared<LabelTable>();
+  Vocabulary vocab(500, 1.0);
+  Rng rng(91);
+  DocGenParams params;
+  params.sections = 4;
+  Tree current = GenerateDocument(params, vocab, &rng, labels);
+  VersionStore store(current.Clone());
+
+  std::vector<Tree> snapshots;
+  snapshots.push_back(current.Clone());
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    SimulatedVersion next = SimulateNewVersion(current, 6, {}, vocab, &rng);
+    auto v = store.Commit(next.new_tree);
+    ASSERT_TRUE(v.ok()) << "epoch " << epoch << ": "
+                        << v.status().ToString();
+    snapshots.push_back(next.new_tree.Clone());
+    current = std::move(next.new_tree);
+  }
+  ASSERT_EQ(store.VersionCount(), 9);
+
+  // Every historical version materializes exactly.
+  for (int v = 0; v < store.VersionCount(); ++v) {
+    auto tree = store.Materialize(v);
+    ASSERT_TRUE(tree.ok()) << "version " << v;
+    EXPECT_TRUE(Tree::Isomorphic(*tree, snapshots[static_cast<size_t>(v)]))
+        << "version " << v;
+  }
+}
+
+TEST(VersionStoreTest, DeltasCompressAgainstFullCopies) {
+  auto labels = std::make_shared<LabelTable>();
+  Vocabulary vocab(500, 1.0);
+  Rng rng(92);
+  DocGenParams params;
+  params.sections = 6;
+  Tree current = GenerateDocument(params, vocab, &rng, labels);
+  VersionStore store(current.Clone());
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    SimulatedVersion next = SimulateNewVersion(current, 4, {}, vocab, &rng);
+    ASSERT_TRUE(store.Commit(next.new_tree).ok());
+    current = std::move(next.new_tree);
+  }
+  VersionStore::StorageStats stats = store.Storage();
+  EXPECT_GT(stats.delta_bytes, 0u);
+  // Small deltas on a large document: scripts must be far smaller than
+  // storing every version in full.
+  EXPECT_GT(stats.CompressionRatio(), 5.0);
+}
+
+TEST(VersionStoreTest, RollbackHeadRestoresPreviousVersion) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree v0 = *ParseSexpr("(D (P (S \"one two three\") (S \"four five\")))",
+                        labels);
+  Tree v1 = *ParseSexpr(
+      "(D (P (S \"one two three\") (S \"four five\") (S \"six seven\")))",
+      labels);
+  Tree v2 = *ParseSexpr(
+      "(D (P (S \"one two eight\") (S \"four five\") (S \"six seven\")))",
+      labels);
+  VersionStore store(v0.Clone());
+  ASSERT_TRUE(store.Commit(v1).ok());
+  ASSERT_TRUE(store.Commit(v2).ok());
+
+  auto rolled = store.RollbackHead();
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  EXPECT_EQ(*rolled, 1);
+  EXPECT_EQ(store.VersionCount(), 2);
+  auto head = store.Materialize(1);
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*head, v1));
+
+  // A new commit after rollback continues the chain cleanly.
+  ASSERT_TRUE(store.Commit(v2).ok());
+  auto head2 = store.Materialize(2);
+  ASSERT_TRUE(head2.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*head2, v2));
+}
+
+TEST(VersionStoreTest, RollbackToBaseAndBeyondFails) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree v0 = *ParseSexpr("(D (S \"x y z\"))", labels);
+  Tree v1 = *ParseSexpr("(D (S \"x y w\"))", labels);
+  VersionStore store(v0.Clone());
+  ASSERT_TRUE(store.Commit(v1).ok());
+  ASSERT_TRUE(store.RollbackHead().ok());
+  auto head = store.Materialize(0);
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*head, v0));
+  EXPECT_EQ(store.RollbackHead().status().code(),
+            Code::kFailedPrecondition);
+}
+
+TEST(VersionStoreTest, RollbackThroughSimulatedHistory) {
+  auto labels = std::make_shared<LabelTable>();
+  Vocabulary vocab(400, 1.0);
+  Rng rng(93);
+  DocGenParams params;
+  params.sections = 3;
+  Tree current = GenerateDocument(params, vocab, &rng, labels);
+  Tree original = current.Clone();
+  VersionStore store(current.Clone());
+  for (int round = 0; round < 6; ++round) {
+    SimulatedVersion next = SimulateNewVersion(current, 5, {}, vocab, &rng);
+    ASSERT_TRUE(store.Commit(next.new_tree).ok());
+    current = std::move(next.new_tree);
+  }
+  // Roll all the way back.
+  while (store.VersionCount() > 1) {
+    ASSERT_TRUE(store.RollbackHead().ok());
+  }
+  auto head = store.Materialize(0);
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*head, original));
+}
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,81 @@
+#include "gen/vocab.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "util/tokenize.h"
+
+namespace treediff {
+namespace {
+
+TEST(VocabularyTest, WordsAreUnique) {
+  Vocabulary vocab(2000, 1.0);
+  std::set<std::string> seen;
+  for (size_t r = 0; r < vocab.size(); ++r) {
+    EXPECT_TRUE(seen.insert(vocab.Word(r)).second)
+        << "duplicate word " << vocab.Word(r) << " at rank " << r;
+  }
+}
+
+TEST(VocabularyTest, WordsAreLowercaseAlpha) {
+  Vocabulary vocab(500, 1.0);
+  for (size_t r = 0; r < vocab.size(); ++r) {
+    for (char c : vocab.Word(r)) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) != 0);
+    }
+    EXPECT_GE(vocab.Word(r).size(), 4u);
+  }
+}
+
+TEST(VocabularyTest, DeterministicAcrossInstances) {
+  Vocabulary a(100, 1.0), b(100, 0.5);
+  for (size_t r = 0; r < 100; ++r) EXPECT_EQ(a.Word(r), b.Word(r));
+}
+
+TEST(VocabularyTest, SamplingFavorsLowRanks) {
+  Vocabulary vocab(1000, 1.1);
+  Rng rng(7);
+  size_t low = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    const std::string& w = vocab.SampleWord(&rng);
+    // Find whether it is among the first 20 ranks (cheap check by value).
+    for (size_t r = 0; r < 20; ++r) {
+      if (vocab.Word(r) == w) {
+        ++low;
+        break;
+      }
+    }
+  }
+  // Zipf(1.1) concentrates a large share of mass on the head.
+  EXPECT_GT(low, static_cast<size_t>(trials / 4));
+}
+
+TEST(VocabularyTest, MakeSentenceShape) {
+  Vocabulary vocab(100, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    std::string s = vocab.MakeSentence(&rng, 4, 9);
+    ASSERT_FALSE(s.empty());
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(s[0])) != 0);
+    EXPECT_EQ(s.back(), '.');
+    const size_t words = SplitWords(s).size();
+    EXPECT_GE(words, 4u);
+    EXPECT_LE(words, 9u);
+  }
+}
+
+TEST(VocabularyTest, SentencesVary) {
+  Vocabulary vocab(100, 1.0);
+  Rng rng(5);
+  std::set<std::string> sentences;
+  for (int i = 0; i < 30; ++i) {
+    sentences.insert(vocab.MakeSentence(&rng, 5, 10));
+  }
+  EXPECT_GT(sentences.size(), 25u);
+}
+
+}  // namespace
+}  // namespace treediff
