@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_align.dir/ablation_align.cc.o"
+  "CMakeFiles/ablation_align.dir/ablation_align.cc.o.d"
+  "ablation_align"
+  "ablation_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

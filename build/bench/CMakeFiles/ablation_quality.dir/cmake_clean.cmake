@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quality.dir/ablation_quality.cc.o"
+  "CMakeFiles/ablation_quality.dir/ablation_quality.cc.o.d"
+  "ablation_quality"
+  "ablation_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_e_vs_d.dir/fig13a_e_vs_d.cc.o"
+  "CMakeFiles/fig13a_e_vs_d.dir/fig13a_e_vs_d.cc.o.d"
+  "fig13a_e_vs_d"
+  "fig13a_e_vs_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_e_vs_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

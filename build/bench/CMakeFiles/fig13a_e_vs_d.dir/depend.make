@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13a_e_vs_d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_comparisons.dir/fig13b_comparisons.cc.o"
+  "CMakeFiles/fig13b_comparisons.dir/fig13b_comparisons.cc.o.d"
+  "fig13b_comparisons"
+  "fig13b_comparisons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_comparisons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_vs_fastmatch.dir/match_vs_fastmatch.cc.o"
+  "CMakeFiles/match_vs_fastmatch.dir/match_vs_fastmatch.cc.o.d"
+  "match_vs_fastmatch"
+  "match_vs_fastmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_vs_fastmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

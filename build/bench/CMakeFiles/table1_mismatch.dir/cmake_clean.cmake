@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mismatch.dir/table1_mismatch.cc.o"
+  "CMakeFiles/table1_mismatch.dir/table1_mismatch.cc.o.d"
+  "table1_mismatch"
+  "table1_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

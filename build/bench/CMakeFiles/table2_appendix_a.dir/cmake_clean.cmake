@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_appendix_a.dir/table2_appendix_a.cc.o"
+  "CMakeFiles/table2_appendix_a.dir/table2_appendix_a.cc.o.d"
+  "table2_appendix_a"
+  "table2_appendix_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_appendix_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_zhang_shasha.dir/vs_zhang_shasha.cc.o"
+  "CMakeFiles/vs_zhang_shasha.dir/vs_zhang_shasha.cc.o.d"
+  "vs_zhang_shasha"
+  "vs_zhang_shasha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_zhang_shasha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vs_zhang_shasha.
+# This may be replaced when dependencies are built.

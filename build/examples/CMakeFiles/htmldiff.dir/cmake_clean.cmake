@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htmldiff.dir/htmldiff.cpp.o"
+  "CMakeFiles/htmldiff.dir/htmldiff.cpp.o.d"
+  "htmldiff"
+  "htmldiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htmldiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyed_records.dir/keyed_records.cpp.o"
+  "CMakeFiles/keyed_records.dir/keyed_records.cpp.o.d"
+  "keyed_records"
+  "keyed_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyed_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

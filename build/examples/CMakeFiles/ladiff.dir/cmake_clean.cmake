@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladiff.dir/ladiff.cpp.o"
+  "CMakeFiles/ladiff.dir/ladiff.cpp.o.d"
+  "ladiff"
+  "ladiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

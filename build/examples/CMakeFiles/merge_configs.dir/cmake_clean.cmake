@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_configs.dir/merge_configs.cpp.o"
+  "CMakeFiles/merge_configs.dir/merge_configs.cpp.o.d"
+  "merge_configs"
+  "merge_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdiff.dir/tdiff.cpp.o"
+  "CMakeFiles/tdiff.dir/tdiff.cpp.o.d"
+  "tdiff"
+  "tdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

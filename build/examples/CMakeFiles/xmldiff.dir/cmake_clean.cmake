@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmldiff.dir/xmldiff.cpp.o"
+  "CMakeFiles/xmldiff.dir/xmldiff.cpp.o.d"
+  "xmldiff"
+  "xmldiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmldiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

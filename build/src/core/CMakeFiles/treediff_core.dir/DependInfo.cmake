@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compare.cc" "src/core/CMakeFiles/treediff_core.dir/compare.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/compare.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/treediff_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/criteria.cc" "src/core/CMakeFiles/treediff_core.dir/criteria.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/criteria.cc.o.d"
+  "/root/repo/src/core/delta_query.cc" "src/core/CMakeFiles/treediff_core.dir/delta_query.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/delta_query.cc.o.d"
+  "/root/repo/src/core/delta_tree.cc" "src/core/CMakeFiles/treediff_core.dir/delta_tree.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/delta_tree.cc.o.d"
+  "/root/repo/src/core/diff.cc" "src/core/CMakeFiles/treediff_core.dir/diff.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/diff.cc.o.d"
+  "/root/repo/src/core/edit_script.cc" "src/core/CMakeFiles/treediff_core.dir/edit_script.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/edit_script.cc.o.d"
+  "/root/repo/src/core/edit_script_gen.cc" "src/core/CMakeFiles/treediff_core.dir/edit_script_gen.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/edit_script_gen.cc.o.d"
+  "/root/repo/src/core/fast_match.cc" "src/core/CMakeFiles/treediff_core.dir/fast_match.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/fast_match.cc.o.d"
+  "/root/repo/src/core/keyed_match.cc" "src/core/CMakeFiles/treediff_core.dir/keyed_match.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/keyed_match.cc.o.d"
+  "/root/repo/src/core/match.cc" "src/core/CMakeFiles/treediff_core.dir/match.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/match.cc.o.d"
+  "/root/repo/src/core/matching.cc" "src/core/CMakeFiles/treediff_core.dir/matching.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/matching.cc.o.d"
+  "/root/repo/src/core/post_process.cc" "src/core/CMakeFiles/treediff_core.dir/post_process.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/post_process.cc.o.d"
+  "/root/repo/src/core/script_io.cc" "src/core/CMakeFiles/treediff_core.dir/script_io.cc.o" "gcc" "src/core/CMakeFiles/treediff_core.dir/script_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/treediff_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treediff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

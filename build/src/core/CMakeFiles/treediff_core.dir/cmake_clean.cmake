@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treediff_core.dir/compare.cc.o"
+  "CMakeFiles/treediff_core.dir/compare.cc.o.d"
+  "CMakeFiles/treediff_core.dir/cost_model.cc.o"
+  "CMakeFiles/treediff_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/treediff_core.dir/criteria.cc.o"
+  "CMakeFiles/treediff_core.dir/criteria.cc.o.d"
+  "CMakeFiles/treediff_core.dir/delta_query.cc.o"
+  "CMakeFiles/treediff_core.dir/delta_query.cc.o.d"
+  "CMakeFiles/treediff_core.dir/delta_tree.cc.o"
+  "CMakeFiles/treediff_core.dir/delta_tree.cc.o.d"
+  "CMakeFiles/treediff_core.dir/diff.cc.o"
+  "CMakeFiles/treediff_core.dir/diff.cc.o.d"
+  "CMakeFiles/treediff_core.dir/edit_script.cc.o"
+  "CMakeFiles/treediff_core.dir/edit_script.cc.o.d"
+  "CMakeFiles/treediff_core.dir/edit_script_gen.cc.o"
+  "CMakeFiles/treediff_core.dir/edit_script_gen.cc.o.d"
+  "CMakeFiles/treediff_core.dir/fast_match.cc.o"
+  "CMakeFiles/treediff_core.dir/fast_match.cc.o.d"
+  "CMakeFiles/treediff_core.dir/keyed_match.cc.o"
+  "CMakeFiles/treediff_core.dir/keyed_match.cc.o.d"
+  "CMakeFiles/treediff_core.dir/match.cc.o"
+  "CMakeFiles/treediff_core.dir/match.cc.o.d"
+  "CMakeFiles/treediff_core.dir/matching.cc.o"
+  "CMakeFiles/treediff_core.dir/matching.cc.o.d"
+  "CMakeFiles/treediff_core.dir/post_process.cc.o"
+  "CMakeFiles/treediff_core.dir/post_process.cc.o.d"
+  "CMakeFiles/treediff_core.dir/script_io.cc.o"
+  "CMakeFiles/treediff_core.dir/script_io.cc.o.d"
+  "libtreediff_core.a"
+  "libtreediff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treediff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

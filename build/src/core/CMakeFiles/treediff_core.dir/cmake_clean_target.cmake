@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtreediff_core.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doc/html_parser.cc" "src/doc/CMakeFiles/treediff_doc.dir/html_parser.cc.o" "gcc" "src/doc/CMakeFiles/treediff_doc.dir/html_parser.cc.o.d"
+  "/root/repo/src/doc/ladiff.cc" "src/doc/CMakeFiles/treediff_doc.dir/ladiff.cc.o" "gcc" "src/doc/CMakeFiles/treediff_doc.dir/ladiff.cc.o.d"
+  "/root/repo/src/doc/latex_parser.cc" "src/doc/CMakeFiles/treediff_doc.dir/latex_parser.cc.o" "gcc" "src/doc/CMakeFiles/treediff_doc.dir/latex_parser.cc.o.d"
+  "/root/repo/src/doc/markdown_parser.cc" "src/doc/CMakeFiles/treediff_doc.dir/markdown_parser.cc.o" "gcc" "src/doc/CMakeFiles/treediff_doc.dir/markdown_parser.cc.o.d"
+  "/root/repo/src/doc/markup.cc" "src/doc/CMakeFiles/treediff_doc.dir/markup.cc.o" "gcc" "src/doc/CMakeFiles/treediff_doc.dir/markup.cc.o.d"
+  "/root/repo/src/doc/sentence.cc" "src/doc/CMakeFiles/treediff_doc.dir/sentence.cc.o" "gcc" "src/doc/CMakeFiles/treediff_doc.dir/sentence.cc.o.d"
+  "/root/repo/src/doc/xml.cc" "src/doc/CMakeFiles/treediff_doc.dir/xml.cc.o" "gcc" "src/doc/CMakeFiles/treediff_doc.dir/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/treediff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treediff_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treediff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

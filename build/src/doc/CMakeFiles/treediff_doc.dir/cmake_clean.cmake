@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treediff_doc.dir/html_parser.cc.o"
+  "CMakeFiles/treediff_doc.dir/html_parser.cc.o.d"
+  "CMakeFiles/treediff_doc.dir/ladiff.cc.o"
+  "CMakeFiles/treediff_doc.dir/ladiff.cc.o.d"
+  "CMakeFiles/treediff_doc.dir/latex_parser.cc.o"
+  "CMakeFiles/treediff_doc.dir/latex_parser.cc.o.d"
+  "CMakeFiles/treediff_doc.dir/markdown_parser.cc.o"
+  "CMakeFiles/treediff_doc.dir/markdown_parser.cc.o.d"
+  "CMakeFiles/treediff_doc.dir/markup.cc.o"
+  "CMakeFiles/treediff_doc.dir/markup.cc.o.d"
+  "CMakeFiles/treediff_doc.dir/sentence.cc.o"
+  "CMakeFiles/treediff_doc.dir/sentence.cc.o.d"
+  "CMakeFiles/treediff_doc.dir/xml.cc.o"
+  "CMakeFiles/treediff_doc.dir/xml.cc.o.d"
+  "libtreediff_doc.a"
+  "libtreediff_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treediff_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

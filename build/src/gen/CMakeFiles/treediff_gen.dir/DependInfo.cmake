@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/doc_gen.cc" "src/gen/CMakeFiles/treediff_gen.dir/doc_gen.cc.o" "gcc" "src/gen/CMakeFiles/treediff_gen.dir/doc_gen.cc.o.d"
+  "/root/repo/src/gen/edit_sim.cc" "src/gen/CMakeFiles/treediff_gen.dir/edit_sim.cc.o" "gcc" "src/gen/CMakeFiles/treediff_gen.dir/edit_sim.cc.o.d"
+  "/root/repo/src/gen/vocab.cc" "src/gen/CMakeFiles/treediff_gen.dir/vocab.cc.o" "gcc" "src/gen/CMakeFiles/treediff_gen.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/treediff_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treediff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

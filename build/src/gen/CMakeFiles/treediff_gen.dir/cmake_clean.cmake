@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treediff_gen.dir/doc_gen.cc.o"
+  "CMakeFiles/treediff_gen.dir/doc_gen.cc.o.d"
+  "CMakeFiles/treediff_gen.dir/edit_sim.cc.o"
+  "CMakeFiles/treediff_gen.dir/edit_sim.cc.o.d"
+  "CMakeFiles/treediff_gen.dir/vocab.cc.o"
+  "CMakeFiles/treediff_gen.dir/vocab.cc.o.d"
+  "libtreediff_gen.a"
+  "libtreediff_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treediff_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for treediff_gen.
+# This may be replaced when dependencies are built.

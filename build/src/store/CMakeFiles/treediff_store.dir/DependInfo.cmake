@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/three_way.cc" "src/store/CMakeFiles/treediff_store.dir/three_way.cc.o" "gcc" "src/store/CMakeFiles/treediff_store.dir/three_way.cc.o.d"
+  "/root/repo/src/store/version_store.cc" "src/store/CMakeFiles/treediff_store.dir/version_store.cc.o" "gcc" "src/store/CMakeFiles/treediff_store.dir/version_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/treediff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treediff_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treediff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treediff_store.dir/three_way.cc.o"
+  "CMakeFiles/treediff_store.dir/three_way.cc.o.d"
+  "CMakeFiles/treediff_store.dir/version_store.cc.o"
+  "CMakeFiles/treediff_store.dir/version_store.cc.o.d"
+  "libtreediff_store.a"
+  "libtreediff_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treediff_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

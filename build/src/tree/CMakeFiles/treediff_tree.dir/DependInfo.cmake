@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/builder.cc" "src/tree/CMakeFiles/treediff_tree.dir/builder.cc.o" "gcc" "src/tree/CMakeFiles/treediff_tree.dir/builder.cc.o.d"
+  "/root/repo/src/tree/label.cc" "src/tree/CMakeFiles/treediff_tree.dir/label.cc.o" "gcc" "src/tree/CMakeFiles/treediff_tree.dir/label.cc.o.d"
+  "/root/repo/src/tree/schema.cc" "src/tree/CMakeFiles/treediff_tree.dir/schema.cc.o" "gcc" "src/tree/CMakeFiles/treediff_tree.dir/schema.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "src/tree/CMakeFiles/treediff_tree.dir/tree.cc.o" "gcc" "src/tree/CMakeFiles/treediff_tree.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/treediff_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

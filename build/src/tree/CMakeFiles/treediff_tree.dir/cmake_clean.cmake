@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treediff_tree.dir/builder.cc.o"
+  "CMakeFiles/treediff_tree.dir/builder.cc.o.d"
+  "CMakeFiles/treediff_tree.dir/label.cc.o"
+  "CMakeFiles/treediff_tree.dir/label.cc.o.d"
+  "CMakeFiles/treediff_tree.dir/schema.cc.o"
+  "CMakeFiles/treediff_tree.dir/schema.cc.o.d"
+  "CMakeFiles/treediff_tree.dir/tree.cc.o"
+  "CMakeFiles/treediff_tree.dir/tree.cc.o.d"
+  "libtreediff_tree.a"
+  "libtreediff_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treediff_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treediff_util.dir/random.cc.o"
+  "CMakeFiles/treediff_util.dir/random.cc.o.d"
+  "CMakeFiles/treediff_util.dir/stats.cc.o"
+  "CMakeFiles/treediff_util.dir/stats.cc.o.d"
+  "CMakeFiles/treediff_util.dir/status.cc.o"
+  "CMakeFiles/treediff_util.dir/status.cc.o.d"
+  "CMakeFiles/treediff_util.dir/table.cc.o"
+  "CMakeFiles/treediff_util.dir/table.cc.o.d"
+  "CMakeFiles/treediff_util.dir/tokenize.cc.o"
+  "CMakeFiles/treediff_util.dir/tokenize.cc.o.d"
+  "libtreediff_util.a"
+  "libtreediff_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treediff_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treediff_zs.dir/zhang_shasha.cc.o"
+  "CMakeFiles/treediff_zs.dir/zhang_shasha.cc.o.d"
+  "libtreediff_zs.a"
+  "libtreediff_zs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treediff_zs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

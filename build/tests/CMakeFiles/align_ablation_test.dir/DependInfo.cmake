@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align_ablation_test.cc" "tests/CMakeFiles/align_ablation_test.dir/align_ablation_test.cc.o" "gcc" "tests/CMakeFiles/align_ablation_test.dir/align_ablation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/treediff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/treediff_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/treediff_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/zs/CMakeFiles/treediff_zs.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/treediff_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/treediff_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/treediff_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_format_test.dir/cross_format_test.cc.o"
+  "CMakeFiles/cross_format_test.dir/cross_format_test.cc.o.d"
+  "cross_format_test"
+  "cross_format_test.pdb"
+  "cross_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_query_test.dir/delta_query_test.cc.o"
+  "CMakeFiles/delta_query_test.dir/delta_query_test.cc.o.d"
+  "delta_query_test"
+  "delta_query_test.pdb"
+  "delta_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

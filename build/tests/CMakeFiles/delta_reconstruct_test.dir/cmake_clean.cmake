@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_reconstruct_test.dir/delta_reconstruct_test.cc.o"
+  "CMakeFiles/delta_reconstruct_test.dir/delta_reconstruct_test.cc.o.d"
+  "delta_reconstruct_test"
+  "delta_reconstruct_test.pdb"
+  "delta_reconstruct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_reconstruct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

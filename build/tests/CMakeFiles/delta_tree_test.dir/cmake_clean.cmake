@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_tree_test.dir/delta_tree_test.cc.o"
+  "CMakeFiles/delta_tree_test.dir/delta_tree_test.cc.o.d"
+  "delta_tree_test"
+  "delta_tree_test.pdb"
+  "delta_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diff_more_test.dir/diff_more_test.cc.o"
+  "CMakeFiles/diff_more_test.dir/diff_more_test.cc.o.d"
+  "diff_more_test"
+  "diff_more_test.pdb"
+  "diff_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diff_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

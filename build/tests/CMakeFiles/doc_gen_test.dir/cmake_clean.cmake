@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_gen_test.dir/doc_gen_test.cc.o"
+  "CMakeFiles/doc_gen_test.dir/doc_gen_test.cc.o.d"
+  "doc_gen_test"
+  "doc_gen_test.pdb"
+  "doc_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_script_test.dir/edit_script_test.cc.o"
+  "CMakeFiles/edit_script_test.dir/edit_script_test.cc.o.d"
+  "edit_script_test"
+  "edit_script_test.pdb"
+  "edit_script_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_script_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

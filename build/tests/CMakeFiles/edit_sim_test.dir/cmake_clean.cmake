@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_sim_test.dir/edit_sim_test.cc.o"
+  "CMakeFiles/edit_sim_test.dir/edit_sim_test.cc.o.d"
+  "edit_sim_test"
+  "edit_sim_test.pdb"
+  "edit_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallback_limit_test.dir/fallback_limit_test.cc.o"
+  "CMakeFiles/fallback_limit_test.dir/fallback_limit_test.cc.o.d"
+  "fallback_limit_test"
+  "fallback_limit_test.pdb"
+  "fallback_limit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallback_limit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_match_test.dir/fast_match_test.cc.o"
+  "CMakeFiles/fast_match_test.dir/fast_match_test.cc.o.d"
+  "fast_match_test"
+  "fast_match_test.pdb"
+  "fast_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invert_test.dir/invert_test.cc.o"
+  "CMakeFiles/invert_test.dir/invert_test.cc.o.d"
+  "invert_test"
+  "invert_test.pdb"
+  "invert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

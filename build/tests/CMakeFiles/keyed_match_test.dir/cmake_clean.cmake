@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyed_match_test.dir/keyed_match_test.cc.o"
+  "CMakeFiles/keyed_match_test.dir/keyed_match_test.cc.o.d"
+  "keyed_match_test"
+  "keyed_match_test.pdb"
+  "keyed_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyed_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladiff_test.dir/ladiff_test.cc.o"
+  "CMakeFiles/ladiff_test.dir/ladiff_test.cc.o.d"
+  "ladiff_test"
+  "ladiff_test.pdb"
+  "ladiff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latex_parser_test.dir/latex_parser_test.cc.o"
+  "CMakeFiles/latex_parser_test.dir/latex_parser_test.cc.o.d"
+  "latex_parser_test"
+  "latex_parser_test.pdb"
+  "latex_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latex_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcs_property_test.dir/lcs_property_test.cc.o"
+  "CMakeFiles/lcs_property_test.dir/lcs_property_test.cc.o.d"
+  "lcs_property_test"
+  "lcs_property_test.pdb"
+  "lcs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markdown_parser_test.dir/markdown_parser_test.cc.o"
+  "CMakeFiles/markdown_parser_test.dir/markdown_parser_test.cc.o.d"
+  "markdown_parser_test"
+  "markdown_parser_test.pdb"
+  "markdown_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markdown_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

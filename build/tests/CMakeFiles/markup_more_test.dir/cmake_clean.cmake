@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markup_more_test.dir/markup_more_test.cc.o"
+  "CMakeFiles/markup_more_test.dir/markup_more_test.cc.o.d"
+  "markup_more_test"
+  "markup_more_test.pdb"
+  "markup_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markup_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/post_process_test.dir/post_process_test.cc.o"
+  "CMakeFiles/post_process_test.dir/post_process_test.cc.o.d"
+  "post_process_test"
+  "post_process_test.pdb"
+  "post_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/post_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_io_test.dir/script_io_test.cc.o"
+  "CMakeFiles/script_io_test.dir/script_io_test.cc.o.d"
+  "script_io_test"
+  "script_io_test.pdb"
+  "script_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

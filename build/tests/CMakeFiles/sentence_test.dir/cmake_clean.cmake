@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentence_test.dir/sentence_test.cc.o"
+  "CMakeFiles/sentence_test.dir/sentence_test.cc.o.d"
+  "sentence_test"
+  "sentence_test.pdb"
+  "sentence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

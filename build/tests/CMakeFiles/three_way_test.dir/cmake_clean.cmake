@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_way_test.dir/three_way_test.cc.o"
+  "CMakeFiles/three_way_test.dir/three_way_test.cc.o.d"
+  "three_way_test"
+  "three_way_test.pdb"
+  "three_way_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_way_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_stress_test.dir/tree_stress_test.cc.o"
+  "CMakeFiles/tree_stress_test.dir/tree_stress_test.cc.o.d"
+  "tree_stress_test"
+  "tree_stress_test.pdb"
+  "tree_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zhang_shasha_test.dir/zhang_shasha_test.cc.o"
+  "CMakeFiles/zhang_shasha_test.dir/zhang_shasha_test.cc.o.d"
+  "zhang_shasha_test"
+  "zhang_shasha_test.pdb"
+  "zhang_shasha_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zhang_shasha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

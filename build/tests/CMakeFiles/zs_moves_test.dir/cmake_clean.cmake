@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_moves_test.dir/zs_moves_test.cc.o"
+  "CMakeFiles/zs_moves_test.dir/zs_moves_test.cc.o.d"
+  "zs_moves_test"
+  "zs_moves_test.pdb"
+  "zs_moves_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_moves_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
