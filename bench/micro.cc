@@ -137,6 +137,23 @@ void BM_EndToEndDiff(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndDiff)->Arg(4)->Arg(16)->Arg(48);
 
+// Same workload as BM_EndToEndDiff but with an (unlimited) budget attached:
+// the delta against BM_EndToEndDiff is the pure probe overhead of the
+// resource-budget plumbing on the Figure 13 path. Should stay under ~1%.
+void BM_EndToEndDiffBudgeted(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<int>(state.range(0)), 10);
+  for (auto _ : state) {
+    Budget budget;  // No caps: every probe runs, nothing ever trips.
+    DiffOptions options;
+    options.budget = &budget;
+    auto diff = DiffTrees(w.old_tree, w.new_tree, options);
+    benchmark::DoNotOptimize(diff);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.old_tree.size()));
+}
+BENCHMARK(BM_EndToEndDiffBudgeted)->Arg(4)->Arg(16)->Arg(48);
+
 void BM_ZhangShasha(benchmark::State& state) {
   Workload w = MakeWorkload(static_cast<int>(state.range(0)), 10);
   for (auto _ : state) {

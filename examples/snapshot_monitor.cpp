@@ -9,6 +9,10 @@
 //     back, and applies it to the warehouse's materialized copy;
 //  3. evaluates active rules over the delta tree (the trigger scenario) and
 //     prints the browsable change report.
+//
+// Each epoch's diff runs under a wall-clock deadline (a warehouse ingest
+// window): if the budget trips, the pipeline degrades down the DiffRung
+// ladder and reports the rung it landed on instead of blowing the window.
 
 #include <cstdio>
 #include <memory>
@@ -56,7 +60,14 @@ int main() {
     SimulatedVersion next = SimulateNewVersion(snapshot, churn, {}, vocab,
                                                &rng);
 
-    StatusOr<DiffResult> diff = DiffTrees(snapshot, next.new_tree);
+    // The ingest window: 50 ms of wall clock per snapshot diff. Plenty for
+    // these documents; on an oversized dump the diff would degrade to a
+    // cheaper rung rather than stall the pipeline.
+    Budget budget = Budget::Deadline(0.050);
+    DiffOptions diff_options;
+    diff_options.budget = &budget;
+    StatusOr<DiffResult> diff =
+        DiffTrees(snapshot, next.new_tree, diff_options);
     if (!diff.ok()) {
       std::fprintf(stderr, "diff failed at epoch %d: %s\n", epoch,
                    diff.status().ToString().c_str());
@@ -99,6 +110,11 @@ int main() {
         diff->stats.deletes, diff->stats.updates, diff->stats.moves,
         diff->stats.script_cost, diff->stats.weighted_edit_distance,
         wire.size(), firings.size());
+    if (diff->report.degraded) {
+      std::printf("    (budget degraded the diff to the %s rung: %s)\n",
+                  DiffRungName(diff->report.rung),
+                  diff->report.exhaustion_detail.c_str());
+    }
     for (const RuleFiring& f : firings) {
       std::printf("    [%s] %s\n", f.rule->name.c_str(), f.hit.path.c_str());
     }

@@ -7,11 +7,13 @@ namespace treediff {
 
 CriteriaEvaluator::CriteriaEvaluator(const Tree& t1, const Tree& t2,
                                      const ValueComparator* comparator,
-                                     MatchOptions options)
+                                     MatchOptions options,
+                                     const Budget* budget)
     : t1_(t1),
       t2_(t2),
       comparator_(comparator),
       options_(options),
+      budget_(budget),
       euler2_(t2.ComputeEuler()),
       leaf_counts1_(t1.LeafCounts()),
       leaf_counts2_(t2.LeafCounts()) {
@@ -22,6 +24,7 @@ CriteriaEvaluator::CriteriaEvaluator(const Tree& t1, const Tree& t2,
 
 bool CriteriaEvaluator::LeafEqual(NodeId x, NodeId y) const {
   if (t1_.label(x) != t2_.label(y)) return false;
+  BudgetChargeComparisons(budget_);
   return comparator_->Compare(t1_, x, t2_, y) <= options_.leaf_threshold_f;
 }
 
@@ -39,6 +42,7 @@ int CriteriaEvaluator::CommonLeaves(NodeId x, NodeId y,
     if (kids.empty()) {
       NodeId z = m.PartnerOfT1(w);
       ++partner_checks_;
+      BudgetChargeComparisons(budget_);
       if (z != kInvalidNode && euler2_.Contains(y, z)) ++common;
     } else {
       for (NodeId c : kids) stack.push_back(c);

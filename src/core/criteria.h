@@ -7,6 +7,7 @@
 #include "core/compare.h"
 #include "core/matching.h"
 #include "tree/tree.h"
+#include "util/budget.h"
 
 namespace treediff {
 
@@ -37,8 +38,11 @@ struct MatchOptions {
 /// evaluator is alive.
 class CriteriaEvaluator {
  public:
+  /// `budget`, when non-null, is charged one comparison per compare() call
+  /// and per partner check; it must outlive the evaluator.
   CriteriaEvaluator(const Tree& t1, const Tree& t2,
-                    const ValueComparator* comparator, MatchOptions options);
+                    const ValueComparator* comparator, MatchOptions options,
+                    const Budget* budget = nullptr);
 
   /// Matching Criterion 1 for a leaf pair (x in T1, y in T2).
   bool LeafEqual(NodeId x, NodeId y) const;
@@ -68,11 +72,14 @@ class CriteriaEvaluator {
   /// Number of partner checks so far (r2).
   size_t partner_checks() const { return partner_checks_; }
 
+  const Budget* budget() const { return budget_; }
+
  private:
   const Tree& t1_;
   const Tree& t2_;
   const ValueComparator* comparator_;
   MatchOptions options_;
+  const Budget* budget_;
   Tree::EulerIntervals euler2_;
   std::vector<int> leaf_counts1_;
   std::vector<int> leaf_counts2_;

@@ -2,6 +2,7 @@
 #define TREEDIFF_CORE_DIFF_H_
 
 #include <memory>
+#include <string>
 
 #include "core/compare.h"
 #include "core/cost_model.h"
@@ -12,9 +13,63 @@
 #include "core/matching.h"
 #include "tree/schema.h"
 #include "tree/tree.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace treediff {
+
+/// The rungs of the degradation ladder, best first. DiffTrees starts at
+/// DiffOptions::start_rung and steps DOWN whenever the budget exhausts, so a
+/// budgeted call always returns OK with *some* conforming script rather than
+/// failing on a large or adversarial input:
+///
+///  * kOptimalZs — the Zhang-Shasha optimal baseline (Section 2). Opt-in:
+///    O(n^2 log^2 n) time and an O(n^2) DP table. Skipped up front when the
+///    budget's explicit caps cannot possibly fit its cost.
+///  * kFastMatch — the paper's two-phase method: the criteria-based matcher
+///    (FastMatch, or Match when use_fast_match = false) + EditScript. The
+///    default rung; with no budget this is exactly the pre-budget pipeline.
+///  * kKeyedStructural — ComputeStructuralMatch: exact-subtree hashing plus
+///    label/value bucketing, O(n log n), no value comparisons. Runs without
+///    consulting the (already exhausted) budget.
+///  * kTopLevelReplace — root-only matching: the script deletes every old
+///    node and inserts every new one. O(n), the rung of last resort.
+enum class DiffRung {
+  kOptimalZs = 0,
+  kFastMatch = 1,
+  kKeyedStructural = 2,
+  kTopLevelReplace = 3,
+};
+
+/// "OptimalZs", "FastMatch", "KeyedStructural", or "TopLevelReplace".
+const char* DiffRungName(DiffRung rung);
+
+/// How a DiffTrees call spent its budget and where it landed on the ladder.
+struct DiffReport {
+  /// The rung the caller asked for (DiffOptions::start_rung).
+  DiffRung requested_rung = DiffRung::kFastMatch;
+
+  /// The rung that produced the returned script.
+  DiffRung rung = DiffRung::kFastMatch;
+
+  /// True if `rung` is below `requested_rung` (the budget forced a step
+  /// down).
+  bool degraded = false;
+
+  /// kOk if the budget never exhausted; otherwise kResourceExhausted or
+  /// kDeadlineExceeded plus the limit that tripped ("deadline", "node cap",
+  /// "comparison cap", "arena cap").
+  Code exhaustion_code = Code::kOk;
+  std::string exhaustion_detail;
+
+  /// Budget counters at return. With no budget set, nodes/comparisons are
+  /// estimated from the pipeline's own instrumentation and peak_arena_bytes
+  /// is 0 (precise tracking needs a Budget).
+  size_t nodes_visited = 0;
+  size_t comparisons = 0;
+  size_t peak_arena_bytes = 0;
+  double elapsed_seconds = 0.0;
+};
 
 /// Options controlling the end-to-end change-detection pipeline.
 struct DiffOptions {
@@ -58,6 +113,19 @@ struct DiffOptions {
   /// Smaller values cap the worst case; out-of-order matches beyond the
   /// window are then represented as delete+insert instead of moves.
   int fallback_limit_k = 0;
+
+  /// Optional resource budget (deadline / node / comparison / arena caps).
+  /// Null means unlimited — the exact pre-budget pipeline, bit-identical
+  /// outputs. Non-null makes DiffTrees degrade down the DiffRung ladder on
+  /// exhaustion instead of running unbounded; the taken rung and counters
+  /// are returned in DiffResult::report. The budget must outlive the call
+  /// and must not be shared with a concurrent pipeline invocation.
+  const Budget* budget = nullptr;
+
+  /// Where on the ladder to start. The default, kFastMatch, is the paper's
+  /// pipeline; kOptimalZs buys the optimal-baseline script when the budget
+  /// affords it; the lower rungs force a cheap match up front.
+  DiffRung start_rung = DiffRung::kFastMatch;
 };
 
 /// Counters and measures reported by DiffTrees; these are the quantities the
@@ -105,6 +173,9 @@ struct DiffResult {
   EditScript script;
 
   DiffStats stats;
+
+  /// Ladder rung taken and resource counters (see DiffReport).
+  DiffReport report;
 };
 
 /// End-to-end change detection (the paper's two-phase method): computes a

@@ -105,8 +105,46 @@ void EditScript::Append(EditOp op) {
   ops_.push_back(std::move(op));
 }
 
-Status EditScript::ApplyTo(Tree* tree) const {
-  for (const EditOp& op : ops_) {
+namespace {
+
+/// Replays one undo-log entry. Undo inserts always name an existing dead
+/// slot (they reverse a delete of this apply), so they take the revive path.
+Status ApplyUndoOp(Tree* tree, const EditOp& op) {
+  switch (op.kind) {
+    case EditOpKind::kInsert:
+      TREEDIFF_RETURN_IF_ERROR(
+          tree->ReviveLeaf(op.node, op.parent, op.position));
+      return tree->UpdateValue(op.node, op.value);
+    case EditOpKind::kDelete:
+      return tree->DeleteLeaf(op.node);
+    case EditOpKind::kUpdate:
+      return tree->UpdateValue(op.node, op.value);
+    case EditOpKind::kMove:
+      return tree->MoveSubtree(op.node, op.parent, op.position);
+  }
+  return Status::Internal("unknown undo op kind");
+}
+
+}  // namespace
+
+Status EditScript::ApplyTo(Tree* tree, const Budget* budget) const {
+  // Validate-then-apply with an undo log: each op records its inverse (from
+  // the pre-op state) right after it succeeds; on any failure the log is
+  // replayed backwards and the arena tail minted by rolled-back inserts is
+  // popped, leaving the tree indistinguishable from its pre-apply state.
+  const size_t pre_bound = tree->id_bound();
+  std::vector<EditOp> undo;
+  undo.reserve(ops_.size());
+  Status failure;
+  size_t fail_index = 0;
+
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const EditOp& op = ops_[i];
+    fail_index = i;
+    if (!BudgetChargeNodes(budget)) {
+      failure = BudgetStatus(budget);
+      break;
+    }
     switch (op.kind) {
       case EditOpKind::kInsert: {
         // An insert whose recorded id names a dead slot revives that node —
@@ -114,35 +152,88 @@ Status EditScript::ApplyTo(Tree* tree) const {
         // preserving node identity.
         if (op.node >= 0 && static_cast<size_t>(op.node) < tree->id_bound() &&
             !tree->Alive(op.node)) {
-          TREEDIFF_RETURN_IF_ERROR(
-              tree->ReviveLeaf(op.node, op.parent, op.position));
-          TREEDIFF_RETURN_IF_ERROR(tree->UpdateValue(op.node, op.value));
+          std::string dead_value = tree->value(op.node);
+          failure = tree->ReviveLeaf(op.node, op.parent, op.position);
+          if (!failure.ok()) break;
+          undo.push_back(EditOp::Delete(op.node));
+          failure = tree->UpdateValue(op.node, op.value);
+          if (!failure.ok()) break;
+          undo.push_back(
+              EditOp::Update(op.node, std::move(dead_value), 0.0));
           break;
         }
         StatusOr<NodeId> id =
             tree->InsertLeaf(op.label, op.value, op.parent, op.position);
-        if (!id.ok()) return id.status();
+        if (!id.ok()) {
+          failure = id.status();
+          break;
+        }
+        undo.push_back(EditOp::Delete(*id));
         if (*id != op.node) {
-          return Status::FailedPrecondition(
+          failure = Status::FailedPrecondition(
               "insert allocated id " + std::to_string(*id) +
               " but the script recorded " + std::to_string(op.node) +
               "; was the script generated against this tree?");
         }
         break;
       }
-      case EditOpKind::kDelete:
-        TREEDIFF_RETURN_IF_ERROR(tree->DeleteLeaf(op.node));
+      case EditOpKind::kDelete: {
+        if (!tree->Alive(op.node)) {
+          failure = Status::InvalidArgument("delete: node is not live");
+          break;
+        }
+        const NodeId del_parent = tree->parent(op.node);
+        EditOp inverse = EditOp::Insert(
+            op.node, tree->label(op.node), tree->value(op.node), del_parent,
+            del_parent == kInvalidNode ? 1 : tree->ChildIndex(op.node) + 1);
+        failure = tree->DeleteLeaf(op.node);
+        if (failure.ok()) undo.push_back(std::move(inverse));
         break;
-      case EditOpKind::kUpdate:
-        TREEDIFF_RETURN_IF_ERROR(tree->UpdateValue(op.node, op.value));
+      }
+      case EditOpKind::kUpdate: {
+        if (!tree->Alive(op.node)) {
+          failure = Status::InvalidArgument("update: node is not live");
+          break;
+        }
+        EditOp inverse = EditOp::Update(op.node, tree->value(op.node), 0.0);
+        failure = tree->UpdateValue(op.node, op.value);
+        if (failure.ok()) undo.push_back(std::move(inverse));
         break;
-      case EditOpKind::kMove:
-        TREEDIFF_RETURN_IF_ERROR(
-            tree->MoveSubtree(op.node, op.parent, op.position));
+      }
+      case EditOpKind::kMove: {
+        if (!tree->Alive(op.node)) {
+          failure = Status::InvalidArgument("move: node is not live");
+          break;
+        }
+        EditOp inverse = EditOp::Move(op.node, tree->parent(op.node),
+                                      tree->ChildIndex(op.node) + 1);
+        failure = tree->MoveSubtree(op.node, op.parent, op.position);
+        if (failure.ok()) undo.push_back(std::move(inverse));
         break;
+      }
+    }
+    if (!failure.ok()) break;
+  }
+  if (failure.ok()) return Status::Ok();
+
+  // Roll back. A replay failure would mean the undo log itself is wrong —
+  // an internal bug, not a property of the input script.
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    Status st = ApplyUndoOp(tree, *it);
+    if (!st.ok()) {
+      return Status::Internal("rollback failed (" + st.message() +
+                              ") after op " + std::to_string(fail_index) +
+                              " failed: " + failure.message());
     }
   }
-  return Status::Ok();
+  Status trunc = tree->TruncateDeadTail(pre_bound);
+  if (!trunc.ok()) {
+    return Status::Internal("rollback truncation failed: " + trunc.message());
+  }
+  return Status(failure.code(),
+                "op " + std::to_string(fail_index) + " [" +
+                    ops_[fail_index].ToString(tree->labels()) +
+                    "] failed, tree rolled back: " + failure.message());
 }
 
 std::string EditScript::ToString(const LabelTable& labels) const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tree/tree.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace treediff {
@@ -79,11 +80,17 @@ class EditScript {
   /// Total cost: sum of per-op costs (Section 3.2's cost model).
   double TotalCost() const { return total_cost_; }
 
-  /// Applies every operation, in order, to `tree`. Fails (leaving `tree` in
-  /// the state reached so far) if any operation is invalid — including an
-  /// insert whose recorded id does not match the id the tree allocates,
-  /// which indicates the script was generated against a different tree.
-  Status ApplyTo(Tree* tree) const;
+  /// Applies every operation, in order, to `tree`. **Transactional**: if any
+  /// operation is invalid — a bad node id, an orphaned move, an insert whose
+  /// recorded id does not match the id the tree allocates (a script
+  /// generated against a different tree), or a budget trip — the tree is
+  /// rolled back, via an undo log, to a state indistinguishable from its
+  /// pre-apply state (node ids, dead slots, and id_bound included), and the
+  /// returned Status names the failing op and its index.
+  ///
+  /// `budget`, if non-null, is charged one node per operation; exhaustion
+  /// aborts and rolls back with the budget's status.
+  Status ApplyTo(Tree* tree, const Budget* budget = nullptr) const;
 
   /// Renders one operation per line.
   std::string ToString(const LabelTable& labels) const;

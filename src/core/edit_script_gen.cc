@@ -34,11 +34,12 @@ class ScriptGenerator {
  public:
   ScriptGenerator(const Tree& t1, const Tree& t2, const Matching& matching,
                   const ValueComparator* cmp, bool lcs_align,
-                  const CostModel* costs)
+                  const CostModel* costs, const Budget* budget)
       : t2_(t2),
         work_(t1.Clone()),
         cmp_(cmp),
         costs_(costs),
+        budget_(budget),
         lcs_align_(lcs_align),
         p1_(t1.id_bound(), kInvalidNode),
         p2_(t2.id_bound(), kInvalidNode),
@@ -52,8 +53,10 @@ class ScriptGenerator {
 
   Status Run() {
     // Phase 1 (Figure 8, step 2): one breadth-first scan of T2 combining the
-    // update, insert, align, and move phases.
+    // update, insert, align, and move phases. A budget trip aborts: a
+    // half-generated script does not conform to the matching.
     for (NodeId x : t2_.BfsOrder()) {
+      if (!BudgetChargeNodes(budget_)) return BudgetStatus(budget_);
       NodeId w;
       if (x == t2_.root()) {
         w = Partner2(x);
@@ -80,6 +83,7 @@ class ScriptGenerator {
     // delete by the time it runs (Theorem C.2, second stage).
     const std::vector<NodeId> order = work_.PostOrder();
     for (NodeId w : order) {
+      if (!BudgetChargeNodes(budget_)) return BudgetStatus(budget_);
       if (p1_[static_cast<size_t>(w)] != kInvalidNode) continue;
       EditOp op = EditOp::Delete(w);
       if (costs_ != nullptr) op.cost = costs_->DeleteCost(work_, w);
@@ -332,6 +336,7 @@ class ScriptGenerator {
   Tree work_;
   const ValueComparator* cmp_;
   const CostModel* costs_;
+  const Budget* budget_;
   bool lcs_align_;
   std::vector<NodeId> p1_;
   std::vector<NodeId> p2_;
@@ -348,7 +353,7 @@ class ScriptGenerator {
 StatusOr<EditScriptResult> GenerateEditScript(
     const Tree& t1, const Tree& t2, const Matching& matching,
     const ValueComparator* update_cost_comparator, bool use_lcs_alignment,
-    const CostModel* cost_model) {
+    const CostModel* cost_model, const Budget* budget) {
   if (t1.root() == kInvalidNode || t2.root() == kInvalidNode) {
     return Status::FailedPrecondition("both trees must be non-empty");
   }
@@ -385,7 +390,7 @@ StatusOr<EditScriptResult> GenerateEditScript(
   }
 
   ScriptGenerator gen(t1, t2, m, update_cost_comparator, use_lcs_alignment,
-                      cost_model);
+                      cost_model, budget);
   TREEDIFF_RETURN_IF_ERROR(gen.Run());
   EditScriptResult result = std::move(gen).TakeResult();
 

@@ -6,6 +6,7 @@
 #include "core/edit_script.h"
 #include "core/matching.h"
 #include "tree/tree.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace treediff {
@@ -64,10 +65,17 @@ struct EditScriptResult {
 /// adversarial orders while remaining correct).
 /// `cost_model`, if non-null, prices inserts/deletes/moves per the general
 /// Section 3.2 model (see CostModel); null means unit costs.
+///
+/// `budget`, if non-null, is charged one node per T2 node scanned and per
+/// working-tree node visited in the delete phase; on exhaustion generation
+/// stops and the budget's kResourceExhausted/kDeadlineExceeded status is
+/// returned (the partially built script is discarded — a partial edit script
+/// does not conform to the matching and must never be applied).
 StatusOr<EditScriptResult> GenerateEditScript(
     const Tree& t1, const Tree& t2, const Matching& matching,
     const ValueComparator* update_cost_comparator = nullptr,
-    bool use_lcs_alignment = true, const CostModel* cost_model = nullptr);
+    bool use_lcs_alignment = true, const CostModel* cost_model = nullptr,
+    const Budget* budget = nullptr);
 
 }  // namespace treediff
 

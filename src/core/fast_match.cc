@@ -22,9 +22,18 @@ struct Chain {
 void MatchChain(const Chain& chain, bool leaves,
                 const CriteriaEvaluator& eval, int fallback_limit_k,
                 Matching* m) {
+  const Budget* budget = eval.budget();
   const auto& s1 = chain.t1_nodes;
   const auto& s2 = chain.t2_nodes;
+  if (!BudgetChargeNodes(budget, s1.size() + s2.size())) return;
   auto equal = [&](NodeId x, NodeId y) {
+    // Once the budget trips, the whole matching will be discarded by the
+    // degradation ladder — but the LCS in flight cannot be aborted from its
+    // equality callback. Answering "equal" makes Myers snake straight down
+    // the diagonal, so it terminates in O(s1 + s2) instead of grinding out a
+    // full-divergence run. The bogus pairs it yields are still label-legal
+    // (a chain holds one label) and are thrown away with the rest.
+    if (!BudgetOk(budget)) return true;
     return leaves ? eval.LeafEqual(x, y) : eval.InternalEqual(x, y, *m);
   };
 
@@ -46,9 +55,11 @@ void MatchChain(const Chain& chain, bool leaves,
   // positive fallback limit (the A(k) trade-off), each node examines at
   // most k candidates.
   for (NodeId x : s1) {
+    if (!BudgetCheck(budget)) return;
     if (m->HasT1(x)) continue;
     int examined = 0;
     for (NodeId y : s2) {
+      if (!BudgetCheck(budget)) return;
       if (m->HasT2(y)) continue;
       if (fallback_limit_k > 0 && ++examined > fallback_limit_k) break;
       if (equal(x, y)) {
@@ -93,11 +104,16 @@ Matching ComputeFastMatch(const Tree& t1, const Tree& t2,
   };
 
   // Step 2: leaf labels first (the internal criterion needs leaf matches).
+  // Exhaustion mid-way returns the partial matching built so far; callers
+  // detect it via the budget itself.
+  const Budget* budget = eval.budget();
   for (LabelId label : ordered_labels(leaf_chains)) {
+    if (!BudgetCheckNow(budget)) break;
     MatchChain(leaf_chains[label], /*leaves=*/true, eval, fallback_limit_k, &m);
   }
   // Step 3: internal labels.
   for (LabelId label : ordered_labels(internal_chains)) {
+    if (!BudgetCheckNow(budget)) break;
     MatchChain(internal_chains[label], /*leaves=*/false, eval, fallback_limit_k, &m);
   }
   return m;

@@ -1,5 +1,6 @@
 #include "core/keyed_match.h"
 
+#include <cstdint>
 #include <map>
 #include <string_view>
 #include <tuple>
@@ -75,6 +76,10 @@ Matching ComputeHybridMatch(const Tree& t1, const Tree& t2,
       auto& s1 = chain.first;
       auto& s2 = chain.second;
       auto equal = [&](NodeId x, NodeId y) {
+        // Same fast-forward as FastMatch: after a budget trip the matching
+        // is discarded, so answer "equal" to let the in-flight LCS finish
+        // in linear time (pairs stay label-legal within a chain).
+        if (!BudgetOk(eval.budget())) return true;
         return leaves ? eval.LeafEqual(x, y) : eval.InternalEqual(x, y, m);
       };
       std::vector<LcsPair> lcs =
@@ -88,8 +93,10 @@ Matching ComputeHybridMatch(const Tree& t1, const Tree& t2,
               s2[static_cast<size_t>(p.b_index)]);
       }
       for (NodeId x : s1) {
+        if (!BudgetCheck(eval.budget())) break;
         if (m.HasT1(x)) continue;
         for (NodeId y : s2) {
+          if (!BudgetCheck(eval.budget())) break;
           if (m.HasT2(y)) continue;
           if (equal(x, y)) {
             m.Add(x, y);
@@ -98,6 +105,138 @@ Matching ComputeHybridMatch(const Tree& t1, const Tree& t2,
         }
       }
     }
+  }
+  return m;
+}
+
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+/// Bottom-up 64-bit subtree fingerprints over (label, value, child hashes).
+std::vector<uint64_t> SubtreeHashes(const Tree& t) {
+  std::vector<uint64_t> h(t.id_bound(), 0);
+  const std::hash<std::string> value_hash;
+  for (NodeId x : t.PostOrder()) {
+    uint64_t hh = 0x9ae16a3b2f90404fULL;
+    hh = HashCombine(hh, static_cast<uint64_t>(t.label(x)));
+    hh = HashCombine(hh, value_hash(t.value(x)));
+    for (NodeId c : t.children(x)) {
+      hh = HashCombine(hh, h[static_cast<size_t>(c)]);
+    }
+    h[static_cast<size_t>(x)] = hh;
+  }
+  return h;
+}
+
+/// Exact subtree equality (labels, values, order) — the collision guard
+/// behind the hash buckets. Both trees share one LabelTable (checked by the
+/// caller).
+bool SubtreesIdentical(const Tree& t1, NodeId x, const Tree& t2, NodeId y) {
+  std::vector<std::pair<NodeId, NodeId>> stack = {{x, y}};
+  while (!stack.empty()) {
+    auto [a, b] = stack.back();
+    stack.pop_back();
+    if (t1.label(a) != t2.label(b) || t1.value(a) != t2.value(b)) return false;
+    const auto& ka = t1.children(a);
+    const auto& kb = t2.children(b);
+    if (ka.size() != kb.size()) return false;
+    for (size_t i = 0; i < ka.size(); ++i) stack.push_back({ka[i], kb[i]});
+  }
+  return true;
+}
+
+/// Matches every node of two identical subtrees pairwise.
+void MatchSubtreePair(const Tree& t1, NodeId x, const Tree& t2, NodeId y,
+                      Matching* m) {
+  std::vector<std::pair<NodeId, NodeId>> stack = {{x, y}};
+  while (!stack.empty()) {
+    auto [a, b] = stack.back();
+    stack.pop_back();
+    m->Add(a, b);
+    const auto& ka = t1.children(a);
+    const auto& kb = t2.children(b);
+    for (size_t i = 0; i < ka.size(); ++i) stack.push_back({ka[i], kb[i]});
+  }
+}
+
+}  // namespace
+
+Matching ComputeStructuralMatch(const Tree& t1, const Tree& t2) {
+  Matching m(t1.id_bound(), t2.id_bound());
+  if (t1.root() == kInvalidNode || t2.root() == kInvalidNode) return m;
+
+  const std::vector<uint64_t> h1 = SubtreeHashes(t1);
+  const std::vector<uint64_t> h2 = SubtreeHashes(t2);
+
+  // Pass 1: greedy identical-subtree matching in document order. A root may
+  // only pair with the other root, so the root pairing GenerateEditScript
+  // requires is never usurped by some interior twin.
+  std::unordered_map<uint64_t, std::vector<NodeId>> by_hash;
+  for (NodeId y : t2.PreOrder()) {
+    by_hash[h2[static_cast<size_t>(y)]].push_back(y);
+  }
+  std::vector<NodeId> stack = {t1.root()};
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    bool matched = false;
+    auto it = by_hash.find(h1[static_cast<size_t>(x)]);
+    if (it != by_hash.end()) {
+      for (NodeId y : it->second) {
+        if (m.HasT2(y)) continue;
+        if ((x == t1.root()) != (y == t2.root())) continue;
+        if (!SubtreesIdentical(t1, x, t2, y)) continue;
+        MatchSubtreePair(t1, x, t2, y, &m);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      const auto& kids = t1.children(x);
+      for (auto kit = kids.rbegin(); kit != kids.rend(); ++kit) {
+        stack.push_back(*kit);
+      }
+    }
+  }
+
+  // GenerateEditScript needs the roots matched to each other.
+  if (!m.HasT1(t1.root()) && !m.HasT2(t2.root()) &&
+      t1.label(t1.root()) == t2.label(t2.root())) {
+    m.Add(t1.root(), t2.root());
+  }
+
+  // Pass 2: leftover leaves by exact (label, value), document order.
+  // Pass 3: leftover internal nodes by label alone, document order.
+  std::map<std::pair<LabelId, std::string>, std::vector<NodeId>> leaves2;
+  std::map<LabelId, std::vector<NodeId>> internal2;
+  for (NodeId y : t2.PreOrder()) {
+    if (m.HasT2(y) || y == t2.root()) continue;
+    if (t2.IsLeaf(y)) {
+      leaves2[{t2.label(y), t2.value(y)}].push_back(y);
+    } else {
+      internal2[t2.label(y)].push_back(y);
+    }
+  }
+  auto take_first_free = [&m](std::vector<NodeId>& bucket) {
+    for (NodeId y : bucket) {
+      if (!m.HasT2(y)) return y;
+    }
+    return kInvalidNode;
+  };
+  for (NodeId x : t1.PreOrder()) {
+    if (m.HasT1(x) || x == t1.root()) continue;
+    NodeId y = kInvalidNode;
+    if (t1.IsLeaf(x)) {
+      auto it = leaves2.find({t1.label(x), t1.value(x)});
+      if (it != leaves2.end()) y = take_first_free(it->second);
+    } else {
+      auto it = internal2.find(t1.label(x));
+      if (it != internal2.end()) y = take_first_free(it->second);
+    }
+    if (y != kInvalidNode) m.Add(x, y);
   }
   return m;
 }

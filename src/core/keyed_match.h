@@ -44,6 +44,21 @@ Matching ComputeHybridMatch(const Tree& t1, const Tree& t2,
 /// database dumps carry row identifiers inline.
 std::optional<std::string> ValuePrefixKey(const Tree& tree, NodeId node);
 
+/// A cheap purely structural matcher used as the degradation ladder's
+/// next-to-last rung (core/diff.h): no value comparisons, no criteria
+/// evaluation, O(n log n) worst case, so it runs to completion even when a
+/// Budget has already exhausted.
+///
+///  1. Identical subtrees (labels, values, shapes) are matched greedily in
+///     document order via bottom-up subtree hashing, all descendants at once.
+///  2. Leftover leaves are matched by exact (label, value) in document order.
+///  3. Leftover internal nodes are matched by label in document order.
+///
+/// The result is a valid matching for GenerateEditScript (labels of every
+/// pair agree) but can be far from minimal — unlike FastMatch it never pays
+/// for near-miss matches, so heavily edited nodes become delete+insert.
+Matching ComputeStructuralMatch(const Tree& t1, const Tree& t2);
+
 }  // namespace treediff
 
 #endif  // TREEDIFF_CORE_KEYED_MATCH_H_

@@ -32,13 +32,17 @@ Matching ComputeMatch(const Tree& t1, const Tree& t2,
 
   // Bottom-up over T1 (post-order visits all descendants of a node before
   // the node itself, so leaf matches are in place when internal nodes are
-  // evaluated).
+  // evaluated). On budget exhaustion the partial matching built so far is
+  // returned; callers detect exhaustion via the budget itself.
+  const Budget* budget = eval.budget();
   for (NodeId x : t1.PostOrder()) {
+    if (!BudgetChargeNodes(budget)) break;
     if (m.HasT1(x)) continue;
     auto& bucket = t1.IsLeaf(x) ? t2_leaves : t2_internal;
     auto it = bucket.find(t1.label(x));
     if (it == bucket.end()) continue;
     for (NodeId y : it->second) {
+      if (!BudgetCheck(budget)) break;
       if (m.HasT2(y)) continue;
       if (Equal(t1, x, t2, y, eval, m)) {
         m.Add(x, y);

@@ -1,5 +1,6 @@
 #include "doc/html_parser.h"
 
+#include <algorithm>
 #include <cctype>
 #include <string>
 #include <vector>
@@ -131,6 +132,8 @@ class HtmlDocBuilder {
 
   void Finish() { FlushParagraph(); }
 
+  size_t ListDepth() const { return list_stack_.size(); }
+
  private:
   struct ListFrame {
     NodeId list;
@@ -186,7 +189,11 @@ bool IsSkippedContainer(const std::string& name) {
 }  // namespace
 
 StatusOr<Tree> ParseHtml(std::string_view text,
-                         std::shared_ptr<LabelTable> labels) {
+                         std::shared_ptr<LabelTable> labels,
+                         const ParseLimits& limits) {
+  // Up-front deadline probe (the stride-based charges may not reach it on
+  // short inputs).
+  if (!BudgetCheckNow(limits.budget)) return BudgetStatus(limits.budget);
   Tree tree(std::move(labels));
   HtmlDocBuilder builder(&tree);
 
@@ -208,6 +215,7 @@ StatusOr<Tree> ParseHtml(std::string_view text,
   };
 
   while (pos < n) {
+    if (!BudgetChargeNodes(limits.budget)) return BudgetStatus(limits.budget);
     const size_t lt = text.find('<', pos);
     if (lt == std::string_view::npos) {
       if (skip_until.empty()) emit_text(text.substr(pos));
@@ -278,6 +286,12 @@ StatusOr<Tree> ParseHtml(std::string_view text,
       if (tag.closing) {
         builder.EndList();
       } else {
+        if (builder.ListDepth() >=
+            static_cast<size_t>(std::max(limits.max_depth, 0))) {
+          return Status::ResourceExhausted(
+              "list nesting exceeds max_depth (" +
+              std::to_string(limits.max_depth) + ")");
+        }
         builder.BeginList();
       }
     } else if (IsItemTag(tag.name)) {

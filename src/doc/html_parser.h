@@ -4,6 +4,7 @@
 #include <memory>
 #include <string_view>
 
+#include "doc/parse_limits.h"
 #include "tree/tree.h"
 #include "util/status.h"
 
@@ -25,8 +26,12 @@ namespace treediff {
 ///
 /// Prose is split into sentence leaves. Labels intern into `labels` (fresh
 /// table when null); parse both versions with one table before diffing.
+///
+/// `limits` caps list nesting and optionally charges a Budget; exceeding
+/// either returns kResourceExhausted / kDeadlineExceeded.
 StatusOr<Tree> ParseHtml(std::string_view text,
-                         std::shared_ptr<LabelTable> labels = nullptr);
+                         std::shared_ptr<LabelTable> labels = nullptr,
+                         const ParseLimits& limits = {});
 
 }  // namespace treediff
 

@@ -12,15 +12,18 @@ namespace treediff {
 namespace {
 
 using Parser = StatusOr<Tree> (*)(std::string_view,
-                                  std::shared_ptr<LabelTable>);
+                                  std::shared_ptr<LabelTable>,
+                                  const ParseLimits&);
 
 StatusOr<LaDiffResult> DiffWithParser(Parser parse, std::string_view old_text,
                                       std::string_view new_text,
                                       const LaDiffOptions& options) {
   auto labels = std::make_shared<LabelTable>();
-  StatusOr<Tree> old_tree = parse(old_text, labels);
+  ParseLimits limits;
+  limits.budget = options.diff.budget;
+  StatusOr<Tree> old_tree = parse(old_text, labels, limits);
   if (!old_tree.ok()) return old_tree.status();
-  StatusOr<Tree> new_tree = parse(new_text, labels);
+  StatusOr<Tree> new_tree = parse(new_text, labels, limits);
   if (!new_tree.ok()) return new_tree.status();
 
   // The document schema gives FastMatch its deterministic label order and

@@ -1,5 +1,6 @@
 #include "doc/latex_parser.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -118,6 +119,8 @@ class DocBuilder {
 
   void Finish() { FlushParagraph(); }
 
+  size_t ListDepth() const { return list_stack_.size(); }
+
  private:
   struct ListFrame {
     NodeId list;
@@ -172,7 +175,12 @@ bool IsListEnvironment(std::string_view name) {
 }  // namespace
 
 StatusOr<Tree> ParseLatex(std::string_view raw,
-                          std::shared_ptr<LabelTable> labels) {
+                          std::shared_ptr<LabelTable> labels,
+                          const ParseLimits& limits) {
+  // Probe the deadline once up front: the per-construct charges below only
+  // re-check it every kDeadlineStride probes, which a short document may
+  // never reach.
+  if (!BudgetCheckNow(limits.budget)) return BudgetStatus(limits.budget);
   Tree tree(std::move(labels));
   const std::string text = StripComments(raw);
   DocBuilder builder(&tree);
@@ -212,6 +220,7 @@ StatusOr<Tree> ParseLatex(std::string_view raw,
   };
 
   while (pos < n) {
+    if (!BudgetChargeNodes(limits.budget)) return BudgetStatus(limits.budget);
     size_t next = text.find('\\', pos);
     if (next == std::string::npos) {
       flush_prose_until(n);
@@ -254,6 +263,12 @@ StatusOr<Tree> ParseLatex(std::string_view raw,
       if (IsListEnvironment(env)) {
         flush_prose_until(next);
         if (cmd == "begin") {
+          if (builder.ListDepth() >=
+              static_cast<size_t>(std::max(limits.max_depth, 0))) {
+            return Status::ResourceExhausted(
+                "list nesting exceeds max_depth (" +
+                std::to_string(limits.max_depth) + ")");
+          }
           builder.BeginList();
         } else {
           builder.EndList();

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string_view>
 
+#include "doc/parse_limits.h"
 #include "tree/tree.h"
 #include "util/status.h"
 
@@ -27,8 +28,12 @@ namespace treediff {
 ///
 /// Labels are interned into `labels` (fresh table when null). Both versions
 /// of a document must be parsed with the same table before diffing.
+///
+/// `limits` caps list-environment nesting and optionally charges a Budget;
+/// exceeding either returns kResourceExhausted / kDeadlineExceeded.
 StatusOr<Tree> ParseLatex(std::string_view text,
-                          std::shared_ptr<LabelTable> labels = nullptr);
+                          std::shared_ptr<LabelTable> labels = nullptr,
+                          const ParseLimits& limits = {});
 
 }  // namespace treediff
 

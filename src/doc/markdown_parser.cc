@@ -144,7 +144,11 @@ class MarkdownBuilder {
 }  // namespace
 
 StatusOr<Tree> ParseMarkdown(std::string_view text,
-                             std::shared_ptr<LabelTable> labels) {
+                             std::shared_ptr<LabelTable> labels,
+                             const ParseLimits& limits) {
+  // Up-front deadline probe (the stride-based charges may not reach it on
+  // short inputs).
+  if (!BudgetCheckNow(limits.budget)) return BudgetStatus(limits.budget);
   Tree tree(std::move(labels));
   MarkdownBuilder builder(&tree);
 
@@ -152,6 +156,7 @@ StatusOr<Tree> ParseMarkdown(std::string_view text,
   bool in_fence = false;
   std::string code;
   while (pos <= text.size()) {
+    if (!BudgetChargeNodes(limits.budget)) return BudgetStatus(limits.budget);
     size_t end = text.find('\n', pos);
     if (end == std::string_view::npos) end = text.size();
     std::string_view line = text.substr(pos, end - pos);

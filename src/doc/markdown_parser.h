@@ -4,6 +4,7 @@
 #include <memory>
 #include <string_view>
 
+#include "doc/parse_limits.h"
 #include "tree/tree.h"
 #include "util/status.h"
 
@@ -27,8 +28,12 @@ namespace treediff {
 ///
 /// Labels intern into `labels` (fresh table when null); parse both versions
 /// with one table before diffing.
+///
+/// Markdown's structure is flat (no nested lists in this subset), so of
+/// `limits` only the budget applies: one node is charged per input line.
 StatusOr<Tree> ParseMarkdown(std::string_view text,
-                             std::shared_ptr<LabelTable> labels = nullptr);
+                             std::shared_ptr<LabelTable> labels = nullptr,
+                             const ParseLimits& limits = {});
 
 }  // namespace treediff
 

@@ -1,0 +1,27 @@
+#ifndef TREEDIFF_DOC_PARSE_LIMITS_H_
+#define TREEDIFF_DOC_PARSE_LIMITS_H_
+
+#include "util/budget.h"
+
+namespace treediff {
+
+/// Resource limits shared by the document front ends (LaTeX, HTML,
+/// Markdown; the XML front end carries the same fields on XmlParseOptions).
+/// Adversarial input must not stall or exhaust the process: nesting is
+/// capped and, when a budget is given, work is charged against it. Either
+/// limit tripping aborts the parse with kResourceExhausted /
+/// kDeadlineExceeded instead of recursing or scanning unbounded.
+struct ParseLimits {
+  /// Maximum structural nesting depth (list nesting, element nesting). The
+  /// default comfortably covers real documents while keeping the recursive
+  /// XML parser far from stack exhaustion.
+  int max_depth = 256;
+
+  /// Optional budget, charged one node per document construct (line, tag,
+  /// element) scanned; null means uncharged.
+  const Budget* budget = nullptr;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_DOC_PARSE_LIMITS_H_

@@ -113,6 +113,11 @@ class XmlParser {
       : text_(text), options_(options), tree_(tree) {}
 
   Status Parse() {
+    // Up-front deadline probe (the stride-based per-element charges may not
+    // reach the deadline check on short inputs).
+    if (!BudgetCheckNow(options_.budget)) {
+      return BudgetStatus(options_.budget);
+    }
     SkipMisc();
     if (pos_ >= text_.size() || text_[pos_] != '<') {
       return Error("expected a root element");
@@ -211,7 +216,24 @@ class XmlParser {
   }
 
   Status ParseElement(NodeId parent) {
-    // At '<'.
+    // At '<'. Depth is checked before recursing: the scanner itself is
+    // recursive, so unbounded nesting would exhaust the call stack.
+    if (depth_ >= options_.max_depth) {
+      return Status::ResourceExhausted(
+          "element nesting exceeds max_depth (" +
+          std::to_string(options_.max_depth) + ") at offset " +
+          std::to_string(pos_));
+    }
+    ++depth_;
+    Status st = ParseElementBody(parent);
+    --depth_;
+    return st;
+  }
+
+  Status ParseElementBody(NodeId parent) {
+    if (!BudgetChargeNodes(options_.budget)) {
+      return BudgetStatus(options_.budget);
+    }
     ++pos_;
     std::string name;
     TREEDIFF_RETURN_IF_ERROR(ParseName(&name));
@@ -288,6 +310,7 @@ class XmlParser {
   const XmlParseOptions& options_;
   Tree* tree_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 bool IsAttributeLabel(const std::string& name) {

@@ -7,6 +7,7 @@
 
 #include "core/delta_tree.h"
 #include "tree/tree.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace treediff {
@@ -22,6 +23,18 @@ struct XmlParseOptions {
   /// leaf per text run — the right granularity for prose-bearing XML such
   /// as DocBook; leave false for data-bearing XML.
   bool split_sentences = false;
+
+  /// Maximum element nesting depth. The parser is recursive-descent, so this
+  /// bound is what keeps adversarial input (e.g. a million unclosed "<a>")
+  /// from exhausting the call stack; exceeding it returns
+  /// kResourceExhausted. Mirrors ParseLimits::max_depth for the document
+  /// front ends.
+  int max_depth = 256;
+
+  /// Optional budget, charged one node per parsed element; null means
+  /// uncharged. Exhaustion aborts with kResourceExhausted or
+  /// kDeadlineExceeded.
+  const Budget* budget = nullptr;
 };
 
 /// Parses well-formed XML into a tree (the paper's Section 9 SGML/XML

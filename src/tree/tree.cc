@@ -128,6 +128,19 @@ Status Tree::ReviveLeaf(NodeId x, NodeId parent, int k) {
   if (x < 0 || static_cast<size_t>(x) >= nodes_.size() || node(x).alive) {
     return Status::InvalidArgument("revive: node is not a dead slot");
   }
+  if (parent == kInvalidNode) {
+    // Restoring a deleted root (the rollback of a whole-tree delete).
+    if (root_ != kInvalidNode) {
+      return Status::InvalidArgument("revive: tree already has a root");
+    }
+    if (k != 1) return Status::OutOfRange("revive: root position must be 1");
+    node(x).alive = true;
+    node(x).parent = kInvalidNode;
+    node(x).children.clear();
+    root_ = x;
+    ++live_count_;
+    return Status::Ok();
+  }
   if (!Alive(parent)) {
     return Status::InvalidArgument("revive: parent is not a live node");
   }
@@ -140,6 +153,20 @@ Status Tree::ReviveLeaf(NodeId x, NodeId parent, int k) {
   node(x).parent = parent;
   node(x).children.clear();
   ++live_count_;
+  return Status::Ok();
+}
+
+Status Tree::TruncateDeadTail(size_t bound) {
+  if (bound > nodes_.size()) {
+    return Status::InvalidArgument("truncate: bound exceeds id_bound");
+  }
+  for (size_t i = bound; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive) {
+      return Status::FailedPrecondition(
+          "truncate: slot " + std::to_string(i) + " is still live");
+    }
+  }
+  nodes_.resize(bound);
   return Status::Ok();
 }
 

@@ -121,6 +121,13 @@ class Tree {
   /// UPD(x, value).
   Status UpdateValue(NodeId x, std::string value);
 
+  /// Pops node slots with id >= `bound` off the arena, restoring the
+  /// id_bound() a tree had before those ids were allocated. Every popped
+  /// slot must be dead; rejects otherwise. Transactional apply uses this to
+  /// roll back the ids minted by inserts, so a rolled-back tree is
+  /// indistinguishable from its pre-apply state.
+  Status TruncateDeadTail(size_t bound);
+
   /// MOV(x, new_parent, k): detaches the subtree rooted at `x` and reattaches
   /// it as the kth child of `new_parent` (position counted after detachment,
   /// as in the paper's running examples). Moving a node under its own

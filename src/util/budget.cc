@@ -1,0 +1,16 @@
+#include "util/budget.h"
+
+#include <sstream>
+
+namespace treediff {
+
+Status Budget::ToStatus() const {
+  if (exhausted_code_ == Code::kOk) return Status::Ok();
+  std::ostringstream msg;
+  msg << "budget exhausted (" << exhausted_detail_ << ") after "
+      << nodes_ << " nodes, " << comparisons_ << " comparisons, "
+      << peak_arena_ << " peak arena bytes, " << elapsed_seconds() << "s";
+  return Status(exhausted_code_, msg.str());
+}
+
+}  // namespace treediff

@@ -18,6 +18,10 @@ const char* CodeName(Code code) {
       return "Internal";
     case Code::kParseError:
       return "ParseError";
+    case Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -18,6 +18,8 @@ enum class Code {
   kOutOfRange = 4,
   kInternal = 5,
   kParseError = 6,
+  kResourceExhausted = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument",
@@ -60,6 +62,12 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(Code::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

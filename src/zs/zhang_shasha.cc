@@ -57,19 +57,38 @@ class ZsSolver {
  public:
   ZsSolver(const Tree& t1, const Tree& t2, const ZsOptions& opts)
       : t1_(t1), t2_(t2), opts_(opts), v1_(t1), v2_(t2) {
+    treedist_bytes_ = static_cast<size_t>(v1_.n + 1) *
+                      static_cast<size_t>(v2_.n + 1) * sizeof(double);
+    if (!BudgetChargeArena(opts_.budget, treedist_bytes_) ||
+        !BudgetChargeNodes(opts_.budget,
+                           static_cast<size_t>(v1_.n + v2_.n))) {
+      aborted_ = true;
+      return;
+    }
     treedist_.assign(
         static_cast<size_t>(v1_.n + 1),
         std::vector<double>(static_cast<size_t>(v2_.n + 1), 0.0));
   }
 
+  ~ZsSolver() { BudgetReleaseArena(opts_.budget, treedist_bytes_); }
+
   double Solve() {
+    if (aborted_) return 0.0;
     for (int i : v1_.keyroots) {
+      if (!BudgetCheckNow(opts_.budget)) {
+        aborted_ = true;
+        return 0.0;
+      }
       for (int j : v2_.keyroots) {
         ForestDist(i, j, /*fd_out=*/nullptr);
+        if (aborted_) return 0.0;
       }
     }
     return treedist_[static_cast<size_t>(v1_.n)][static_cast<size_t>(v2_.n)];
   }
+
+  /// True if the budget exhausted mid-run; the computed values are invalid.
+  bool aborted() const { return aborted_; }
 
   std::vector<std::pair<NodeId, NodeId>> Backtrack() {
     std::vector<std::pair<NodeId, NodeId>> mapping;
@@ -82,6 +101,7 @@ class ZsSolver {
   double Rename(int i, int j) const {
     const NodeId x = v1_.node[static_cast<size_t>(i)];
     const NodeId y = v2_.node[static_cast<size_t>(j)];
+    BudgetChargeComparisons(opts_.budget);
     if (t1_.label(x) != t2_.label(y)) return opts_.relabel_cost;
     if (opts_.comparator != nullptr) {
       return std::clamp(opts_.comparator->Compare(t1_, x, t2_, y), 0.0, 2.0);
@@ -98,6 +118,13 @@ class ZsSolver {
     const int lj = v2_.lml[static_cast<size_t>(j)];
     const int rows = i - li + 2;  // index 0 = empty forest.
     const int cols = j - lj + 2;
+    const size_t fd_bytes =
+        static_cast<size_t>(rows) * static_cast<size_t>(cols) * sizeof(double);
+    if (!BudgetChargeArena(opts_.budget, fd_bytes)) {
+      aborted_ = true;
+      BudgetReleaseArena(opts_.budget, fd_bytes);
+      return;
+    }
     std::vector<std::vector<double>> fd(
         static_cast<size_t>(rows),
         std::vector<double>(static_cast<size_t>(cols), 0.0));
@@ -110,6 +137,11 @@ class ZsSolver {
           fd[0][static_cast<size_t>(dj - 1)] + opts_.insert_cost;
     }
     for (int di = li; di <= i; ++di) {
+      if (!BudgetCheck(opts_.budget)) {
+        aborted_ = true;
+        BudgetReleaseArena(opts_.budget, fd_bytes);
+        return;
+      }
       for (int dj = lj; dj <= j; ++dj) {
         const int r = di - li + 1;
         const int c = dj - lj + 1;
@@ -138,6 +170,7 @@ class ZsSolver {
         }
       }
     }
+    BudgetReleaseArena(opts_.budget, fd_bytes);
     if (fd_out != nullptr) *fd_out = std::move(fd);
   }
 
@@ -149,6 +182,7 @@ class ZsSolver {
     const int lj = v2_.lml[static_cast<size_t>(j)];
     std::vector<std::vector<double>> fd;
     ForestDist(i, j, &fd);
+    if (aborted_) return;  // fd is empty; nothing sound to decode.
 
     // On cost ties, prefer the mapping (rename / subtree-cross) branch over
     // delete+insert: equal-cost optima then keep as much structure mapped
@@ -203,6 +237,8 @@ class ZsSolver {
   PostorderView v1_;
   PostorderView v2_;
   std::vector<std::vector<double>> treedist_;
+  size_t treedist_bytes_ = 0;
+  bool aborted_ = false;
 };
 
 }  // namespace
@@ -213,7 +249,9 @@ ZsResult ZhangShasha(const Tree& t1, const Tree& t2,
   ZsSolver solver(t1, t2, options);
   ZsResult result;
   result.distance = solver.Solve();
-  result.mapping = solver.Backtrack();
+  // On budget exhaustion the DP table is partial; skip the backtrack (it
+  // would decode garbage) and return an empty mapping.
+  if (!solver.aborted()) result.mapping = solver.Backtrack();
   return result;
 }
 

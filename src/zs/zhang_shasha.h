@@ -6,6 +6,7 @@
 
 #include "core/compare.h"
 #include "tree/tree.h"
+#include "util/budget.h"
 
 namespace treediff {
 
@@ -28,6 +29,14 @@ struct ZsOptions {
   double relabel_cost = 2.0;
 
   const ValueComparator* comparator = nullptr;
+
+  /// Optional resource budget. The solver charges the treedist table and
+  /// each forest-distance matrix against the arena cap, visits against the
+  /// node cap, and probes the deadline in the keyroot loops. If the budget
+  /// exhausts mid-run the solver aborts: the returned distance/mapping are
+  /// meaningless and callers must check `budget->exhausted()` before using
+  /// them (the degradation ladder in core/diff.cc does).
+  const Budget* budget = nullptr;
 };
 
 /// Result of the Zhang-Shasha computation.

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "doc/html_parser.h"
+#include "doc/latex_parser.h"
+#include "doc/markdown_parser.h"
+#include "doc/parse_limits.h"
+#include "doc/xml.h"
+
+namespace treediff {
+namespace {
+
+std::string Repeat(const std::string& piece, int times) {
+  std::string out;
+  out.reserve(piece.size() * static_cast<size_t>(times));
+  for (int i = 0; i < times; ++i) out += piece;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LaTeX.
+// ---------------------------------------------------------------------------
+
+TEST(ParserLimitsTest, LatexNestingWithinLimitParses) {
+  std::string doc = Repeat("\\begin{itemize}\\item x ", 10) +
+                    Repeat("\\end{itemize}", 10);
+  auto tree = ParseLatex(doc);
+  EXPECT_TRUE(tree.ok());
+}
+
+TEST(ParserLimitsTest, LatexDeepNestingTripsDefaultLimit) {
+  std::string doc = Repeat("\\begin{itemize}\\item x ", 5000) +
+                    Repeat("\\end{itemize}", 5000);
+  auto tree = ParseLatex(doc);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Code::kResourceExhausted);
+}
+
+TEST(ParserLimitsTest, LatexCustomDepthLimit) {
+  std::string doc = Repeat("\\begin{itemize}\\item x ", 5) +
+                    Repeat("\\end{itemize}", 5);
+  ParseLimits limits;
+  limits.max_depth = 3;
+  auto tree = ParseLatex(doc, nullptr, limits);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Code::kResourceExhausted);
+  limits.max_depth = 8;
+  EXPECT_TRUE(ParseLatex(doc, nullptr, limits).ok());
+}
+
+TEST(ParserLimitsTest, LatexExpiredDeadlineTrips) {
+  Budget budget = Budget::Deadline(0.0);
+  ParseLimits limits;
+  limits.budget = &budget;
+  auto tree = ParseLatex("\\section{One} some prose here.", nullptr, limits);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Code::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// HTML.
+// ---------------------------------------------------------------------------
+
+TEST(ParserLimitsTest, HtmlDeepListNestingTripsDefaultLimit) {
+  std::string doc =
+      Repeat("<ul><li>x", 5000) + Repeat("</li></ul>", 5000);
+  auto tree = ParseHtml(doc);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Code::kResourceExhausted);
+}
+
+TEST(ParserLimitsTest, HtmlCustomDepthLimit) {
+  std::string doc = Repeat("<ul><li>x", 5) + Repeat("</li></ul>", 5);
+  ParseLimits limits;
+  limits.max_depth = 3;
+  auto tree = ParseHtml(doc, nullptr, limits);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Code::kResourceExhausted);
+  limits.max_depth = 8;
+  EXPECT_TRUE(ParseHtml(doc, nullptr, limits).ok());
+}
+
+TEST(ParserLimitsTest, HtmlNodeCapTrips) {
+  Budget budget;
+  budget.set_node_cap(3);
+  ParseLimits limits;
+  limits.budget = &budget;
+  std::string doc = "<p>one</p><p>two</p><p>three</p><p>four</p><p>five</p>";
+  auto tree = ParseHtml(doc, nullptr, limits);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Code::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Markdown (flat structure: only the budget applies).
+// ---------------------------------------------------------------------------
+
+TEST(ParserLimitsTest, MarkdownNodeCapTrips) {
+  Budget budget;
+  budget.set_node_cap(5);
+  ParseLimits limits;
+  limits.budget = &budget;
+  std::string doc = Repeat("a line of prose\n", 100);
+  auto tree = ParseMarkdown(doc, nullptr, limits);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Code::kResourceExhausted);
+}
+
+TEST(ParserLimitsTest, MarkdownUnbudgetedStillParses) {
+  std::string doc = Repeat("a line of prose\n\n", 100);
+  auto tree = ParseMarkdown(doc);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(tree->size(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// XML (recursive parser: the depth cap guards the call stack).
+// ---------------------------------------------------------------------------
+
+TEST(ParserLimitsTest, XmlDeepNestingTripsDefaultLimit) {
+  std::string doc = Repeat("<a>", 100000) + Repeat("</a>", 100000);
+  auto tree = ParseXml(doc);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Code::kResourceExhausted);
+}
+
+TEST(ParserLimitsTest, XmlCustomDepthLimit) {
+  std::string doc = Repeat("<a>", 10) + Repeat("</a>", 10);
+  XmlParseOptions options;
+  options.max_depth = 5;
+  auto tree = ParseXml(doc, nullptr, options);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Code::kResourceExhausted);
+  options.max_depth = 20;
+  EXPECT_TRUE(ParseXml(doc, nullptr, options).ok());
+}
+
+TEST(ParserLimitsTest, XmlElementBudgetTrips) {
+  Budget budget;
+  budget.set_node_cap(3);
+  XmlParseOptions options;
+  options.budget = &budget;
+  std::string doc = "<r><a/><b/><c/><d/><e/></r>";
+  auto tree = ParseXml(doc, nullptr, options);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), Code::kResourceExhausted);
+}
+
+TEST(ParserLimitsTest, XmlWithinLimitsParsesNormally) {
+  std::string doc = Repeat("<a>", 200) + Repeat("</a>", 200);
+  auto tree = ParseXml(doc);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 200u);
+}
+
+}  // namespace
+}  // namespace treediff

@@ -23,6 +23,8 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::OutOfRange("x").code(), Code::kOutOfRange);
   EXPECT_EQ(Status::Internal("x").code(), Code::kInternal);
   EXPECT_EQ(Status::ParseError("x").code(), Code::kParseError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(), Code::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), Code::kDeadlineExceeded);
   EXPECT_EQ(Status::Internal("boom").message(), "boom");
   EXPECT_FALSE(Status::Internal("boom").ok());
 }
@@ -35,6 +37,8 @@ TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(CodeName(Code::kOk), "OK");
   EXPECT_STREQ(CodeName(Code::kParseError), "ParseError");
+  EXPECT_STREQ(CodeName(Code::kResourceExhausted), "ResourceExhausted");
+  EXPECT_STREQ(CodeName(Code::kDeadlineExceeded), "DeadlineExceeded");
 }
 
 TEST(StatusOrTest, HoldsValue) {

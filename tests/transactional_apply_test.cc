@@ -1,0 +1,154 @@
+#include "core/edit_script.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/diff.h"
+#include "tree/builder.h"
+
+namespace treediff {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<LabelTable> labels = std::make_shared<LabelTable>();
+
+  Tree Parse(const std::string& s) { return *ParseSexpr(s, labels); }
+
+  LabelId Label(const std::string& name) { return labels->Intern(name); }
+};
+
+// A script whose tail references a nonexistent parent: the ops before it
+// succeed, then the failure must roll everything back.
+TEST(TransactionalApplyTest, MidScriptFailureRestoresTreeExactly) {
+  Fixture f;
+  Tree tree = f.Parse("(D (P (S \"one\") (S \"two\")) (P (S \"three\")))");
+  const std::string before = tree.ToDebugString();
+  const size_t before_bound = tree.id_bound();
+
+  EditScript script;
+  // Two valid ops (the fresh insert will be allocated id 6 = id_bound)...
+  script.Append(EditOp::Update(2, "rewritten", 1.0));
+  script.Append(EditOp::Insert(6, f.Label("S"), "fresh", 1, 3));
+  // ...then one referencing a parent id far out of range.
+  script.Append(EditOp::Insert(7, f.Label("S"), "doomed", 9999, 1));
+
+  Status st = script.ApplyTo(&tree);
+  ASSERT_FALSE(st.ok());
+  // The failing op index and rollback are named in the message.
+  EXPECT_NE(st.message().find("op 2"), std::string::npos);
+  EXPECT_NE(st.message().find("rolled back"), std::string::npos);
+  // Byte-identical pre-apply state, including the id space.
+  EXPECT_EQ(tree.ToDebugString(), before);
+  EXPECT_EQ(tree.id_bound(), before_bound);
+}
+
+TEST(TransactionalApplyTest, FailedUpdateRollsBackEarlierOps) {
+  Fixture f;
+  Tree tree = f.Parse("(D (P (S \"alpha\") (S \"beta\")))");
+  const std::string before = tree.ToDebugString();
+
+  EditScript script;
+  script.Append(EditOp::Update(2, "changed alpha", 1.0));
+  script.Append(EditOp::Delete(3));
+  script.Append(EditOp::Update(3, "dead node", 1.0));  // 3 was just deleted.
+
+  Status st = script.ApplyTo(&tree);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(tree.ToDebugString(), before);
+}
+
+TEST(TransactionalApplyTest, FailedMoveRollsBackEarlierOps) {
+  Fixture f;
+  Tree tree = f.Parse("(D (P (S \"a\")) (P (S \"b\")))");
+  const std::string before = tree.ToDebugString();
+
+  EditScript script;
+  script.Append(EditOp::Move(4, 1, 1));  // Valid: move (S b) under the
+                                         // first paragraph.
+  script.Append(EditOp::Move(0, 1, 1));  // Invalid: the root cannot move.
+  Status st = script.ApplyTo(&tree);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(tree.ToDebugString(), before);
+}
+
+TEST(TransactionalApplyTest, RootDeleteFailureRollsBack) {
+  Fixture f;
+  // Deleting leaves until the tree is empty, then one bad op: the rollback
+  // has to revive a deleted root (parent == kInvalidNode inverse).
+  Tree tree = f.Parse("(D)");
+  const std::string before = tree.ToDebugString();
+
+  EditScript script;
+  script.Append(EditOp::Delete(0));                        // Deletes the root.
+  script.Append(EditOp::Update(0, "poke the dead", 1.0));  // Fails.
+
+  Status st = script.ApplyTo(&tree);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(tree.ToDebugString(), before);
+  EXPECT_EQ(tree.root(), NodeId{0});
+}
+
+TEST(TransactionalApplyTest, BudgetExhaustionMidApplyRollsBack) {
+  Fixture f;
+  Tree tree = f.Parse("(D (P (S \"one\") (S \"two\") (S \"three\")))");
+  const std::string before = tree.ToDebugString();
+
+  EditScript script;
+  script.Append(EditOp::Update(2, "x", 1.0));
+  script.Append(EditOp::Update(3, "y", 1.0));
+  script.Append(EditOp::Update(4, "z", 1.0));
+
+  Budget budget;
+  budget.set_node_cap(2);  // Third op exceeds the cap.
+  Status st = script.ApplyTo(&tree, &budget);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(IsExhaustion(st.code()));
+  EXPECT_EQ(tree.ToDebugString(), before);
+}
+
+TEST(TransactionalApplyTest, SuccessfulApplyIsUnchangedByUndoMachinery) {
+  Fixture f;
+  Tree t1 = f.Parse(
+      "(D (P (S \"the quick brown fox\") (S \"jumped over dogs\")) "
+      "(P (S \"stable line\")))");
+  Tree t2 = f.Parse(
+      "(D (P (S \"the quick brown wolf\")) "
+      "(P (S \"stable line\") (S \"new material here\")))");
+  auto result = DiffTrees(t1, t2);
+  ASSERT_TRUE(result.ok());
+  Tree replay = t1.Clone();
+  ASSERT_TRUE(result->script.ApplyTo(&replay).ok());
+  EXPECT_TRUE(Tree::Isomorphic(replay, t2));
+}
+
+TEST(TransactionalApplyTest, InsertRollbackPopsMintedIds) {
+  Fixture f;
+  Tree tree = f.Parse("(D (P (S \"one\")))");
+  const size_t before_bound = tree.id_bound();
+
+  EditScript script;
+  script.Append(EditOp::Insert(3, f.Label("S"), "a", 1, 2));
+  script.Append(EditOp::Insert(4, f.Label("S"), "b", 1, 3));
+  script.Append(EditOp::Move(0, 2, 1));  // The root cannot move: fails.
+
+  Status st = script.ApplyTo(&tree);
+  ASSERT_FALSE(st.ok());
+  // The two minted leaf ids are popped again, not left as dead slots.
+  EXPECT_EQ(tree.id_bound(), before_bound);
+}
+
+TEST(TransactionalApplyTest, FailureStatusNamesTheOp) {
+  Fixture f;
+  Tree tree = f.Parse("(D (P (S \"one\")))");
+  EditScript script;
+  script.Append(EditOp::Delete(1));  // P still has a child: not a leaf.
+  Status st = script.ApplyTo(&tree);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("op 0"), std::string::npos);
+  EXPECT_NE(st.message().find("DEL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treediff
