@@ -1,0 +1,367 @@
+// Index ablation: the shared-TreeIndex pipeline against a seed-style
+// pipeline in which every stage recomputes its own traversal precompute
+// (orders, Euler intervals, leaf counts, per-(tree, node) tokenization; no
+// hash fast paths, no pair memo). The baseline below is a faithful copy of
+// the pre-index match phase — subtree-walk CommonLeaves, string-token LCS,
+// per-node token cache — driving the shared script generator, so the two
+// pipelines are compared end-to-end on identical semantics and the resulting
+// edit scripts can be checked for byte identity.
+//
+// Workload: the Section 8 synthetic document sets under the paper's edit
+// mix (~5% churn), the regime the ISSUE's acceptance criterion targets.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/diff.h"
+#include "core/edit_script_gen.h"
+#include "core/script_io.h"
+#include "lcs/lcs.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/tokenize.h"
+
+namespace {
+
+using namespace treediff;
+
+// ---------------------------------------------------------------------------
+// Seed-style baseline (pre-TreeIndex pipeline, copied from the seed sources).
+// ---------------------------------------------------------------------------
+
+/// The seed WordLcsComparator: tokenizes once per (tree, node) — identical
+/// sentences at different nodes tokenize repeatedly — runs the LCS over
+/// strings, and has no hash fast path and no pair memo.
+class SeedWordLcsComparator : public ValueComparator {
+ protected:
+  double CompareImpl(const Tree& t1, NodeId x, const Tree& t2,
+                     NodeId y) const override {
+    if (t1.value(x) == t2.value(y)) return 0.0;
+    const std::vector<std::string>& a = Tokens(t1, x);
+    const std::vector<std::string>& b = Tokens(t2, y);
+    if (a.empty() && b.empty()) return 0.0;
+    const size_t common = LcsLength(a, b);
+    const double total_off = static_cast<double>(a.size() + b.size()) -
+                             2.0 * static_cast<double>(common);
+    return total_off / static_cast<double>(std::max(a.size(), b.size()));
+  }
+
+ private:
+  struct Key {
+    const Tree* tree;
+    NodeId node;
+    bool operator==(const Key& o) const {
+      return tree == o.tree && node == o.node;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<const void*>()(k.tree) * 31 +
+             std::hash<NodeId>()(k.node);
+    }
+  };
+
+  const std::vector<std::string>& Tokens(const Tree& t, NodeId x) const {
+    auto it = cache_.find(Key{&t, x});
+    if (it != cache_.end()) return it->second;
+    return cache_
+        .emplace(Key{&t, x}, SplitWords(t.value(x), /*normalize=*/false))
+        .first->second;
+  }
+
+  mutable std::unordered_map<Key, std::vector<std::string>, KeyHash> cache_;
+};
+
+/// The seed CriteriaEvaluator: per-call Euler tour + leaf-count vectors, and
+/// CommonLeaves as a full subtree walk (every internal node of x's subtree is
+/// visited to find the leaves).
+class SeedCriteriaEvaluator {
+ public:
+  SeedCriteriaEvaluator(const Tree& t1, const Tree& t2,
+                        const ValueComparator* comparator, MatchOptions options)
+      : t1_(t1),
+        t2_(t2),
+        comparator_(comparator),
+        options_(options),
+        euler2_(t2.ComputeEuler()),
+        leaf_counts1_(t1.LeafCounts()),
+        leaf_counts2_(t2.LeafCounts()) {}
+
+  bool LeafEqual(NodeId x, NodeId y) const {
+    if (t1_.label(x) != t2_.label(y)) return false;
+    return comparator_->Compare(t1_, x, t2_, y) <= options_.leaf_threshold_f;
+  }
+
+  int CommonLeaves(NodeId x, NodeId y, const Matching& m) const {
+    int common = 0;
+    std::vector<NodeId> stack = {x};
+    while (!stack.empty()) {
+      NodeId w = stack.back();
+      stack.pop_back();
+      const auto& kids = t1_.children(w);
+      if (kids.empty()) {
+        NodeId z = m.PartnerOfT1(w);
+        ++partner_checks_;
+        if (z != kInvalidNode && euler2_.Contains(y, z)) ++common;
+      } else {
+        for (NodeId c : kids) stack.push_back(c);
+      }
+    }
+    return common;
+  }
+
+  bool InternalEqual(NodeId x, NodeId y, const Matching& m) const {
+    if (t1_.label(x) != t2_.label(y)) return false;
+    const int max_size =
+        std::max(leaf_counts1_[static_cast<size_t>(x)],
+                 leaf_counts2_[static_cast<size_t>(y)]);
+    if (max_size == 0) return true;
+    return static_cast<double>(CommonLeaves(x, y, m)) >
+           options_.internal_threshold_t * static_cast<double>(max_size);
+  }
+
+  size_t partner_checks() const { return partner_checks_; }
+
+ private:
+  const Tree& t1_;
+  const Tree& t2_;
+  const ValueComparator* comparator_;
+  MatchOptions options_;
+  Tree::EulerIntervals euler2_;
+  std::vector<int> leaf_counts1_;
+  std::vector<int> leaf_counts2_;
+  mutable size_t partner_checks_ = 0;
+};
+
+/// Steps 2a-2e of Figure 11 on one label chain (seed fast_match.cc).
+void SeedMatchChain(const std::vector<NodeId>& s1,
+                    const std::vector<NodeId>& s2, bool leaves,
+                    const SeedCriteriaEvaluator& eval, Matching* m) {
+  auto equal = [&](NodeId x, NodeId y) {
+    return leaves ? eval.LeafEqual(x, y) : eval.InternalEqual(x, y, *m);
+  };
+  std::vector<LcsPair> lcs =
+      Lcs(static_cast<int>(s1.size()), static_cast<int>(s2.size()),
+          [&](int i, int j) {
+            return equal(s1[static_cast<size_t>(i)],
+                         s2[static_cast<size_t>(j)]);
+          });
+  for (const LcsPair& p : lcs) {
+    m->Add(s1[static_cast<size_t>(p.a_index)],
+           s2[static_cast<size_t>(p.b_index)]);
+  }
+  for (NodeId x : s1) {
+    if (m->HasT1(x)) continue;
+    for (NodeId y : s2) {
+      if (m->HasT2(y)) continue;
+      if (equal(x, y)) {
+        m->Add(x, y);
+        break;
+      }
+    }
+  }
+}
+
+/// Algorithm FastMatch with per-call chain construction via fresh preorder
+/// traversals (seed fast_match.cc, schema-less path).
+Matching SeedFastMatch(const Tree& t1, const Tree& t2,
+                       const SeedCriteriaEvaluator& eval) {
+  Matching m(t1.id_bound(), t2.id_bound());
+  struct Chain {
+    std::vector<NodeId> t1_nodes;
+    std::vector<NodeId> t2_nodes;
+  };
+  std::map<LabelId, Chain> leaf_chains;
+  std::map<LabelId, Chain> internal_chains;
+  for (NodeId x : t1.PreOrder()) {
+    auto& chains = t1.IsLeaf(x) ? leaf_chains : internal_chains;
+    chains[t1.label(x)].t1_nodes.push_back(x);
+  }
+  for (NodeId y : t2.PreOrder()) {
+    auto& chains = t2.IsLeaf(y) ? leaf_chains : internal_chains;
+    chains[t2.label(y)].t2_nodes.push_back(y);
+  }
+  for (const auto& [label, chain] : leaf_chains) {
+    SeedMatchChain(chain.t1_nodes, chain.t2_nodes, /*leaves=*/true, eval, &m);
+  }
+  for (const auto& [label, chain] : internal_chains) {
+    SeedMatchChain(chain.t1_nodes, chain.t2_nodes, /*leaves=*/false, eval, &m);
+  }
+  return m;
+}
+
+/// The Section 8 repair pass (seed post_process.cc).
+size_t SeedPostProcess(const Tree& t1, const Tree& t2,
+                       const SeedCriteriaEvaluator& eval, Matching* matching) {
+  auto equal = [&](NodeId c, NodeId cc, const Matching& m) {
+    if (t1.label(c) != t2.label(cc)) return false;
+    if (t1.IsLeaf(c) != t2.IsLeaf(cc)) return false;
+    return t1.IsLeaf(c) ? eval.LeafEqual(c, cc)
+                        : eval.InternalEqual(c, cc, m);
+  };
+  size_t rematched = 0;
+  for (NodeId x : t1.PreOrder()) {
+    const NodeId y = matching->PartnerOfT1(x);
+    if (y == kInvalidNode) continue;
+    for (NodeId c : t1.children(x)) {
+      const NodeId c_partner = matching->PartnerOfT1(c);
+      if (c_partner == kInvalidNode || t2.parent(c_partner) == y) continue;
+      for (NodeId cc : t2.children(y)) {
+        const NodeId cc_partner = matching->PartnerOfT2(cc);
+        if (cc_partner == c) continue;
+        if (!equal(c, cc, *matching)) continue;
+        if (cc_partner == kInvalidNode) {
+          matching->Remove(c, c_partner);
+          matching->Add(c, cc);
+          ++rematched;
+          break;
+        }
+        if (t2.parent(c_partner) != y &&
+            equal(cc_partner, c_partner, *matching)) {
+          matching->Remove(c, c_partner);
+          matching->Remove(cc_partner, cc);
+          matching->Add(c, cc);
+          matching->Add(cc_partner, c_partner);
+          ++rematched;
+          break;
+        }
+      }
+    }
+  }
+  return rematched;
+}
+
+struct SeedDiffResult {
+  EditScript script;
+  size_t compare_calls = 0;
+};
+
+/// The seed kFastMatch pipeline end-to-end: fresh comparator and evaluator
+/// per call (as seed DiffTrees constructed them), FastMatch, explicit root
+/// pairing, post-process, then the shared script generator.
+SeedDiffResult SeedStyleDiff(const Tree& t1, const Tree& t2) {
+  SeedWordLcsComparator comparator;
+  SeedCriteriaEvaluator eval(t1, t2, &comparator, MatchOptions{});
+  Matching m = SeedFastMatch(t1, t2, eval);
+  if (m.PartnerOfT2(t2.root()) != t1.root() && !m.HasT1(t1.root()) &&
+      !m.HasT2(t2.root()) && t1.label(t1.root()) == t2.label(t2.root())) {
+    m.Add(t1.root(), t2.root());
+  }
+  SeedPostProcess(t1, t2, eval, &m);
+  auto gen = GenerateEditScript(t1, t2, m, &comparator);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "seed-style generation failed: %s\n",
+                 gen.status().ToString().c_str());
+    std::exit(1);
+  }
+  return SeedDiffResult{std::move(gen->script), comparator.calls()};
+}
+
+// ---------------------------------------------------------------------------
+// Workloads and measurement.
+// ---------------------------------------------------------------------------
+
+struct Workload {
+  std::string name;
+  Tree base;
+  Tree version;
+  int leaves = 0;
+  int edits = 0;
+};
+
+std::vector<Workload> MakeWorkloads() {
+  Vocabulary vocab(3000, 1.0);
+  auto labels = std::make_shared<LabelTable>();
+  const EditMix mix = bench::PaperEditMix();
+  Rng rng(4242);
+  std::vector<Workload> workloads;
+  for (bench::DocumentSet& set : bench::MakeDocumentSets(vocab, labels)) {
+    Workload w;
+    w.name = set.name;
+    w.leaves = set.leaves;
+    w.edits = std::max(8, set.leaves / 20);  // ~5% churn.
+    SimulatedVersion v =
+        SimulateNewVersion(set.base, w.edits, mix, vocab, &rng);
+    w.base = std::move(set.base);
+    w.version = std::move(v.new_tree);
+    workloads.push_back(std::move(w));
+  }
+  return workloads;
+}
+
+/// Times `reps` runs of `fn` and returns mean milliseconds.
+template <typename Fn>
+double TimeMs(int reps, Fn&& fn) {
+  WallTimer timer;
+  for (int r = 0; r < reps; ++r) fn();
+  return timer.ElapsedMicros() / 1e3 / reps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Index ablation: shared TreeIndex vs per-stage recompute\n");
+  std::printf("(Section 8 synthetic sets, paper edit mix, ~5%% churn; "
+              "seed-style = pre-index match phase)\n\n");
+
+  std::vector<Workload> workloads = MakeWorkloads();
+  const int kReps = 20;
+  bool all_identical = true;
+  double speedup_product = 1.0;
+
+  TablePrinter table({"set", "leaves", "seed ms", "indexed ms", "speedup",
+                      "seed cmp", "idx cmp", "script"});
+  for (const Workload& w : workloads) {
+    std::optional<SeedDiffResult> seed;
+    const double seed_ms = TimeMs(
+        kReps, [&] { seed.emplace(SeedStyleDiff(w.base, w.version)); });
+
+    DiffOptions options;
+    std::optional<DiffResult> indexed;
+    const double indexed_ms = TimeMs(kReps, [&] {
+      auto result = DiffTrees(w.base, w.version, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "DiffTrees failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      indexed.emplace(std::move(*result));
+    });
+
+    const LabelTable& labels = *w.base.label_table();
+    const bool identical = FormatEditScript(seed->script, labels) ==
+                           FormatEditScript(indexed->script, labels);
+    all_identical = all_identical && identical;
+    const double speedup = seed_ms / indexed_ms;
+    speedup_product *= speedup;
+
+    table.AddRow({w.name, TablePrinter::Fmt(static_cast<int64_t>(w.leaves)),
+                  TablePrinter::Fmt(seed_ms, 2),
+                  TablePrinter::Fmt(indexed_ms, 2),
+                  TablePrinter::Fmt(speedup, 2) + "x",
+                  TablePrinter::Fmt(seed->compare_calls),
+                  TablePrinter::Fmt(indexed->stats.compare_calls),
+                  identical ? "identical" : "DIFFERS"});
+  }
+  table.Print();
+
+  const double geomean =
+      std::pow(speedup_product, 1.0 / static_cast<double>(workloads.size()));
+  std::printf("\ngeomean speedup: %.2fx\n", geomean);
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: indexed pipeline's edit script differs from the "
+                 "seed-style pipeline's\n");
+    return 1;
+  }
+  std::printf("edit scripts: byte-identical across all sets\n");
+  return 0;
+}

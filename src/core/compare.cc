@@ -3,50 +3,116 @@
 #include <algorithm>
 
 #include "lcs/lcs.h"
+#include "tree/tree_index.h"
 #include "util/tokenize.h"
 
 namespace treediff {
 
 double ExactComparator::CompareImpl(const Tree& t1, NodeId x, const Tree& t2,
                                     NodeId y) const {
+  // Hash-first: with indexed trees an unequal hash proves inequality for
+  // free; only equal hashes fall through to the byte compare. Without
+  // indexes, hashing would cost as much as comparing, so don't.
+  const TreeIndex* i1 = t1.attached_index();
+  const TreeIndex* i2 = t2.attached_index();
+  if (i1 != nullptr && i2 != nullptr && i1->ValueHash(x) != i2->ValueHash(y)) {
+    return 2.0;
+  }
   return t1.value(x) == t2.value(y) ? 0.0 : 2.0;
 }
 
-const std::vector<std::string>& WordLcsComparator::Tokens(const Tree& t,
-                                                          NodeId x) const {
-  CacheKey key{&t, x};
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
-  auto [ins, inserted] =
-      cache_.emplace(key, SplitWords(t.value(x), normalize_words_));
-  return ins->second;
+const WordLcsComparator::TokenEntry& WordLcsComparator::Tokens(
+    const Tree& t, NodeId x, uint64_t value_hash) const {
+  auto it = token_cache_.find(value_hash);
+  if (it != token_cache_.end()) {
+    ++stats_.tokenize_hits;
+    return it->second;
+  }
+  ++stats_.tokenize_misses;
+  TokenEntry entry;
+  for (std::string& word : SplitWords(t.value(x), normalize_words_)) {
+    auto [w, inserted] = word_ids_.try_emplace(
+        std::move(word), static_cast<int32_t>(word_ids_.size()));
+    entry.ids.push_back(w->second);
+  }
+  for (size_t i = 0; i < entry.ids.size(); ++i) {
+    entry.positions[entry.ids[i]].push_back(static_cast<int32_t>(i));
+  }
+  return token_cache_.emplace(value_hash, std::move(entry)).first->second;
 }
 
 namespace {
 
-double WordLcsDistanceOnTokens(const std::vector<std::string>& a,
-                               const std::vector<std::string>& b) {
-  if (a.empty() && b.empty()) return 0.0;
-  const size_t common = LcsLength(a, b);
-  const double total_off = static_cast<double>(a.size() + b.size()) -
-                           2.0 * static_cast<double>(common);
-  return total_off / static_cast<double>(std::max(a.size(), b.size()));
+/// Hunt–Szymanski LCS length: for each token of `a` in order, take its
+/// positions in `b` in descending order; the LCS is the longest strictly
+/// increasing subsequence of that stream, found by patience sorting. Exact
+/// for any inputs, and O(|a| + r log r) where r is the number of matching
+/// position pairs — near zero for the unrelated sentences that dominate
+/// matching probes (exactly where Myers' O((|a| + |b|) * D) is quadratic).
+size_t LcsLengthByPositions(
+    const std::vector<int32_t>& a,
+    const std::unordered_map<int32_t, std::vector<int32_t>>& b_positions) {
+  std::vector<int32_t> tails;
+  for (int32_t token : a) {
+    const auto it = b_positions.find(token);
+    if (it == b_positions.end()) continue;
+    const std::vector<int32_t>& pos = it->second;
+    for (auto p = pos.rbegin(); p != pos.rend(); ++p) {
+      const auto slot = std::lower_bound(tails.begin(), tails.end(), *p);
+      if (slot == tails.end()) {
+        tails.push_back(*p);
+      } else {
+        *slot = *p;
+      }
+    }
+  }
+  return tails.size();
+}
+
+double WordLcsDistanceOnTokens(size_t a_size, size_t b_size, size_t common) {
+  if (a_size == 0 && b_size == 0) return 0.0;
+  const double total_off =
+      static_cast<double>(a_size + b_size) - 2.0 * static_cast<double>(common);
+  return total_off / static_cast<double>(std::max(a_size, b_size));
+}
+
+/// Order-insensitive combination of two value hashes into one pair key.
+uint64_t PairKey(uint64_t ha, uint64_t hb) {
+  const uint64_t lo = std::min(ha, hb);
+  const uint64_t hi = std::max(ha, hb);
+  return lo ^ (hi + 0x9e3779b97f4a7c15ULL + (lo << 6) + (lo >> 2));
 }
 
 }  // namespace
 
 double WordLcsComparator::CompareImpl(const Tree& t1, NodeId x, const Tree& t2,
                                       NodeId y) const {
-  // Fast path: identical strings need no tokenization.
-  if (t1.value(x) == t2.value(y)) return 0.0;
-  return WordLcsDistanceOnTokens(Tokens(t1, x), Tokens(t2, y));
+  const uint64_t hx = NodeValueHash(t1, x);
+  const uint64_t hy = NodeValueHash(t2, y);
+  // Fast path: identical strings need no tokenization. Unequal hashes prove
+  // the strings differ, so the byte compare runs only on a hash match.
+  if (hx == hy && t1.value(x) == t2.value(y)) return 0.0;
+  const uint64_t pair = PairKey(hx, hy);
+  auto hit = pair_cache_.find(pair);
+  if (hit != pair_cache_.end()) return hit->second;
+  // Materialize both token entries before taking references: the second
+  // Tokens call may rehash token_cache_.
+  Tokens(t1, x, hx);
+  Tokens(t2, y, hy);
+  const TokenEntry& a = token_cache_.find(hx)->second;
+  const TokenEntry& b = token_cache_.find(hy)->second;
+  const size_t common = LcsLengthByPositions(a.ids, b.positions);
+  const double d = WordLcsDistanceOnTokens(a.ids.size(), b.ids.size(), common);
+  pair_cache_.emplace(pair, d);
+  return d;
 }
 
 double WordLcsDistance(const std::string& a, const std::string& b,
                        bool normalize_words) {
   if (a == b) return 0.0;
-  return WordLcsDistanceOnTokens(SplitWords(a, normalize_words),
-                                 SplitWords(b, normalize_words));
+  const std::vector<std::string> ta = SplitWords(a, normalize_words);
+  const std::vector<std::string> tb = SplitWords(b, normalize_words);
+  return WordLcsDistanceOnTokens(ta.size(), tb.size(), LcsLength(ta, tb));
 }
 
 }  // namespace treediff

@@ -2,6 +2,7 @@
 #define TREEDIFF_CORE_COMPARE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,9 +17,18 @@ namespace treediff {
 /// opposite. Implementations must be symmetric in the values.
 ///
 /// Calls are counted (the r1 term of the Section 8 cost model); counters are
-/// mutable so that const evaluators can be instrumented.
+/// mutable so that const evaluators can be instrumented. Counting happens in
+/// the non-virtual Compare wrapper, before any memoization, so cached and
+/// uncached invocations are indistinguishable to the counter.
 class ValueComparator {
  public:
+  /// Hit/miss statistics of the comparator's tokenization memo (zeros for
+  /// comparators that do not tokenize). Surfaced in DiffResult::report.
+  struct CacheStats {
+    size_t tokenize_hits = 0;
+    size_t tokenize_misses = 0;
+  };
+
   virtual ~ValueComparator() = default;
 
   /// Returns the distance in [0, 2] between v(x) in `t1` and v(y) in `t2`.
@@ -31,6 +41,8 @@ class ValueComparator {
   size_t calls() const { return calls_; }
   void ResetCalls() { calls_ = 0; }
 
+  virtual CacheStats cache_stats() const { return {}; }
+
  protected:
   virtual double CompareImpl(const Tree& t1, NodeId x, const Tree& t2,
                              NodeId y) const = 0;
@@ -40,7 +52,9 @@ class ValueComparator {
 };
 
 /// Exact comparison: distance 0 when the values are byte-identical, 2
-/// otherwise. The natural choice for keyed or atomic values.
+/// otherwise. The natural choice for keyed or atomic values. When both trees
+/// carry a TreeIndex, unequal value hashes answer "not equal" without
+/// touching the strings.
 class ExactComparator : public ValueComparator {
  protected:
   double CompareImpl(const Tree& t1, NodeId x, const Tree& t2,
@@ -52,10 +66,26 @@ class ExactComparator : public ValueComparator {
 /// [0, 2] as (|a| + |b| - 2*|LCS|) / max(|a|, |b|). Identical sentences score
 /// 0, disjoint sentences approach 2.
 ///
-/// Tokenizations are memoized per (tree, node) because the matching
-/// algorithms compare the same sentence against many candidates. The cache
-/// assumes node values do not change between Compare calls; clear it (or use
-/// a fresh comparator) after mutating a tree.
+/// Three layers of memoization, all keyed by 64-bit value hashes (served
+/// from an attached TreeIndex when present, recomputed otherwise):
+///
+///  * equality fast path — equal hashes short-circuit to a single string
+///    compare; unequal hashes skip string equality entirely;
+///  * tokenization memo — values tokenize once per distinct *content* (the
+///    seed tokenized once per (tree, node), so identical sentences at
+///    different nodes tokenized repeatedly). Words are interned to dense
+///    int32 ids and each entry keeps a token -> positions map, so the LCS
+///    length is computed by Hunt–Szymanski (LIS over match positions) in
+///    O(|a| + r log r), where r is the number of matching position pairs.
+///    Matching probes mostly compare unrelated sentences, for which r is
+///    near zero — where Myers' O((|a| + |b|) * D) is at its quadratic
+///    worst — and the LCS length (hence the distance) is exact either way;
+///  * pair memo — the distance for an unordered pair of value hashes is
+///    computed once, however many node pairs share that content.
+///
+/// Hash-keyed caching stays correct across value updates (a changed value
+/// changes its hash) but, like any fingerprint scheme, trusts 64-bit hashes
+/// not to collide. Compare() counting is unaffected by cache hits.
 class WordLcsComparator : public ValueComparator {
  public:
   /// If `normalize_words` is true, words are lowercased and stripped of
@@ -64,33 +94,37 @@ class WordLcsComparator : public ValueComparator {
   explicit WordLcsComparator(bool normalize_words = false)
       : normalize_words_(normalize_words) {}
 
-  /// Drops all memoized tokenizations.
-  void ClearCache() const { cache_.clear(); }
+  /// Drops all memoized state (tokenizations, pair distances, the word
+  /// interning table) and zeroes the cache counters.
+  void ClearCache() const {
+    token_cache_.clear();
+    pair_cache_.clear();
+    word_ids_.clear();
+    stats_ = {};
+  }
+
+  CacheStats cache_stats() const override { return stats_; }
 
  protected:
   double CompareImpl(const Tree& t1, NodeId x, const Tree& t2,
                      NodeId y) const override;
 
  private:
-  const std::vector<std::string>& Tokens(const Tree& t, NodeId x) const;
+  /// One memoized tokenization: the word-id sequence plus the ascending
+  /// positions of each distinct id, for the Hunt–Szymanski LCS.
+  struct TokenEntry {
+    std::vector<int32_t> ids;
+    std::unordered_map<int32_t, std::vector<int32_t>> positions;
+  };
 
-  struct CacheKey {
-    const Tree* tree;
-    NodeId node;
-    bool operator==(const CacheKey& o) const {
-      return tree == o.tree && node == o.node;
-    }
-  };
-  struct CacheKeyHash {
-    size_t operator()(const CacheKey& k) const {
-      return std::hash<const void*>()(k.tree) * 1000003u ^
-             std::hash<int>()(k.node);
-    }
-  };
+  /// Tokenizes v(x) (memoized by `value_hash`) into interned word ids.
+  const TokenEntry& Tokens(const Tree& t, NodeId x, uint64_t value_hash) const;
 
   bool normalize_words_;
-  mutable std::unordered_map<CacheKey, std::vector<std::string>, CacheKeyHash>
-      cache_;
+  mutable std::unordered_map<uint64_t, TokenEntry> token_cache_;
+  mutable std::unordered_map<uint64_t, double> pair_cache_;
+  mutable std::unordered_map<std::string, int32_t> word_ids_;
+  mutable CacheStats stats_;
 };
 
 /// Compares two raw strings with the word-LCS metric (the same arithmetic as

@@ -2,11 +2,12 @@
 #define TREEDIFF_CORE_CRITERIA_H_
 
 #include <cstddef>
-#include <vector>
+#include <memory>
 
 #include "core/compare.h"
 #include "core/matching.h"
 #include "tree/tree.h"
+#include "tree/tree_index.h"
 #include "util/budget.h"
 
 namespace treediff {
@@ -30,17 +31,27 @@ struct MatchOptions {
 ///  * partner checks (r2) — the integer comparisons performed while
 ///    intersecting leaf descendants for |common(x, y)| — are counted here.
 ///
-/// The evaluator precomputes Euler-tour intervals and per-node leaf counts,
-/// so each |common(x, y)| computation walks only the leaves under x, checking
-/// each leaf's partner for containment under y in O(1).
+/// All per-tree precomputation (leaf counts, ancestry intervals, the leaf
+/// sequence) is served by one TreeIndex per tree. In the pipeline those
+/// indexes live in the DiffContext and are borrowed; the legacy tree-pair
+/// constructor builds and owns a private pair for standalone use. Each
+/// |common(x, y)| reads the contiguous leaf range of x from the T1 index and
+/// checks each leaf's partner for containment under y in O(1).
 ///
 /// Both trees must share one LabelTable and must not be mutated while the
 /// evaluator is alive.
 class CriteriaEvaluator {
  public:
-  /// `budget`, when non-null, is charged one comparison per compare() call
-  /// and per partner check; it must outlive the evaluator.
+  /// Standalone form: builds and owns a TreeIndex per tree. `budget`, when
+  /// non-null, is charged one comparison per compare() call and per partner
+  /// check; it must outlive the evaluator.
   CriteriaEvaluator(const Tree& t1, const Tree& t2,
+                    const ValueComparator* comparator, MatchOptions options,
+                    const Budget* budget = nullptr);
+
+  /// Pipeline form: borrows the DiffContext's per-tree indexes (which must
+  /// outlive the evaluator).
+  CriteriaEvaluator(const TreeIndex& index1, const TreeIndex& index2,
                     const ValueComparator* comparator, MatchOptions options,
                     const Budget* budget = nullptr);
 
@@ -56,12 +67,12 @@ class CriteriaEvaluator {
   int CommonLeaves(NodeId x, NodeId y, const Matching& m) const;
 
   /// |x| for T1 / T2 nodes (number of leaf descendants; a leaf counts itself).
-  int LeafCount1(NodeId x) const {
-    return leaf_counts1_[static_cast<size_t>(x)];
-  }
-  int LeafCount2(NodeId y) const {
-    return leaf_counts2_[static_cast<size_t>(y)];
-  }
+  int LeafCount1(NodeId x) const { return index1_->LeafCount(x); }
+  int LeafCount2(NodeId y) const { return index2_->LeafCount(y); }
+
+  /// The per-tree indexes this evaluator reads (borrowed or owned).
+  const TreeIndex& index1() const { return *index1_; }
+  const TreeIndex& index2() const { return *index2_; }
 
   const MatchOptions& options() const { return options_; }
   const ValueComparator& comparator() const { return *comparator_; }
@@ -75,14 +86,15 @@ class CriteriaEvaluator {
   const Budget* budget() const { return budget_; }
 
  private:
+  std::unique_ptr<TreeIndex> owned_index1_;
+  std::unique_ptr<TreeIndex> owned_index2_;
+  const TreeIndex* index1_;
+  const TreeIndex* index2_;
   const Tree& t1_;
   const Tree& t2_;
   const ValueComparator* comparator_;
   MatchOptions options_;
   const Budget* budget_;
-  Tree::EulerIntervals euler2_;
-  std::vector<int> leaf_counts1_;
-  std::vector<int> leaf_counts2_;
   mutable size_t partner_checks_ = 0;
 };
 

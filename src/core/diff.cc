@@ -3,42 +3,11 @@
 #include <optional>
 #include <utility>
 
-#include "core/fast_match.h"
-#include "core/keyed_match.h"
-#include "core/match.h"
+#include "core/matcher.h"
 #include "core/post_process.h"
 #include "util/timer.h"
-#include "zs/zhang_shasha.h"
 
 namespace treediff {
-
-const char* DiffRungName(DiffRung rung) {
-  switch (rung) {
-    case DiffRung::kOptimalZs:
-      return "OptimalZs";
-    case DiffRung::kFastMatch:
-      return "FastMatch";
-    case DiffRung::kKeyedStructural:
-      return "KeyedStructural";
-    case DiffRung::kTopLevelReplace:
-      return "TopLevelReplace";
-  }
-  return "Unknown";
-}
-
-namespace {
-
-/// The last rung's matching: roots only (when their labels agree). The
-/// generated script deletes every other old node and inserts every new one.
-Matching RootOnlyMatching(const Tree& t1, const Tree& t2) {
-  Matching m(t1.id_bound(), t2.id_bound());
-  if (t1.label(t1.root()) == t2.label(t2.root())) {
-    m.Add(t1.root(), t2.root());
-  }
-  return m;
-}
-
-}  // namespace
 
 StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
                                const DiffOptions& options) {
@@ -58,17 +27,11 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
         "internal_threshold_t must be in [1/2, 1]");
   }
 
-  WordLcsComparator default_comparator;
-  const ValueComparator* comparator = options.comparator != nullptr
-                                          ? options.comparator
-                                          : &default_comparator;
-
-  const Budget* budget = options.budget;
-
-  MatchOptions match_options;
-  match_options.leaf_threshold_f = options.leaf_threshold_f;
-  match_options.internal_threshold_t = options.internal_threshold_t;
-  CriteriaEvaluator eval(t1, t2, comparator, match_options, budget);
+  // One shared context: a TreeIndex per tree, the resolved comparator, and
+  // the criteria evaluator. Every stage below reads these instead of
+  // re-deriving per-tree state.
+  DiffContext ctx(t1, t2, options);
+  const Budget* budget = ctx.budget();
 
   DiffStats stats;
   DiffReport report;
@@ -76,56 +39,22 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
   WallTimer timer;
 
   // Phase 1: the Good Matching problem (Section 5), run down the DiffRung
-  // ladder. A rung produces a matching only if the budget held for its
-  // whole run; a partial matching from an exhausted rung is discarded, and
-  // the bounded rungs (kKeyedStructural, kTopLevelReplace) then run without
-  // the (sticky-exhausted) budget — they are O(n log n) / O(n), which is
-  // the degradation contract: bounded work instead of an error.
+  // ladder through the Matcher registry. A rung produces a matching only if
+  // the budget held for its whole run; a declined rung (budget pre-flight
+  // failure or mid-run exhaustion — a partial matching is discarded) steps
+  // the ladder down one rung. The bounded rungs (kKeyedStructural,
+  // kTopLevelReplace) never decline — they run without the
+  // (sticky-exhausted) budget; they are O(n log n) / O(n), which is the
+  // degradation contract: bounded work instead of an error.
   DiffRung rung = options.start_rung;
   std::optional<Matching> matching;
-
-  if (rung == DiffRung::kOptimalZs) {
-    // Pre-flight: the ZS DP table is (n1+1)x(n2+1) doubles and the solver
-    // visits every node; skip the rung outright when the explicit caps
-    // cannot fit that, instead of burning deadline on a doomed start.
-    const size_t n1 = t1.size();
-    const size_t n2 = t2.size();
-    const size_t table_bytes = (n1 + 1) * (n2 + 1) * sizeof(double);
-    if (budget == nullptr ||
-        (BudgetOk(budget) && budget->CouldAfford(n1 + n2, 0, table_bytes))) {
-      ZsOptions zs_options;
-      zs_options.budget = budget;
-      ZsResult zs = ZhangShasha(t1, t2, zs_options);
-      if (BudgetOk(budget)) {
-        // A ZS mapping may pair nodes with different labels (relabels); our
-        // edit model never relabels, so keep only the label-equal pairs.
-        Matching m(t1.id_bound(), t2.id_bound());
-        for (const auto& [x, y] : zs.mapping) {
-          if (t1.label(x) == t2.label(y)) m.Add(x, y);
-        }
-        matching = std::move(m);
-      }
+  for (;;) {
+    MatchResult attempt = MatcherForRung(rung).Run(ctx);
+    if (attempt.matching.has_value()) {
+      matching = std::move(attempt.matching);
+      break;
     }
-    if (!matching.has_value()) rung = DiffRung::kFastMatch;
-  }
-
-  if (!matching.has_value() && rung == DiffRung::kFastMatch) {
-    if (BudgetOk(budget)) {
-      Matching m = options.use_fast_match
-                       ? ComputeFastMatch(t1, t2, eval, options.schema,
-                                          options.fallback_limit_k)
-                       : ComputeMatch(t1, t2, eval);
-      if (BudgetOk(budget)) matching = std::move(m);
-    }
-    if (!matching.has_value()) rung = DiffRung::kKeyedStructural;
-  }
-
-  if (!matching.has_value() && rung == DiffRung::kKeyedStructural) {
-    matching = ComputeStructuralMatch(t1, t2);
-  }
-
-  if (!matching.has_value()) {  // rung == kTopLevelReplace requested.
-    matching = RootOnlyMatching(t1, t2);
+    rung = static_cast<DiffRung>(static_cast<int>(rung) + 1);
   }
 
   // The roots of the trees being compared always correspond (the generator
@@ -142,7 +71,7 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
   if (BudgetOk(budget) && rung != DiffRung::kTopLevelReplace) {
     if (options.post_process) {
       stats.post_process_rematched =
-          PostProcessMatching(t1, t2, eval, &matching.value());
+          PostProcessMatching(t1, t2, ctx.evaluator(), &matching.value());
     }
     if (options.complete_context) {
       stats.context_completed =
@@ -150,8 +79,8 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
     }
   }
   stats.match_seconds = timer.ElapsedSeconds();
-  stats.compare_calls = eval.compare_calls();
-  stats.partner_checks = eval.partner_checks();
+  stats.compare_calls = ctx.evaluator().compare_calls();
+  stats.partner_checks = ctx.evaluator().partner_checks();
 
   // Phase 2: the Minimum Conforming Edit Script problem (Section 4). The
   // generator gets the budget only while it still holds — once exhausted
@@ -160,7 +89,7 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
   const Budget* gen_budget =
       (budget != nullptr && budget->exhausted()) ? nullptr : budget;
   StatusOr<EditScriptResult> gen =
-      GenerateEditScript(t1, t2, *matching, comparator,
+      GenerateEditScript(t1, t2, *matching, &ctx.comparator(),
                          /*use_lcs_alignment=*/true, options.cost_model,
                          gen_budget);
   if (!gen.ok() && IsExhaustion(gen.status().code())) {
@@ -168,7 +97,7 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
     // matching makes generation O(n); run it budget-free.
     rung = DiffRung::kTopLevelReplace;
     matching = RootOnlyMatching(t1, t2);
-    gen = GenerateEditScript(t1, t2, *matching, comparator,
+    gen = GenerateEditScript(t1, t2, *matching, &ctx.comparator(),
                              /*use_lcs_alignment=*/true, options.cost_model,
                              /*budget=*/nullptr);
   }
@@ -200,6 +129,9 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
     report.comparisons = stats.compare_calls + stats.partner_checks;
     report.elapsed_seconds = stats.match_seconds + stats.script_seconds;
   }
+  const ValueComparator::CacheStats cache = ctx.comparator().cache_stats();
+  report.tokenize_cache_hits = cache.tokenize_hits;
+  report.tokenize_cache_misses = cache.tokenize_misses;
 
   DiffResult result{std::move(*matching), std::move(gen->script), stats,
                     std::move(report)};

@@ -1,13 +1,12 @@
 #ifndef TREEDIFF_CORE_DIFF_H_
 #define TREEDIFF_CORE_DIFF_H_
 
-#include <memory>
 #include <string>
 
 #include "core/compare.h"
 #include "core/cost_model.h"
-#include "core/criteria.h"
 #include "core/delta_tree.h"
+#include "core/diff_context.h"
 #include "core/edit_script.h"
 #include "core/edit_script_gen.h"
 #include "core/matching.h"
@@ -18,33 +17,8 @@
 
 namespace treediff {
 
-/// The rungs of the degradation ladder, best first. DiffTrees starts at
-/// DiffOptions::start_rung and steps DOWN whenever the budget exhausts, so a
-/// budgeted call always returns OK with *some* conforming script rather than
-/// failing on a large or adversarial input:
-///
-///  * kOptimalZs — the Zhang-Shasha optimal baseline (Section 2). Opt-in:
-///    O(n^2 log^2 n) time and an O(n^2) DP table. Skipped up front when the
-///    budget's explicit caps cannot possibly fit its cost.
-///  * kFastMatch — the paper's two-phase method: the criteria-based matcher
-///    (FastMatch, or Match when use_fast_match = false) + EditScript. The
-///    default rung; with no budget this is exactly the pre-budget pipeline.
-///  * kKeyedStructural — ComputeStructuralMatch: exact-subtree hashing plus
-///    label/value bucketing, O(n log n), no value comparisons. Runs without
-///    consulting the (already exhausted) budget.
-///  * kTopLevelReplace — root-only matching: the script deletes every old
-///    node and inserts every new one. O(n), the rung of last resort.
-enum class DiffRung {
-  kOptimalZs = 0,
-  kFastMatch = 1,
-  kKeyedStructural = 2,
-  kTopLevelReplace = 3,
-};
-
-/// "OptimalZs", "FastMatch", "KeyedStructural", or "TopLevelReplace".
-const char* DiffRungName(DiffRung rung);
-
 /// How a DiffTrees call spent its budget and where it landed on the ladder.
+/// (DiffRung, DiffRungName, and DiffOptions live in diff_context.h.)
 struct DiffReport {
   /// The rung the caller asked for (DiffOptions::start_rung).
   DiffRung requested_rung = DiffRung::kFastMatch;
@@ -69,63 +43,12 @@ struct DiffReport {
   size_t comparisons = 0;
   size_t peak_arena_bytes = 0;
   double elapsed_seconds = 0.0;
-};
 
-/// Options controlling the end-to-end change-detection pipeline.
-struct DiffOptions {
-  /// Matching Criterion 1 threshold f (leaves; 0 <= f <= 1).
-  double leaf_threshold_f = 0.5;
-
-  /// Matching Criterion 2 threshold t (internal nodes; 1/2 <= t <= 1). The
-  /// paper's "match threshold" parameter, swept in Table 1.
-  double internal_threshold_t = 0.6;
-
-  /// Use Algorithm FastMatch (Section 5.3); when false, the simple Algorithm
-  /// Match (Section 5.2) is used instead.
-  bool use_fast_match = true;
-
-  /// Run the Section 8 post-processing pass that repairs mismatches caused
-  /// by Matching Criterion 3 violations.
-  bool post_process = true;
-
-  /// Run the context-completion pass (see CompleteContextMatching): under
-  /// matched parents, pair leftover same-label children in order so short
-  /// data values ("<price>12</price>" -> "<price>10</price>") surface as
-  /// updates rather than delete+insert. Recommended for data-bearing XML;
-  /// off by default to keep the paper's document behaviour.
-  bool complete_context = false;
-
-  /// Comparator for leaf values; when null, a WordLcsComparator owned by the
-  /// call is used (the LaDiff sentence metric, Section 7).
-  const ValueComparator* comparator = nullptr;
-
-  /// Optional label schema; when set, FastMatch processes label chains in
-  /// ascending rank order (deterministic and cache-friendly for documents).
-  const LabelSchema* schema = nullptr;
-
-  /// Optional general cost model (Section 3.2): prices inserts, deletes,
-  /// and moves per node; null = the paper's unit costs. Affects the script
-  /// cost accounting, not which operations are chosen.
-  const CostModel* cost_model = nullptr;
-
-  /// The Section 9 A(k) optimality/efficiency knob: bound on candidates
-  /// examined per node in FastMatch's quadratic fallback (0 = exhaustive).
-  /// Smaller values cap the worst case; out-of-order matches beyond the
-  /// window are then represented as delete+insert instead of moves.
-  int fallback_limit_k = 0;
-
-  /// Optional resource budget (deadline / node / comparison / arena caps).
-  /// Null means unlimited — the exact pre-budget pipeline, bit-identical
-  /// outputs. Non-null makes DiffTrees degrade down the DiffRung ladder on
-  /// exhaustion instead of running unbounded; the taken rung and counters
-  /// are returned in DiffResult::report. The budget must outlive the call
-  /// and must not be shared with a concurrent pipeline invocation.
-  const Budget* budget = nullptr;
-
-  /// Where on the ladder to start. The default, kFastMatch, is the paper's
-  /// pipeline; kOptimalZs buys the optimal-baseline script when the budget
-  /// affords it; the lower rungs force a cheap match up front.
-  DiffRung start_rung = DiffRung::kFastMatch;
+  /// Comparator tokenization-cache traffic (WordLcsComparator dedups token
+  /// vectors by 64-bit value hash; see ValueComparator::cache_stats). Both
+  /// zero when the caller supplied a comparator without cache accounting.
+  size_t tokenize_cache_hits = 0;
+  size_t tokenize_cache_misses = 0;
 };
 
 /// Counters and measures reported by DiffTrees; these are the quantities the
@@ -181,6 +104,11 @@ struct DiffResult {
 /// End-to-end change detection (the paper's two-phase method): computes a
 /// good matching between `t1` (old) and `t2` (new) under the criteria in
 /// `options`, then generates a minimum-cost conforming edit script.
+///
+/// Internally builds one DiffContext — a TreeIndex per tree plus the
+/// resolved comparator and criteria evaluator — and dispatches matching
+/// through the Matcher registry (matcher.h), stepping down the DiffRung
+/// ladder on budget exhaustion.
 ///
 /// The trees must share one LabelTable. If the roots do not match under the
 /// criteria but carry equal labels they are matched anyway (the standard

@@ -1,0 +1,44 @@
+#include "core/diff_context.h"
+
+namespace treediff {
+
+const char* DiffRungName(DiffRung rung) {
+  switch (rung) {
+    case DiffRung::kOptimalZs:
+      return "OptimalZs";
+    case DiffRung::kFastMatch:
+      return "FastMatch";
+    case DiffRung::kKeyedStructural:
+      return "KeyedStructural";
+    case DiffRung::kTopLevelReplace:
+      return "TopLevelReplace";
+  }
+  return "?";
+}
+
+namespace {
+
+const ValueComparator* ResolveComparator(
+    const DiffOptions& options,
+    std::unique_ptr<WordLcsComparator>* owned) {
+  if (options.comparator != nullptr) return options.comparator;
+  *owned = std::make_unique<WordLcsComparator>();
+  return owned->get();
+}
+
+}  // namespace
+
+DiffContext::DiffContext(const Tree& t1, const Tree& t2,
+                         const DiffOptions& options)
+    : t1_(t1),
+      t2_(t2),
+      options_(options),
+      comparator_(ResolveComparator(options_, &owned_comparator_)),
+      index1_(t1),
+      index2_(t2),
+      evaluator_(index1_, index2_, comparator_,
+                 MatchOptions{options_.leaf_threshold_f,
+                              options_.internal_threshold_t},
+                 options_.budget) {}
+
+}  // namespace treediff

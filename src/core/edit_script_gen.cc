@@ -4,32 +4,19 @@
 #include <vector>
 
 #include "lcs/lcs.h"
+#include "tree/tree_index.h"
 
 namespace treediff {
 
 namespace {
 
-/// Number of leaves of the subtree rooted at `x` (a leaf counts itself);
-/// the weight of MOV(x, ...) in the weighted edit distance.
-size_t SubtreeLeafCount(const Tree& t, NodeId x) {
-  size_t leaves = 0;
-  std::vector<NodeId> stack = {x};
-  while (!stack.empty()) {
-    NodeId w = stack.back();
-    stack.pop_back();
-    const auto& kids = t.children(w);
-    if (kids.empty()) {
-      ++leaves;
-    } else {
-      for (NodeId c : kids) stack.push_back(c);
-    }
-  }
-  return leaves;
-}
-
 /// The working state of Algorithm EditScript: `work` is the mutating copy of
 /// the old tree; p1/p2 are the growing total matching M'; in_order marks are
-/// the alignment bookkeeping of Figure 9.
+/// the alignment bookkeeping of Figure 9. `work_index_` rides along on the
+/// working tree: its eagerly-patched scalar tier serves the O(1) ChildIndex
+/// lookups behind FindPos and the O(1) subtree leaf counts behind the
+/// weighted edit distance, and its (lazily rebuilt) order tier supplies the
+/// delete-phase postorder snapshot.
 class ScriptGenerator {
  public:
   ScriptGenerator(const Tree& t1, const Tree& t2, const Matching& matching,
@@ -37,6 +24,7 @@ class ScriptGenerator {
                   const CostModel* costs, const Budget* budget)
       : t2_(t2),
         work_(t1.Clone()),
+        work_index_(work_),
         cmp_(cmp),
         costs_(costs),
         budget_(budget),
@@ -54,8 +42,13 @@ class ScriptGenerator {
   Status Run() {
     // Phase 1 (Figure 8, step 2): one breadth-first scan of T2 combining the
     // update, insert, align, and move phases. A budget trip aborts: a
-    // half-generated script does not conform to the matching.
-    for (NodeId x : t2_.BfsOrder()) {
+    // half-generated script does not conform to the matching. The scan order
+    // comes from T2's index when the pipeline attached one (the DiffContext
+    // case); standalone callers fall back to a fresh traversal.
+    const TreeIndex* i2 = t2_.attached_index();
+    const std::vector<NodeId> bfs =
+        i2 != nullptr ? i2->BfsOrder() : t2_.BfsOrder();
+    for (NodeId x : bfs) {
       if (!BudgetChargeNodes(budget_)) return BudgetStatus(budget_);
       NodeId w;
       if (x == t2_.root()) {
@@ -79,9 +72,10 @@ class ScriptGenerator {
     }
 
     // Phase 2 (step 3): post-order delete of unmatched nodes. Snapshot the
-    // order first; children precede parents, so every delete is a leaf
-    // delete by the time it runs (Theorem C.2, second stage).
-    const std::vector<NodeId> order = work_.PostOrder();
+    // order first (the deletes dirty it); children precede parents, so every
+    // delete is a leaf delete by the time it runs (Theorem C.2, second
+    // stage).
+    const std::vector<NodeId> order = work_index_.PostOrder();
     for (NodeId w : order) {
       if (!BudgetChargeNodes(budget_)) return BudgetStatus(budget_);
       if (p1_[static_cast<size_t>(w)] != kInvalidNode) continue;
@@ -159,7 +153,7 @@ class ScriptGenerator {
     EditOp op = EditOp::Move(w, z, k);
     if (costs_ != nullptr) op.cost = costs_->MoveCost(work_, w);
     script_.Append(std::move(op));
-    weighted_ += SubtreeLeafCount(work_, w);
+    weighted_ += static_cast<size_t>(work_index_.LeafCount(w));
     ++inter_moves_;
     Status st = work_.MoveSubtree(w, z, k);
     assert(st.ok());
@@ -284,7 +278,7 @@ class ScriptGenerator {
       EditOp op = EditOp::Move(a, w, k);
       if (costs_ != nullptr) op.cost = costs_->MoveCost(work_, a);
       script_.Append(std::move(op));
-      weighted_ += SubtreeLeafCount(work_, a);
+      weighted_ += static_cast<size_t>(work_index_.LeafCount(a));
       ++intra_moves_;
       Status st = work_.MoveSubtree(a, w, k);
       assert(st.ok());
@@ -334,6 +328,9 @@ class ScriptGenerator {
 
   const Tree& t2_;
   Tree work_;
+  // Declared after work_ (it attaches to it in the constructor); detaches
+  // automatically when TakeResult moves work_ out.
+  TreeIndex work_index_;
   const ValueComparator* cmp_;
   const CostModel* costs_;
   const Budget* budget_;

@@ -71,6 +71,11 @@ struct EditScriptResult {
 /// stops and the budget's kResourceExhausted/kDeadlineExceeded status is
 /// returned (the partially built script is discarded — a partial edit script
 /// does not conform to the matching and must never be applied).
+///
+/// When `t2` carries an attached TreeIndex (the DiffContext pipeline), its
+/// BFS order is consumed instead of re-traversing; the mutating working copy
+/// of `t1` always gets its own index, which serves O(1) child positions and
+/// subtree leaf counts throughout generation.
 StatusOr<EditScriptResult> GenerateEditScript(
     const Tree& t1, const Tree& t2, const Matching& matching,
     const ValueComparator* update_cost_comparator = nullptr,

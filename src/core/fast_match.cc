@@ -10,21 +10,13 @@ namespace treediff {
 
 namespace {
 
-/// Document-order chain of nodes with one label and one structural kind
-/// (leaf or internal); the paper's chain_T(l).
-struct Chain {
-  std::vector<NodeId> t1_nodes;
-  std::vector<NodeId> t2_nodes;
-};
-
-/// Runs steps 2a-2e of Figure 11 on one label chain: LCS first, then the
+/// Runs steps 2a-2e of Figure 11 on one label chain (`s1` from T1, `s2` from
+/// T2, both in document order — the paper's chain_T(l)): LCS first, then the
 /// Match-style scan over the leftovers.
-void MatchChain(const Chain& chain, bool leaves,
-                const CriteriaEvaluator& eval, int fallback_limit_k,
-                Matching* m) {
+void MatchChain(const std::vector<NodeId>& s1, const std::vector<NodeId>& s2,
+                bool leaves, const CriteriaEvaluator& eval,
+                int fallback_limit_k, Matching* m) {
   const Budget* budget = eval.budget();
-  const auto& s1 = chain.t1_nodes;
-  const auto& s2 = chain.t2_nodes;
   if (!BudgetChargeNodes(budget, s1.size() + s2.size())) return;
   auto equal = [&](NodeId x, NodeId y) {
     // Once the budget trips, the whole matching will be discarded by the
@@ -70,6 +62,29 @@ void MatchChain(const Chain& chain, bool leaves,
   }
 }
 
+/// Labels present in either tree's chain map, ascending (both maps are
+/// LabelId-ordered, so this is a linear merge).
+std::vector<LabelId> MergedLabels(
+    const std::map<LabelId, std::vector<NodeId>>& a,
+    const std::map<LabelId, std::vector<NodeId>>& b) {
+  std::vector<LabelId> labels;
+  labels.reserve(a.size() + b.size());
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      labels.push_back((ia++)->first);
+    } else if (ia == a.end() || ib->first < ia->first) {
+      labels.push_back((ib++)->first);
+    } else {
+      labels.push_back(ia->first);
+      ++ia;
+      ++ib;
+    }
+  }
+  return labels;
+}
+
 }  // namespace
 
 Matching ComputeFastMatch(const Tree& t1, const Tree& t2,
@@ -77,23 +92,14 @@ Matching ComputeFastMatch(const Tree& t1, const Tree& t2,
                           const LabelSchema* schema, int fallback_limit_k) {
   Matching m(t1.id_bound(), t2.id_bound());
 
-  // Build per-(label, kind) chains in document order. std::map keeps label
-  // iteration deterministic.
-  std::map<LabelId, Chain> leaf_chains;
-  std::map<LabelId, Chain> internal_chains;
-  for (NodeId x : t1.PreOrder()) {
-    auto& chains = t1.IsLeaf(x) ? leaf_chains : internal_chains;
-    chains[t1.label(x)].t1_nodes.push_back(x);
-  }
-  for (NodeId y : t2.PreOrder()) {
-    auto& chains = t2.IsLeaf(y) ? leaf_chains : internal_chains;
-    chains[t2.label(y)].t2_nodes.push_back(y);
-  }
+  // The per-(label, kind) document-order chains are maintained by the
+  // per-tree indexes; the seed rebuilt them here on every call.
+  const TreeIndex& index1 = eval.index1();
+  const TreeIndex& index2 = eval.index2();
 
-  auto ordered_labels = [&](const std::map<LabelId, Chain>& chains) {
-    std::vector<LabelId> labels;
-    labels.reserve(chains.size());
-    for (const auto& [label, chain] : chains) labels.push_back(label);
+  auto ordered_labels = [&](const std::map<LabelId, std::vector<NodeId>>& c1,
+                            const std::map<LabelId, std::vector<NodeId>>& c2) {
+    std::vector<LabelId> labels = MergedLabels(c1, c2);
     if (schema != nullptr) {
       std::stable_sort(labels.begin(), labels.end(),
                        [&](LabelId a, LabelId b) {
@@ -107,14 +113,18 @@ Matching ComputeFastMatch(const Tree& t1, const Tree& t2,
   // Exhaustion mid-way returns the partial matching built so far; callers
   // detect it via the budget itself.
   const Budget* budget = eval.budget();
-  for (LabelId label : ordered_labels(leaf_chains)) {
+  for (LabelId label : ordered_labels(index1.LeafChains(),
+                                      index2.LeafChains())) {
     if (!BudgetCheckNow(budget)) break;
-    MatchChain(leaf_chains[label], /*leaves=*/true, eval, fallback_limit_k, &m);
+    MatchChain(index1.LeafChain(label), index2.LeafChain(label),
+               /*leaves=*/true, eval, fallback_limit_k, &m);
   }
   // Step 3: internal labels.
-  for (LabelId label : ordered_labels(internal_chains)) {
+  for (LabelId label : ordered_labels(index1.InternalChains(),
+                                      index2.InternalChains())) {
     if (!BudgetCheckNow(budget)) break;
-    MatchChain(internal_chains[label], /*leaves=*/false, eval, fallback_limit_k, &m);
+    MatchChain(index1.InternalChain(label), index2.InternalChain(label),
+               /*leaves=*/false, eval, fallback_limit_k, &m);
   }
   return m;
 }

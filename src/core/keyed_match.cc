@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string_view>
 #include <tuple>
 #include <unordered_map>
@@ -9,10 +10,18 @@
 #include <vector>
 
 #include "lcs/lcs.h"
+#include "tree/tree_index.h"
 
 namespace treediff {
 
 namespace {
+
+/// Pre-order served from an attached TreeIndex when one exists, computed
+/// otherwise. Standalone entry points (no DiffContext) go through this.
+std::vector<NodeId> PreOrderOf(const Tree& t) {
+  if (const TreeIndex* index = t.attached_index()) return index->PreOrder();
+  return t.PreOrder();
+}
 
 /// Key space: (label, leaf-ness, key) -> node. Duplicate keys map to
 /// kInvalidNode, voiding the uniqueness guarantee for that key.
@@ -20,7 +29,7 @@ using KeyIndex = std::map<std::tuple<LabelId, bool, std::string>, NodeId>;
 
 KeyIndex IndexKeys(const Tree& t, const KeyFn& key_fn) {
   KeyIndex index;
-  for (NodeId x : t.PreOrder()) {
+  for (NodeId x : PreOrderOf(t)) {
     std::optional<std::string> key = key_fn(t, x);
     if (!key.has_value()) continue;
     auto slot = std::make_tuple(t.label(x), t.IsLeaf(x), std::move(*key));
@@ -57,12 +66,12 @@ Matching ComputeHybridMatch(const Tree& t1, const Tree& t2,
   std::map<std::pair<LabelId, bool>,
            std::pair<std::vector<NodeId>, std::vector<NodeId>>>
       chains;
-  for (NodeId x : t1.PreOrder()) {
+  for (NodeId x : eval.index1().PreOrder()) {
     if (!m.HasT1(x)) {
       chains[{t1.label(x), t1.IsLeaf(x)}].first.push_back(x);
     }
   }
-  for (NodeId y : t2.PreOrder()) {
+  for (NodeId y : eval.index2().PreOrder()) {
     if (!m.HasT2(y)) {
       chains[{t2.label(y), t2.IsLeaf(y)}].second.push_back(y);
     }
@@ -111,26 +120,6 @@ Matching ComputeHybridMatch(const Tree& t1, const Tree& t2,
 
 namespace {
 
-uint64_t HashCombine(uint64_t h, uint64_t v) {
-  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
-}
-
-/// Bottom-up 64-bit subtree fingerprints over (label, value, child hashes).
-std::vector<uint64_t> SubtreeHashes(const Tree& t) {
-  std::vector<uint64_t> h(t.id_bound(), 0);
-  const std::hash<std::string> value_hash;
-  for (NodeId x : t.PostOrder()) {
-    uint64_t hh = 0x9ae16a3b2f90404fULL;
-    hh = HashCombine(hh, static_cast<uint64_t>(t.label(x)));
-    hh = HashCombine(hh, value_hash(t.value(x)));
-    for (NodeId c : t.children(x)) {
-      hh = HashCombine(hh, h[static_cast<size_t>(c)]);
-    }
-    h[static_cast<size_t>(x)] = hh;
-  }
-  return h;
-}
-
 /// Exact subtree equality (labels, values, order) — the collision guard
 /// behind the hash buckets. Both trees share one LabelTable (checked by the
 /// caller).
@@ -168,22 +157,28 @@ Matching ComputeStructuralMatch(const Tree& t1, const Tree& t2) {
   Matching m(t1.id_bound(), t2.id_bound());
   if (t1.root() == kInvalidNode || t2.root() == kInvalidNode) return m;
 
-  const std::vector<uint64_t> h1 = SubtreeHashes(t1);
-  const std::vector<uint64_t> h2 = SubtreeHashes(t2);
+  // Subtree fingerprints come from the trees' indexes — the DiffContext's
+  // when running in the pipeline, short-lived local ones standalone.
+  std::optional<TreeIndex> local1;
+  std::optional<TreeIndex> local2;
+  const TreeIndex* i1 = t1.attached_index();
+  if (i1 == nullptr) i1 = &local1.emplace(t1);
+  const TreeIndex* i2 = t2.attached_index();
+  if (i2 == nullptr) i2 = &local2.emplace(t2);
 
   // Pass 1: greedy identical-subtree matching in document order. A root may
   // only pair with the other root, so the root pairing GenerateEditScript
   // requires is never usurped by some interior twin.
   std::unordered_map<uint64_t, std::vector<NodeId>> by_hash;
-  for (NodeId y : t2.PreOrder()) {
-    by_hash[h2[static_cast<size_t>(y)]].push_back(y);
+  for (NodeId y : i2->PreOrder()) {
+    by_hash[i2->SubtreeHash(y)].push_back(y);
   }
   std::vector<NodeId> stack = {t1.root()};
   while (!stack.empty()) {
     const NodeId x = stack.back();
     stack.pop_back();
     bool matched = false;
-    auto it = by_hash.find(h1[static_cast<size_t>(x)]);
+    auto it = by_hash.find(i1->SubtreeHash(x));
     if (it != by_hash.end()) {
       for (NodeId y : it->second) {
         if (m.HasT2(y)) continue;
@@ -212,7 +207,7 @@ Matching ComputeStructuralMatch(const Tree& t1, const Tree& t2) {
   // Pass 3: leftover internal nodes by label alone, document order.
   std::map<std::pair<LabelId, std::string>, std::vector<NodeId>> leaves2;
   std::map<LabelId, std::vector<NodeId>> internal2;
-  for (NodeId y : t2.PreOrder()) {
+  for (NodeId y : i2->PreOrder()) {
     if (m.HasT2(y) || y == t2.root()) continue;
     if (t2.IsLeaf(y)) {
       leaves2[{t2.label(y), t2.value(y)}].push_back(y);
@@ -226,7 +221,7 @@ Matching ComputeStructuralMatch(const Tree& t1, const Tree& t2) {
     }
     return kInvalidNode;
   };
-  for (NodeId x : t1.PreOrder()) {
+  for (NodeId x : i1->PreOrder()) {
     if (m.HasT1(x) || x == t1.root()) continue;
     NodeId y = kInvalidNode;
     if (t1.IsLeaf(x)) {

@@ -1,6 +1,5 @@
 #include "core/match.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace treediff {
@@ -23,25 +22,23 @@ Matching ComputeMatch(const Tree& t1, const Tree& t2,
                       const CriteriaEvaluator& eval) {
   Matching m(t1.id_bound(), t2.id_bound());
 
-  // Bucket T2 candidates by (label, is-leaf) in document order.
-  std::unordered_map<LabelId, std::vector<NodeId>> t2_leaves;
-  std::unordered_map<LabelId, std::vector<NodeId>> t2_internal;
-  for (NodeId y : t2.PreOrder()) {
-    (t2.IsLeaf(y) ? t2_leaves : t2_internal)[t2.label(y)].push_back(y);
-  }
+  // T2 candidates bucketed by (label, is-leaf) in document order: exactly
+  // the per-label chains the T2 index maintains.
+  const TreeIndex& index2 = eval.index2();
 
   // Bottom-up over T1 (post-order visits all descendants of a node before
   // the node itself, so leaf matches are in place when internal nodes are
   // evaluated). On budget exhaustion the partial matching built so far is
   // returned; callers detect exhaustion via the budget itself.
   const Budget* budget = eval.budget();
-  for (NodeId x : t1.PostOrder()) {
+  for (NodeId x : eval.index1().PostOrder()) {
     if (!BudgetChargeNodes(budget)) break;
     if (m.HasT1(x)) continue;
-    auto& bucket = t1.IsLeaf(x) ? t2_leaves : t2_internal;
-    auto it = bucket.find(t1.label(x));
-    if (it == bucket.end()) continue;
-    for (NodeId y : it->second) {
+    const bool leaf = t1.IsLeaf(x);
+    const std::vector<NodeId>& bucket = leaf
+                                            ? index2.LeafChain(t1.label(x))
+                                            : index2.InternalChain(t1.label(x));
+    for (NodeId y : bucket) {
       if (!BudgetCheck(budget)) break;
       if (m.HasT2(y)) continue;
       if (Equal(t1, x, t2, y, eval, m)) {

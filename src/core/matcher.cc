@@ -1,0 +1,127 @@
+#include "core/matcher.h"
+
+#include <utility>
+
+#include "core/fast_match.h"
+#include "core/keyed_match.h"
+#include "core/match.h"
+#include "zs/zhang_shasha.h"
+
+namespace treediff {
+
+Matching RootOnlyMatching(const Tree& t1, const Tree& t2) {
+  Matching m(t1.id_bound(), t2.id_bound());
+  if (t1.label(t1.root()) == t2.label(t2.root())) {
+    m.Add(t1.root(), t2.root());
+  }
+  return m;
+}
+
+namespace {
+
+/// kOptimalZs: the Zhang-Shasha optimal baseline (Section 2), fed the
+/// context's postorder indexes. Declines when the budget's explicit caps
+/// cannot fit the DP table or the solver exhausts mid-run.
+class ZsMatcher final : public Matcher {
+ public:
+  MatchResult Run(const DiffContext& ctx) const override {
+    const Tree& t1 = ctx.t1();
+    const Tree& t2 = ctx.t2();
+    const Budget* budget = ctx.budget();
+
+    // Pre-flight: the ZS DP table is (n1+1)x(n2+1) doubles and the solver
+    // visits every node; skip the rung outright when the explicit caps
+    // cannot fit that, instead of burning deadline on a doomed start.
+    const size_t n1 = t1.size();
+    const size_t n2 = t2.size();
+    const size_t table_bytes = (n1 + 1) * (n2 + 1) * sizeof(double);
+    if (budget != nullptr &&
+        !(BudgetOk(budget) && budget->CouldAfford(n1 + n2, 0, table_bytes))) {
+      return {};
+    }
+
+    ZsOptions zs_options;
+    zs_options.budget = budget;
+    zs_options.index1 = &ctx.index1();
+    zs_options.index2 = &ctx.index2();
+    ZsResult zs = ZhangShasha(t1, t2, zs_options);
+    if (!BudgetOk(budget)) return {};
+
+    // A ZS mapping may pair nodes with different labels (relabels); our
+    // edit model never relabels, so keep only the label-equal pairs.
+    Matching m(t1.id_bound(), t2.id_bound());
+    for (const auto& [x, y] : zs.mapping) {
+      if (t1.label(x) == t2.label(y)) m.Add(x, y);
+    }
+    return {std::move(m)};
+  }
+
+  DiffRung rung() const override { return DiffRung::kOptimalZs; }
+};
+
+/// kFastMatch: the paper's criteria-based matcher — Algorithm FastMatch
+/// (Section 5.3), or Algorithm Match (Section 5.2) when
+/// DiffOptions::use_fast_match is false. Declines when the budget is
+/// already exhausted or trips mid-run (a partial matching is discarded).
+class CriteriaMatcher final : public Matcher {
+ public:
+  MatchResult Run(const DiffContext& ctx) const override {
+    const Budget* budget = ctx.budget();
+    if (!BudgetOk(budget)) return {};
+    const DiffOptions& options = ctx.options();
+    Matching m = options.use_fast_match
+                     ? ComputeFastMatch(ctx.t1(), ctx.t2(), ctx.evaluator(),
+                                        options.schema,
+                                        options.fallback_limit_k)
+                     : ComputeMatch(ctx.t1(), ctx.t2(), ctx.evaluator());
+    if (!BudgetOk(budget)) return {};
+    return {std::move(m)};
+  }
+
+  DiffRung rung() const override { return DiffRung::kFastMatch; }
+};
+
+/// kKeyedStructural: exact-subtree fingerprint matching plus label/value
+/// bucketing, O(n log n), no value comparisons. Never declines — it runs
+/// without consulting the (typically already exhausted) budget; that is the
+/// degradation contract: bounded work instead of an error.
+class StructuralMatcher final : public Matcher {
+ public:
+  MatchResult Run(const DiffContext& ctx) const override {
+    return {ComputeStructuralMatch(ctx.t1(), ctx.t2())};
+  }
+
+  DiffRung rung() const override { return DiffRung::kKeyedStructural; }
+};
+
+/// kTopLevelReplace: the rung of last resort, O(n). Never declines.
+class TopLevelMatcher final : public Matcher {
+ public:
+  MatchResult Run(const DiffContext& ctx) const override {
+    return {RootOnlyMatching(ctx.t1(), ctx.t2())};
+  }
+
+  DiffRung rung() const override { return DiffRung::kTopLevelReplace; }
+};
+
+}  // namespace
+
+const Matcher& MatcherForRung(DiffRung rung) {
+  static const ZsMatcher zs;
+  static const CriteriaMatcher criteria;
+  static const StructuralMatcher structural;
+  static const TopLevelMatcher top_level;
+  switch (rung) {
+    case DiffRung::kOptimalZs:
+      return zs;
+    case DiffRung::kFastMatch:
+      return criteria;
+    case DiffRung::kKeyedStructural:
+      return structural;
+    case DiffRung::kTopLevelReplace:
+      return top_level;
+  }
+  return top_level;
+}
+
+}  // namespace treediff

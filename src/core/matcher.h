@@ -1,0 +1,52 @@
+#ifndef TREEDIFF_CORE_MATCHER_H_
+#define TREEDIFF_CORE_MATCHER_H_
+
+#include <optional>
+
+#include "core/diff_context.h"
+#include "core/matching.h"
+
+namespace treediff {
+
+/// What one rung of the ladder produced. An empty `matching` means the rung
+/// declined — its budget pre-flight failed or the budget exhausted mid-run —
+/// and the driver steps down to the next rung.
+struct MatchResult {
+  std::optional<Matching> matching;
+};
+
+/// One rung of the DiffRung degradation ladder (see diff_context.h). Every
+/// matcher consumes the shared DiffContext — the per-tree TreeIndexes, the
+/// resolved comparator, the criteria evaluator, and the budget — instead of
+/// re-deriving per-tree state. Implementations are stateless singletons
+/// owned by the registry; Run is const and callable concurrently on
+/// *different* contexts (a single context is not thread-safe).
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Attempts to solve the Good Matching problem at this rung.
+  virtual MatchResult Run(const DiffContext& ctx) const = 0;
+
+  /// The rung this matcher implements.
+  virtual DiffRung rung() const = 0;
+
+  /// DiffRungName(rung()).
+  const char* name() const { return DiffRungName(rung()); }
+};
+
+/// The registry: the ladder's implementation for a rung. Never null; the
+/// returned matcher lives for the program. DiffTrees walks rungs from
+/// DiffOptions::start_rung downward, calling each matcher until one returns
+/// a matching (kTopLevelReplace always does).
+const Matcher& MatcherForRung(DiffRung rung);
+
+/// The kTopLevelReplace matching: roots only (when their labels agree). The
+/// generated script deletes every other old node and inserts every new one.
+/// Exposed for the driver's phase-2 fallback (generation tripping the budget
+/// falls to this rung directly).
+Matching RootOnlyMatching(const Tree& t1, const Tree& t2);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_CORE_MATCHER_H_

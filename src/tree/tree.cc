@@ -4,10 +4,93 @@
 #include <cassert>
 #include <deque>
 
+#include "tree/tree_index.h"
+
 namespace treediff {
 
 Tree::Tree(std::shared_ptr<LabelTable> labels) : labels_(std::move(labels)) {
   if (!labels_) labels_ = std::make_shared<LabelTable>();
+}
+
+Tree::Tree(const Tree& other)
+    : labels_(other.labels_),
+      nodes_(other.nodes_),
+      root_(other.root_),
+      live_count_(other.live_count_) {}
+
+Tree& Tree::operator=(const Tree& other) {
+  if (this == &other) return *this;
+  labels_ = other.labels_;
+  nodes_ = other.nodes_;
+  root_ = other.root_;
+  live_count_ = other.live_count_;
+  NotifyBulk();
+  return *this;
+}
+
+Tree::Tree(Tree&& other) noexcept
+    : labels_(std::move(other.labels_)),
+      nodes_(std::move(other.nodes_)),
+      root_(other.root_),
+      live_count_(other.live_count_) {
+  other.root_ = kInvalidNode;
+  other.live_count_ = 0;
+  other.NotifyGoneAndClear();
+}
+
+Tree& Tree::operator=(Tree&& other) noexcept {
+  if (this == &other) return *this;
+  labels_ = std::move(other.labels_);
+  nodes_ = std::move(other.nodes_);
+  root_ = other.root_;
+  live_count_ = other.live_count_;
+  other.root_ = kInvalidNode;
+  other.live_count_ = 0;
+  other.NotifyGoneAndClear();
+  NotifyBulk();
+  return *this;
+}
+
+Tree::~Tree() { NotifyGoneAndClear(); }
+
+void Tree::AttachIndex(TreeIndex* index) const { observers_.push_back(index); }
+
+void Tree::DetachIndex(TreeIndex* index) const {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), index),
+                   observers_.end());
+}
+
+void Tree::NotifyInsert(NodeId x) const {
+  for (TreeIndex* obs : observers_) obs->OnInsertLeaf(x);
+}
+
+void Tree::NotifyDelete(NodeId x, NodeId old_parent) const {
+  for (TreeIndex* obs : observers_) obs->OnDeleteLeaf(x, old_parent);
+}
+
+void Tree::NotifyRevive(NodeId x) const {
+  for (TreeIndex* obs : observers_) obs->OnReviveLeaf(x);
+}
+
+void Tree::NotifyUpdate(NodeId x) const {
+  for (TreeIndex* obs : observers_) obs->OnUpdateValue(x);
+}
+
+void Tree::NotifyMove(NodeId x, NodeId old_parent) const {
+  for (TreeIndex* obs : observers_) obs->OnMoveSubtree(x, old_parent);
+}
+
+void Tree::NotifyTruncate(size_t bound) const {
+  for (TreeIndex* obs : observers_) obs->OnTruncateDeadTail(bound);
+}
+
+void Tree::NotifyBulk() const {
+  for (TreeIndex* obs : observers_) obs->OnBulkStructureChange();
+}
+
+void Tree::NotifyGoneAndClear() const {
+  for (TreeIndex* obs : observers_) obs->OnTreeGone();
+  observers_.clear();
 }
 
 const Tree::NodeRec& Tree::node(NodeId x) const {
@@ -28,6 +111,7 @@ NodeId Tree::AddRoot(LabelId label, std::string value) {
   nodes_.push_back(std::move(rec));
   root_ = static_cast<NodeId>(nodes_.size() - 1);
   ++live_count_;
+  NotifyBulk();
   return root_;
 }
 
@@ -41,6 +125,7 @@ NodeId Tree::AddChild(NodeId parent, LabelId label, std::string value) {
   NodeId id = static_cast<NodeId>(nodes_.size() - 1);
   node(parent).children.push_back(id);
   ++live_count_;
+  NotifyBulk();
   return id;
 }
 
@@ -64,10 +149,12 @@ NodeId Tree::WrapRoot(LabelId label, std::string value) {
   node(root_).parent = id;
   root_ = id;
   ++live_count_;
+  NotifyBulk();
   return id;
 }
 
 int Tree::ChildIndex(NodeId x) const {
+  if (!observers_.empty()) return observers_.front()->ChildIndex(x);
   NodeId p = parent(x);
   if (p == kInvalidNode) return -1;
   const auto& siblings = children(p);
@@ -102,6 +189,7 @@ StatusOr<NodeId> Tree::InsertLeaf(LabelId label, std::string value,
   auto& kids2 = node(parent).children;
   kids2.insert(kids2.begin() + (k - 1), id);
   ++live_count_;
+  NotifyInsert(id);
   return id;
 }
 
@@ -121,6 +209,7 @@ Status Tree::DeleteLeaf(NodeId x) {
   node(x).alive = false;
   node(x).parent = kInvalidNode;
   --live_count_;
+  NotifyDelete(x, p);
   return Status::Ok();
 }
 
@@ -139,6 +228,7 @@ Status Tree::ReviveLeaf(NodeId x, NodeId parent, int k) {
     node(x).children.clear();
     root_ = x;
     ++live_count_;
+    NotifyRevive(x);
     return Status::Ok();
   }
   if (!Alive(parent)) {
@@ -153,6 +243,7 @@ Status Tree::ReviveLeaf(NodeId x, NodeId parent, int k) {
   node(x).parent = parent;
   node(x).children.clear();
   ++live_count_;
+  NotifyRevive(x);
   return Status::Ok();
 }
 
@@ -167,12 +258,14 @@ Status Tree::TruncateDeadTail(size_t bound) {
     }
   }
   nodes_.resize(bound);
+  NotifyTruncate(bound);
   return Status::Ok();
 }
 
 Status Tree::UpdateValue(NodeId x, std::string value) {
   if (!Alive(x)) return Status::InvalidArgument("update: node is not live");
   node(x).value = std::move(value);
+  NotifyUpdate(x);
   return Status::Ok();
 }
 
@@ -189,17 +282,21 @@ Status Tree::MoveSubtree(NodeId x, NodeId new_parent, int k) {
   // Detach.
   NodeId old_parent = parent(x);
   auto& old_siblings = node(old_parent).children;
-  old_siblings.erase(std::find(old_siblings.begin(), old_siblings.end(), x));
+  auto old_it = std::find(old_siblings.begin(), old_siblings.end(), x);
+  const size_t old_index = static_cast<size_t>(old_it - old_siblings.begin());
+  old_siblings.erase(old_it);
   // Attach at k (1-based, counted after detachment).
   auto& kids = node(new_parent).children;
   if (k < 1 || static_cast<size_t>(k) > kids.size() + 1) {
-    // Restore before failing so the tree stays consistent.
+    // Restore the exact original position before failing, so a rejected
+    // move leaves the tree (and any attached index) untouched.
     auto& restore = node(old_parent).children;
-    restore.push_back(x);
+    restore.insert(restore.begin() + static_cast<ptrdiff_t>(old_index), x);
     return Status::OutOfRange("move: position k out of range");
   }
   kids.insert(kids.begin() + (k - 1), x);
   node(x).parent = new_parent;
+  NotifyMove(x, old_parent);
   return Status::Ok();
 }
 

@@ -21,6 +21,8 @@ using NodeId = int;
 /// Sentinel for "no node" (e.g., the parent of the root).
 inline constexpr NodeId kInvalidNode = -1;
 
+class TreeIndex;
+
 /// An ordered, labeled tree with values (the paper's data model, Section 3.1).
 /// Interior nodes conventionally have empty values; leaves carry the payload
 /// (e.g., sentence text). The tree supports the four edit operations of
@@ -33,10 +35,15 @@ class Tree {
   /// is created.
   explicit Tree(std::shared_ptr<LabelTable> labels = nullptr);
 
-  Tree(const Tree&) = default;
-  Tree& operator=(const Tree&) = default;
-  Tree(Tree&&) = default;
-  Tree& operator=(Tree&&) = default;
+  // Copies carry the node data but never the attached indexes (an index
+  // observes exactly one tree). Copy-assignment into an indexed tree is a
+  // wholesale mutation, so its indexes are invalidated, not dropped.
+  // Moving a tree out from under an index permanently detaches the index.
+  Tree(const Tree& other);
+  Tree& operator=(const Tree& other);
+  Tree(Tree&& other) noexcept;
+  Tree& operator=(Tree&& other) noexcept;
+  ~Tree();
 
   // ----- Construction -----
 
@@ -88,7 +95,8 @@ class Tree {
   }
 
   /// 0-based position of `x` within its parent's child list. Returns -1 for
-  /// the root.
+  /// the root. Served in O(1) from an attached TreeIndex when one exists,
+  /// by an O(fanout) sibling scan otherwise.
   int ChildIndex(NodeId x) const;
 
   /// True if `anc` equals `desc` or is a proper ancestor of `desc`.
@@ -195,6 +203,20 @@ class Tree {
   /// are omitted.
   std::string ToDebugString() const;
 
+  // ----- Index attachment -----
+  // A TreeIndex registers itself as an observer so that the edit operations
+  // above keep it consistent (see tree_index.h). Attachment is logically
+  // const: it does not change the tree, only who is watching it.
+
+  void AttachIndex(TreeIndex* index) const;
+  void DetachIndex(TreeIndex* index) const;
+
+  /// The first attached index, or nullptr. Used by ChildIndex and by
+  /// pipeline stages that opportunistically reuse an existing index.
+  TreeIndex* attached_index() const {
+    return observers_.empty() ? nullptr : observers_.front();
+  }
+
  private:
   struct NodeRec {
     LabelId label = kInvalidLabel;
@@ -208,10 +230,21 @@ class Tree {
   NodeRec& node(NodeId x);
   void DebugStringRec(NodeId x, std::string* out) const;
 
+  // Observer notifications (no-ops when no index is attached).
+  void NotifyInsert(NodeId x) const;
+  void NotifyDelete(NodeId x, NodeId old_parent) const;
+  void NotifyRevive(NodeId x) const;
+  void NotifyUpdate(NodeId x) const;
+  void NotifyMove(NodeId x, NodeId old_parent) const;
+  void NotifyTruncate(size_t bound) const;
+  void NotifyBulk() const;
+  void NotifyGoneAndClear() const;
+
   std::shared_ptr<LabelTable> labels_;
   std::vector<NodeRec> nodes_;
   NodeId root_ = kInvalidNode;
   size_t live_count_ = 0;
+  mutable std::vector<TreeIndex*> observers_;
 };
 
 }  // namespace treediff

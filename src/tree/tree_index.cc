@@ -1,0 +1,429 @@
+#include "tree/tree_index.h"
+
+#include <cassert>
+#include <utility>
+
+namespace treediff {
+
+namespace {
+
+inline size_t Idx(NodeId x) {
+  assert(x >= 0);
+  return static_cast<size_t>(x);
+}
+
+/// Mixes `v` into `seed` (boost-style). Also used for subtree fingerprints;
+/// order-sensitive, so sibling order matters as the paper's isomorphism
+/// requires.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+uint64_t HashValueBytes(std::string_view bytes) {
+  // 64-bit FNV-1a.
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t NodeValueHash(const Tree& t, NodeId x) {
+  if (const TreeIndex* index = t.attached_index()) return index->ValueHash(x);
+  return HashValueBytes(t.value(x));
+}
+
+TreeIndex::TreeIndex(const Tree& tree) : tree_(&tree) {
+  tree.AttachIndex(this);
+  // Scalars and orders are what nearly every stage reads; build them up
+  // front. Fingerprints stay lazy (only the structural matcher wants them).
+  EnsureScalars();
+  EnsureOrders();
+}
+
+TreeIndex::~TreeIndex() {
+  if (tree_ != nullptr) tree_->DetachIndex(this);
+}
+
+// ----- Scalar tier -----
+
+int TreeIndex::Depth(NodeId x) const {
+  EnsureScalars();
+  return depth_[Idx(x)];
+}
+
+int TreeIndex::SubtreeSize(NodeId x) const {
+  EnsureScalars();
+  return subtree_size_[Idx(x)];
+}
+
+int TreeIndex::LeafCount(NodeId x) const {
+  EnsureScalars();
+  return leaf_count_[Idx(x)];
+}
+
+int TreeIndex::ChildIndex(NodeId x) const {
+  EnsureScalars();
+  return child_index_[Idx(x)];
+}
+
+uint64_t TreeIndex::ValueHash(NodeId x) const {
+  EnsureScalars();
+  return value_hash_[Idx(x)];
+}
+
+// ----- Order tier -----
+
+const std::vector<NodeId>& TreeIndex::PreOrder() const {
+  EnsureOrders();
+  return pre_order_;
+}
+
+const std::vector<NodeId>& TreeIndex::PostOrder() const {
+  EnsureOrders();
+  return post_order_;
+}
+
+const std::vector<NodeId>& TreeIndex::BfsOrder() const {
+  EnsureOrders();
+  return bfs_order_;
+}
+
+const std::vector<NodeId>& TreeIndex::Leaves() const {
+  EnsureOrders();
+  return leaves_;
+}
+
+int TreeIndex::PostOrderPos(NodeId x) const {
+  EnsureOrders();
+  return post_pos_[Idx(x)];
+}
+
+bool TreeIndex::Contains(NodeId anc, NodeId desc) const {
+  EnsureOrders();
+  assert(tin_[Idx(anc)] >= 0 && tin_[Idx(desc)] >= 0);
+  return tin_[Idx(anc)] <= tin_[Idx(desc)] &&
+         tout_[Idx(desc)] <= tout_[Idx(anc)];
+}
+
+int TreeIndex::LeafRangeBegin(NodeId x) const {
+  EnsureOrders();
+  return leaf_begin_[Idx(x)];
+}
+
+int TreeIndex::LeafRangeEnd(NodeId x) const {
+  EnsureOrders();
+  return leaf_end_[Idx(x)];
+}
+
+const std::vector<NodeId>& TreeIndex::LeafChain(LabelId label) const {
+  EnsureOrders();
+  static const std::vector<NodeId> kEmpty;
+  auto it = leaf_chains_.find(label);
+  return it == leaf_chains_.end() ? kEmpty : it->second;
+}
+
+const std::vector<NodeId>& TreeIndex::InternalChain(LabelId label) const {
+  EnsureOrders();
+  static const std::vector<NodeId> kEmpty;
+  auto it = internal_chains_.find(label);
+  return it == internal_chains_.end() ? kEmpty : it->second;
+}
+
+const std::map<LabelId, std::vector<NodeId>>& TreeIndex::LeafChains() const {
+  EnsureOrders();
+  return leaf_chains_;
+}
+
+const std::map<LabelId, std::vector<NodeId>>& TreeIndex::InternalChains()
+    const {
+  EnsureOrders();
+  return internal_chains_;
+}
+
+// ----- Fingerprint tier -----
+
+uint64_t TreeIndex::SubtreeHash(NodeId x) const {
+  EnsureFingerprints();
+  return subtree_hash_[Idx(x)];
+}
+
+// ----- Rebuilds -----
+
+void TreeIndex::EnsureScalars() const {
+  if (scalars_dirty_) RebuildScalars();
+}
+
+void TreeIndex::EnsureOrders() const {
+  EnsureScalars();
+  if (orders_dirty_) RebuildOrders();
+}
+
+void TreeIndex::EnsureFingerprints() const {
+  EnsureOrders();
+  if (fingerprints_dirty_) RebuildFingerprints();
+}
+
+void TreeIndex::RebuildScalars() const {
+  assert(tree_ != nullptr && "index used after its tree was destroyed");
+  const Tree& t = *tree_;
+  const size_t n = t.id_bound();
+  depth_.assign(n, -1);
+  subtree_size_.assign(n, 0);
+  leaf_count_.assign(n, 0);
+  child_index_.assign(n, -1);
+  value_hash_.resize(n);
+  // Dead slots keep their value (for ReviveLeaf), so they get hashes too.
+  for (size_t i = 0; i < n; ++i) {
+    value_hash_[i] = HashValueBytes(t.value(static_cast<NodeId>(i)));
+  }
+  if (t.root() != kInvalidNode) {
+    std::vector<std::pair<NodeId, size_t>> stack = {{t.root(), 0}};
+    depth_[Idx(t.root())] = 0;
+    while (!stack.empty()) {
+      auto& [x, cursor] = stack.back();
+      const auto& kids = t.children(x);
+      if (cursor < kids.size()) {
+        NodeId next = kids[cursor];
+        child_index_[Idx(next)] = static_cast<int>(cursor);
+        depth_[Idx(next)] = depth_[Idx(x)] + 1;
+        ++cursor;
+        stack.push_back({next, 0});
+      } else {
+        int size = 1;
+        int leaves = kids.empty() ? 1 : 0;
+        for (NodeId c : kids) {
+          size += subtree_size_[Idx(c)];
+          leaves += leaf_count_[Idx(c)];
+        }
+        subtree_size_[Idx(x)] = size;
+        leaf_count_[Idx(x)] = leaves;
+        stack.pop_back();
+      }
+    }
+  }
+  scalars_dirty_ = false;
+}
+
+void TreeIndex::RebuildOrders() const {
+  assert(tree_ != nullptr && "index used after its tree was destroyed");
+  const Tree& t = *tree_;
+  const size_t n = t.id_bound();
+  pre_order_.clear();
+  post_order_.clear();
+  leaves_.clear();
+  post_pos_.assign(n, -1);
+  tin_.assign(n, -1);
+  tout_.assign(n, -1);
+  leaf_begin_.assign(n, 0);
+  leaf_end_.assign(n, 0);
+  leaf_chains_.clear();
+  internal_chains_.clear();
+  if (t.root() != kInvalidNode) {
+    pre_order_.reserve(t.size());
+    post_order_.reserve(t.size());
+    int clock = 0;
+    std::vector<std::pair<NodeId, size_t>> stack;
+    auto enter = [&](NodeId y) {
+      tin_[Idx(y)] = clock++;
+      pre_order_.push_back(y);
+      leaf_begin_[Idx(y)] = static_cast<int>(leaves_.size());
+      if (t.IsLeaf(y)) {
+        leaves_.push_back(y);
+        leaf_chains_[t.label(y)].push_back(y);
+      } else {
+        internal_chains_[t.label(y)].push_back(y);
+      }
+      stack.push_back({y, 0});
+    };
+    enter(t.root());
+    while (!stack.empty()) {
+      auto& [x, cursor] = stack.back();
+      const auto& kids = t.children(x);
+      if (cursor < kids.size()) {
+        enter(kids[cursor++]);
+      } else {
+        tout_[Idx(x)] = clock++;
+        leaf_end_[Idx(x)] = static_cast<int>(leaves_.size());
+        post_pos_[Idx(x)] = static_cast<int>(post_order_.size());
+        post_order_.push_back(x);
+        stack.pop_back();
+      }
+    }
+  }
+  // BFS = pre-order stably bucketed by depth (within a level both orders
+  // sort nodes by ancestor path).
+  bfs_order_.clear();
+  bfs_order_.reserve(pre_order_.size());
+  int max_depth = -1;
+  for (NodeId x : pre_order_) max_depth = std::max(max_depth, depth_[Idx(x)]);
+  std::vector<std::vector<NodeId>> by_depth(
+      static_cast<size_t>(max_depth + 1));
+  for (NodeId x : pre_order_) {
+    by_depth[static_cast<size_t>(depth_[Idx(x)])].push_back(x);
+  }
+  for (const auto& level : by_depth) {
+    bfs_order_.insert(bfs_order_.end(), level.begin(), level.end());
+  }
+  orders_dirty_ = false;
+}
+
+void TreeIndex::RebuildFingerprints() const {
+  assert(tree_ != nullptr && "index used after its tree was destroyed");
+  subtree_hash_.assign(tree_->id_bound(), 0);
+  for (NodeId x : post_order_) {
+    uint64_t h = HashCombine(static_cast<uint64_t>(tree_->label(x)),
+                             value_hash_[Idx(x)]);
+    for (NodeId c : tree_->children(x)) h = HashCombine(h, subtree_hash_[Idx(c)]);
+    subtree_hash_[Idx(x)] = h;
+  }
+  fingerprints_dirty_ = false;
+}
+
+// ----- Eager scalar patches -----
+
+void TreeIndex::GrowScalars() const {
+  const size_t n = tree_->id_bound();
+  if (depth_.size() >= n) return;
+  depth_.resize(n, -1);
+  subtree_size_.resize(n, 0);
+  leaf_count_.resize(n, 0);
+  child_index_.resize(n, -1);
+  value_hash_.resize(n, 0);
+}
+
+void TreeIndex::RepairPathUp(NodeId from) const {
+  for (NodeId q = from; q != kInvalidNode; q = tree_->parent(q)) {
+    const auto& kids = tree_->children(q);
+    int size = 1;
+    int leaves = kids.empty() ? 1 : 0;
+    for (NodeId c : kids) {
+      size += subtree_size_[Idx(c)];
+      leaves += leaf_count_[Idx(c)];
+    }
+    subtree_size_[Idx(q)] = size;
+    leaf_count_[Idx(q)] = leaves;
+  }
+}
+
+void TreeIndex::RepairChildIndexes(NodeId parent) const {
+  const auto& kids = tree_->children(parent);
+  for (size_t i = 0; i < kids.size(); ++i) {
+    child_index_[Idx(kids[i])] = static_cast<int>(i);
+  }
+}
+
+// ----- Mutation hooks -----
+
+void TreeIndex::OnInsertLeaf(NodeId x) {
+  if (!scalars_dirty_) {
+    GrowScalars();
+    const NodeId p = tree_->parent(x);
+    depth_[Idx(x)] = depth_[Idx(p)] + 1;
+    subtree_size_[Idx(x)] = 1;
+    leaf_count_[Idx(x)] = 1;
+    value_hash_[Idx(x)] = HashValueBytes(tree_->value(x));
+    RepairChildIndexes(p);
+    RepairPathUp(p);
+  }
+  orders_dirty_ = true;
+  fingerprints_dirty_ = true;
+}
+
+void TreeIndex::OnDeleteLeaf(NodeId x, NodeId old_parent) {
+  if (!scalars_dirty_) {
+    depth_[Idx(x)] = -1;
+    subtree_size_[Idx(x)] = 0;
+    leaf_count_[Idx(x)] = 0;
+    child_index_[Idx(x)] = -1;
+    if (old_parent != kInvalidNode) {
+      RepairChildIndexes(old_parent);
+      RepairPathUp(old_parent);
+    }
+  }
+  orders_dirty_ = true;
+  fingerprints_dirty_ = true;
+}
+
+void TreeIndex::OnReviveLeaf(NodeId x) {
+  if (!scalars_dirty_) {
+    const NodeId p = tree_->parent(x);
+    // The revived slot kept its value, so value_hash_ is already current.
+    subtree_size_[Idx(x)] = 1;
+    leaf_count_[Idx(x)] = 1;
+    if (p == kInvalidNode) {
+      depth_[Idx(x)] = 0;
+      child_index_[Idx(x)] = -1;
+    } else {
+      depth_[Idx(x)] = depth_[Idx(p)] + 1;
+      RepairChildIndexes(p);
+      RepairPathUp(p);
+    }
+  }
+  orders_dirty_ = true;
+  fingerprints_dirty_ = true;
+}
+
+void TreeIndex::OnUpdateValue(NodeId x) {
+  if (!scalars_dirty_) {
+    value_hash_[Idx(x)] = HashValueBytes(tree_->value(x));
+  }
+  fingerprints_dirty_ = true;
+}
+
+void TreeIndex::OnMoveSubtree(NodeId x, NodeId old_parent) {
+  if (!scalars_dirty_) {
+    const NodeId np = tree_->parent(x);
+    const int delta = depth_[Idx(np)] + 1 - depth_[Idx(x)];
+    if (delta != 0) {
+      std::vector<NodeId> stack = {x};
+      while (!stack.empty()) {
+        NodeId y = stack.back();
+        stack.pop_back();
+        depth_[Idx(y)] += delta;
+        for (NodeId c : tree_->children(y)) stack.push_back(c);
+      }
+    }
+    RepairChildIndexes(old_parent);
+    RepairChildIndexes(np);
+    // Repair the old path first: any stale ancestors it leaves on the
+    // shared suffix sit on the new path and are fixed by the second pass.
+    RepairPathUp(old_parent);
+    RepairPathUp(np);
+  }
+  orders_dirty_ = true;
+  fingerprints_dirty_ = true;
+}
+
+void TreeIndex::OnTruncateDeadTail(size_t bound) {
+  // Popped slots are all dead, so they appear in no order or chain; the
+  // id-indexed arrays just shrink to the new bound.
+  if (!scalars_dirty_) {
+    depth_.resize(bound);
+    subtree_size_.resize(bound);
+    leaf_count_.resize(bound);
+    child_index_.resize(bound);
+    value_hash_.resize(bound);
+  }
+  if (!orders_dirty_) {
+    post_pos_.resize(bound);
+    tin_.resize(bound);
+    tout_.resize(bound);
+    leaf_begin_.resize(bound);
+    leaf_end_.resize(bound);
+  }
+  if (!fingerprints_dirty_) subtree_hash_.resize(bound);
+}
+
+void TreeIndex::OnBulkStructureChange() {
+  scalars_dirty_ = true;
+  orders_dirty_ = true;
+  fingerprints_dirty_ = true;
+}
+
+void TreeIndex::OnTreeGone() { tree_ = nullptr; }
+
+}  // namespace treediff

@@ -24,8 +24,10 @@ struct PostorderView {
   std::vector<int> keyroots;
   int n = 0;
 
-  explicit PostorderView(const Tree& t) {
-    std::vector<NodeId> order = t.PostOrder();
+  explicit PostorderView(const Tree& t, const TreeIndex* index = nullptr) {
+    if (index == nullptr) index = t.attached_index();
+    const std::vector<NodeId> order =
+        index != nullptr ? index->PostOrder() : t.PostOrder();
     n = static_cast<int>(order.size());
     node.assign(static_cast<size_t>(n) + 1, kInvalidNode);
     lml.assign(static_cast<size_t>(n) + 1, 0);
@@ -34,11 +36,17 @@ struct PostorderView {
       node[static_cast<size_t>(i)] = order[static_cast<size_t>(i - 1)];
       pos[static_cast<size_t>(order[static_cast<size_t>(i - 1)])] = i;
     }
+    // Leftmost leaf of a leaf is itself; of an internal node, the leftmost
+    // leaf of its first child — whose postorder position precedes the
+    // parent's, so one ascending pass closes the recurrence in O(n).
     for (int i = 1; i <= n; ++i) {
-      NodeId x = node[static_cast<size_t>(i)];
-      // Leftmost leaf: descend along first children.
-      while (!t.children(x).empty()) x = t.children(x).front();
-      lml[static_cast<size_t>(i)] = pos[static_cast<size_t>(x)];
+      const NodeId x = node[static_cast<size_t>(i)];
+      const auto& kids = t.children(x);
+      lml[static_cast<size_t>(i)] =
+          kids.empty()
+              ? i
+              : lml[static_cast<size_t>(
+                    pos[static_cast<size_t>(kids.front())])];
     }
     // Keyroots: for each distinct lml value, the largest position having it.
     std::vector<int> largest(static_cast<size_t>(n) + 1, 0);
@@ -56,7 +64,11 @@ struct PostorderView {
 class ZsSolver {
  public:
   ZsSolver(const Tree& t1, const Tree& t2, const ZsOptions& opts)
-      : t1_(t1), t2_(t2), opts_(opts), v1_(t1), v2_(t2) {
+      : t1_(t1),
+        t2_(t2),
+        opts_(opts),
+        v1_(t1, opts.index1),
+        v2_(t2, opts.index2) {
     treedist_bytes_ = static_cast<size_t>(v1_.n + 1) *
                       static_cast<size_t>(v2_.n + 1) * sizeof(double);
     if (!BudgetChargeArena(opts_.budget, treedist_bytes_) ||
@@ -363,7 +375,8 @@ bool SubtreeAllUnmapped(const Tree& t, NodeId x,
   return true;
 }
 
-size_t SubtreeSize(const Tree& t, NodeId x) {
+size_t SubtreeSize(const Tree& t, NodeId x, const TreeIndex* index) {
+  if (index != nullptr) return static_cast<size_t>(index->SubtreeSize(x));
   size_t count = 0;
   std::vector<NodeId> stack = {x};
   while (!stack.empty()) {
@@ -373,6 +386,13 @@ size_t SubtreeSize(const Tree& t, NodeId x) {
     for (NodeId c : t.children(w)) stack.push_back(c);
   }
   return count;
+}
+
+/// Pre-order served from the caller-supplied or attached index when one
+/// exists, computed otherwise.
+std::vector<NodeId> PreOrderOf(const Tree& t, const TreeIndex* index) {
+  if (index == nullptr) index = t.attached_index();
+  return index != nullptr ? index->PreOrder() : t.PreOrder();
 }
 
 /// Structural fingerprint of a subtree (labels + values, pre-order) used to
@@ -439,7 +459,7 @@ ZsWithMovesResult ZhangShashaWithMoves(const Tree& t1, const Tree& t2,
   // Maximal fully-unmapped T2 subtrees, bucketed by fingerprint.
   std::map<std::string, std::vector<NodeId>> candidates;
   std::vector<char> used2(t2.id_bound(), 0);
-  for (NodeId y : t2.PreOrder()) {
+  for (NodeId y : PreOrderOf(t2, options.index2)) {
     const NodeId p = t2.parent(y);
     const bool parent_unmapped =
         p != kInvalidNode && unmapped2[static_cast<size_t>(p)];
@@ -450,7 +470,7 @@ ZsWithMovesResult ZhangShashaWithMoves(const Tree& t1, const Tree& t2,
   }
 
   // Greedily pair maximal unmapped T1 subtrees with isomorphic candidates.
-  for (NodeId x : t1.PreOrder()) {
+  for (NodeId x : PreOrderOf(t1, options.index1)) {
     const NodeId p = t1.parent(x);
     const bool parent_unmapped =
         p != kInvalidNode && unmapped1[static_cast<size_t>(p)];
@@ -466,7 +486,10 @@ ZsWithMovesResult ZhangShashaWithMoves(const Tree& t1, const Tree& t2,
       ZsMove move;
       move.from = x;
       move.to = y;
-      move.subtree_size = SubtreeSize(t1, x);
+      move.subtree_size =
+          SubtreeSize(t1, x,
+                      options.index1 != nullptr ? options.index1
+                                                : t1.attached_index());
       // delete_cost * |subtree| + insert_cost * |subtree| re-priced as one
       // unit-cost move.
       move.savings = static_cast<double>(move.subtree_size) *

@@ -6,6 +6,7 @@
 
 #include "core/compare.h"
 #include "tree/tree.h"
+#include "tree/tree_index.h"
 #include "util/budget.h"
 
 namespace treediff {
@@ -37,6 +38,12 @@ struct ZsOptions {
   /// meaningless and callers must check `budget->exhausted()` before using
   /// them (the degradation ladder in core/diff.cc does).
   const Budget* budget = nullptr;
+
+  /// Optional precomputed per-tree indexes (the DiffContext's). When set —
+  /// or when the trees carry attached indexes — the solver's postorder view
+  /// is served from the index instead of re-walking the tree.
+  const TreeIndex* index1 = nullptr;
+  const TreeIndex* index2 = nullptr;
 };
 
 /// Result of the Zhang-Shasha computation.
