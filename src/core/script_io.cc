@@ -1,7 +1,9 @@
 #include "core/script_io.h"
 
 #include <cctype>
+#include <cstdint>
 #include <string>
+#include <unordered_set>
 
 namespace treediff {
 
@@ -42,15 +44,34 @@ class LineParser {
   bool Int(int* out) {
     SkipSpace();
     size_t start = pos_;
+    bool negative = false;
     if (pos_ < line_.size() && (line_[pos_] == '-' || line_[pos_] == '+')) {
+      negative = line_[pos_] == '-';
       ++pos_;
     }
+    // Accumulate into 64 bits with an explicit cap: fuzzed digit runs must
+    // parse-fail cleanly, not overflow into undefined behaviour (atoi).
+    int64_t value = 0;
+    bool any = false, overflow = false;
     while (pos_ < line_.size() &&
            std::isdigit(static_cast<unsigned char>(line_[pos_]))) {
+      any = true;
+      if (value > (static_cast<int64_t>(1) << 40)) {
+        overflow = true;  // Keep consuming digits; reject at the end.
+      } else {
+        value = value * 10 + (line_[pos_] - '0');
+      }
       ++pos_;
     }
-    if (pos_ == start) return false;
-    *out = std::atoi(std::string(line_.substr(start, pos_ - start)).c_str());
+    if (!any) {
+      pos_ = start;
+      return false;
+    }
+    if (overflow || value > INT32_MAX) {
+      pos_ = start;
+      return false;
+    }
+    *out = negative ? -static_cast<int>(value) : static_cast<int>(value);
     return true;
   }
 
@@ -91,11 +112,12 @@ class LineParser {
   size_t pos_ = 0;
 };
 
-StatusOr<EditOp> ParseLine(std::string_view line, LabelTable* labels) {
+StatusOr<EditOp> ParseLine(std::string_view line, size_t line_no,
+                           LabelTable* labels) {
   LineParser p(line);
-  auto fail = [&](const char* what) {
-    return Status::ParseError(std::string(what) + " in edit-script line: " +
-                              std::string(line));
+  auto fail = [&](const std::string& what) {
+    return Status::ParseError("edit script line " + std::to_string(line_no) +
+                              ": " + what + ": " + std::string(line));
   };
 
   if (p.Literal("INS((")) {
@@ -107,6 +129,10 @@ StatusOr<EditOp> ParseLine(std::string_view line, LabelTable* labels) {
         !p.Literal(")") || !p.AtEnd()) {
       return fail("malformed INS");
     }
+    if (node < 0) return fail("INS with negative node id");
+    if (parent < 0) return fail("INS with negative parent id");
+    if (node == parent) return fail("INS with itself as parent");
+    if (position < 1) return fail("INS position must be >= 1");
     return EditOp::Insert(node, labels->Intern(label), std::move(value),
                           parent, position);
   }
@@ -115,6 +141,7 @@ StatusOr<EditOp> ParseLine(std::string_view line, LabelTable* labels) {
     if (!p.Int(&node) || !p.Literal(")") || !p.AtEnd()) {
       return fail("malformed DEL");
     }
+    if (node < 0) return fail("DEL with negative node id");
     return EditOp::Delete(node);
   }
   if (p.Literal("UPD(")) {
@@ -124,6 +151,7 @@ StatusOr<EditOp> ParseLine(std::string_view line, LabelTable* labels) {
         !p.Literal(")") || !p.AtEnd()) {
       return fail("malformed UPD");
     }
+    if (node < 0) return fail("UPD with negative node id");
     return EditOp::Update(node, std::move(value), 1.0);
   }
   if (p.Literal("MOV(")) {
@@ -133,6 +161,10 @@ StatusOr<EditOp> ParseLine(std::string_view line, LabelTable* labels) {
         !p.AtEnd()) {
       return fail("malformed MOV");
     }
+    if (node < 0) return fail("MOV with negative node id");
+    if (parent < 0) return fail("MOV with negative parent id");
+    if (node == parent) return fail("MOV with itself as parent");
+    if (position < 1) return fail("MOV position must be >= 1");
     return EditOp::Move(node, parent, position);
   }
   return fail("unknown operation");
@@ -157,12 +189,19 @@ std::string FormatEditScript(const EditScript& script,
 StatusOr<EditScript> ParseEditScript(std::string_view text,
                                      LabelTable* labels) {
   EditScript script;
+  // Semantic validation across lines: a script that applies cleanly can
+  // never insert the same node id twice (apply assigns ids densely), so a
+  // duplicate is a malformed script and is rejected here with its line
+  // number rather than as a confusing id-mismatch at apply time.
+  std::unordered_set<NodeId> inserted_ids;
   size_t pos = 0;
+  size_t line_no = 0;
   while (pos < text.size()) {
     size_t end = text.find('\n', pos);
     if (end == std::string_view::npos) end = text.size();
     std::string_view line = text.substr(pos, end - pos);
     pos = end + 1;
+    ++line_no;
     // Trim and skip blanks/comments.
     size_t begin = 0;
     while (begin < line.size() &&
@@ -171,8 +210,15 @@ StatusOr<EditScript> ParseEditScript(std::string_view text,
     }
     line = line.substr(begin);
     if (line.empty() || line[0] == '#') continue;
-    StatusOr<EditOp> op = ParseLine(line, labels);
+    StatusOr<EditOp> op = ParseLine(line, line_no, labels);
     if (!op.ok()) return op.status();
+    if (op->kind == EditOpKind::kInsert &&
+        !inserted_ids.insert(op->node).second) {
+      return Status::ParseError(
+          "edit script line " + std::to_string(line_no) +
+          ": duplicate INS id " + std::to_string(op->node) + ": " +
+          std::string(line));
+    }
     script.Append(std::move(*op));
   }
   return script;

@@ -33,6 +33,13 @@ std::string FormatEditScript(const EditScript& script,
 /// Parses a serialized script. Labels are interned into `labels`, which
 /// must be the table of the tree the script will be applied to. Blank lines
 /// and lines starting with '#' are skipped.
+///
+/// Rejects malformed input with kParseError and a line-numbered message —
+/// both syntactic (bad shape, overflowing integers, unterminated strings)
+/// and semantic (negative node ids, positions < 1, a MOV or INS naming
+/// itself as parent, duplicate INS ids): scripts that can never apply
+/// cleanly fail here with a precise diagnostic instead of a confusing
+/// failure at apply time. Never crashes on arbitrary bytes.
 StatusOr<EditScript> ParseEditScript(std::string_view text,
                                      LabelTable* labels);
 

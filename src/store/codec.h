@@ -1,0 +1,57 @@
+#ifndef TREEDIFF_STORE_CODEC_H_
+#define TREEDIFF_STORE_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Binary tree codec for the durable VersionStore (store/log.h): snapshot
+/// and checkpoint records carry a tree encoded by EncodeTree. Unlike the
+/// s-expression debug form, the encoding is *arena-exact*: node ids, dead
+/// slots, and child order are preserved bit-for-bit, so a decoded snapshot
+/// replays the stored edit scripts with the same deterministic ids the
+/// original store produced. Integrity against disk corruption is the log's
+/// job (CRC32C per record); DecodeTree still bounds-checks everything and
+/// returns ParseError rather than crashing on arbitrary bytes.
+
+// --- Little-endian fixed and varint coding helpers (shared with the log) ---
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+uint32_t DecodeFixed32(const char* p);
+uint64_t DecodeFixed64(const char* p);
+
+/// LEB128 unsigned varint.
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Consumes a varint from the front of `*input`. Returns false on
+/// truncation or overlong (> 10 byte) encodings.
+bool GetVarint64(std::string_view* input, uint64_t* v);
+
+/// varint length + raw bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view s);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* out);
+
+// --- Tree codec ---
+
+/// Serializes `tree` (arena-exact; see above). The shared LabelTable is not
+/// serialized wholesale — only the names the tree references.
+std::string EncodeTree(const Tree& tree);
+
+/// Decodes a tree produced by EncodeTree, interning its labels into
+/// `labels` (fresh table when null). Validates structural invariants
+/// (parent/child symmetry, single root, acyclicity) before returning; any
+/// violation or malformed byte yields kParseError, never a crash or an
+/// invalid tree.
+StatusOr<Tree> DecodeTree(std::string_view data,
+                          std::shared_ptr<LabelTable> labels = nullptr);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_STORE_CODEC_H_

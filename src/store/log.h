@@ -1,0 +1,107 @@
+#ifndef TREEDIFF_STORE_LOG_H_
+#define TREEDIFF_STORE_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/io.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// The VersionStore commit log: an append-only file of length-prefixed,
+/// CRC32C-checksummed records behind an 8-byte magic header. On-disk
+/// layout (all integers little-endian):
+///
+///   "TDIFLOG1"                                   file magic, 8 bytes
+///   repeated records:
+///     u32  payload length                        (type byte not included)
+///     u32  masked CRC32C over [type, payload]    (see Crc32cMask)
+///     u8   record type                           (LogRecordType)
+///     payload bytes
+///
+/// A record is valid only if it is fully present and its checksum matches;
+/// recovery accepts the longest prefix of valid records and truncates the
+/// rest (a torn tail after a crash, or any bit flip — the CRC catches both;
+/// a flipped length field reads as a torn or implausible record, which the
+/// same truncation policy handles).
+
+inline constexpr char kLogMagic[8] = {'T', 'D', 'I', 'F', 'L', 'O', 'G', '1'};
+inline constexpr size_t kLogMagicSize = 8;
+inline constexpr size_t kLogRecordHeaderSize = 9;  // u32 len + u32 crc + u8 type
+
+/// Upper bound on a single record's payload; a length beyond it is treated
+/// as corruption rather than an allocation request.
+inline constexpr uint32_t kLogMaxRecordSize = 1u << 30;
+
+enum class LogRecordType : uint8_t {
+  kSnapshot = 1,    // codec-encoded tree: version 0 (first record only)
+  kDelta = 2,       // stats header + serialized edit script: one commit
+  kCheckpoint = 3,  // varint version + codec-encoded tree of that version
+  kRollback = 4,    // varint of the version RollbackHead dropped
+};
+
+/// Appends records to an open log file. The writer formats and appends;
+/// durability is the caller's call (Sync after each commit record is the
+/// store's protocol).
+class LogWriter {
+ public:
+  /// Takes an already positioned append-mode file; `offset` is the current
+  /// file size (records land at and beyond it).
+  LogWriter(std::unique_ptr<WritableFile> file, uint64_t offset)
+      : file_(std::move(file)), offset_(offset) {}
+
+  /// Appends one record (header + payload). Not durable until Sync().
+  Status AppendRecord(LogRecordType type, std::string_view payload);
+
+  /// Forces appended records to stable storage.
+  Status Sync() { return file_->Sync(); }
+
+  /// Closes the underlying file.
+  Status Close() { return file_->Close(); }
+
+  /// Byte offset the next record would start at.
+  uint64_t offset() const { return offset_; }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+  uint64_t offset_;
+};
+
+/// One record surfaced by ScanLog.
+struct LogScanRecord {
+  LogRecordType type;
+  std::string payload;
+  uint64_t offset = 0;  // File offset of the record header.
+};
+
+/// Result of scanning a log: the valid prefix and how the scan ended.
+struct LogScanResult {
+  std::vector<LogScanRecord> records;
+
+  /// End offset of the last valid record; everything at and beyond this
+  /// offset is garbage to be truncated.
+  uint64_t durable_prefix = 0;
+
+  uint64_t file_size = 0;
+
+  /// 1 if the scan stopped on a checksum mismatch (the policy stops at the
+  /// first, so this is 0 or 1).
+  size_t checksum_failures = 0;
+
+  /// True if the scan stopped on a partial record (torn write) or an
+  /// implausible length field.
+  bool torn_tail = false;
+};
+
+/// Scans `file` from the start: validates the magic, then accepts records
+/// until the first invalid one. Corrupt or torn data is reported, not an
+/// error — only unreadable files and a bad magic fail.
+StatusOr<LogScanResult> ScanLog(RandomAccessFile* file);
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_STORE_LOG_H_

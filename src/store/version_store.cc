@@ -1,17 +1,104 @@
 #include "store/version_store.h"
 
+#include <bit>
+#include <optional>
 #include <utility>
 
 #include "core/script_io.h"
+#include "store/codec.h"
 
 namespace treediff {
+
+namespace {
+
+/// Delta record payload: a small stats header, then the script text.
+/// Storing nodes/full_size/cost in the header lets recovery rebuild
+/// VersionInfo and StorageStats without materializing every version (the
+/// script text alone cannot: update costs are not serialized).
+///
+///   varint   nodes        (tree size after the delta)
+///   varint   full_size    (s-expression bytes of the full snapshot)
+///   fixed64  cost bits    (IEEE double, TotalCost of the original script)
+///   bytes    script text  (FormatEditScript)
+std::string EncodeDeltaPayload(const VersionStore::VersionInfo& info,
+                               size_t full_size,
+                               const std::string& script_text) {
+  std::string payload;
+  PutVarint64(&payload, info.nodes);
+  PutVarint64(&payload, full_size);
+  PutFixed64(&payload, std::bit_cast<uint64_t>(info.cost));
+  payload.append(script_text);
+  return payload;
+}
+
+bool DecodeDeltaHeader(std::string_view* payload, uint64_t* nodes,
+                       uint64_t* full_size, double* cost) {
+  if (!GetVarint64(payload, nodes) || !GetVarint64(payload, full_size)) {
+    return false;
+  }
+  if (payload->size() < 8) return false;
+  *cost = std::bit_cast<double>(DecodeFixed64(payload->data()));
+  payload->remove_prefix(8);
+  return true;
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::string out = "recovered " + std::to_string(versions_recovered) +
+                    " version(s) from " + std::to_string(records_scanned) +
+                    " record(s), " + std::to_string(bytes_total) + " byte(s)";
+  if (checkpoint_version >= 0) {
+    out += ", head from checkpoint v" + std::to_string(checkpoint_version) +
+           " + " + std::to_string(deltas_replayed) + " delta(s)";
+  } else {
+    out += ", head replayed from base (" + std::to_string(deltas_replayed) +
+           " delta(s))";
+  }
+  if (bytes_truncated > 0) {
+    out += "; truncated " + std::to_string(bytes_truncated) + " byte(s) (" +
+           (checksum_failures > 0 ? "checksum failure" : "torn tail") + ")";
+  }
+  return out;
+}
 
 VersionStore::VersionStore(Tree base, DiffOptions options)
     : base_(base.Clone()), head_(std::move(base)), options_(options) {
   full_sizes_.push_back(base_.ToDebugString().size());
 }
 
+Status VersionStore::AppendDurable(LogRecordType type,
+                                   std::string_view payload) {
+  Status st = writer_->AppendRecord(type, payload);
+  if (st.ok()) st = writer_->Sync();
+  if (!st.ok()) {
+    // The log tail is now in an unknown state; poison the store so no
+    // further mutation can commit on top of it. Reads stay available and
+    // Open() recovers the durable prefix.
+    io_status_ = st;
+  }
+  return st;
+}
+
+void VersionStore::MaybeCheckpoint() {
+  if (store_options_.checkpoint_interval <= 0) return;
+  if (++commits_since_checkpoint_ < store_options_.checkpoint_interval) return;
+  std::string payload;
+  PutVarint64(&payload, static_cast<uint64_t>(VersionCount() - 1));
+  payload.append(EncodeTree(head_));
+  // Best-effort: the commit this rides on is already durable. A failure
+  // poisons the store (the tail may hold a torn checkpoint record), which
+  // recovery simply truncates.
+  if (AppendDurable(LogRecordType::kCheckpoint, payload).ok()) {
+    commits_since_checkpoint_ = 0;
+  }
+}
+
 StatusOr<int> VersionStore::Commit(const Tree& new_version) {
+  if (!io_status_.ok()) {
+    return Status::FailedPrecondition(
+        "store is poisoned by an earlier I/O error: " + io_status_.message());
+  }
   if (new_version.label_table().get() != base_.label_table().get()) {
     return Status::InvalidArgument(
         "committed versions must share the store's LabelTable");
@@ -36,10 +123,20 @@ StatusOr<int> VersionStore::Commit(const Tree& new_version) {
   info.cost = diff->script.TotalCost();
   info.nodes = next.size();
 
+  size_t full_size = new_version.ToDebugString().size();
+  if (durable()) {
+    // Write-ahead: the record must be on disk before the head advances. A
+    // failed append leaves the in-memory store exactly as it was.
+    std::string payload = EncodeDeltaPayload(
+        info, full_size, FormatEditScript(diff->script, base_.labels()));
+    TREEDIFF_RETURN_IF_ERROR(AppendDurable(LogRecordType::kDelta, payload));
+  }
+
   head_ = std::move(next);
   scripts_.push_back(std::move(diff->script));
   infos_.push_back(info);
-  full_sizes_.push_back(new_version.ToDebugString().size());
+  full_sizes_.push_back(full_size);
+  if (durable()) MaybeCheckpoint();
   return VersionCount() - 1;
 }
 
@@ -55,6 +152,10 @@ StatusOr<Tree> VersionStore::Materialize(int v) const {
 }
 
 StatusOr<int> VersionStore::RollbackHead() {
+  if (!io_status_.ok()) {
+    return Status::FailedPrecondition(
+        "store is poisoned by an earlier I/O error: " + io_status_.message());
+  }
   if (scripts_.empty()) {
     return Status::FailedPrecondition("cannot roll back the base version");
   }
@@ -65,18 +166,30 @@ StatusOr<int> VersionStore::RollbackHead() {
   if (!prev.ok()) return prev.status();
   StatusOr<EditScript> inverse = InvertScript(scripts_.back(), *prev);
   if (!inverse.ok()) return inverse.status();
-  TREEDIFF_RETURN_IF_ERROR(inverse->ApplyTo(&head_));
-  if (!Tree::Isomorphic(head_, *prev)) {
+  // Verify on a scratch copy so the member state stays untouched until the
+  // rollback is durable.
+  Tree check = head_.Clone();
+  TREEDIFF_RETURN_IF_ERROR(inverse->ApplyTo(&check));
+  if (!Tree::Isomorphic(check, *prev)) {
     return Status::Internal("inverse delta did not restore the head");
   }
-  // The rolled-back head still carries dead id slots from the dropped
-  // delta's inserts; adopt the replayed tree so the id space matches what
-  // future commits' scripts will see when materialized from the base.
+  if (durable()) {
+    std::string payload;
+    PutVarint64(&payload, static_cast<uint64_t>(VersionCount() - 1));
+    TREEDIFF_RETURN_IF_ERROR(AppendDurable(LogRecordType::kRollback, payload));
+  }
+  // Adopt the replayed tree (not the undone head): the id space must match
+  // what future commits' scripts will see when materialized from the base.
   head_ = std::move(*prev);
   scripts_.pop_back();
   infos_.pop_back();
   full_sizes_.pop_back();
   return VersionCount() - 1;
+}
+
+const EditScript* VersionStore::DeltaFor(int v) const {
+  if (v < 1 || v >= VersionCount()) return nullptr;
+  return &scripts_[static_cast<size_t>(v - 1)];
 }
 
 VersionStore::StorageStats VersionStore::Storage() const {
@@ -90,6 +203,217 @@ VersionStore::StorageStats VersionStore::Storage() const {
     stats.full_copy_bytes += full_sizes_[i];
   }
   return stats;
+}
+
+StatusOr<VersionStore> VersionStore::Create(const std::string& path, Tree base,
+                                            DiffOptions options,
+                                            StoreOptions store_options) {
+  Env* env = store_options.env ? store_options.env : Env::Default();
+  if (env->FileExists(path)) {
+    return Status::FailedPrecondition("store already exists: " + path);
+  }
+  // Build the initial log under a tmp name, sync it, then atomically rename
+  // into place: a crash anywhere before the rename leaves no (possibly
+  // half-written) store at `path`.
+  const std::string tmp = path + ".tmp";
+  auto file = env->NewWritableFile(tmp, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  TREEDIFF_RETURN_IF_ERROR(
+      (*file)->Append(std::string_view(kLogMagic, kLogMagicSize)));
+  LogWriter bootstrap(std::move(*file), kLogMagicSize);
+  TREEDIFF_RETURN_IF_ERROR(
+      bootstrap.AppendRecord(LogRecordType::kSnapshot, EncodeTree(base)));
+  TREEDIFF_RETURN_IF_ERROR(bootstrap.Sync());
+  TREEDIFF_RETURN_IF_ERROR(bootstrap.Close());
+  TREEDIFF_RETURN_IF_ERROR(env->RenameFile(tmp, path));
+
+  auto append = env->NewWritableFile(path, /*truncate=*/false);
+  if (!append.ok()) return append.status();
+
+  VersionStore store;
+  store.base_ = base.Clone();
+  store.head_ = std::move(base);
+  store.options_ = options;
+  store.full_sizes_.push_back(store.base_.ToDebugString().size());
+  store.writer_ =
+      std::make_unique<LogWriter>(std::move(*append), bootstrap.offset());
+  store.env_ = env;
+  store.path_ = path;
+  store.store_options_ = store_options;
+  return store;
+}
+
+StatusOr<VersionStore> VersionStore::Open(const std::string& path,
+                                          DiffOptions options,
+                                          StoreOptions store_options,
+                                          RecoveryReport* report) {
+  Env* env = store_options.env ? store_options.env : Env::Default();
+  auto file = env->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  StatusOr<LogScanResult> scan = ScanLog(file->get());
+  if (!scan.ok()) return scan.status();
+
+  if (scan->records.empty() ||
+      scan->records[0].type != LogRecordType::kSnapshot) {
+    return Status::ParseError(
+        "unrecoverable store: the base snapshot record is missing or "
+        "corrupt: " + path);
+  }
+  auto labels = std::make_shared<LabelTable>();
+  StatusOr<Tree> base = DecodeTree(scan->records[0].payload, labels);
+  if (!base.ok()) {
+    return Status::ParseError("unrecoverable store: base snapshot: " +
+                              base.status().message());
+  }
+
+  // Replay the record sequence into the logical state. A record that passes
+  // its checksum but fails payload-level validation is treated exactly like
+  // a corrupt tail: accept the prefix before it, truncate it and everything
+  // after. `accepted_end` tracks the truncation point.
+  std::vector<EditScript> scripts;
+  std::vector<VersionInfo> infos;
+  std::vector<size_t> full_sizes;
+  full_sizes.push_back(base->ToDebugString().size());
+  struct Checkpoint {
+    size_t version;
+    std::string payload;  // Codec bytes (payload minus the version varint).
+  };
+  std::optional<Checkpoint> checkpoint;
+  uint64_t accepted_end = scan->durable_prefix;
+  size_t accepted_records = 1;
+  bool invalid_record = false;
+
+  for (size_t i = 1; i < scan->records.size() && !invalid_record; ++i) {
+    const LogScanRecord& record = scan->records[i];
+    std::string_view payload = record.payload;
+    switch (record.type) {
+      case LogRecordType::kDelta: {
+        uint64_t nodes = 0, full_size = 0;
+        double cost = 0.0;
+        StatusOr<EditScript> script = Status::ParseError("bad delta header");
+        if (DecodeDeltaHeader(&payload, &nodes, &full_size, &cost)) {
+          script = ParseEditScript(payload, labels.get());
+        }
+        if (!script.ok()) {
+          invalid_record = true;
+          break;
+        }
+        VersionInfo info;
+        info.inserts = script->num_inserts();
+        info.deletes = script->num_deletes();
+        info.updates = script->num_updates();
+        info.moves = script->num_moves();
+        info.cost = cost;
+        info.nodes = static_cast<size_t>(nodes);
+        scripts.push_back(std::move(*script));
+        infos.push_back(info);
+        full_sizes.push_back(static_cast<size_t>(full_size));
+        break;
+      }
+      case LogRecordType::kCheckpoint: {
+        uint64_t version = 0;
+        if (!GetVarint64(&payload, &version) || version != scripts.size()) {
+          invalid_record = true;
+          break;
+        }
+        checkpoint = Checkpoint{static_cast<size_t>(version),
+                                std::string(payload)};
+        break;
+      }
+      case LogRecordType::kRollback: {
+        uint64_t dropped = 0;
+        if (!GetVarint64(&payload, &dropped) || scripts.empty() ||
+            dropped != scripts.size()) {
+          invalid_record = true;
+          break;
+        }
+        scripts.pop_back();
+        infos.pop_back();
+        full_sizes.pop_back();
+        // A checkpoint of a version the rollback discarded no longer
+        // describes any surviving state.
+        if (checkpoint && checkpoint->version > scripts.size()) {
+          checkpoint.reset();
+        }
+        break;
+      }
+      case LogRecordType::kSnapshot:
+        invalid_record = true;  // Only the first record may be a snapshot.
+        break;
+      default:
+        invalid_record = true;  // Unknown type from a future version.
+        break;
+    }
+    if (!invalid_record) {
+      accepted_end = record.offset + kLogRecordHeaderSize +
+                     record.payload.size();
+      ++accepted_records;
+    }
+  }
+  if (invalid_record) {
+    // Recompute the truncation point as the end of the last accepted
+    // record (the scan-level prefix extends further).
+    accepted_end = accepted_records == scan->records.size()
+                       ? scan->durable_prefix
+                       : scan->records[accepted_records].offset;
+  }
+
+  // Rebuild the head: from the newest surviving checkpoint when one
+  // exists (bounding replay cost), from the base otherwise.
+  Tree head;
+  size_t replay_from = 0;
+  int checkpoint_version = -1;
+  if (checkpoint) {
+    StatusOr<Tree> decoded = DecodeTree(checkpoint->payload, labels);
+    if (decoded.ok()) {
+      head = std::move(*decoded);
+      replay_from = checkpoint->version;
+      checkpoint_version = static_cast<int>(checkpoint->version);
+    }
+  }
+  if (checkpoint_version < 0) head = base->Clone();
+  for (size_t i = replay_from; i < scripts.size(); ++i) {
+    Status applied = scripts[i].ApplyTo(&head);
+    if (!applied.ok()) {
+      return Status::Internal("recovery replay failed at delta " +
+                              std::to_string(i + 1) + ": " +
+                              applied.message());
+    }
+  }
+
+  // Physically drop the rejected tail so the next commit appends to a log
+  // whose every byte is valid.
+  if (accepted_end < scan->file_size) {
+    TREEDIFF_RETURN_IF_ERROR(env->TruncateFile(path, accepted_end));
+  }
+  auto append = env->NewWritableFile(path, /*truncate=*/false);
+  if (!append.ok()) return append.status();
+
+  if (report) {
+    report->bytes_total = scan->file_size;
+    report->bytes_truncated = scan->file_size - accepted_end;
+    report->records_scanned = accepted_records;
+    report->checksum_failures = scan->checksum_failures;
+    report->torn_tail = scan->torn_tail;
+    report->versions_recovered = scripts.size() + 1;
+    report->deltas_replayed = scripts.size() - replay_from;
+    report->checkpoint_version = checkpoint_version;
+  }
+
+  VersionStore store;
+  store.base_ = std::move(*base);
+  store.head_ = std::move(head);
+  store.options_ = options;
+  store.scripts_ = std::move(scripts);
+  store.infos_ = std::move(infos);
+  store.full_sizes_ = std::move(full_sizes);
+  store.writer_ = std::make_unique<LogWriter>(std::move(*append), accepted_end);
+  store.env_ = env;
+  store.path_ = path;
+  store.store_options_ = store_options;
+  store.commits_since_checkpoint_ =
+      static_cast<int>(store.scripts_.size() - replay_from);
+  return store;
 }
 
 }  // namespace treediff

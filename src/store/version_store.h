@@ -1,15 +1,51 @@
 #ifndef TREEDIFF_STORE_VERSION_STORE_H_
 #define TREEDIFF_STORE_VERSION_STORE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/diff.h"
 #include "core/edit_script.h"
+#include "store/log.h"
 #include "tree/tree.h"
+#include "util/io.h"
 #include "util/status.h"
 
 namespace treediff {
+
+/// Durability knobs for a file-backed VersionStore.
+struct StoreOptions {
+  /// File-system implementation; null means Env::Default() (POSIX). Tests
+  /// substitute MemEnv / FaultInjectingEnv (util/fault_env.h).
+  Env* env = nullptr;
+
+  /// Append a checkpoint record (full snapshot of the head) every this many
+  /// commits, bounding how many deltas recovery must replay to rebuild the
+  /// head. 0 disables checkpoints (recovery replays from the base).
+  int checkpoint_interval = 16;
+};
+
+/// What VersionStore::Open found and did while recovering a commit log,
+/// mirroring the DiffResult::report idiom: the caller can log it, alert on
+/// truncation, or assert cleanliness in tests.
+struct RecoveryReport {
+  uint64_t bytes_total = 0;      // Log size before recovery.
+  uint64_t bytes_truncated = 0;  // Corrupt/torn tail discarded.
+  size_t records_scanned = 0;    // Valid records accepted.
+  size_t checksum_failures = 0;  // 0 or 1: scan stops at the first.
+  bool torn_tail = false;        // Partial record at the tail.
+  size_t versions_recovered = 0;
+  size_t deltas_replayed = 0;    // Scripts applied to rebuild the head.
+  int checkpoint_version = -1;   // Checkpoint the head was rebuilt from.
+
+  /// True if the log was fully intact (nothing truncated or corrupt).
+  bool clean() const {
+    return bytes_truncated == 0 && checksum_failures == 0 && !torn_tail;
+  }
+
+  std::string ToString() const;
+};
 
 /// A delta-compressed version store for hierarchical data — the version and
 /// configuration management application of the paper's introduction
@@ -21,14 +57,68 @@ namespace treediff {
 /// script chain; scripts address nodes by the deterministic ids the replay
 /// itself produces, so materialization is exact (isomorphic to the
 /// committed snapshot).
+///
+/// Two modes:
+///  * **In-memory** (the constructor): nothing touches disk.
+///  * **Durable** (Create/Open): every commit is appended to a checksummed
+///    commit log (store/log.h) and fsync'd *before* the in-memory state
+///    advances — write-ahead semantics, so an acknowledged commit survives
+///    a crash and a failed commit leaves the store unchanged. Open recovers
+///    by scanning the log, dropping any torn or corrupt tail, and
+///    rebuilding the head from the latest checkpoint.
+///
+/// After any I/O failure the store is *poisoned*: mutations fail fast with
+/// kFailedPrecondition (the log's tail state is unknown); reads still work.
+/// Reopening the path recovers to the last durable commit.
 class VersionStore {
  public:
-  /// Creates a store whose version 0 is `base`.
+  /// Creates an in-memory store whose version 0 is `base`.
   explicit VersionStore(Tree base, DiffOptions options = {});
 
+  // The store owns a log writer in durable mode; it moves but does not copy.
+  VersionStore(VersionStore&&) = default;
+  VersionStore& operator=(VersionStore&&) = default;
+  VersionStore(const VersionStore&) = delete;
+  VersionStore& operator=(const VersionStore&) = delete;
+
+  /// Creates a durable store at `path` (a single log file) with version 0 =
+  /// `base`. The file is built as `path + ".tmp"`, synced, and atomically
+  /// renamed into place, so a crash mid-create leaves no half-written
+  /// store at `path`. Fails if `path` already exists.
+  static StatusOr<VersionStore> Create(const std::string& path, Tree base,
+                                       DiffOptions options = {},
+                                       StoreOptions store_options = {});
+
+  /// Opens and recovers a durable store from `path`. The log is scanned
+  /// front to back; the longest prefix of checksum-valid records wins, and
+  /// a torn or corrupt tail is physically truncated so the next commit
+  /// appends to a clean log. Recovered state always equals the state after
+  /// some acknowledged commit — never a torn mix. `report`, when non-null,
+  /// receives what recovery found.
+  static StatusOr<VersionStore> Open(const std::string& path,
+                                     DiffOptions options = {},
+                                     StoreOptions store_options = {},
+                                     RecoveryReport* report = nullptr);
+
+  /// True when backed by a commit log.
+  bool durable() const { return writer_ != nullptr; }
+
+  /// The label table shared by the base, the head, and every materialized
+  /// version. Trees passed to Commit must use this table — note that Open
+  /// recovers into a *fresh* table, not the one the original snapshots were
+  /// built with.
+  const std::shared_ptr<LabelTable>& label_table() const {
+    return base_.label_table();
+  }
+
+  /// OK unless an I/O failure has poisoned the store (durable mode only).
+  const Status& io_status() const { return io_status_; }
+
   /// Commits `new_version` (same LabelTable as the base) as the next
-  /// version, storing only its delta against the current head. Returns the
-  /// new version number.
+  /// version, storing only its delta against the current head. In durable
+  /// mode the delta record is appended and fsync'd before the in-memory
+  /// head advances; on any failure the store is observably unchanged.
+  /// Returns the new version number.
   StatusOr<int> Commit(const Tree& new_version);
 
   /// Number of versions stored (>= 1; version 0 is the base).
@@ -40,14 +130,14 @@ class VersionStore {
 
   /// Discards the newest version: the head is rolled back to the previous
   /// version by applying the inverse of the last stored delta
-  /// (InvertScript), and the delta is dropped. Returns the new head version
-  /// number; fails if only the base remains.
+  /// (InvertScript), and the delta is dropped. In durable mode a rollback
+  /// record is appended and fsync'd first. Returns the new head version
+  /// number; fails (leaving the store unchanged) if only the base remains.
   StatusOr<int> RollbackHead();
 
-  /// The stored delta that takes version v-1 to version v (1-based v).
-  const EditScript& DeltaFor(int v) const {
-    return scripts_[static_cast<size_t>(v - 1)];
-  }
+  /// The stored delta that takes version v-1 to version v (1-based v), or
+  /// null if `v` is out of range [1, VersionCount()-1].
+  const EditScript* DeltaFor(int v) const;
 
   /// Aggregate per-version change counters, the "querying over changes"
   /// facility a warehouse needs.
@@ -80,12 +170,32 @@ class VersionStore {
   StorageStats Storage() const;
 
  private:
+  VersionStore() = default;  // Assembled field-by-field in Create/Open.
+
+  /// Appends `payload` as a `type` record and fsyncs. On failure poisons
+  /// the store and returns the error; the in-memory state must not have
+  /// been touched yet (write-ahead ordering).
+  Status AppendDurable(LogRecordType type, std::string_view payload);
+
+  /// Appends a checkpoint record if the interval policy says so.
+  /// Best-effort: a failure poisons the store (future commits fail fast)
+  /// but does not undo the already durable commit.
+  void MaybeCheckpoint();
+
   Tree base_;
   Tree head_;  // Materialized head, kept for diffing the next commit.
   DiffOptions options_;
   std::vector<EditScript> scripts_;
   std::vector<VersionInfo> infos_;
   std::vector<size_t> full_sizes_;  // Serialized size of every version.
+
+  // Durable mode (null/empty in memory-only stores).
+  std::unique_ptr<LogWriter> writer_;
+  Env* env_ = nullptr;
+  std::string path_;
+  StoreOptions store_options_;
+  Status io_status_;
+  int commits_since_checkpoint_ = 0;
 };
 
 }  // namespace treediff

@@ -452,10 +452,14 @@ Status Tree::Validate() const {
     if (!rec.alive) continue;
     ++live;
     NodeId id = static_cast<NodeId>(i);
-    if (rec.parent == kInvalidNode) {
-      if (id != root_) {
-        return Status::Internal("live non-root node has no parent");
+    if (id == root_) {
+      // Must be checked before the traversal below: a root with a parent can
+      // close a cycle through the root that BfsOrder would walk forever.
+      if (rec.parent != kInvalidNode) {
+        return Status::Internal("root node has a parent");
       }
+    } else if (rec.parent == kInvalidNode) {
+      return Status::Internal("live non-root node has no parent");
     } else {
       if (!Alive(rec.parent)) {
         return Status::Internal("live node has dead parent");

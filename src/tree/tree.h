@@ -218,6 +218,12 @@ class Tree {
   }
 
  private:
+  // The binary tree codec (store/codec.cc) reconstructs a tree's arena
+  // exactly — node ids, dead slots, and child order included — which the
+  // construction API above cannot express; it goes through this access
+  // shim instead of public setters.
+  friend class TreeCodecAccess;
+
   struct NodeRec {
     LabelId label = kInvalidLabel;
     std::string value;

@@ -1,0 +1,57 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace treediff {
+
+namespace {
+
+/// Reflected CRC-32C lookup tables, slicing-by-4: table[0] is the classic
+/// byte-at-a-time table, tables 1..3 fold four input bytes per iteration.
+struct Crc32cTables {
+  uint32_t t[4][256];
+};
+
+constexpr Crc32cTables BuildTables() {
+  Crc32cTables tables{};
+  constexpr uint32_t kPoly = 0x82F63B78u;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    tables.t[1][i] = (tables.t[0][i] >> 8) ^ tables.t[0][tables.t[0][i] & 0xFF];
+    tables.t[2][i] = (tables.t[1][i] >> 8) ^ tables.t[0][tables.t[1][i] & 0xFF];
+    tables.t[3][i] = (tables.t[2][i] >> 8) ^ tables.t[0][tables.t[2][i] & 0xFF];
+  }
+  return tables;
+}
+
+constexpr Crc32cTables kTables = BuildTables();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFF] ^ kTables.t[2][(crc >> 8) & 0xFF] ^
+          kTables.t[1][(crc >> 16) & 0xFF] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p) & 0xFF];
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace treediff

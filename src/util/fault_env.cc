@@ -1,0 +1,217 @@
+#include "util/fault_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace treediff {
+
+// ---------------------------------------------------------------------------
+// MemEnv
+
+namespace {
+using FileStatePtr = std::shared_ptr<MemEnv::FileState>;
+}  // namespace
+
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(FileStatePtr state) : state_(std::move(state)) {}
+
+  Status Append(std::string_view data) override {
+    if (!state_) return Status::FailedPrecondition("append to closed file");
+    state_->data.append(data);
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (!state_) return Status::FailedPrecondition("sync of closed file");
+    state_->synced = state_->data.size();
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    state_.reset();
+    return Status::Ok();
+  }
+
+ private:
+  FileStatePtr state_;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(FileStatePtr state) : state_(std::move(state)) {}
+
+  StatusOr<std::string> Read(uint64_t offset, size_t n) const override {
+    const std::string& data = state_->data;
+    if (offset >= data.size()) return std::string();
+    size_t avail = data.size() - static_cast<size_t>(offset);
+    return data.substr(static_cast<size_t>(offset), std::min(n, avail));
+  }
+
+  StatusOr<uint64_t> Size() const override {
+    return static_cast<uint64_t>(state_->data.size());
+  }
+
+ private:
+  FileStatePtr state_;
+};
+
+StatusOr<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  FileStatePtr& state = files_[path];
+  if (!state || truncate) state = std::make_shared<FileState>();
+  return std::unique_ptr<WritableFile>(std::make_unique<MemWritableFile>(state));
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(
+    const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<MemRandomAccessFile>(it->second));
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  return files_.count(path) > 0;
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("rename: no file " + from);
+  // Rename is atomic and durable (the real Env fsyncs the directory); the
+  // renamed file keeps its own synced watermark.
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::Ok();
+}
+
+Status MemEnv::TruncateFile(const std::string& path, uint64_t size) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("truncate: no file " + path);
+  FileState& st = *it->second;
+  if (size < st.data.size()) st.data.resize(static_cast<size_t>(size));
+  st.synced = std::min<uint64_t>(st.data.size(), size);
+  return Status::Ok();
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("delete: no file " + path);
+  }
+  return Status::Ok();
+}
+
+void MemEnv::DropUnsynced() {
+  for (auto& [path, state] : files_) {
+    state->data.resize(static_cast<size_t>(state->synced));
+  }
+}
+
+Status MemEnv::CorruptByte(const std::string& path, uint64_t offset,
+                           uint8_t mask) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("corrupt: no file " + path);
+  if (offset >= it->second->data.size()) {
+    return Status::OutOfRange("corrupt: offset beyond end of " + path);
+  }
+  it->second->data[static_cast<size_t>(offset)] =
+      static_cast<char>(it->second->data[static_cast<size_t>(offset)] ^ mask);
+  return Status::Ok();
+}
+
+StatusOr<std::string> MemEnv::FileBytes(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second->data;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingEnv
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultInjectingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(std::string_view data) override {
+    TREEDIFF_RETURN_IF_ERROR(env_->CheckDown("append"));
+    uint64_t budget = env_->plan_.crash_at_byte == FaultPlan::kNever
+                          ? FaultPlan::kNever
+                          : env_->plan_.crash_at_byte - env_->bytes_written_;
+    if (budget < data.size()) {
+      // Torn write: the prefix reaches the base file, then the lights go out.
+      Status ignored = base_->Append(data.substr(0, budget));
+      (void)ignored;
+      env_->bytes_written_ += budget;
+      env_->down_ = true;
+      return Status::Internal("injected fault: crash mid-append");
+    }
+    TREEDIFF_RETURN_IF_ERROR(base_->Append(data));
+    env_->bytes_written_ += data.size();
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    TREEDIFF_RETURN_IF_ERROR(env_->CheckDown("sync"));
+    ++env_->sync_calls_;
+    if (env_->sync_calls_ == env_->plan_.crash_during_sync_at) {
+      // Power loss inside fsync: durability of this data is unknown. Leave
+      // the base unsynced (the pessimistic outcome) and go down.
+      env_->down_ = true;
+      return Status::Internal("injected fault: crash during sync");
+    }
+    if (env_->sync_calls_ == env_->plan_.fail_sync_at) {
+      env_->down_ = true;
+      return Status::Internal("injected fault: sync failed");
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    // Closing is allowed even when down (destructors run after a crash).
+    return base_->Close();
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingEnv* env_;
+};
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  TREEDIFF_RETURN_IF_ERROR(CheckDown("open"));
+  auto base = base_->NewWritableFile(path, truncate);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(std::move(*base), this));
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>>
+FaultInjectingEnv::NewRandomAccessFile(const std::string& path) {
+  TREEDIFF_RETURN_IF_ERROR(CheckDown("open"));
+  return base_->NewRandomAccessFile(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  TREEDIFF_RETURN_IF_ERROR(CheckDown("rename"));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::TruncateFile(const std::string& path, uint64_t size) {
+  TREEDIFF_RETURN_IF_ERROR(CheckDown("truncate"));
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectingEnv::DeleteFile(const std::string& path) {
+  TREEDIFF_RETURN_IF_ERROR(CheckDown("delete"));
+  return base_->DeleteFile(path);
+}
+
+}  // namespace treediff

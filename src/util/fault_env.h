@@ -1,0 +1,134 @@
+#ifndef TREEDIFF_UTIL_FAULT_ENV_H_
+#define TREEDIFF_UTIL_FAULT_ENV_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/io.h"
+
+namespace treediff {
+
+/// Test-only file systems for crash and corruption testing. These live in a
+/// separate library (`treediff_faultenv`) linked only by tests and fault
+/// benchmarks, so no fault-injection code is compiled into the release
+/// store path — the production binaries see only Env::Default().
+
+/// An in-memory Env that models durability the way a real disk does: every
+/// file tracks a `synced` watermark, and bytes appended after the last
+/// Sync() are *not* durable. DropUnsynced() simulates the OS page cache
+/// vanishing in a power loss; what survives is exactly the synced prefix.
+class MemEnv : public Env {
+ public:
+  struct FileState {
+    std::string data;
+    uint64_t synced = 0;  // data[0, synced) has been fsync'd.
+  };
+
+  // Env interface.
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status DeleteFile(const std::string& path) override;
+
+  // Crash and corruption hooks.
+
+  /// Discards every byte written after the last Sync() of every file — the
+  /// pessimistic power-loss model.
+  void DropUnsynced();
+
+  /// XORs `mask` into byte `offset` of `path` (bit flips for checksum
+  /// tests). Fails if the file or offset does not exist.
+  Status CorruptByte(const std::string& path, uint64_t offset, uint8_t mask);
+
+  /// The raw bytes of `path` (test inspection).
+  StatusOr<std::string> FileBytes(const std::string& path) const;
+
+ private:
+  friend class MemWritableFile;
+  friend class MemRandomAccessFile;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+};
+
+/// Deterministic fault plan for one FaultInjectingEnv run. Every field uses
+/// kNever (disabled) by default; a test enables exactly the faults it wants
+/// so failures reproduce from (seed, plan) alone.
+struct FaultPlan {
+  static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
+
+  /// Crash when this many cumulative bytes have been appended across all
+  /// writable files: the append that crosses the threshold persists only
+  /// the prefix up to it (a torn write), and the env goes down.
+  uint64_t crash_at_byte = kNever;
+
+  /// Fail the Nth Sync() call (1-based) and take the env down; the data the
+  /// sync covered stays unsynced (it may later be dropped by a crash).
+  uint64_t fail_sync_at = kNever;
+
+  /// Crash *during* the Nth Sync() call (1-based): the sync neither
+  /// completes nor reports — the caller never learns whether its bytes are
+  /// durable. Models power loss inside fsync.
+  uint64_t crash_during_sync_at = kNever;
+};
+
+/// Wraps a base Env (typically MemEnv) and injects the faults described by
+/// a FaultPlan. After a fault fires the env is "down": every subsequent
+/// file operation fails with kInternal, like a machine that lost power.
+/// ClearFault() models the restart, after which the store can be reopened
+/// and recovery exercised against whatever bytes survived.
+class FaultInjectingEnv : public Env {
+ public:
+  explicit FaultInjectingEnv(Env* base, FaultPlan plan = {})
+      : base_(base), plan_(plan) {}
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status DeleteFile(const std::string& path) override;
+
+  /// Cumulative bytes appended through this env (fault points are byte
+  /// offsets into this stream).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Total Sync() calls observed.
+  uint64_t sync_calls() const { return sync_calls_; }
+
+  /// True once a planned fault has fired.
+  bool down() const { return down_; }
+
+  /// Restart: subsequent operations reach the base env again. The plan does
+  /// not re-arm; counters keep running.
+  void ClearFault() { down_ = false; }
+
+ private:
+  friend class FaultWritableFile;
+
+  Status CheckDown(const char* op) const {
+    if (down_) {
+      return Status::Internal(std::string("injected fault: env is down (") +
+                              op + ")");
+    }
+    return Status::Ok();
+  }
+
+  Env* base_;
+  FaultPlan plan_;
+  uint64_t bytes_written_ = 0;
+  uint64_t sync_calls_ = 0;
+  bool down_ = false;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_UTIL_FAULT_ENV_H_

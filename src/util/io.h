@@ -1,0 +1,83 @@
+#ifndef TREEDIFF_UTIL_IO_H_
+#define TREEDIFF_UTIL_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace treediff {
+
+/// File-system abstraction in the style of production storage engines: the
+/// durable VersionStore writes its commit log through these interfaces, so
+/// tests can substitute an in-memory file system with deterministic fault
+/// injection (see util/fault_env.h) while the release path talks straight
+/// to POSIX. All methods return Status; nothing throws.
+
+/// An append-only file. Writes are buffered by the OS; nothing is durable
+/// until Sync() returns OK (the commit protocol relies on this distinction).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Forces everything appended so far to stable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Closes the file. Append/Sync after Close are errors.
+  virtual Status Close() = 0;
+};
+
+/// A read-only file addressed by offset (pread semantics; safe for
+/// concurrent readers).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes starting at `offset`. Short reads at end of file
+  /// return the available bytes (possibly empty); they are not errors.
+  virtual StatusOr<std::string> Read(uint64_t offset, size_t n) const = 0;
+
+  /// Current size of the file in bytes.
+  virtual StatusOr<uint64_t> Size() const = 0;
+};
+
+/// Factory for files plus the handful of metadata operations the store
+/// needs. `Env::Default()` is the POSIX implementation; tests wrap or
+/// replace it.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending. With `truncate` the file is created empty
+  /// (O_TRUNC); otherwise existing content is preserved and writes append.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  virtual StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename) and syncs the
+  /// parent directory, so the rename itself is durable — the tmp-file +
+  /// rename + fsync idiom used to publish a new store.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Truncates `path` to `size` bytes and syncs it. Recovery uses this to
+  /// discard a torn or corrupt log tail.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_UTIL_IO_H_

@@ -1,0 +1,291 @@
+// Crash-recovery property test for the durable VersionStore.
+//
+// For every seed, a deterministic workload (random document versions from
+// gen/edit_sim, plus a rollback) is committed to a store on an in-memory
+// file system. The run is then repeated once per *fault point* — a torn
+// write at each record boundary and inside each record, a failed fsync, and
+// a power loss during fsync — and the store is killed at that point,
+// "restarted" (unsynced bytes dropped), and reopened. The property: the
+// recovered store serves exactly the acknowledged prefix of the workload —
+// every surviving version materializes isomorphic to its snapshot, never a
+// torn mix — and keeps accepting commits.
+//
+// Seeds: TREEDIFF_FAULT_SEEDS selects how many (default 4; CI runs 32).
+// On failure, the post-crash log is dumped to TREEDIFF_FAULT_ARTIFACT_DIR
+// (when set) so the exact byte state ships with the bug report.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gen/doc_gen.h"
+#include "gen/edit_sim.h"
+#include "store/log.h"
+#include "store/version_store.h"
+#include "tree/builder.h"
+#include "util/fault_env.h"
+#include "util/random.h"
+
+namespace treediff {
+namespace {
+
+constexpr char kPath[] = "wal";
+
+size_t SeedCount() {
+  const char* env = std::getenv("TREEDIFF_FAULT_SEEDS");
+  if (env == nullptr) return 4;
+  long n = std::strtol(env, nullptr, 10);
+  return n > 0 ? static_cast<size_t>(n) : 4;
+}
+
+/// One deterministic workload: a base document and the version trees the
+/// driver will commit, all sharing one label table.
+struct Workload {
+  std::shared_ptr<LabelTable> labels;
+  Tree base{nullptr};
+  std::vector<Tree> versions;
+};
+
+enum class Op { kCommit, kRollback };
+
+// Commit t0, t1, roll back, commit t2, t3: covers delta, rollback, and (with
+// checkpoint_interval = 2) checkpoint records, including a checkpoint
+// invalidated by the later rollback.
+const std::vector<Op> kSchedule = {Op::kCommit, Op::kCommit, Op::kRollback,
+                                   Op::kCommit, Op::kCommit};
+
+Workload MakeWorkload(uint64_t seed) {
+  Workload w;
+  w.labels = std::make_shared<LabelTable>();
+  Vocabulary vocab(200, 1.0);
+  Rng rng(seed);
+  DocGenParams params;
+  params.sections = 2;
+  w.base = GenerateDocument(params, vocab, &rng, w.labels);
+  Tree current = w.base.Clone();
+  for (size_t i = 0; i + 1 < kSchedule.size(); ++i) {  // 4 commits.
+    SimulatedVersion next = SimulateNewVersion(current, 3, {}, vocab, &rng);
+    w.versions.push_back(next.new_tree.Clone());
+    current = std::move(next.new_tree);
+  }
+  return w;
+}
+
+StoreOptions Opts(Env* env) {
+  StoreOptions o;
+  o.env = env;
+  o.checkpoint_interval = 2;
+  return o;
+}
+
+/// Drives the workload against `env` until an operation fails (the injected
+/// fault) or the schedule completes. Returns the number of acknowledged
+/// operations; -1 if Create itself failed.
+int Drive(Env* env, const Workload& w) {
+  auto store = VersionStore::Create(kPath, w.base.Clone(), {}, Opts(env));
+  if (!store.ok()) return -1;
+  int acked = 0;
+  size_t next_commit = 0;
+  for (Op op : kSchedule) {
+    bool ok = op == Op::kCommit ? store->Commit(w.versions[next_commit]).ok()
+                                : store->RollbackHead().ok();
+    if (op == Op::kCommit) ++next_commit;
+    if (!ok) break;
+    ++acked;
+  }
+  return acked;
+}
+
+/// The store states (as trees) after the first `acked` acknowledged ops.
+std::vector<const Tree*> ExpectedChain(const Workload& w, int acked) {
+  std::vector<const Tree*> chain = {&w.base};
+  size_t next_commit = 0;
+  for (int i = 0; i < acked; ++i) {
+    if (kSchedule[static_cast<size_t>(i)] == Op::kCommit) {
+      chain.push_back(&w.versions[next_commit++]);
+    } else {
+      chain.pop_back();
+    }
+  }
+  return chain;
+}
+
+void DumpArtifact(MemEnv* mem, uint64_t seed, const std::string& fault) {
+  const char* dir = std::getenv("TREEDIFF_FAULT_ARTIFACT_DIR");
+  if (dir == nullptr) return;
+  std::filesystem::create_directories(dir);
+  auto bytes = mem->FileBytes(kPath);
+  const std::string stem = std::string(dir) + "/seed" + std::to_string(seed) +
+                           "_" + fault;
+  if (bytes.ok()) {
+    std::ofstream out(stem + ".log", std::ios::binary);
+    out.write(bytes->data(), static_cast<std::streamsize>(bytes->size()));
+  }
+  std::ofstream desc(stem + ".txt");
+  desc << "seed=" << seed << " fault=" << fault
+       << " log_present=" << bytes.ok() << "\n";
+}
+
+/// Runs the workload with `plan`, crashes, restarts, reopens, and checks the
+/// recovered store against the acknowledged prefix.
+void CheckFaultPoint(const Workload& w, uint64_t seed, FaultPlan plan,
+                     const std::string& fault_name) {
+  const bool failed_before = ::testing::Test::HasFailure();
+  MemEnv mem;
+  FaultInjectingEnv env(&mem, plan);
+  int acked = Drive(&env, w);
+  // Restart: the machine comes back with only the synced bytes.
+  mem.DropUnsynced();
+
+  if (acked < 0) {
+    // Create never acknowledged: the tmp-file + rename protocol must leave
+    // no store at the path, so Open fails rather than seeing half a log.
+    EXPECT_FALSE(mem.FileExists(kPath)) << fault_name;
+    EXPECT_FALSE(VersionStore::Open(kPath, {}, Opts(&mem)).ok()) << fault_name;
+  } else {
+    std::vector<const Tree*> chain = ExpectedChain(w, acked);
+    RecoveryReport report;
+    auto store = VersionStore::Open(kPath, {}, Opts(&mem), &report);
+    ASSERT_TRUE(store.ok()) << fault_name << ": " << store.status().ToString();
+    EXPECT_EQ(static_cast<size_t>(store->VersionCount()), chain.size())
+        << fault_name << ": " << report.ToString();
+    for (int v = 0; v < store->VersionCount(); ++v) {
+      auto tree = store->Materialize(v);
+      ASSERT_TRUE(tree.ok()) << fault_name << " version " << v;
+      EXPECT_TRUE(
+          Tree::Isomorphic(*tree, *chain[static_cast<size_t>(v)]))
+          << fault_name << ": version " << v
+          << " is not the committed snapshot (" << report.ToString() << ")";
+    }
+    EXPECT_EQ(report.versions_recovered, chain.size()) << fault_name;
+
+    // The recovered store must accept new commits (on its own recovered
+    // label table).
+    Tree head = *store->Materialize(store->VersionCount() - 1);
+    Vocabulary vocab(200, 1.0);
+    Rng rng(seed ^ 0x9E3779B97F4A7C15ull);
+    SimulatedVersion next = SimulateNewVersion(head, 2, {}, vocab, &rng);
+    EXPECT_TRUE(store->Commit(next.new_tree).ok()) << fault_name;
+  }
+  if (::testing::Test::HasFailure() && !failed_before) {
+    DumpArtifact(&mem, seed, fault_name);
+  }
+}
+
+TEST(CrashRecoveryPropertyTest, EveryFaultPointRecoversExactly) {
+  const size_t seeds = SeedCount();
+  for (size_t i = 0; i < seeds; ++i) {
+    const uint64_t seed = 0xC0FFEE + i * 7919;
+    Workload w = MakeWorkload(seed);
+
+    // Fault-free baseline: learn the byte layout and sync count, and verify
+    // the workload itself is sound.
+    MemEnv baseline_mem;
+    FaultInjectingEnv baseline_env(&baseline_mem);
+    ASSERT_EQ(Drive(&baseline_env, w),
+              static_cast<int>(kSchedule.size()))
+        << "seed " << seed;
+    const uint64_t total_bytes = baseline_env.bytes_written();
+    const uint64_t total_syncs = baseline_env.sync_calls();
+    auto file = baseline_mem.NewRandomAccessFile(kPath);
+    ASSERT_TRUE(file.ok());
+    auto scan = ScanLog(file->get());
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    ASSERT_GE(scan->records.size(), kSchedule.size());
+
+    // Byte-level fault points: each record boundary +/- 1, the middle of
+    // each record, and the extremes of the stream.
+    std::set<uint64_t> byte_points = {0, kLogMagicSize, total_bytes - 1,
+                                      total_bytes};
+    for (const LogScanRecord& rec : scan->records) {
+      const uint64_t end = rec.offset + kLogRecordHeaderSize +
+                           rec.payload.size();
+      byte_points.insert(rec.offset - 1);
+      byte_points.insert(rec.offset);
+      byte_points.insert(rec.offset + 1);
+      byte_points.insert(rec.offset + (end - rec.offset) / 2);
+    }
+    for (uint64_t point : byte_points) {
+      if (point > total_bytes) continue;
+      FaultPlan plan;
+      plan.crash_at_byte = point;
+      CheckFaultPoint(w, seed, plan,
+                      "crash_at_byte_" + std::to_string(point));
+    }
+
+    // Sync-level fault points: every fsync both fails visibly and is
+    // interrupted by a crash.
+    for (uint64_t k = 1; k <= total_syncs; ++k) {
+      FaultPlan fail;
+      fail.fail_sync_at = k;
+      CheckFaultPoint(w, seed, fail, "fail_sync_" + std::to_string(k));
+      FaultPlan crash;
+      crash.crash_during_sync_at = k;
+      CheckFaultPoint(w, seed, crash,
+                      "crash_during_sync_" + std::to_string(k));
+    }
+  }
+}
+
+TEST(CrashRecoveryPropertyTest, RandomCorruptionNeverYieldsTornState) {
+  // Beyond clean crashes: flip random bytes in a sealed log. Open must
+  // either refuse or recover a consistent prefix — every served version
+  // must be one of the committed snapshots.
+  const uint64_t seed = 0xBADC0DE;
+  Workload w = MakeWorkload(seed);
+  MemEnv pristine;
+  {
+    FaultInjectingEnv env(&pristine);
+    ASSERT_EQ(Drive(&env, w), static_cast<int>(kSchedule.size()));
+  }
+  auto bytes = pristine.FileBytes(kPath);
+  ASSERT_TRUE(bytes.ok());
+  const std::vector<const Tree*> full_chain =
+      ExpectedChain(w, static_cast<int>(kSchedule.size()));
+
+  Rng rng(seed);
+  for (int trial = 0; trial < 200; ++trial) {
+    MemEnv mem;
+    {
+      auto file = mem.NewWritableFile(kPath, true);
+      ASSERT_TRUE(file.ok());
+      ASSERT_TRUE((*file)->Append(*bytes).ok());
+      ASSERT_TRUE((*file)->Sync().ok());
+    }
+    const int flips = 1 + static_cast<int>(rng.Uniform(3));
+    for (int f = 0; f < flips; ++f) {
+      uint64_t offset = rng.Uniform(bytes->size());
+      uint8_t mask = static_cast<uint8_t>(1u << rng.Uniform(8));
+      ASSERT_TRUE(mem.CorruptByte(kPath, offset, mask).ok());
+    }
+    RecoveryReport report;
+    auto store = VersionStore::Open(kPath, {}, Opts(&mem), &report);
+    if (!store.ok()) continue;  // Refusing a mangled log is always legal.
+    // Whatever survived must be a prefix-consistent chain of real
+    // snapshots (a flip inside a value can only be served if the checksum
+    // missed it, which CRC32C makes effectively impossible for <= 3 flips).
+    ASSERT_LE(static_cast<size_t>(store->VersionCount()), full_chain.size());
+    for (int v = 0; v < store->VersionCount(); ++v) {
+      auto tree = store->Materialize(v);
+      ASSERT_TRUE(tree.ok()) << "trial " << trial << " version " << v;
+      EXPECT_TRUE(tree->Validate().ok()) << "trial " << trial;
+      // Every served version is some committed snapshot, never a torn mix.
+      bool known = Tree::Isomorphic(*tree, w.base);
+      for (const Tree& snap : w.versions) {
+        known = known || Tree::Isomorphic(*tree, snap);
+      }
+      EXPECT_TRUE(known) << "trial " << trial << " version " << v
+                         << " matches no committed snapshot";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,259 @@
+#include "util/io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "util/crc32c.h"
+#include "util/fault_env.h"
+
+namespace treediff {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC32C
+
+TEST(Crc32cTest, KnownAnswers) {
+  // The standard CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // From the iSCSI specification test vectors: 32 zero bytes.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "hello, commit log";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTripsAndDiffers) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0xdeadbeefu}) {
+    EXPECT_EQ(Crc32cUnmask(Crc32cMask(crc)), crc);
+    EXPECT_NE(Crc32cMask(crc), crc);
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t good = Crc32c(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(data), good) << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PosixEnv
+
+TEST(PosixEnvTest, WriteReadRenameTruncate) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "treediff_io_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string tmp = (dir / "f.tmp").string();
+  const std::string path = (dir / "f").string();
+
+  Env* env = Env::Default();
+  {
+    auto file = env->NewWritableFile(tmp, /*truncate=*/true);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    ASSERT_TRUE((*file)->Append("hello ").ok());
+    ASSERT_TRUE((*file)->Append("world").ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  EXPECT_TRUE(env->FileExists(tmp));
+  EXPECT_FALSE(env->FileExists(path));
+  ASSERT_TRUE(env->RenameFile(tmp, path).ok());
+  EXPECT_FALSE(env->FileExists(tmp));
+  ASSERT_TRUE(env->FileExists(path));
+
+  {
+    auto file = env->NewRandomAccessFile(path);
+    ASSERT_TRUE(file.ok());
+    auto size = (*file)->Size();
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(*size, 11u);
+    auto all = (*file)->Read(0, 11);
+    ASSERT_TRUE(all.ok());
+    EXPECT_EQ(*all, "hello world");
+    auto mid = (*file)->Read(6, 5);
+    ASSERT_TRUE(mid.ok());
+    EXPECT_EQ(*mid, "world");
+    // Short read at EOF is not an error.
+    auto past = (*file)->Read(6, 100);
+    ASSERT_TRUE(past.ok());
+    EXPECT_EQ(*past, "world");
+    auto beyond = (*file)->Read(100, 4);
+    ASSERT_TRUE(beyond.ok());
+    EXPECT_EQ(*beyond, "");
+  }
+
+  // Append mode preserves existing content.
+  {
+    auto file = env->NewWritableFile(path, /*truncate=*/false);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("!").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  ASSERT_TRUE(env->TruncateFile(path, 5).ok());
+  {
+    auto file = env->NewRandomAccessFile(path);
+    ASSERT_TRUE(file.ok());
+    auto all = (*file)->Read(0, 100);
+    ASSERT_TRUE(all.ok());
+    EXPECT_EQ(*all, "hello");
+  }
+  ASSERT_TRUE(env->DeleteFile(path).ok());
+  EXPECT_FALSE(env->FileExists(path));
+  EXPECT_FALSE(env->NewRandomAccessFile(path).ok());
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// MemEnv
+
+TEST(MemEnvTest, DropUnsyncedKeepsOnlySyncedPrefix) {
+  MemEnv env;
+  auto file = env.NewWritableFile("f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append(" volatile").ok());
+  // No sync after the second append: a power loss loses it.
+  env.DropUnsynced();
+  auto bytes = env.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "durable");
+}
+
+TEST(MemEnvTest, RenameIsAtomicPublish) {
+  MemEnv env;
+  auto file = env.NewWritableFile("f.tmp", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("payload").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(env.RenameFile("f.tmp", "f").ok());
+  EXPECT_FALSE(env.FileExists("f.tmp"));
+  ASSERT_TRUE(env.FileExists("f"));
+  auto bytes = env.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "payload");
+  EXPECT_FALSE(env.RenameFile("missing", "x").ok());
+}
+
+TEST(MemEnvTest, CorruptByteFlipsExactlyOneByte) {
+  MemEnv env;
+  auto file = env.NewWritableFile("f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abcd").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE(env.CorruptByte("f", 2, 0x01).ok());
+  auto bytes = env.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "abbd");  // 'c' ^ 0x01 == 'b'
+  EXPECT_FALSE(env.CorruptByte("f", 99, 0x01).ok());
+  EXPECT_FALSE(env.CorruptByte("missing", 0, 0x01).ok());
+}
+
+TEST(MemEnvTest, TruncateAdjustsSyncedWatermark) {
+  MemEnv env;
+  auto file = env.NewWritableFile("f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123456789").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE(env.TruncateFile("f", 4).ok());
+  env.DropUnsynced();  // Nothing beyond the truncation point may resurface.
+  auto bytes = env.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "0123");
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingEnv
+
+TEST(FaultEnvTest, CrashAtByteTearsTheWrite) {
+  MemEnv mem;
+  FaultPlan plan;
+  plan.crash_at_byte = 6;
+  FaultInjectingEnv env(&mem, plan);
+  auto file = env.NewWritableFile("f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("0123").ok());
+  EXPECT_FALSE(env.down());
+  // This append crosses the threshold: only the prefix up to byte 6 lands.
+  EXPECT_FALSE((*file)->Append("456789").ok());
+  EXPECT_TRUE(env.down());
+  auto bytes = mem.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "012345");
+  // Down env rejects everything until restart.
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_FALSE(env.NewWritableFile("g", true).ok());
+  env.ClearFault();
+  EXPECT_TRUE(env.NewWritableFile("g", true).ok());
+}
+
+TEST(FaultEnvTest, FailSyncLeavesDataUndurable) {
+  MemEnv mem;
+  FaultPlan plan;
+  plan.fail_sync_at = 2;
+  FaultInjectingEnv env(&mem, plan);
+  auto file = env.NewWritableFile("f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("first").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("second").ok());
+  EXPECT_FALSE((*file)->Sync().ok());  // Injected failure.
+  EXPECT_TRUE(env.down());
+  EXPECT_EQ(env.sync_calls(), 2u);
+  mem.DropUnsynced();
+  auto bytes = mem.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "first");
+}
+
+TEST(FaultEnvTest, CrashDuringSyncIsAmbiguous) {
+  MemEnv mem;
+  FaultPlan plan;
+  plan.crash_during_sync_at = 1;
+  FaultInjectingEnv env(&mem, plan);
+  auto file = env.NewWritableFile("f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("data").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_TRUE(env.down());
+  // The sync never completed: after the crash the bytes are gone.
+  mem.DropUnsynced();
+  auto bytes = mem.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "");
+}
+
+TEST(FaultEnvTest, CountsBytesAcrossFiles) {
+  MemEnv mem;
+  FaultInjectingEnv env(&mem);
+  auto a = env.NewWritableFile("a", true);
+  auto b = env.NewWritableFile("b", true);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*a)->Append("12345").ok());
+  ASSERT_TRUE((*b)->Append("678").ok());
+  EXPECT_EQ(env.bytes_written(), 8u);
+}
+
+}  // namespace
+}  // namespace treediff

@@ -8,9 +8,12 @@
 #include <memory>
 #include <string>
 
+#include "core/script_io.h"
 #include "doc/html_parser.h"
 #include "doc/latex_parser.h"
+#include "doc/markdown_parser.h"
 #include "doc/sentence.h"
+#include "doc/xml.h"
 #include "tree/builder.h"
 #include "util/random.h"
 
@@ -91,6 +94,65 @@ TEST(ParserFuzzTest, HtmlSurvivesRandomAndSoup) {
   }
 }
 
+TEST(ParserFuzzTest, MarkdownSurvivesRandomAndSoup) {
+  Rng rng(107);
+  for (int iter = 0; iter < 60; ++iter) {
+    auto t1 = ParseMarkdown(RandomBytes(&rng, 64 + rng.Uniform(512), false));
+    if (t1.ok()) {
+      EXPECT_TRUE(t1->Validate().ok());
+    }
+    auto t2 = ParseMarkdown(RandomMarkupSoup(&rng, 8 + rng.Uniform(60)));
+    if (t2.ok()) {
+      EXPECT_TRUE(t2->Validate().ok());
+    }
+  }
+  // Markdown-specific pathologies: runaway emphasis, heading walls,
+  // unterminated fences.
+  auto hashes = ParseMarkdown(std::string(4000, '#'));
+  if (hashes.ok()) {
+    EXPECT_TRUE(hashes->Validate().ok());
+  }
+  auto stars = ParseMarkdown(std::string(4000, '*') + " text");
+  if (stars.ok()) {
+    EXPECT_TRUE(stars->Validate().ok());
+  }
+  auto fence = ParseMarkdown("```\ncode never closes\n# Not a heading\n");
+  if (fence.ok()) {
+    EXPECT_TRUE(fence->Validate().ok());
+  }
+}
+
+TEST(ParserFuzzTest, XmlSurvivesRandomAndSoup) {
+  Rng rng(108);
+  for (int iter = 0; iter < 60; ++iter) {
+    auto t1 = ParseXml(RandomBytes(&rng, 64 + rng.Uniform(512), false));
+    if (t1.ok()) {
+      EXPECT_TRUE(t1->Validate().ok());
+    }
+    auto t2 = ParseXml(RandomMarkupSoup(&rng, 8 + rng.Uniform(60)));
+    if (t2.ok()) {
+      EXPECT_TRUE(t2->Validate().ok());
+    }
+  }
+  // Mismatched and never-closed tags, attribute garbage, CDATA edge.
+  for (const char* evil :
+       {"<a><b></a></b>", "<a x=\"1", "<a ", "<![CDATA[", "<?xml",
+        "<a></a><b></b>", "<a>&#xZZ;</a>", "</close-only>"}) {
+    auto tree = ParseXml(evil);
+    if (tree.ok()) {
+      EXPECT_TRUE(tree->Validate().ok());
+    }
+  }
+  auto deep = ParseXml([] {
+    std::string s;
+    for (int i = 0; i < 3000; ++i) s += "<n>";
+    return s;
+  }());
+  if (deep.ok()) {
+    EXPECT_TRUE(deep->Validate().ok());
+  }
+}
+
 TEST(ParserFuzzTest, SexprSurvivesRandomInput) {
   Rng rng(105);
   for (int iter = 0; iter < 100; ++iter) {
@@ -108,6 +170,81 @@ TEST(ParserFuzzTest, SentenceSplitterSurvivesAnything) {
     auto sentences = SplitSentences(RandomBytes(&rng, rng.Uniform(256),
                                                 false));
     for (const auto& s : sentences) EXPECT_FALSE(s.empty());
+  }
+}
+
+TEST(ParserFuzzTest, EditScriptParserSurvivesRandomBytes) {
+  // The script parser sits on the recovery path (deltas come off disk), so
+  // arbitrary bytes must produce a Status, never a crash or a hang.
+  Rng rng(109);
+  for (int iter = 0; iter < 150; ++iter) {
+    LabelTable labels;
+    bool printable = iter % 2 == 0;
+    auto script = ParseEditScript(
+        RandomBytes(&rng, 1 + rng.Uniform(256), printable), &labels);
+    if (!script.ok()) {
+      EXPECT_EQ(script.status().code(), Code::kParseError);
+    }
+  }
+  // Operation-shaped soup: right keywords, wrong everything else.
+  static const char* kPieces[] = {
+      "INS((", "DEL(",  "UPD(",  "MOV(",  "1",    "-1",  "999999999999999999",
+      ",",     ")",     "(",     "\"",    "\\\"", "x",   "label",
+      " ",     "\n",    "#c\n",  "),",    "\"v\"", "..",  "INS((1, a, \"b\"), 0, 1)\n"};
+  for (int iter = 0; iter < 150; ++iter) {
+    std::string input;
+    size_t tokens = 2 + rng.Uniform(40);
+    for (size_t i = 0; i < tokens; ++i) {
+      input += kPieces[rng.Uniform(std::size(kPieces))];
+    }
+    LabelTable labels;
+    auto script = ParseEditScript(input, &labels);
+    if (!script.ok()) {
+      EXPECT_EQ(script.status().code(), Code::kParseError);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, EditScriptParserSurvivesMutatedValidScripts) {
+  const std::string valid =
+      "INS((7, section, \"intro\"), 0, 1)\n"
+      "UPD(3, \"new \\\"quoted\\\" text\")\n"
+      "MOV(5, 2, 4)\n"
+      "DEL(6)\n"
+      "# trailing comment\n";
+  {
+    LabelTable labels;
+    ASSERT_TRUE(ParseEditScript(valid, &labels).ok());
+  }
+  Rng rng(110);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string mutated = valid;
+    size_t mutations = 1 + rng.Uniform(4);
+    for (size_t m = 0; m < mutations; ++m) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:  // Flip a byte.
+          mutated[pos] = static_cast<char>(mutated[pos] ^
+                                           (1u << rng.Uniform(8)));
+          break;
+        case 1:  // Delete a byte.
+          mutated.erase(pos, 1);
+          break;
+        default:  // Duplicate a byte.
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+      if (mutated.empty()) break;
+    }
+    LabelTable labels;
+    auto script = ParseEditScript(mutated, &labels);
+    // Most mutations must be rejected; the property under test is that the
+    // answer is always a clean Status (ok for benign mutations, kParseError
+    // otherwise), never a crash, hang, or integer overflow.
+    if (!script.ok()) {
+      EXPECT_EQ(script.status().code(), Code::kParseError);
+      EXPECT_FALSE(script.status().message().empty());
+    }
   }
 }
 

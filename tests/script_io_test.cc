@@ -77,6 +77,70 @@ TEST(ScriptIoTest, MalformedLinesRejected) {
   }
 }
 
+TEST(ScriptIoTest, SemanticallyMalformedScriptsRejected) {
+  // Scripts that parse syntactically but can never apply cleanly: the
+  // parser rejects them up front rather than letting apply fail confusingly.
+  LabelTable labels;
+  for (const char* bad :
+       {"DEL(-1)", "UPD(-7, \"v\")", "INS((-1, S, \"v\"), 2, 3)",
+        "INS((1, S, \"v\"), -2, 3)", "INS((4, S, \"v\"), 4, 1)",
+        "INS((1, S, \"v\"), 2, 0)", "INS((1, S, \"v\"), 2, -3)",
+        "MOV(-5, 2, 1)", "MOV(5, -2, 1)", "MOV(3, 3, 1)", "MOV(5, 2, 0)",
+        "INS((9, S, \"a\"), 0, 1)\nINS((9, S, \"b\"), 0, 2)"}) {
+    auto parsed = ParseEditScript(bad, &labels);
+    EXPECT_EQ(parsed.status().code(), Code::kParseError) << bad;
+  }
+  // Overflowing integers are syntactic garbage, not a silent wrap (atoi UB).
+  EXPECT_EQ(ParseEditScript("DEL(99999999999999999999)", &labels)
+                .status()
+                .code(),
+            Code::kParseError);
+  EXPECT_EQ(ParseEditScript("DEL(4294967296)", &labels).status().code(),
+            Code::kParseError);
+  // Re-inserting an id after other ops is still a duplicate.
+  EXPECT_EQ(ParseEditScript("INS((2, S, \"a\"), 0, 1)\n"
+                            "DEL(7)\n"
+                            "INS((2, S, \"b\"), 0, 1)\n",
+                            &labels)
+                .status()
+                .code(),
+            Code::kParseError);
+}
+
+TEST(ScriptIoTest, ErrorsCarryLineNumbers) {
+  LabelTable labels;
+  // Line counting includes blank and comment lines, so the number points at
+  // the offending line of the file as an editor shows it.
+  auto bad_syntax = ParseEditScript(
+      "# header\n"
+      "DEL(1)\n"
+      "\n"
+      "MOV(2, 2, 1)\n",
+      &labels);
+  ASSERT_FALSE(bad_syntax.ok());
+  EXPECT_NE(bad_syntax.status().message().find("line 4"), std::string::npos)
+      << bad_syntax.status().ToString();
+  EXPECT_NE(bad_syntax.status().message().find("itself as parent"),
+            std::string::npos);
+
+  auto dup = ParseEditScript(
+      "INS((3, S, \"a\"), 0, 1)\n"
+      "UPD(1, \"x\")\n"
+      "INS((3, S, \"b\"), 0, 2)\n",
+      &labels);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.status().message().find("line 3"), std::string::npos)
+      << dup.status().ToString();
+  EXPECT_NE(dup.status().message().find("duplicate INS id 3"),
+            std::string::npos);
+
+  auto negative = ParseEditScript("UPD(3, \"ok\")\nDEL(-4)\n", &labels);
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(negative.status().message().find("negative node id"),
+            std::string::npos);
+}
+
 TEST(ScriptIoTest, ParsedScriptAppliesToTree) {
   // The warehouse scenario: compute a delta, serialize, parse at the other
   // end, apply to the materialized copy.

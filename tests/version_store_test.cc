@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "gen/doc_gen.h"
 #include "gen/edit_sim.h"
 #include "tree/builder.h"
+#include "util/budget.h"
+#include "util/fault_env.h"
 
 namespace treediff {
 namespace {
@@ -60,7 +65,24 @@ TEST(VersionStoreTest, InfoTracksPerVersionChanges) {
   EXPECT_EQ(store.Info(1).deletes, 1u);
   EXPECT_EQ(store.Info(1).inserts, 0u);
   EXPECT_EQ(store.Info(1).nodes, 4u);
-  EXPECT_EQ(store.DeltaFor(1).num_deletes(), 1u);
+  ASSERT_NE(store.DeltaFor(1), nullptr);
+  EXPECT_EQ(store.DeltaFor(1)->num_deletes(), 1u);
+}
+
+TEST(VersionStoreTest, DeltaForBoundsChecked) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree v0 = *ParseSexpr("(D (S \"a b\"))", labels);
+  Tree v1 = *ParseSexpr("(D (S \"a c\"))", labels);
+  VersionStore store(v0.Clone());
+  // Version 0 is the base: it has no delta, and neither do versions that
+  // do not exist.
+  EXPECT_EQ(store.DeltaFor(0), nullptr);
+  EXPECT_EQ(store.DeltaFor(1), nullptr);
+  EXPECT_EQ(store.DeltaFor(-1), nullptr);
+  ASSERT_TRUE(store.Commit(v1).ok());
+  ASSERT_NE(store.DeltaFor(1), nullptr);
+  EXPECT_EQ(store.DeltaFor(2), nullptr);
+  EXPECT_EQ(store.DeltaFor(-1000000), nullptr);
 }
 
 TEST(VersionStoreTest, RejectsForeignLabelTable) {
@@ -191,6 +213,268 @@ TEST(VersionStoreTest, RollbackThroughSimulatedHistory) {
   auto head = store.Materialize(0);
   ASSERT_TRUE(head.ok());
   EXPECT_TRUE(Tree::Isomorphic(*head, original));
+}
+
+// ---------------------------------------------------------------------------
+// Budget interaction: a degraded diff must still commit a consistent
+// version, and no failure path may leave a half-committed head.
+
+TEST(VersionStoreTest, CommitUnderExhaustedBudgetDegradesConsistently) {
+  auto labels = std::make_shared<LabelTable>();
+  Vocabulary vocab(300, 1.0);
+  Rng rng(95);
+  DocGenParams params;
+  params.sections = 2;
+  Tree current = GenerateDocument(params, vocab, &rng, labels);
+
+  Budget budget;
+  budget.set_node_cap(1);  // Trips immediately: every rung above the floor
+                           // exhausts, so commits land on a degraded rung.
+  DiffOptions options;
+  options.budget = &budget;
+  VersionStore store(current.Clone(), options);
+
+  std::vector<Tree> snapshots;
+  snapshots.push_back(current.Clone());
+  for (int round = 0; round < 3; ++round) {
+    SimulatedVersion next = SimulateNewVersion(current, 4, {}, vocab, &rng);
+    auto v = store.Commit(next.new_tree);
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+    EXPECT_EQ(*v, round + 1);
+    snapshots.push_back(next.new_tree.Clone());
+    current = std::move(next.new_tree);
+  }
+  // Degraded or not, every committed version must materialize exactly.
+  for (int v = 0; v < store.VersionCount(); ++v) {
+    auto tree = store.Materialize(v);
+    ASSERT_TRUE(tree.ok()) << "version " << v;
+    EXPECT_TRUE(Tree::Isomorphic(*tree, snapshots[static_cast<size_t>(v)]))
+        << "version " << v;
+  }
+}
+
+TEST(VersionStoreTest, RollbackHeadUnderExhaustedBudget) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree v0 = *ParseSexpr("(D (P (S \"one two\") (S \"three four\")))", labels);
+  Tree v1 = *ParseSexpr(
+      "(D (P (S \"one two\") (S \"three four\") (S \"five six\")))", labels);
+  Budget budget;
+  DiffOptions options;
+  options.budget = &budget;
+  VersionStore store(v0.Clone(), options);
+  ASSERT_TRUE(store.Commit(v1).ok());
+  // Exhaust the budget after the commit: rollback must not be affected (it
+  // replays stored scripts, it does not diff) and must leave a consistent
+  // store.
+  budget.set_node_cap(1);
+  ASSERT_FALSE(budget.ChargeNodes(2));
+  auto rolled = store.RollbackHead();
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  EXPECT_EQ(store.VersionCount(), 1);
+  auto head = store.Materialize(0);
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*head, v0));
+}
+
+TEST(VersionStoreTest, FailedCommitLeavesStoreUnchanged) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree v0 = *ParseSexpr("(D (S \"a b c\"))", labels);
+  Tree v1 = *ParseSexpr("(D (S \"a b d\"))", labels);
+  Tree v2 = *ParseSexpr("(D (S \"a e d\"))", labels);
+
+  MemEnv mem;
+  FaultPlan plan;
+  plan.fail_sync_at = 3;  // #1 = Create, #2 = commit v1, #3 = commit v2.
+  FaultInjectingEnv env(&mem, plan);
+  StoreOptions store_options;
+  store_options.env = &env;
+
+  auto store = VersionStore::Create("store.log", v0.Clone(), {}, store_options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(store->Commit(v1).ok());
+
+  auto failed = store->Commit(v2);
+  ASSERT_FALSE(failed.ok());
+  // No half-committed head: the store still serves exactly v0..v1.
+  EXPECT_EQ(store->VersionCount(), 2);
+  auto head = store->Materialize(1);
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*head, v1));
+  // Poisoned: mutations fail fast until the store is reopened.
+  EXPECT_FALSE(store->io_status().ok());
+  EXPECT_EQ(store->Commit(v2).status().code(), Code::kFailedPrecondition);
+  EXPECT_EQ(store->RollbackHead().status().code(), Code::kFailedPrecondition);
+
+  // Reopening recovers every acknowledged commit.
+  env.ClearFault();
+  mem.DropUnsynced();
+  RecoveryReport report;
+  auto reopened = VersionStore::Open("store.log", {}, store_options, &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->VersionCount(), 2);
+  auto recovered = reopened->Materialize(1);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*recovered, v1));
+  // Open recovers into a fresh label table; new commits must use it.
+  Tree v2r = *ParseSexpr("(D (S \"a e d\"))", reopened->label_table());
+  ASSERT_TRUE(reopened->Commit(v2r).ok());
+  EXPECT_EQ(reopened->VersionCount(), 3);
+}
+
+TEST(VersionStoreTest, FailedRollbackLeavesStoreUnchanged) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree v0 = *ParseSexpr("(D (S \"a b c\"))", labels);
+  Tree v1 = *ParseSexpr("(D (S \"a b d\"))", labels);
+
+  MemEnv mem;
+  FaultPlan plan;
+  plan.fail_sync_at = 3;  // #1 = Create, #2 = commit v1, #3 = rollback.
+  FaultInjectingEnv env(&mem, plan);
+  StoreOptions store_options;
+  store_options.env = &env;
+
+  auto store = VersionStore::Create("store.log", v0.Clone(), {}, store_options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Commit(v1).ok());
+
+  auto rolled = store->RollbackHead();
+  ASSERT_FALSE(rolled.ok());
+  EXPECT_EQ(store->VersionCount(), 2);
+  auto head = store->Materialize(1);
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*head, v1));  // The head was not rolled back.
+}
+
+// ---------------------------------------------------------------------------
+// Durable mode: create / commit / reopen round trips.
+
+TEST(VersionStoreTest, DurableRoundTripOnMemEnv) {
+  auto labels = std::make_shared<LabelTable>();
+  Vocabulary vocab(400, 1.0);
+  Rng rng(96);
+  DocGenParams params;
+  params.sections = 3;
+  Tree current = GenerateDocument(params, vocab, &rng, labels);
+
+  MemEnv env;
+  StoreOptions store_options;
+  store_options.env = &env;
+  store_options.checkpoint_interval = 2;
+
+  std::vector<Tree> snapshots;
+  snapshots.push_back(current.Clone());
+  {
+    auto store = VersionStore::Create("doc.log", current.Clone(), {},
+                                      store_options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int round = 0; round < 5; ++round) {
+      SimulatedVersion next = SimulateNewVersion(current, 4, {}, vocab, &rng);
+      ASSERT_TRUE(store->Commit(next.new_tree).ok());
+      snapshots.push_back(next.new_tree.Clone());
+      current = std::move(next.new_tree);
+    }
+  }  // Store dropped: only the log survives, as after a clean shutdown.
+
+  RecoveryReport report;
+  auto reopened = VersionStore::Open("doc.log", {}, store_options, &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_EQ(report.versions_recovered, 6u);
+  // 5 commits with a checkpoint every 2: checkpoints at v2 and v4, so the
+  // head is rebuilt from v4 plus one delta.
+  EXPECT_EQ(report.checkpoint_version, 4);
+  EXPECT_EQ(report.deltas_replayed, 1u);
+
+  ASSERT_EQ(reopened->VersionCount(), 6);
+  for (int v = 0; v < reopened->VersionCount(); ++v) {
+    auto tree = reopened->Materialize(v);
+    ASSERT_TRUE(tree.ok()) << "version " << v;
+    EXPECT_TRUE(Tree::Isomorphic(*tree, snapshots[static_cast<size_t>(v)]))
+        << "version " << v;
+  }
+  // Info survives recovery (from the delta record headers).
+  for (int v = 1; v < reopened->VersionCount(); ++v) {
+    EXPECT_EQ(reopened->Info(v).nodes,
+              snapshots[static_cast<size_t>(v)].size());
+  }
+
+  // The reopened store keeps working: commit and rollback continue the log.
+  // New versions must evolve from a tree on the recovered label table, so
+  // start from the materialized head rather than the pre-crash snapshot.
+  Tree recovered_head = *reopened->Materialize(5);
+  SimulatedVersion next =
+      SimulateNewVersion(recovered_head, 3, {}, vocab, &rng);
+  ASSERT_TRUE(reopened->Commit(next.new_tree).ok());
+  ASSERT_TRUE(reopened->RollbackHead().ok());
+  auto head = reopened->Materialize(5);
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*head, snapshots[5]));
+}
+
+TEST(VersionStoreTest, DurableRollbackSurvivesReopen) {
+  auto labels = std::make_shared<LabelTable>();
+  Tree v0 = *ParseSexpr("(D (S \"one two\"))", labels);
+  Tree v1 = *ParseSexpr("(D (S \"one three\"))", labels);
+  Tree v2 = *ParseSexpr("(D (S \"four three\"))", labels);
+
+  MemEnv env;
+  StoreOptions store_options;
+  store_options.env = &env;
+  auto store = VersionStore::Create("s.log", v0.Clone(), {}, store_options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Commit(v1).ok());
+  ASSERT_TRUE(store->Commit(v2).ok());
+  ASSERT_TRUE(store->RollbackHead().ok());
+
+  auto reopened = VersionStore::Open("s.log", {}, store_options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->VersionCount(), 2);
+  auto head = reopened->Materialize(1);
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*head, v1));
+}
+
+TEST(VersionStoreTest, CreateRefusesExistingPath) {
+  MemEnv env;
+  StoreOptions store_options;
+  store_options.env = &env;
+  Tree base = *ParseSexpr("(D (S \"x\"))");
+  ASSERT_TRUE(
+      VersionStore::Create("dup.log", base.Clone(), {}, store_options).ok());
+  EXPECT_EQ(
+      VersionStore::Create("dup.log", base.Clone(), {}, store_options)
+          .status()
+          .code(),
+      Code::kFailedPrecondition);
+}
+
+TEST(VersionStoreTest, DurableRoundTripOnPosixEnv) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "treediff_version_store_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "store.log").string();
+
+  auto labels = std::make_shared<LabelTable>();
+  Tree v0 = *ParseSexpr("(D (P (S \"alpha beta\") (S \"gamma delta\")))",
+                        labels);
+  Tree v1 = *ParseSexpr(
+      "(D (P (S \"alpha beta\") (S \"gamma epsilon\")))", labels);
+  {
+    auto store = VersionStore::Create(path, v0.Clone());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE(store->Commit(v1).ok());
+  }
+  RecoveryReport report;
+  auto reopened = VersionStore::Open(path, {}, {}, &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  ASSERT_EQ(reopened->VersionCount(), 2);
+  auto head = reopened->Materialize(1);
+  ASSERT_TRUE(head.ok());
+  EXPECT_TRUE(Tree::Isomorphic(*head, v1));
+  fs::remove_all(dir);
 }
 
 }  // namespace
