@@ -26,6 +26,18 @@ const ValueComparator* ResolveComparator(
   return owned->get();
 }
 
+/// A lent index is used only when it really indexes `tree` (a mismatched
+/// pointer would silently answer for the wrong tree); otherwise a fresh
+/// index is built into `owned`.
+const TreeIndex* ResolveIndex(const Tree& tree, const TreeIndex* lent,
+                              std::unique_ptr<TreeIndex>* owned) {
+  if (lent != nullptr && lent->attached() && &lent->tree() == &tree) {
+    return lent;
+  }
+  *owned = std::make_unique<TreeIndex>(tree);
+  return owned->get();
+}
+
 }  // namespace
 
 DiffContext::DiffContext(const Tree& t1, const Tree& t2,
@@ -34,9 +46,9 @@ DiffContext::DiffContext(const Tree& t1, const Tree& t2,
       t2_(t2),
       options_(options),
       comparator_(ResolveComparator(options_, &owned_comparator_)),
-      index1_(t1),
-      index2_(t2),
-      evaluator_(index1_, index2_, comparator_,
+      index1_(ResolveIndex(t1, options_.index1, &owned_index1_)),
+      index2_(ResolveIndex(t2, options_.index2, &owned_index2_)),
+      evaluator_(*index1_, *index2_, comparator_,
                  MatchOptions{options_.leaf_threshold_f,
                               options_.internal_threshold_t},
                  options_.budget) {}

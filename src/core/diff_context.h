@@ -85,6 +85,16 @@ struct DiffOptions {
   /// window are then represented as delete+insert instead of moves.
   int fallback_limit_k = 0;
 
+  /// Optional pre-built indexes over the trees being diffed (the service's
+  /// TreeCache hands out warmed indexes over frozen cached trees). When
+  /// non-null and actually indexing the tree passed to DiffTrees, the
+  /// DiffContext borrows the index instead of building its own — repeated
+  /// diffs against a hot base skip the per-tree traversal precompute
+  /// entirely. A borrowed index must outlive the call; for cross-thread
+  /// sharing it must be warmed (TreeIndex::WarmAll) and its tree frozen.
+  const TreeIndex* index1 = nullptr;
+  const TreeIndex* index2 = nullptr;
+
   /// Optional resource budget (deadline / node / comparison / arena caps).
   /// Null means unlimited — the exact pre-budget pipeline, bit-identical
   /// outputs. Non-null makes DiffTrees degrade down the DiffRung ladder on
@@ -108,8 +118,10 @@ struct DiffOptions {
 /// per-tree traversal precomputation.
 ///
 /// The context borrows `t1`, `t2`, and everything referenced by `options`;
-/// all must outlive it. Not thread-safe (the indexes and counters mutate
-/// under the hood).
+/// all must outlive it. One context is not thread-safe (its counters and
+/// any *owned* indexes mutate under the hood), but two contexts over the
+/// same frozen trees with warmed borrowed indexes (DiffOptions::index1/2)
+/// may run concurrently — the arrangement the DiffService relies on.
 class DiffContext {
  public:
   DiffContext(const Tree& t1, const Tree& t2, const DiffOptions& options);
@@ -117,8 +129,8 @@ class DiffContext {
   const Tree& t1() const { return t1_; }
   const Tree& t2() const { return t2_; }
   const DiffOptions& options() const { return options_; }
-  const TreeIndex& index1() const { return index1_; }
-  const TreeIndex& index2() const { return index2_; }
+  const TreeIndex& index1() const { return *index1_; }
+  const TreeIndex& index2() const { return *index2_; }
 
   /// The caller's comparator, or the owned default WordLcsComparator.
   const ValueComparator& comparator() const { return *comparator_; }
@@ -133,8 +145,12 @@ class DiffContext {
   DiffOptions options_;
   std::unique_ptr<WordLcsComparator> owned_comparator_;
   const ValueComparator* comparator_;
-  TreeIndex index1_;
-  TreeIndex index2_;
+  // Built here unless DiffOptions::index1/index2 lend pre-built ones (the
+  // tree-cache fast path); index1_/index2_ point at whichever is in use.
+  std::unique_ptr<TreeIndex> owned_index1_;
+  std::unique_ptr<TreeIndex> owned_index2_;
+  const TreeIndex* index1_;
+  const TreeIndex* index2_;
   CriteriaEvaluator evaluator_;
 };
 

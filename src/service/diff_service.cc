@@ -1,0 +1,322 @@
+#include "service/diff_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/script_io.h"
+#include "doc/xml.h"
+#include "tree/builder.h"
+
+namespace treediff {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// The lower (cheaper) of two ladder rungs. Rungs are ordered best-first,
+/// so "lower on the ladder" is the numerically larger enum value.
+DiffRung LowerRung(DiffRung a, DiffRung b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+}  // namespace
+
+DiffService::DiffService(DiffServiceOptions options)
+    : options_(options),
+      cache_(TreeCache::Options{options.cache_capacity_bytes,
+                                options.cache_shards}),
+      pool_(ThreadPool::Options{std::max(options.num_threads, 1),
+                                std::max<size_t>(options.queue_capacity, 1)}) {
+  requests_ = metrics_.counter("diff_requests_total");
+  responses_ok_ = metrics_.counter("diff_responses_ok_total");
+  responses_error_ = metrics_.counter("diff_responses_error_total");
+  shed_queue_full_ = metrics_.counter("diff_shed_queue_full_total");
+  shed_deadline_ = metrics_.counter("diff_shed_queue_deadline_total");
+  shed_degraded_ = metrics_.counter("diff_admitted_degraded_total");
+  cache_hits_ = metrics_.counter("tree_cache_hits_total");
+  cache_misses_ = metrics_.counter("tree_cache_misses_total");
+  for (int r = 0; r < 4; ++r) {
+    rung_counters_[r] = metrics_.counter(
+        std::string("diff_rung_total{rung=\"") +
+        DiffRungName(static_cast<DiffRung>(r)) + "\"}");
+  }
+  queue_wait_h_ = metrics_.histogram("diff_queue_wait_seconds");
+  resolve_h_ = metrics_.histogram("diff_resolve_seconds");
+  match_h_ = metrics_.histogram("diff_match_seconds");
+  gen_h_ = metrics_.histogram("diff_gen_seconds");
+  e2e_h_ = metrics_.histogram("diff_e2e_seconds");
+}
+
+DiffService::~DiffService() { Shutdown(); }
+
+void DiffService::Shutdown() { pool_.Shutdown(); }
+
+std::future<DiffResponse> DiffService::Submit(DiffRequest request) {
+  requests_->Increment();
+  const Clock::time_point submitted = Clock::now();
+
+  // Pressure probe at admission, not at execution: the decision must be
+  // based on how much work is queued ahead of this request.
+  bool shed_degraded = false;
+  if (options_.degrade_queue_fraction <= 1.0) {
+    const size_t depth = pool_.QueueDepth();
+    const double fraction =
+        static_cast<double>(depth) /
+        static_cast<double>(pool_.queue_capacity());
+    shed_degraded = fraction >= options_.degrade_queue_fraction;
+  }
+
+  auto promise = std::make_shared<std::promise<DiffResponse>>();
+  std::future<DiffResponse> future = promise->get_future();
+
+  const bool admitted = pool_.TrySubmit(
+      [this, promise, request = std::move(request), submitted,
+       shed_degraded]() mutable {
+        promise->set_value(Process(request, submitted, shed_degraded));
+      });
+  if (!admitted) {
+    shed_queue_full_->Increment();
+    responses_error_->Increment();
+    DiffResponse shed;
+    shed.status =
+        Status::ResourceExhausted("request queue full: request shed");
+    shed.total_seconds = Seconds(Clock::now() - submitted);
+    promise->set_value(std::move(shed));
+  }
+  return future;
+}
+
+DiffResponse DiffService::SubmitSync(DiffRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+DiffResponse DiffService::Process(const DiffRequest& request,
+                                  Clock::time_point submitted,
+                                  bool shed_degraded) {
+  DiffResponse response;
+  response.shed_degraded = shed_degraded;
+  if (shed_degraded) shed_degraded_->Increment();
+
+  const Clock::time_point started = Clock::now();
+  response.queue_seconds = Seconds(started - submitted);
+  queue_wait_h_->Observe(response.queue_seconds);
+
+  auto finish = [&](DiffResponse&& r) {
+    r.total_seconds = Seconds(Clock::now() - submitted);
+    e2e_h_->Observe(r.total_seconds);
+    if (r.status.ok()) {
+      responses_ok_->Increment();
+    } else {
+      responses_error_->Increment();
+    }
+    return std::move(r);
+  };
+
+  // Per-request budget. The deadline is end-to-end: time burned waiting in
+  // the queue comes off the pipeline's allowance, and a request that aged
+  // out entirely while queued is shed before any work is done on it.
+  const double deadline = request.deadline_seconds > 0.0
+                              ? request.deadline_seconds
+                              : options_.default_deadline_seconds;
+  const size_t node_cap =
+      request.node_cap > 0 ? request.node_cap : options_.default_node_cap;
+  Budget budget;
+  bool budgeted = false;
+  if (deadline > 0.0) {
+    const double remaining = deadline - response.queue_seconds;
+    if (remaining <= 0.0) {
+      shed_deadline_->Increment();
+      response.status = Status::DeadlineExceeded(
+          "deadline expired while queued: request shed");
+      return finish(std::move(response));
+    }
+    budget.set_deadline_seconds(remaining);
+    budgeted = true;
+  }
+  if (node_cap > 0) {
+    budget.set_node_cap(node_cap);
+    budgeted = true;
+  }
+
+  // Resolve both documents through the tree cache.
+  const Clock::time_point resolve_start = Clock::now();
+  StatusOr<std::shared_ptr<const CachedTree>> old_entry = [&] {
+    return request.doc_id.empty()
+               ? ResolveInline(request.old_doc, request.format,
+                               &response.cache_hit_old)
+               : ResolveVersion(request.doc_id, request.from_version,
+                                &response.cache_hit_old);
+  }();
+  if (!old_entry.ok()) {
+    response.status = old_entry.status();
+    return finish(std::move(response));
+  }
+  StatusOr<std::shared_ptr<const CachedTree>> new_entry = [&] {
+    return request.doc_id.empty()
+               ? ResolveInline(request.new_doc, request.format,
+                               &response.cache_hit_new)
+               : ResolveVersion(request.doc_id, request.to_version,
+                                &response.cache_hit_new);
+  }();
+  if (!new_entry.ok()) {
+    response.status = new_entry.status();
+    return finish(std::move(response));
+  }
+  response.resolve_seconds = Seconds(Clock::now() - resolve_start);
+  resolve_h_->Observe(response.resolve_seconds);
+
+  const CachedTree& old_cached = **old_entry;
+  const CachedTree& new_cached = **new_entry;
+
+  DiffOptions diff = options_.diff;
+  diff.budget = budgeted ? &budget : nullptr;
+  diff.index1 = &old_cached.index;
+  diff.index2 = &new_cached.index;
+  diff.start_rung = request.start_rung;
+  if (shed_degraded) {
+    diff.start_rung =
+        LowerRung(diff.start_rung, options_.degraded_start_rung);
+  }
+
+  StatusOr<DiffResult> result =
+      DiffTrees(old_cached.tree, new_cached.tree, diff);
+  if (!result.ok()) {
+    response.status = result.status();
+    return finish(std::move(response));
+  }
+
+  response.rung = result->report.rung;
+  response.degraded = result->report.degraded;
+  response.operations = result->script.size();
+  response.match_seconds = result->stats.match_seconds;
+  response.gen_seconds = result->stats.script_seconds;
+  match_h_->Observe(response.match_seconds);
+  gen_h_->Observe(response.gen_seconds);
+  rung_counters_[static_cast<int>(response.rung)]->Increment();
+  if (request.want_script_text) {
+    response.script =
+        FormatEditScript(result->script, old_cached.tree.labels());
+  }
+  return finish(std::move(response));
+}
+
+StatusOr<Tree> DiffService::ParseDoc(const std::string& text,
+                                     DiffRequest::Format format) {
+  return format == DiffRequest::Format::kSexpr ? ParseSexpr(text, labels_)
+                                               : ParseXml(text, labels_);
+}
+
+StatusOr<std::shared_ptr<const CachedTree>> DiffService::ResolveInline(
+    const std::string& text, DiffRequest::Format format, bool* cache_hit) {
+  const uint64_t key = TreeCache::FingerprintText(
+      format == DiffRequest::Format::kSexpr ? "sexpr" : "xml", text);
+  if (auto entry = cache_.Lookup(key)) {
+    *cache_hit = true;
+    cache_hits_->Increment();
+    return entry;
+  }
+  *cache_hit = false;
+  cache_misses_->Increment();
+  StatusOr<Tree> tree = ParseDoc(text, format);
+  if (!tree.ok()) return tree.status();
+  return cache_.Insert(key, std::move(tree).value());
+}
+
+StatusOr<std::shared_ptr<const CachedTree>> DiffService::ResolveVersion(
+    const std::string& doc_id, int version, bool* cache_hit) {
+  StoreEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(stores_mu_);
+    auto it = stores_.find(doc_id);
+    if (it == stores_.end()) {
+      return Status::NotFound("no store attached under doc_id \"" + doc_id +
+                              "\"");
+    }
+    entry = it->second.get();
+  }
+  const uint64_t key = TreeCache::FingerprintVersion(doc_id, version);
+  if (auto cached = cache_.Lookup(key)) {
+    *cache_hit = true;
+    cache_hits_->Increment();
+    return cached;
+  }
+  *cache_hit = false;
+  cache_misses_->Increment();
+  // Materialize under the store lock (VersionStore is single-threaded);
+  // freezing + indexing happen inside Insert, off the lock.
+  StatusOr<Tree> tree = [&]() -> StatusOr<Tree> {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (version < 0 || version >= entry->store->VersionCount()) {
+      return Status::OutOfRange(
+          "version " + std::to_string(version) + " out of range [0, " +
+          std::to_string(entry->store->VersionCount() - 1) + "] for \"" +
+          doc_id + "\"");
+    }
+    return entry->store->Materialize(version);
+  }();
+  if (!tree.ok()) return tree.status();
+  return cache_.Insert(key, std::move(tree).value());
+}
+
+Status DiffService::AttachStore(const std::string& doc_id,
+                                VersionStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("AttachStore: null store");
+  }
+  std::lock_guard<std::mutex> lock(stores_mu_);
+  auto [it, inserted] = stores_.emplace(doc_id, nullptr);
+  if (!inserted) {
+    return Status::FailedPrecondition("doc_id \"" + doc_id +
+                                      "\" already attached");
+  }
+  it->second = std::make_unique<StoreEntry>();
+  it->second->store = store;
+  return Status::Ok();
+}
+
+Status DiffService::CreateStore(const std::string& doc_id,
+                                const std::string& base_doc,
+                                DiffRequest::Format format) {
+  StatusOr<Tree> base = ParseDoc(base_doc, format);
+  if (!base.ok()) return base.status();
+  auto owned = std::make_unique<VersionStore>(std::move(base).value(),
+                                              options_.diff);
+  std::lock_guard<std::mutex> lock(stores_mu_);
+  auto [it, inserted] = stores_.emplace(doc_id, nullptr);
+  if (!inserted) {
+    return Status::FailedPrecondition("doc_id \"" + doc_id +
+                                      "\" already attached");
+  }
+  it->second = std::make_unique<StoreEntry>();
+  it->second->store = owned.get();
+  it->second->owned = std::move(owned);
+  return Status::Ok();
+}
+
+StatusOr<int> DiffService::CommitVersion(const std::string& doc_id,
+                                         const std::string& doc,
+                                         DiffRequest::Format format) {
+  StoreEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(stores_mu_);
+    auto it = stores_.find(doc_id);
+    if (it == stores_.end()) {
+      return Status::NotFound("no store attached under doc_id \"" + doc_id +
+                              "\"");
+    }
+    entry = it->second.get();
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  // Commits must use the store's label table, which for attached stores is
+  // not the service's inline table.
+  StatusOr<Tree> tree =
+      format == DiffRequest::Format::kSexpr
+          ? ParseSexpr(doc, entry->store->label_table())
+          : ParseXml(doc, entry->store->label_table());
+  if (!tree.ok()) return tree.status();
+  return entry->store->Commit(*tree);
+}
+
+}  // namespace treediff

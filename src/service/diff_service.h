@@ -1,0 +1,207 @@
+#ifndef TREEDIFF_SERVICE_DIFF_SERVICE_H_
+#define TREEDIFF_SERVICE_DIFF_SERVICE_H_
+
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/diff.h"
+#include "service/tree_cache.h"
+#include "store/version_store.h"
+#include "util/metrics.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace treediff {
+
+/// One diff request. Two addressing modes:
+///  * **Inline**: `old_doc`/`new_doc` carry the documents as text in
+///    `format`; both are parsed (or fetched from the tree cache) into the
+///    service's shared label table.
+///  * **Stored**: `doc_id` names a VersionStore previously attached with
+///    AttachStore or created with CreateStore, and `from_version`/
+///    `to_version` select the two versions to diff.
+struct DiffRequest {
+  enum class Format { kSexpr, kXml };
+  Format format = Format::kSexpr;
+
+  std::string old_doc;
+  std::string new_doc;
+
+  std::string doc_id;  // Stored mode when non-empty.
+  int from_version = -1;
+  int to_version = -1;
+
+  /// Per-request budget caps; 0 means "use the service default". The
+  /// deadline covers queue wait: a request that waited its whole deadline
+  /// out in the queue is shed without running.
+  double deadline_seconds = 0.0;
+  size_t node_cap = 0;
+
+  /// Where on the degradation ladder to start (admission pressure may push
+  /// it further down; see DiffServiceOptions::degrade_queue_fraction).
+  DiffRung start_rung = DiffRung::kFastMatch;
+
+  /// Render the edit script as text into DiffResponse::script. Off saves
+  /// the serialization when the caller only wants counters.
+  bool want_script_text = true;
+};
+
+/// What one request produced. `status` is OK for a served diff (possibly
+/// degraded); kResourceExhausted / kDeadlineExceeded for a shed request;
+/// kNotFound / kOutOfRange / kParseError for bad requests.
+struct DiffResponse {
+  Status status = Status::Ok();
+
+  std::string script;      // FormatEditScript output (when requested).
+  size_t operations = 0;   // Ops in the script.
+  DiffRung rung = DiffRung::kFastMatch;
+  bool degraded = false;       // Budget forced a ladder step-down.
+  bool shed_degraded = false;  // Admission pressure lowered the start rung.
+
+  bool cache_hit_old = false;  // Tree cache served the old / new document.
+  bool cache_hit_new = false;
+
+  double queue_seconds = 0.0;    // Submit -> worker pickup.
+  double resolve_seconds = 0.0;  // Parse / materialize / cache fetch.
+  double match_seconds = 0.0;    // Phase 1 (matching).
+  double gen_seconds = 0.0;      // Phase 2 (edit-script generation).
+  double total_seconds = 0.0;    // Submit -> response.
+};
+
+/// Tuning of a DiffService instance.
+struct DiffServiceOptions {
+  int num_threads = 4;
+  size_t queue_capacity = 256;
+
+  size_t cache_capacity_bytes = 64u << 20;
+  int cache_shards = 8;
+
+  /// Admission pressure: once the queue is at least this fraction full,
+  /// newly admitted requests start at `degraded_start_rung` (if that is
+  /// lower than what they asked for) instead of being queued at full cost —
+  /// load-shedding by degradation, the DiffRung ladder's serving-side use.
+  /// Values > 1.0 disable pressure degradation.
+  double degrade_queue_fraction = 0.75;
+  DiffRung degraded_start_rung = DiffRung::kKeyedStructural;
+
+  /// Default per-request budget caps; 0 = unlimited.
+  double default_deadline_seconds = 0.0;
+  size_t default_node_cap = 0;
+
+  /// Base pipeline options (thresholds, matcher choice, cost model, ...).
+  /// `budget`, `index1`, and `index2` are overwritten per request. A custom
+  /// `comparator` must be thread-safe — the default (null: one
+  /// WordLcsComparator per request) is.
+  DiffOptions diff;
+};
+
+/// An in-process, multi-tenant diff server core: a fixed worker pool pulls
+/// requests off a bounded queue, resolves each request's two trees through
+/// a sharded content-fingerprint cache (parse and index exactly once per
+/// distinct document), runs the paper's pipeline under a per-request
+/// budget, and answers through a future. Admission control is two-layered:
+/// a full queue sheds new requests immediately (kResourceExhausted), and a
+/// nearly-full queue admits requests onto a lower rung of the degradation
+/// ladder so they cost less. Counters and latency histograms for every
+/// stage live in the service's MetricsRegistry.
+///
+/// Thread-safety: Submit and the store/metrics accessors may be called
+/// from any thread. Shutdown (or destruction) drains in-flight requests.
+class DiffService {
+ public:
+  explicit DiffService(DiffServiceOptions options = {});
+  ~DiffService();
+
+  DiffService(const DiffService&) = delete;
+  DiffService& operator=(const DiffService&) = delete;
+
+  /// Enqueues a request; the future completes when a worker finishes it
+  /// (immediately, with kResourceExhausted, when the queue is full).
+  std::future<DiffResponse> Submit(DiffRequest request);
+
+  /// Submit + wait.
+  DiffResponse SubmitSync(DiffRequest request);
+
+  /// Attaches an externally owned VersionStore under `doc_id`; the store
+  /// must outlive the service. All access is serialized per store.
+  Status AttachStore(const std::string& doc_id, VersionStore* store);
+
+  /// Creates a service-owned in-memory VersionStore whose version 0 is the
+  /// given document.
+  Status CreateStore(const std::string& doc_id, const std::string& base_doc,
+                     DiffRequest::Format format = DiffRequest::Format::kSexpr);
+
+  /// Commits a new version to a store created with CreateStore or attached
+  /// with AttachStore. Returns the new version number.
+  StatusOr<int> CommitVersion(
+      const std::string& doc_id, const std::string& doc,
+      DiffRequest::Format format = DiffRequest::Format::kSexpr);
+
+  /// The label table shared by every inline document this service parses.
+  /// Pre-interning the expected label vocabulary here pins label ids, which
+  /// makes concurrent runs byte-identical to sequential ones (ids otherwise
+  /// depend on first-touch order across threads).
+  const std::shared_ptr<LabelTable>& label_table() const { return labels_; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  TreeCache::Stats cache_stats() const { return cache_.stats(); }
+  size_t queue_depth() const { return pool_.QueueDepth(); }
+
+  /// Stops admissions, drains queued requests, joins workers. Idempotent.
+  void Shutdown();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct StoreEntry {
+    std::mutex mu;                        // Serializes all store access.
+    VersionStore* store = nullptr;        // Attached or owned_.get().
+    std::unique_ptr<VersionStore> owned;  // CreateStore-owned stores.
+  };
+
+  /// Runs one admitted request on a worker thread.
+  DiffResponse Process(const DiffRequest& request, Clock::time_point submitted,
+                       bool shed_degraded);
+
+  /// Resolves one document (inline text or stored version) to a cache
+  /// entry; `*cache_hit` reports whether parse/materialize was skipped.
+  StatusOr<std::shared_ptr<const CachedTree>> ResolveInline(
+      const std::string& text, DiffRequest::Format format, bool* cache_hit);
+  StatusOr<std::shared_ptr<const CachedTree>> ResolveVersion(
+      const std::string& doc_id, int version, bool* cache_hit);
+
+  StatusOr<Tree> ParseDoc(const std::string& text, DiffRequest::Format format);
+
+  DiffServiceOptions options_;
+  std::shared_ptr<LabelTable> labels_ = std::make_shared<LabelTable>();
+  MetricsRegistry metrics_;
+  TreeCache cache_;
+  ThreadPool pool_;  // Last member: workers must die before what they use.
+
+  std::mutex stores_mu_;  // Guards the map; per-store work holds entry->mu.
+  std::map<std::string, std::unique_ptr<StoreEntry>> stores_;
+
+  // Hot-path metric handles (registered once; recording is pure atomics).
+  Counter* requests_ = nullptr;
+  Counter* responses_ok_ = nullptr;
+  Counter* responses_error_ = nullptr;
+  Counter* shed_queue_full_ = nullptr;
+  Counter* shed_deadline_ = nullptr;
+  Counter* shed_degraded_ = nullptr;
+  Counter* cache_hits_ = nullptr;
+  Counter* cache_misses_ = nullptr;
+  Counter* rung_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
+  Histogram* queue_wait_h_ = nullptr;
+  Histogram* resolve_h_ = nullptr;
+  Histogram* match_h_ = nullptr;
+  Histogram* gen_h_ = nullptr;
+  Histogram* e2e_h_ = nullptr;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_SERVICE_DIFF_SERVICE_H_

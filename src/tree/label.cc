@@ -1,11 +1,18 @@
 #include "tree/label.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace treediff {
 
 LabelId LabelTable::Intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(name);  // Re-check: another writer may have won.
   if (it != ids_.end()) return it->second;
   LabelId id = static_cast<LabelId>(names_.size());
   names_.emplace_back(name);
@@ -14,11 +21,13 @@ LabelId LabelTable::Intern(std::string_view name) {
 }
 
 LabelId LabelTable::Find(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(name);
   return it == ids_.end() ? kInvalidLabel : it->second;
 }
 
 const std::string& LabelTable::Name(LabelId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   assert(id >= 0 && static_cast<size_t>(id) < names_.size());
   return names_[static_cast<size_t>(id)];
 }

@@ -1,10 +1,11 @@
 #ifndef TREEDIFF_TREE_LABEL_H_
 #define TREEDIFF_TREE_LABEL_H_
 
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace treediff {
 
@@ -20,6 +21,15 @@ inline constexpr LabelId kInvalidLabel = -1;
 /// Bidirectional mapping between label names and dense LabelIds. A table is
 /// shared by all trees participating in one comparison so that equal names
 /// imply equal ids.
+///
+/// Thread safety: fully synchronized (a reader-writer lock around the map,
+/// shared-path reads for already-interned names), because the DiffService
+/// shares one table across every cached tree and concurrent requests parse
+/// new documents into it from worker threads. Name() returns a reference
+/// that stays valid for the table's lifetime: names are stored in a deque,
+/// whose elements never move when the table grows. Note that the *ids*
+/// assigned to new labels depend on first-touch order; callers needing
+/// deterministic ids across runs must intern their label set up front.
 class LabelTable {
  public:
   LabelTable() = default;
@@ -30,15 +40,35 @@ class LabelTable {
   /// Returns the id for `name`, or kInvalidLabel if it was never interned.
   LabelId Find(std::string_view name) const;
 
-  /// Returns the name of `id`. `id` must have been returned by Intern.
+  /// Returns the name of `id`. `id` must have been returned by Intern. The
+  /// reference remains valid until the table is destroyed.
   const std::string& Name(LabelId id) const;
 
   /// Number of distinct labels interned.
-  size_t size() const { return names_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return names_.size();
+  }
 
  private:
-  std::unordered_map<std::string, LabelId> ids_;
-  std::vector<std::string> names_;
+  // Heterogeneous lookup: find by string_view without materializing a
+  // std::string per probe (the parser interns per node).
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>()(s);
+    }
+  };
+  struct StringEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, LabelId, StringHash, StringEq> ids_;
+  std::deque<std::string> names_;  // Stable addresses; Name() returns refs.
 };
 
 }  // namespace treediff

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 
 #include "tree/tree_index.h"
@@ -20,6 +22,7 @@ Tree::Tree(const Tree& other)
 
 Tree& Tree::operator=(const Tree& other) {
   if (this == &other) return *this;
+  AbortIfFrozen("copy-assignment");
   labels_ = other.labels_;
   nodes_ = other.nodes_;
   root_ = other.root_;
@@ -32,7 +35,8 @@ Tree::Tree(Tree&& other) noexcept
     : labels_(std::move(other.labels_)),
       nodes_(std::move(other.nodes_)),
       root_(other.root_),
-      live_count_(other.live_count_) {
+      live_count_(other.live_count_),
+      frozen_(other.frozen_) {
   other.root_ = kInvalidNode;
   other.live_count_ = 0;
   other.NotifyGoneAndClear();
@@ -40,6 +44,8 @@ Tree::Tree(Tree&& other) noexcept
 
 Tree& Tree::operator=(Tree&& other) noexcept {
   if (this == &other) return *this;
+  AbortIfFrozen("move-assignment");
+  frozen_ = other.frozen_;
   labels_ = std::move(other.labels_);
   nodes_ = std::move(other.nodes_);
   root_ = other.root_;
@@ -52,6 +58,22 @@ Tree& Tree::operator=(Tree&& other) noexcept {
 }
 
 Tree::~Tree() { NotifyGoneAndClear(); }
+
+void Tree::AbortIfFrozen(const char* op) const {
+  if (!frozen_) return;
+  std::fprintf(stderr, "treediff: %s on a frozen tree (see Tree::Freeze)\n",
+               op);
+  std::abort();
+}
+
+namespace {
+
+inline Status FrozenError(const char* op) {
+  return Status::FailedPrecondition(std::string(op) +
+                                    ": tree is frozen (Tree::Freeze)");
+}
+
+}  // namespace
 
 void Tree::AttachIndex(TreeIndex* index) const { observers_.push_back(index); }
 
@@ -104,6 +126,7 @@ Tree::NodeRec& Tree::node(NodeId x) {
 }
 
 NodeId Tree::AddRoot(LabelId label, std::string value) {
+  AbortIfFrozen("AddRoot");
   assert(root_ == kInvalidNode && "tree already has a root");
   NodeRec rec;
   rec.label = label;
@@ -116,6 +139,7 @@ NodeId Tree::AddRoot(LabelId label, std::string value) {
 }
 
 NodeId Tree::AddChild(NodeId parent, LabelId label, std::string value) {
+  AbortIfFrozen("AddChild");
   assert(Alive(parent));
   NodeRec rec;
   rec.label = label;
@@ -139,6 +163,7 @@ NodeId Tree::AddChild(NodeId parent, std::string_view label_name,
 }
 
 NodeId Tree::WrapRoot(LabelId label, std::string value) {
+  AbortIfFrozen("WrapRoot");
   assert(root_ != kInvalidNode && "cannot wrap an empty tree");
   NodeRec rec;
   rec.label = label;
@@ -172,6 +197,7 @@ bool Tree::IsAncestorOrSelf(NodeId anc, NodeId desc) const {
 
 StatusOr<NodeId> Tree::InsertLeaf(LabelId label, std::string value,
                                   NodeId parent, int k) {
+  if (frozen_) return FrozenError("insert");
   if (!Alive(parent)) {
     return Status::InvalidArgument("insert: parent is not a live node");
   }
@@ -194,6 +220,7 @@ StatusOr<NodeId> Tree::InsertLeaf(LabelId label, std::string value,
 }
 
 Status Tree::DeleteLeaf(NodeId x) {
+  if (frozen_) return FrozenError("delete");
   if (!Alive(x)) return Status::InvalidArgument("delete: node is not live");
   if (!IsLeaf(x)) {
     return Status::FailedPrecondition(
@@ -214,6 +241,7 @@ Status Tree::DeleteLeaf(NodeId x) {
 }
 
 Status Tree::ReviveLeaf(NodeId x, NodeId parent, int k) {
+  if (frozen_) return FrozenError("revive");
   if (x < 0 || static_cast<size_t>(x) >= nodes_.size() || node(x).alive) {
     return Status::InvalidArgument("revive: node is not a dead slot");
   }
@@ -248,6 +276,7 @@ Status Tree::ReviveLeaf(NodeId x, NodeId parent, int k) {
 }
 
 Status Tree::TruncateDeadTail(size_t bound) {
+  if (frozen_) return FrozenError("truncate");
   if (bound > nodes_.size()) {
     return Status::InvalidArgument("truncate: bound exceeds id_bound");
   }
@@ -263,6 +292,7 @@ Status Tree::TruncateDeadTail(size_t bound) {
 }
 
 Status Tree::UpdateValue(NodeId x, std::string value) {
+  if (frozen_) return FrozenError("update");
   if (!Alive(x)) return Status::InvalidArgument("update: node is not live");
   node(x).value = std::move(value);
   NotifyUpdate(x);
@@ -270,6 +300,7 @@ Status Tree::UpdateValue(NodeId x, std::string value) {
 }
 
 Status Tree::MoveSubtree(NodeId x, NodeId new_parent, int k) {
+  if (frozen_) return FrozenError("move");
   if (!Alive(x)) return Status::InvalidArgument("move: node is not live");
   if (!Alive(new_parent)) {
     return Status::InvalidArgument("move: target parent is not live");

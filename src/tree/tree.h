@@ -198,6 +198,25 @@ class Tree {
   /// edit scripts.
   Status Validate() const;
 
+  // ----- Freezing (shared read-only use) -----
+  // A tree published to several threads at once (the service's TreeCache)
+  // must never be mutated: a mutation would corrupt every concurrent reader
+  // and invalidate the shared TreeIndex mid-read. Freeze() makes that
+  // contract checkable for one bool compare per edit: after Freeze(), the
+  // Status-returning edit operations fail with kFailedPrecondition, and the
+  // construction operations (AddRoot/AddChild/WrapRoot, assignment into the
+  // tree) abort — a worker mutating a cached tree fails fast instead of
+  // silently corrupting other requests. Freezing is one-way and sticky
+  // across moves; copies and Clone()s start unfrozen (edit-script
+  // generation works on a private unfrozen copy).
+
+  /// Marks the tree permanently read-only. Logically const, like index
+  /// attachment: observing threads see the same node data before and after.
+  void Freeze() const { frozen_ = true; }
+
+  /// True once Freeze() was called.
+  bool Frozen() const { return frozen_; }
+
   /// Renders the tree as an s-expression, e.g.
   /// (D (P (S "a") (S "b")) (P (S "c"))). Values are quoted; empty values
   /// are omitted.
@@ -236,6 +255,10 @@ class Tree {
   NodeRec& node(NodeId x);
   void DebugStringRec(NodeId x, std::string* out) const;
 
+  /// Aborts with a diagnostic if the tree is frozen. Guards the mutation
+  /// entry points that cannot report a Status.
+  void AbortIfFrozen(const char* op) const;
+
   // Observer notifications (no-ops when no index is attached).
   void NotifyInsert(NodeId x) const;
   void NotifyDelete(NodeId x, NodeId old_parent) const;
@@ -251,6 +274,7 @@ class Tree {
   NodeId root_ = kInvalidNode;
   size_t live_count_ = 0;
   mutable std::vector<TreeIndex*> observers_;
+  mutable bool frozen_ = false;
 };
 
 }  // namespace treediff

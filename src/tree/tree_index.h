@@ -126,6 +126,19 @@ class TreeIndex {
   /// ~2^-64. 0 for dead nodes.
   uint64_t SubtreeHash(NodeId x) const;
 
+  // ----- Shared read-only use -----
+
+  /// Forces all three tiers built *now*. An index over a frozen tree (see
+  /// Tree::Freeze) that has been warmed is safe to read from any number of
+  /// threads concurrently: no mutation ever dirties a tier again, so the
+  /// lazy Ensure* paths reduce to plain loads. The service's TreeCache
+  /// warms every entry before publishing it.
+  void WarmAll() const {
+    EnsureScalars();
+    EnsureOrders();
+    EnsureFingerprints();
+  }
+
   // ----- Mutation hooks (called by the attached Tree; not for users) -----
 
   void OnInsertLeaf(NodeId x);

@@ -1,0 +1,115 @@
+#include "util/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace treediff {
+
+namespace {
+
+constexpr double kFirstBound = 1e-6;
+
+/// Relaxed double accumulation over an atomic<uint64_t> bit pattern.
+void AddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t old_bits = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    const double updated = std::bit_cast<double>(old_bits) + delta;
+    if (bits->compare_exchange_weak(old_bits, std::bit_cast<uint64_t>(updated),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+double Histogram::BucketBound(int i) {
+  return kFirstBound * std::ldexp(1.0, i);
+}
+
+void Histogram::Observe(double value) {
+  int bucket = kBuckets;  // Overflow unless a bound fits.
+  for (int i = 0; i < kBuckets; ++i) {
+    if (value <= BucketBound(i)) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AddDouble(&sum_bits_, value);
+}
+
+double Histogram::Sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total);
+  double seen = 0.0;
+  for (int i = 0; i <= kBuckets; ++i) {
+    const double in_bucket = static_cast<double>(
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= rank) {
+      if (i == kBuckets) return BucketBound(kBuckets - 1);  // Overflow.
+      const double lo = i == 0 ? 0.0 : BucketBound(i - 1);
+      const double hi = BucketBound(i);
+      const double frac = (rank - seen) / in_bucket;
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return BucketBound(kBuckets - 1);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[160];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof line, "%s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->Value()));
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof line, "%s_count %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(h->Count()));
+    out += line;
+    std::snprintf(line, sizeof line, "%s_sum %.9g\n", name.c_str(), h->Sum());
+    out += line;
+    for (const double q : {0.5, 0.9, 0.99}) {
+      std::snprintf(line, sizeof line, "%s{quantile=\"%.2g\"} %.9g\n",
+                    name.c_str(), q, h->Quantile(q));
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace treediff

@@ -1,0 +1,80 @@
+#ifndef TREEDIFF_UTIL_METRICS_H_
+#define TREEDIFF_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace treediff {
+
+/// A monotonically increasing event count. Lock-free: one relaxed atomic
+/// add per Increment, so counters sit on the service's hottest paths.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// A fixed-bucket latency/size histogram. Buckets are exponential —
+/// upper bounds 1e-6 * 2^i for i in [0, kBuckets), i.e. 1 microsecond up to
+/// ~134 seconds when observations are in seconds — plus an overflow bucket.
+/// Observe is lock-free (two relaxed atomic adds and a CAS loop for the
+/// sum); quantiles are estimated by linear interpolation inside the bucket
+/// containing the requested rank, which is accurate to bucket resolution
+/// (a factor of 2) — the standard precision/overhead trade of counting
+/// histograms.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 28;
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  double Mean() const;
+
+  /// Estimated q-quantile (0 < q < 1) of everything observed; 0 with no
+  /// observations. Overflowed observations report the top bucket bound.
+  double Quantile(double q) const;
+
+  /// Upper bound of bucket `i` (inclusive).
+  static double BucketBound(int i);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets + 1> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // double, stored via bit_cast CAS.
+};
+
+/// A named registry of counters and histograms — what the DiffService
+/// exposes for scraping. Registration (counter()/histogram()) takes a lock
+/// and is meant for startup; the returned pointers are stable for the
+/// registry's lifetime, so steady-state recording is pure atomics on the
+/// cached pointers ("lock-cheap": the lock is never on the request path).
+class MetricsRegistry {
+ public:
+  /// The counter/histogram named `name`, created on first use.
+  Counter* counter(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Text exposition, one metric per line, names sorted:
+  ///   <name> <value>
+  ///   <name>_count <n> / <name>_sum <s> / <name>{quantile="0.5"} <v> ...
+  std::string TextExposition() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_UTIL_METRICS_H_

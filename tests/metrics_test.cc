@@ -1,0 +1,108 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace treediff {
+namespace {
+
+TEST(CounterTest, CountsAcrossThreads) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), 80000u);
+}
+
+TEST(HistogramTest, CountSumMean) {
+  Histogram h;
+  h.Observe(1.0);
+  h.Observe(2.0);
+  h.Observe(3.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+}
+
+TEST(HistogramTest, QuantileIsBucketAccurate) {
+  // 1000 observations spread uniformly over (0, 1]: the median must land
+  // within a factor of 2 of 0.5 (bucket resolution), p99 within 2x of 0.99.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Observe(i / 1000.0);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 0.25);
+  EXPECT_LE(p50, 1.0);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p99, 0.5);
+  EXPECT_LE(p99, 2.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.1), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.99));
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0.0);
+}
+
+TEST(HistogramTest, OverflowReportsTopBound) {
+  Histogram h;
+  h.Observe(1e12);  // Way past the last bucket.
+  EXPECT_EQ(h.Quantile(0.5), Histogram::BucketBound(Histogram::kBuckets - 1));
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(HistogramTest, ConcurrentObserveLosesNothing) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 5000; ++i) h.Observe(0.001);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), 40000u);
+  // The CAS-loop sum is exact for identical addends well inside the
+  // double mantissa.
+  EXPECT_NEAR(h.Sum(), 40.0, 1e-9);
+}
+
+TEST(MetricsRegistryTest, SameNameSameInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("requests_total");
+  Counter* b = registry.counter("requests_total");
+  EXPECT_EQ(a, b);
+  a->Increment(7);
+  EXPECT_EQ(b->Value(), 7u);
+  EXPECT_NE(static_cast<void*>(registry.histogram("x")),
+            static_cast<void*>(registry.histogram("y")));
+}
+
+TEST(MetricsRegistryTest, TextExposition) {
+  MetricsRegistry registry;
+  registry.counter("b_total")->Increment(2);
+  registry.counter("a_total")->Increment(1);
+  Histogram* h = registry.histogram("lat_seconds");
+  h->Observe(0.5);
+  const std::string text = registry.TextExposition();
+  // Counters in name order, histogram count/sum/quantiles present.
+  EXPECT_NE(text.find("a_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("b_total 2\n"), std::string::npos);
+  EXPECT_LT(text.find("a_total"), text.find("b_total"));
+  EXPECT_NE(text.find("lat_seconds_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 0.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.99\"}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace treediff

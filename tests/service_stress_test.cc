@@ -1,0 +1,246 @@
+// Concurrency stress for the DiffService, meant to run under
+// ThreadSanitizer (the service-tsan CI job): 8 worker threads and 8 client
+// threads push >1000 mixed requests — repeated documents (cache hits),
+// unique documents (cache misses + concurrent inserts), and stored-version
+// diffs — and every response's edit script must be byte-identical to the
+// one a single-threaded service produces for the same request.
+//
+// Determinism caveat encoded here: label ids are assigned in interning
+// order, and the matcher's output depends on them, so both services get the
+// same label vocabulary pre-interned in the same order before any parsing.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/diff_service.h"
+
+namespace treediff {
+namespace {
+
+constexpr int kWorkers = 8;
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 140;  // 8 * 140 = 1120 requests.
+constexpr int kUniquePairs = 40;
+constexpr int kStoreVersions = 5;
+
+void PreInternLabels(LabelTable& table) {
+  table.Intern("D");
+  table.Intern("P");
+  table.Intern("S");
+}
+
+std::string OldDoc(int i) {
+  return "(D (P (S \"alpha " + std::to_string(i) +
+         " one two three\") (S \"beta common tail\")) "
+         "(P (S \"gamma shared base\") (S \"delta " +
+         std::to_string(i * 7) + " body\")))";
+}
+
+std::string NewDoc(int i) {
+  // Update + insert + (for odd i) a move of the second paragraph's head.
+  std::string doc = "(D (P (S \"alpha " + std::to_string(i) +
+                    " one two CHANGED\") (S \"beta common tail\")";
+  if (i % 2 == 1) doc += " (S \"gamma shared base\")";
+  doc += ") (P ";
+  if (i % 2 == 0) doc += "(S \"gamma shared base\") ";
+  doc += "(S \"delta " + std::to_string(i * 7) +
+         " body\") (S \"epsilon inserted " + std::to_string(i) + "\")))";
+  return doc;
+}
+
+std::string VersionDoc(int v) {
+  std::string doc = "(D";
+  for (int p = 0; p <= v; ++p) {
+    doc += " (P (S \"version paragraph " + std::to_string(p) + " text\"))";
+  }
+  doc += ")";
+  return doc;
+}
+
+struct RequestSpec {
+  bool stored = false;
+  int pair = 0;  // Inline: index into the doc pairs.
+  int from = 0;  // Stored: version numbers.
+  int to = 0;
+};
+
+RequestSpec SpecFor(int client, int round) {
+  // Deterministic mix: ~1/7 stored-version requests, the rest inline over
+  // kUniquePairs documents (so each pair recurs ~25x -> heavy cache reuse,
+  // but the first touches race their inserts).
+  const int seq = client * kRequestsPerClient + round;
+  RequestSpec spec;
+  if (seq % 7 == 3) {
+    spec.stored = true;
+    spec.from = seq % kStoreVersions;
+    spec.to = (seq / 2 + 1) % kStoreVersions;
+  } else {
+    spec.pair = (seq * 13 + client) % kUniquePairs;
+  }
+  return spec;
+}
+
+DiffRequest MakeRequest(const RequestSpec& spec) {
+  DiffRequest request;
+  if (spec.stored) {
+    request.doc_id = "versioned";
+    request.from_version = spec.from;
+    request.to_version = spec.to;
+  } else {
+    request.old_doc = OldDoc(spec.pair);
+    request.new_doc = NewDoc(spec.pair);
+  }
+  return request;
+}
+
+void SetUpStore(DiffService& service) {
+  ASSERT_TRUE(service.CreateStore("versioned", VersionDoc(0)).ok());
+  for (int v = 1; v < kStoreVersions; ++v) {
+    ASSERT_TRUE(service.CommitVersion("versioned", VersionDoc(v)).ok());
+  }
+}
+
+TEST(ServiceStressTest, ConcurrentScriptsMatchSingleThreadedByteForByte) {
+  // Reference: a single-threaded service answers every distinct request.
+  DiffServiceOptions reference_options;
+  reference_options.num_threads = 1;
+  reference_options.queue_capacity = 4096;
+  DiffService reference(reference_options);
+  PreInternLabels(*reference.label_table());
+  SetUpStore(reference);
+
+  std::map<std::pair<int, int>, std::string> expected_inline;
+  std::map<std::pair<int, int>, std::string> expected_stored;
+  for (int i = 0; i < kUniquePairs; ++i) {
+    DiffResponse r = reference.SubmitSync(MakeRequest({false, i, 0, 0}));
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    expected_inline[{i, 0}] = r.script;
+  }
+  for (int from = 0; from < kStoreVersions; ++from) {
+    for (int to = 0; to < kStoreVersions; ++to) {
+      DiffResponse r = reference.SubmitSync(MakeRequest({true, 0, from, to}));
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      expected_stored[{from, to}] = r.script;
+    }
+  }
+
+  // System under test: 8 workers, 8 client threads, no budgets (a budget
+  // would make degradation timing-dependent and the comparison meaningless).
+  DiffServiceOptions options;
+  options.num_threads = kWorkers;
+  options.queue_capacity = 4096;
+  options.degrade_queue_fraction = 2.0;  // Keep every request on kFastMatch.
+  DiffService service(options);
+  PreInternLabels(*service.label_table());
+  SetUpStore(service);
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Half the clients go through futures in batches (tests pipelining),
+      // half synchronously.
+      if (c % 2 == 0) {
+        for (int round = 0; round < kRequestsPerClient; ++round) {
+          const RequestSpec spec = SpecFor(c, round);
+          DiffResponse r = service.SubmitSync(MakeRequest(spec));
+          if (!r.status.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          const std::string& want =
+              spec.stored ? expected_stored[{spec.from, spec.to}]
+                          : expected_inline[{spec.pair, 0}];
+          if (r.script != want) mismatches.fetch_add(1);
+          completed.fetch_add(1);
+        }
+      } else {
+        std::vector<std::pair<RequestSpec, std::future<DiffResponse>>> batch;
+        for (int round = 0; round < kRequestsPerClient; ++round) {
+          const RequestSpec spec = SpecFor(c, round);
+          batch.emplace_back(spec, service.Submit(MakeRequest(spec)));
+          if (batch.size() == 16 || round == kRequestsPerClient - 1) {
+            for (auto& [s, f] : batch) {
+              DiffResponse r = f.get();
+              if (!r.status.ok()) {
+                failures.fetch_add(1);
+                continue;
+              }
+              const std::string& want =
+                  s.stored ? expected_stored[{s.from, s.to}]
+                           : expected_inline[{s.pair, 0}];
+              if (r.script != want) mismatches.fetch_add(1);
+              completed.fetch_add(1);
+            }
+            batch.clear();
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(completed.load(), kClients * kRequestsPerClient);
+  EXPECT_GE(completed.load(), 1000);
+
+  // The cache must have been genuinely exercised from both sides.
+  const TreeCache::Stats stats = service.cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_EQ(service.metrics().counter("diff_responses_error_total")->Value(),
+            0u);
+}
+
+TEST(ServiceStressTest, DegradationUnderPressureStaysCorrect) {
+  // Aggressive shedding config: tiny queue, instant degradation. Nothing
+  // here checks script bytes (degraded rungs differ by design) — this is a
+  // TSan target for the admission-control paths, and every future must
+  // still complete with either a script or a clean shed status.
+  DiffServiceOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 8;
+  options.degrade_queue_fraction = 0.25;
+  DiffService service(options);
+  PreInternLabels(*service.label_table());
+
+  std::atomic<int> served{0};
+  std::atomic<int> shed{0};
+  std::atomic<int> degraded{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < 50; ++round) {
+        const int i = (c * 50 + round) % kUniquePairs;
+        DiffRequest request;
+        request.old_doc = OldDoc(i);
+        request.new_doc = NewDoc(i);
+        DiffResponse r = service.SubmitSync(std::move(request));
+        if (r.status.ok()) {
+          served.fetch_add(1);
+          if (r.shed_degraded) degraded.fetch_add(1);
+        } else if (r.status.code() == Code::kResourceExhausted) {
+          shed.fetch_add(1);
+        } else {
+          ADD_FAILURE() << r.status.ToString();
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(served.load() + shed.load(), 8 * 50);
+  EXPECT_GT(served.load(), 0);
+}
+
+}  // namespace
+}  // namespace treediff

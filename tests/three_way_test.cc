@@ -165,6 +165,81 @@ TEST(ThreeWayTest, TheirsEditInsideOursDeletedSubtree) {
             values.end());
 }
 
+TEST(ThreeWayTest, UpdateUpdateConflictIsFullyReported) {
+  Fixture f;
+  Tree base = f.Parse(
+      "(D (S \"contested words sit here\") (S \"anchor one two\"))");
+  Tree ours = f.Parse(
+      "(D (S \"contested words sit OURS\") (S \"anchor one two\"))");
+  Tree theirs = f.Parse(
+      "(D (S \"contested words sit THEIRS\") (S \"anchor one two\"))");
+  auto merge = ThreeWayMerge(base, ours, theirs);
+  ASSERT_TRUE(merge.ok());
+  ASSERT_EQ(merge->conflicts.size(), 1u);
+  const MergeConflict& conflict = merge->conflicts[0];
+  EXPECT_EQ(conflict.kind, ConflictKind::kUpdateUpdate);
+  // The conflict anchors at the contested base leaf, so a reviewer can find
+  // it: the reported node must be a live leaf of the base holding the
+  // contested value.
+  ASSERT_NE(conflict.base_node, kInvalidNode);
+  ASSERT_TRUE(base.Alive(conflict.base_node));
+  EXPECT_EQ(base.value(conflict.base_node), "contested words sit here");
+  EXPECT_FALSE(conflict.description.empty());
+  EXPECT_STREQ(ConflictKindName(ConflictKind::kUpdateUpdate),
+               "update/update");
+}
+
+TEST(ThreeWayTest, MoveIntoSubtreeTheOtherSideDeleted) {
+  Fixture f;
+  // Ours moves the sentence into the second paragraph; theirs deletes that
+  // paragraph wholesale. Both cannot hold: the move's destination is gone.
+  Tree base = f.Parse(
+      "(D (P (S \"mover x y\") (S \"a1 a2\") (S \"a3 a4\")) "
+      "(P (S \"doomed b1 b2\") (S \"doomed b3 b4\")))");
+  Tree ours = f.Parse(
+      "(D (P (S \"a1 a2\") (S \"a3 a4\")) "
+      "(P (S \"doomed b1 b2\") (S \"doomed b3 b4\") (S \"mover x y\")))");
+  Tree theirs = f.Parse(
+      "(D (P (S \"mover x y\") (S \"a1 a2\") (S \"a3 a4\")))");
+  auto merge = ThreeWayMerge(base, ours, theirs);
+  ASSERT_TRUE(merge.ok()) << merge.status().ToString();
+  EXPECT_TRUE(merge->merged.Validate().ok());
+  // The clash must be surfaced, not silently resolved.
+  ASSERT_GE(merge->conflicts.size(), 1u);
+  bool saw_delete_conflict = false;
+  for (const MergeConflict& c : merge->conflicts) {
+    if (c.kind == ConflictKind::kMoveDelete ||
+        c.kind == ConflictKind::kDeleteEdit ||
+        c.kind == ConflictKind::kUpdateDelete) {
+      saw_delete_conflict = true;
+    }
+  }
+  EXPECT_TRUE(saw_delete_conflict);
+  // Ours wins: the moved sentence survives, exactly once, in the merge.
+  auto values = f.LeafValues(merge->merged);
+  EXPECT_EQ(std::count(values.begin(), values.end(), "mover x y"), 1);
+}
+
+TEST(ThreeWayTest, EmptyBaseMergeTakesBothSidesInserts) {
+  Fixture f;
+  // The degenerate but real case: both sides grew a document from nothing
+  // (a bare root). Everything is an insert; nothing can conflict.
+  Tree base = f.Parse("(D)");
+  Tree ours = f.Parse("(D (P (S \"ours grew this\")))");
+  Tree theirs = f.Parse("(D (P (S \"theirs grew that\")))");
+  auto merge = ThreeWayMerge(base, ours, theirs);
+  ASSERT_TRUE(merge.ok()) << merge.status().ToString();
+  EXPECT_TRUE(merge->conflicts.empty());
+  EXPECT_TRUE(merge->merged.Validate().ok());
+  auto values = f.LeafValues(merge->merged);
+  EXPECT_NE(std::find(values.begin(), values.end(), "ours grew this"),
+            values.end());
+  EXPECT_NE(std::find(values.begin(), values.end(), "theirs grew that"),
+            values.end());
+  EXPECT_GT(merge->ops_from_ours, 0u);
+  EXPECT_GT(merge->ops_from_theirs, 0u);
+}
+
 TEST(ThreeWayTest, IdenticalSidesAreANoopMerge) {
   Fixture f;
   Tree base = f.Parse("(D (S \"same a b\"))");

@@ -262,6 +262,55 @@ TEST(LabelTableTest, InternIsIdempotent) {
   EXPECT_EQ(table.size(), 2u);
 }
 
+TEST(FrozenTreeTest, EditOperationsFailFast) {
+  Tree t;
+  NodeId r = t.AddRoot("D");
+  NodeId a = t.AddChild(r, "S", "alpha");
+  NodeId b = t.AddChild(r, "S", "beta");
+  t.Freeze();
+  EXPECT_TRUE(t.Frozen());
+
+  EXPECT_EQ(t.UpdateValue(a, "changed").code(), Code::kFailedPrecondition);
+  EXPECT_EQ(t.DeleteLeaf(b).code(), Code::kFailedPrecondition);
+  // The tree is untouched.
+  EXPECT_EQ(t.value(a), "alpha");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(FrozenTreeTest, FreezeIsStickyAcrossMovesButNotCopies) {
+  Tree t;
+  NodeId r = t.AddRoot("D");
+  t.AddChild(r, "S", "x");
+  t.Freeze();
+
+  // Copies and Clone()s start unfrozen: they are private snapshots (the
+  // edit-script generator's working copy depends on this).
+  Tree copy(t);
+  EXPECT_FALSE(copy.Frozen());
+  EXPECT_TRUE(copy.UpdateValue(copy.Leaves()[0], "edited").ok());
+  Tree clone = t.Clone();
+  EXPECT_FALSE(clone.Frozen());
+
+  // Moves transfer the frozen contract with the storage.
+  clone.Freeze();
+  Tree moved(std::move(clone));
+  EXPECT_TRUE(moved.Frozen());
+  EXPECT_EQ(moved.UpdateValue(moved.Leaves()[0], "nope").code(),
+            Code::kFailedPrecondition);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(FrozenTreeDeathTest, StructuralConstructionAborts) {
+  Tree t;
+  NodeId r = t.AddRoot("D");
+  t.Freeze();
+  // AddChild has no Status channel; mutating a frozen (= possibly shared)
+  // tree is a fail-fast abort, not a silent data race.
+  EXPECT_DEATH(t.AddChild(r, "S", "boom"), "frozen");
+}
+#endif
+
 TEST(TreeIdsTest, DeadSlotsRemainInIdBound) {
   Tree t;
   NodeId r = t.AddRoot("R");

@@ -1,0 +1,204 @@
+// treediff_serve: the DiffService behind a newline-delimited request
+// protocol on stdin/stdout, so any process that can spawn a child and write
+// lines can use the concurrent diff service (and so the CI can drive it
+// from a shell script).
+//
+// Requests are one line each, fields separated by tabs. Documents travel
+// inline in a field, which works because both front ends accept single-line
+// input (s-expressions are single-line by construction; XML documents must
+// simply contain no literal newline or tab — whitespace inside text content
+// is collapsed by the parser anyway).
+//
+//   DIFF <format> <old_doc> <new_doc>   diff two inline documents
+//   OPEN <doc_id> <format> <base_doc>   create an in-memory version store
+//   COMMIT <doc_id> <format> <doc>      commit the next version -> OK <v>
+//   VDIFF <doc_id> <from> <to>          diff two stored versions
+//   METRICS                             dump the metrics registry
+//   QUIT                                exit (EOF works too)
+//
+// <format> is "sexpr" or "xml". Responses:
+//
+//   OK [<field>...]      success; DIFF/VDIFF append rung=<name> ops=<n>
+//                        degraded=<0|1> cache=<0|1><0|1>, then the edit
+//                        script, one operation per line, terminated by "."
+//   ERR <Code> <message> failure (one line)
+//
+// Usage: treediff_serve [--threads N] [--queue N] [--deadline SECONDS]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/diff_service.h"
+
+namespace {
+
+using treediff::DiffRequest;
+using treediff::DiffResponse;
+using treediff::DiffRungName;
+using treediff::DiffService;
+using treediff::DiffServiceOptions;
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  for (;;) {
+    const size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+bool ParseFormat(const std::string& name, DiffRequest::Format* format) {
+  if (name == "sexpr") {
+    *format = DiffRequest::Format::kSexpr;
+    return true;
+  }
+  if (name == "xml") {
+    *format = DiffRequest::Format::kXml;
+    return true;
+  }
+  return false;
+}
+
+void PrintError(const treediff::Status& status) {
+  std::cout << "ERR " << treediff::CodeName(status.code()) << " "
+            << status.message() << "\n";
+}
+
+void PrintDiffResponse(const DiffResponse& response) {
+  if (!response.status.ok()) {
+    PrintError(response.status);
+    return;
+  }
+  std::cout << "OK rung=" << DiffRungName(response.rung)
+            << " ops=" << response.operations
+            << " degraded=" << (response.degraded ? 1 : 0) << " cache="
+            << (response.cache_hit_old ? 1 : 0)
+            << (response.cache_hit_new ? 1 : 0) << "\n";
+  std::cout << response.script;
+  std::cout << ".\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DiffServiceOptions options;
+  double default_deadline = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--threads") {
+      const char* v = next();
+      if (v != nullptr) options.num_threads = std::atoi(v);
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (v != nullptr) options.queue_capacity =
+          static_cast<size_t>(std::atol(v));
+    } else if (arg == "--deadline") {
+      const char* v = next();
+      if (v != nullptr) default_deadline = std::atof(v);
+    } else {
+      std::fprintf(stderr,
+                   "usage: treediff_serve [--threads N] [--queue N] "
+                   "[--deadline SECONDS]\n");
+      return 2;
+    }
+  }
+  options.default_deadline_seconds = default_deadline;
+
+  DiffService service(options);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = SplitTabs(line);
+    const std::string& cmd = f[0];
+
+    if (cmd == "QUIT") break;
+
+    if (cmd == "METRICS") {
+      std::cout << service.metrics().TextExposition() << ".\n";
+      std::cout.flush();
+      continue;
+    }
+
+    if (cmd == "DIFF" && f.size() == 4) {
+      DiffRequest request;
+      if (!ParseFormat(f[1], &request.format)) {
+        PrintError(treediff::Status::InvalidArgument(
+            "unknown format \"" + f[1] + "\" (want sexpr|xml)"));
+        std::cout.flush();
+        continue;
+      }
+      request.old_doc = f[2];
+      request.new_doc = f[3];
+      PrintDiffResponse(service.SubmitSync(std::move(request)));
+      std::cout.flush();
+      continue;
+    }
+
+    if (cmd == "OPEN" && f.size() == 4) {
+      DiffRequest::Format format;
+      if (!ParseFormat(f[2], &format)) {
+        PrintError(treediff::Status::InvalidArgument(
+            "unknown format \"" + f[2] + "\" (want sexpr|xml)"));
+        std::cout.flush();
+        continue;
+      }
+      const treediff::Status status = service.CreateStore(f[1], f[3], format);
+      if (status.ok()) {
+        std::cout << "OK doc=" << f[1] << " version=0\n";
+      } else {
+        PrintError(status);
+      }
+      std::cout.flush();
+      continue;
+    }
+
+    if (cmd == "COMMIT" && f.size() == 4) {
+      DiffRequest::Format format;
+      if (!ParseFormat(f[2], &format)) {
+        PrintError(treediff::Status::InvalidArgument(
+            "unknown format \"" + f[2] + "\" (want sexpr|xml)"));
+        std::cout.flush();
+        continue;
+      }
+      const treediff::StatusOr<int> version =
+          service.CommitVersion(f[1], f[3], format);
+      if (version.ok()) {
+        std::cout << "OK version=" << *version << "\n";
+      } else {
+        PrintError(version.status());
+      }
+      std::cout.flush();
+      continue;
+    }
+
+    if (cmd == "VDIFF" && f.size() == 4) {
+      DiffRequest request;
+      request.doc_id = f[1];
+      request.from_version = std::atoi(f[2].c_str());
+      request.to_version = std::atoi(f[3].c_str());
+      PrintDiffResponse(service.SubmitSync(std::move(request)));
+      std::cout.flush();
+      continue;
+    }
+
+    PrintError(treediff::Status::InvalidArgument(
+        "bad request \"" + cmd + "\" (or wrong field count); commands: "
+        "DIFF OPEN COMMIT VDIFF METRICS QUIT"));
+    std::cout.flush();
+  }
+  service.Shutdown();
+  return 0;
+}
