@@ -141,9 +141,7 @@ class ScriptGenerator {
     const double cost =
         cmp_ != nullptr ? cmp_->Compare(work_, w, t2_, x) : 1.0;
     script_.Append(EditOp::Update(w, t2_.value(x), cost));
-    Status st = work_.UpdateValue(w, t2_.value(x));
-    assert(st.ok());
-    (void)st;
+    TREEDIFF_CHECK_OK(work_.UpdateValue(w, t2_.value(x)));
   }
 
   /// Move phase for a matched pair (w, x) whose parents are not matched:
@@ -155,9 +153,7 @@ class ScriptGenerator {
     script_.Append(std::move(op));
     weighted_ += static_cast<size_t>(work_index_.LeafCount(w));
     ++inter_moves_;
-    Status st = work_.MoveSubtree(w, z, k);
-    assert(st.ok());
-    (void)st;
+    TREEDIFF_CHECK_OK(work_.MoveSubtree(w, z, k));
     MarkInOrder(w, x);
   }
 
@@ -280,9 +276,7 @@ class ScriptGenerator {
       script_.Append(std::move(op));
       weighted_ += static_cast<size_t>(work_index_.LeafCount(a));
       ++intra_moves_;
-      Status st = work_.MoveSubtree(a, w, k);
-      assert(st.ok());
-      (void)st;
+      TREEDIFF_CHECK_OK(work_.MoveSubtree(a, w, k));
       MarkInOrder(a, b);
     }
   }

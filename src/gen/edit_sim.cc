@@ -111,9 +111,7 @@ class Simulator {
     }
     if (!changed) words[static_cast<size_t>(
         rng_->Uniform(words.size()))] = vocab_.SampleWord(rng_);
-    Status st = work_->UpdateValue(s, JoinStrings(words, " "));
-    assert(st.ok());
-    (void)st;
+    TREEDIFF_CHECK_OK(work_->UpdateValue(s, JoinStrings(words, " ")));
     out_->intended_ops += 1;  // Updates weigh 0 in e.
     ++out_->sentence_updates;
     return true;
@@ -145,9 +143,7 @@ class Simulator {
       }
     }
     if (candidates.empty()) return false;
-    Status st = work_->DeleteLeaf(PickFrom(candidates));
-    assert(st.ok());
-    (void)st;
+    TREEDIFF_CHECK_OK(work_->DeleteLeaf(PickFrom(candidates)));
     out_->intended_ops += 1;
     out_->intended_weighted += 1;
     ++out_->sentence_deletes;
@@ -172,9 +168,7 @@ class Simulator {
     const int k = static_cast<int>(rng_->UniformInRange(
         1, static_cast<int64_t>(work_->children(target).size()) +
                (target == work_->parent(s) ? 0 : 1)));
-    Status st = work_->MoveSubtree(s, target, std::max(1, k));
-    assert(st.ok());
-    (void)st;
+    TREEDIFF_CHECK_OK(work_->MoveSubtree(s, target, std::max(1, k)));
     out_->intended_ops += 1;
     out_->intended_weighted += 1;  // A sentence subtree has one leaf.
     ++out_->sentence_moves;
@@ -205,9 +199,7 @@ class Simulator {
                               ? static_cast<size_t>(
                                     work_->LeafCounts()[static_cast<size_t>(p)])
                               : 1;
-    Status st = work_->MoveSubtree(p, target, k);
-    assert(st.ok());
-    (void)st;
+    TREEDIFF_CHECK_OK(work_->MoveSubtree(p, target, k));
     out_->intended_ops += 1;
     out_->intended_weighted += leaves;
     ++out_->paragraph_moves;
@@ -256,9 +248,7 @@ class Simulator {
       for (NodeId c : work_->children(x)) stack.push_back(c);
     }
     for (auto it = doomed.rbegin(); it != doomed.rend(); ++it) {
-      Status st = work_->DeleteLeaf(*it);
-      assert(st.ok());
-      (void)st;
+      TREEDIFF_CHECK_OK(work_->DeleteLeaf(*it));
     }
     out_->intended_ops += doomed.size();
     out_->intended_weighted += doomed.size();
@@ -275,9 +265,7 @@ class Simulator {
     if (limit < 1) return false;
     const int k = static_cast<int>(rng_->UniformInRange(1, limit + 1));
     const int leaves = work_->LeafCounts()[static_cast<size_t>(sec)];
-    Status st = work_->MoveSubtree(sec, doc, k);
-    assert(st.ok());
-    (void)st;
+    TREEDIFF_CHECK_OK(work_->MoveSubtree(sec, doc, k));
     out_->intended_ops += 1;
     out_->intended_weighted += static_cast<size_t>(std::max(1, leaves));
     ++out_->section_moves;

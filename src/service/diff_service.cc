@@ -224,17 +224,18 @@ StatusOr<std::shared_ptr<const CachedTree>> DiffService::ResolveInline(
   return cache_.Insert(key, std::move(tree).value());
 }
 
+DiffService::StoreEntry* DiffService::FindStore(const std::string& doc_id) {
+  ReaderMutexLock lock(&stores_mu_);
+  auto it = stores_.find(doc_id);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
 StatusOr<std::shared_ptr<const CachedTree>> DiffService::ResolveVersion(
     const std::string& doc_id, int version, bool* cache_hit) {
-  StoreEntry* entry = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(stores_mu_);
-    auto it = stores_.find(doc_id);
-    if (it == stores_.end()) {
-      return Status::NotFound("no store attached under doc_id \"" + doc_id +
-                              "\"");
-    }
-    entry = it->second.get();
+  StoreEntry* entry = FindStore(doc_id);
+  if (entry == nullptr) {
+    return Status::NotFound("no store attached under doc_id \"" + doc_id +
+                            "\"");
   }
   const uint64_t key = TreeCache::FingerprintVersion(doc_id, version);
   if (auto cached = cache_.Lookup(key)) {
@@ -247,7 +248,7 @@ StatusOr<std::shared_ptr<const CachedTree>> DiffService::ResolveVersion(
   // Materialize under the store lock (VersionStore is single-threaded);
   // freezing + indexing happen inside Insert, off the lock.
   StatusOr<Tree> tree = [&]() -> StatusOr<Tree> {
-    std::lock_guard<std::mutex> lock(entry->mu);
+    MutexLock lock(&entry->mu);
     if (version < 0 || version >= entry->store->VersionCount()) {
       return Status::OutOfRange(
           "version " + std::to_string(version) + " out of range [0, " +
@@ -265,7 +266,7 @@ Status DiffService::AttachStore(const std::string& doc_id,
   if (store == nullptr) {
     return Status::InvalidArgument("AttachStore: null store");
   }
-  std::lock_guard<std::mutex> lock(stores_mu_);
+  WriterMutexLock lock(&stores_mu_);
   auto [it, inserted] = stores_.emplace(doc_id, nullptr);
   if (!inserted) {
     return Status::FailedPrecondition("doc_id \"" + doc_id +
@@ -283,7 +284,7 @@ Status DiffService::CreateStore(const std::string& doc_id,
   if (!base.ok()) return base.status();
   auto owned = std::make_unique<VersionStore>(std::move(base).value(),
                                               options_.diff);
-  std::lock_guard<std::mutex> lock(stores_mu_);
+  WriterMutexLock lock(&stores_mu_);
   auto [it, inserted] = stores_.emplace(doc_id, nullptr);
   if (!inserted) {
     return Status::FailedPrecondition("doc_id \"" + doc_id +
@@ -298,17 +299,12 @@ Status DiffService::CreateStore(const std::string& doc_id,
 StatusOr<int> DiffService::CommitVersion(const std::string& doc_id,
                                          const std::string& doc,
                                          DiffRequest::Format format) {
-  StoreEntry* entry = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(stores_mu_);
-    auto it = stores_.find(doc_id);
-    if (it == stores_.end()) {
-      return Status::NotFound("no store attached under doc_id \"" + doc_id +
-                              "\"");
-    }
-    entry = it->second.get();
+  StoreEntry* entry = FindStore(doc_id);
+  if (entry == nullptr) {
+    return Status::NotFound("no store attached under doc_id \"" + doc_id +
+                            "\"");
   }
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(&entry->mu);
   // Commits must use the store's label table, which for attached stores is
   // not the service's inline table.
   StatusOr<Tree> tree =

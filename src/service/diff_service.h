@@ -5,14 +5,15 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/diff.h"
 #include "service/tree_cache.h"
 #include "store/version_store.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace treediff {
@@ -128,18 +129,21 @@ class DiffService {
 
   /// Attaches an externally owned VersionStore under `doc_id`; the store
   /// must outlive the service. All access is serialized per store.
-  Status AttachStore(const std::string& doc_id, VersionStore* store);
+  Status AttachStore(const std::string& doc_id, VersionStore* store)
+      EXCLUDES(stores_mu_);
 
   /// Creates a service-owned in-memory VersionStore whose version 0 is the
   /// given document.
   Status CreateStore(const std::string& doc_id, const std::string& base_doc,
-                     DiffRequest::Format format = DiffRequest::Format::kSexpr);
+                     DiffRequest::Format format = DiffRequest::Format::kSexpr)
+      EXCLUDES(stores_mu_);
 
   /// Commits a new version to a store created with CreateStore or attached
   /// with AttachStore. Returns the new version number.
   StatusOr<int> CommitVersion(
       const std::string& doc_id, const std::string& doc,
-      DiffRequest::Format format = DiffRequest::Format::kSexpr);
+      DiffRequest::Format format = DiffRequest::Format::kSexpr)
+      EXCLUDES(stores_mu_);
 
   /// The label table shared by every inline document this service parses.
   /// Pre-interning the expected label vocabulary here pins label ids, which
@@ -158,8 +162,12 @@ class DiffService {
   using Clock = std::chrono::steady_clock;
 
   struct StoreEntry {
-    std::mutex mu;                        // Serializes all store access.
-    VersionStore* store = nullptr;        // Attached or owned_.get().
+    /// Serializes all use of the store, including parses into its
+    /// LabelTable (which Commit-side parsing mutates).
+    Mutex mu;
+    /// Attached or owned.get(); the pointer is set once before the entry
+    /// is published under stores_mu_, so only dereferences need `mu`.
+    VersionStore* store PT_GUARDED_BY(mu) = nullptr;
     std::unique_ptr<VersionStore> owned;  // CreateStore-owned stores.
   };
 
@@ -172,7 +180,12 @@ class DiffService {
   StatusOr<std::shared_ptr<const CachedTree>> ResolveInline(
       const std::string& text, DiffRequest::Format format, bool* cache_hit);
   StatusOr<std::shared_ptr<const CachedTree>> ResolveVersion(
-      const std::string& doc_id, int version, bool* cache_hit);
+      const std::string& doc_id, int version, bool* cache_hit)
+      EXCLUDES(stores_mu_);
+
+  /// The published entry under `doc_id`, or null. Takes the registry lock
+  /// shared: lookups on the request path don't serialize behind each other.
+  StoreEntry* FindStore(const std::string& doc_id) EXCLUDES(stores_mu_);
 
   StatusOr<Tree> ParseDoc(const std::string& text, DiffRequest::Format format);
 
@@ -182,8 +195,11 @@ class DiffService {
   TreeCache cache_;
   ThreadPool pool_;  // Last member: workers must die before what they use.
 
-  std::mutex stores_mu_;  // Guards the map; per-store work holds entry->mu.
-  std::map<std::string, std::unique_ptr<StoreEntry>> stores_;
+  /// Guards the registry map (reader/writer: attach/create write, request
+  /// lookups read); per-store work holds entry->mu.
+  SharedMutex stores_mu_;
+  std::map<std::string, std::unique_ptr<StoreEntry>> stores_
+      GUARDED_BY(stores_mu_);
 
   // Hot-path metric handles (registered once; recording is pure atomics).
   Counter* requests_ = nullptr;

@@ -42,7 +42,7 @@ TreeCache::TreeCache(Options options)
 
 std::shared_ptr<const CachedTree> TreeCache::Lookup(uint64_t key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -58,7 +58,7 @@ std::shared_ptr<const CachedTree> TreeCache::Insert(uint64_t key, Tree tree) {
   // racing duplicate insert merely wastes its own work.
   auto entry = std::make_shared<const CachedTree>(std::move(tree), key);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -87,7 +87,7 @@ TreeCache::Stats TreeCache::stats() const {
   s.insertions = insertions_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     s.bytes += shard->bytes;
     s.entries += shard->lru.size();
   }

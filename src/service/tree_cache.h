@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -13,6 +12,8 @@
 
 #include "tree/tree.h"
 #include "tree/tree_index.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace treediff {
 
@@ -71,6 +72,9 @@ class TreeCache {
   /// content, so either is correct.
   std::shared_ptr<const CachedTree> Insert(uint64_t key, Tree tree);
 
+  /// Number of shards (for tests asserting the sharded layout).
+  int shards() const { return static_cast<int>(shards_.size()); }
+
   Stats stats() const;
 
   /// Fingerprint of an inline document: its text plus a format tag (the
@@ -83,15 +87,16 @@ class TreeCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     // Front = most recently used.
-    std::list<std::pair<uint64_t, std::shared_ptr<const CachedTree>>> lru;
+    std::list<std::pair<uint64_t, std::shared_ptr<const CachedTree>>> lru
+        GUARDED_BY(mu);
     std::unordered_map<
         uint64_t,
         std::list<std::pair<uint64_t,
                             std::shared_ptr<const CachedTree>>>::iterator>
-        map;
-    size_t bytes = 0;
+        map GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t key) {

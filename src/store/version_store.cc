@@ -63,8 +63,42 @@ std::string RecoveryReport::ToString() const {
 }
 
 VersionStore::VersionStore(Tree base, DiffOptions options)
-    : base_(base.Clone()), head_(std::move(base)), options_(options) {
+    : base_(base.Clone()), options_(options), head_(std::move(base)) {
   full_sizes_.push_back(base_.ToDebugString().size());
+}
+
+// Moves transfer everything but the mutex. The analysis is disabled here
+// (see the header): the moved-from object is not shared, so its guarded
+// members are read without its lock by design.
+VersionStore::VersionStore(VersionStore&& other)
+    : base_(std::move(other.base_)),
+      options_(other.options_),
+      head_(std::move(other.head_)),
+      scripts_(std::move(other.scripts_)),
+      infos_(std::move(other.infos_)),
+      full_sizes_(std::move(other.full_sizes_)),
+      writer_(std::move(other.writer_)),
+      env_(other.env_),
+      path_(std::move(other.path_)),
+      store_options_(other.store_options_),
+      io_status_(std::move(other.io_status_)),
+      commits_since_checkpoint_(other.commits_since_checkpoint_) {}
+
+VersionStore& VersionStore::operator=(VersionStore&& other) {
+  if (this == &other) return *this;
+  base_ = std::move(other.base_);
+  options_ = other.options_;
+  head_ = std::move(other.head_);
+  scripts_ = std::move(other.scripts_);
+  infos_ = std::move(other.infos_);
+  full_sizes_ = std::move(other.full_sizes_);
+  writer_ = std::move(other.writer_);
+  env_ = other.env_;
+  path_ = std::move(other.path_);
+  store_options_ = other.store_options_;
+  io_status_ = std::move(other.io_status_);
+  commits_since_checkpoint_ = other.commits_since_checkpoint_;
+  return *this;
 }
 
 Status VersionStore::AppendDurable(LogRecordType type,
@@ -84,7 +118,7 @@ void VersionStore::MaybeCheckpoint() {
   if (store_options_.checkpoint_interval <= 0) return;
   if (++commits_since_checkpoint_ < store_options_.checkpoint_interval) return;
   std::string payload;
-  PutVarint64(&payload, static_cast<uint64_t>(VersionCount() - 1));
+  PutVarint64(&payload, static_cast<uint64_t>(VersionCountLocked() - 1));
   payload.append(EncodeTree(head_));
   // Best-effort: the commit this rides on is already durable. A failure
   // poisons the store (the tail may hold a torn checkpoint record), which
@@ -95,6 +129,7 @@ void VersionStore::MaybeCheckpoint() {
 }
 
 StatusOr<int> VersionStore::Commit(const Tree& new_version) {
+  MutexLock lock(&mu_);
   if (!io_status_.ok()) {
     return Status::FailedPrecondition(
         "store is poisoned by an earlier I/O error: " + io_status_.message());
@@ -137,11 +172,16 @@ StatusOr<int> VersionStore::Commit(const Tree& new_version) {
   infos_.push_back(info);
   full_sizes_.push_back(full_size);
   if (durable()) MaybeCheckpoint();
-  return VersionCount() - 1;
+  return VersionCountLocked() - 1;
 }
 
 StatusOr<Tree> VersionStore::Materialize(int v) const {
-  if (v < 0 || v >= VersionCount()) {
+  MutexLock lock(&mu_);
+  return MaterializeLocked(v);
+}
+
+StatusOr<Tree> VersionStore::MaterializeLocked(int v) const {
+  if (v < 0 || v >= VersionCountLocked()) {
     return Status::OutOfRange("no such version: " + std::to_string(v));
   }
   Tree tree = base_.Clone();
@@ -152,6 +192,7 @@ StatusOr<Tree> VersionStore::Materialize(int v) const {
 }
 
 StatusOr<int> VersionStore::RollbackHead() {
+  MutexLock lock(&mu_);
   if (!io_status_.ok()) {
     return Status::FailedPrecondition(
         "store is poisoned by an earlier I/O error: " + io_status_.message());
@@ -162,7 +203,7 @@ StatusOr<int> VersionStore::RollbackHead() {
   // The inverse must be computed against the pre-state of the last delta,
   // which replaying the chain up to the previous version reproduces with
   // the exact node ids the head evolved from.
-  StatusOr<Tree> prev = Materialize(VersionCount() - 2);
+  StatusOr<Tree> prev = MaterializeLocked(VersionCountLocked() - 2);
   if (!prev.ok()) return prev.status();
   StatusOr<EditScript> inverse = InvertScript(scripts_.back(), *prev);
   if (!inverse.ok()) return inverse.status();
@@ -175,7 +216,7 @@ StatusOr<int> VersionStore::RollbackHead() {
   }
   if (durable()) {
     std::string payload;
-    PutVarint64(&payload, static_cast<uint64_t>(VersionCount() - 1));
+    PutVarint64(&payload, static_cast<uint64_t>(VersionCountLocked() - 1));
     TREEDIFF_RETURN_IF_ERROR(AppendDurable(LogRecordType::kRollback, payload));
   }
   // Adopt the replayed tree (not the undone head): the id space must match
@@ -184,15 +225,17 @@ StatusOr<int> VersionStore::RollbackHead() {
   scripts_.pop_back();
   infos_.pop_back();
   full_sizes_.pop_back();
-  return VersionCount() - 1;
+  return VersionCountLocked() - 1;
 }
 
 const EditScript* VersionStore::DeltaFor(int v) const {
-  if (v < 1 || v >= VersionCount()) return nullptr;
+  MutexLock lock(&mu_);
+  if (v < 1 || v >= VersionCountLocked()) return nullptr;
   return &scripts_[static_cast<size_t>(v - 1)];
 }
 
 VersionStore::StorageStats VersionStore::Storage() const {
+  MutexLock lock(&mu_);
   StorageStats stats;
   const LabelTable& labels = base_.labels();
   for (const EditScript& script : scripts_) {
@@ -232,14 +275,17 @@ StatusOr<VersionStore> VersionStore::Create(const std::string& path, Tree base,
 
   VersionStore store;
   store.base_ = base.Clone();
-  store.head_ = std::move(base);
   store.options_ = options;
-  store.full_sizes_.push_back(store.base_.ToDebugString().size());
   store.writer_ =
       std::make_unique<LogWriter>(std::move(*append), bootstrap.offset());
   store.env_ = env;
   store.path_ = path;
   store.store_options_ = store_options;
+  {
+    MutexLock lock(&store.mu_);  // Satisfies the analysis; no contention yet.
+    store.head_ = std::move(base);
+    store.full_sizes_.push_back(store.base_.ToDebugString().size());
+  }
   return store;
 }
 
@@ -402,17 +448,20 @@ StatusOr<VersionStore> VersionStore::Open(const std::string& path,
 
   VersionStore store;
   store.base_ = std::move(*base);
-  store.head_ = std::move(head);
   store.options_ = options;
-  store.scripts_ = std::move(scripts);
-  store.infos_ = std::move(infos);
-  store.full_sizes_ = std::move(full_sizes);
   store.writer_ = std::make_unique<LogWriter>(std::move(*append), accepted_end);
   store.env_ = env;
   store.path_ = path;
   store.store_options_ = store_options;
-  store.commits_since_checkpoint_ =
-      static_cast<int>(store.scripts_.size() - replay_from);
+  {
+    MutexLock lock(&store.mu_);  // Satisfies the analysis; no contention yet.
+    store.head_ = std::move(head);
+    store.scripts_ = std::move(scripts);
+    store.infos_ = std::move(infos);
+    store.full_sizes_ = std::move(full_sizes);
+    store.commits_since_checkpoint_ =
+        static_cast<int>(store.scripts_.size() - replay_from);
+  }
   return store;
 }
 

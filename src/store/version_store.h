@@ -10,7 +10,9 @@
 #include "store/log.h"
 #include "tree/tree.h"
 #include "util/io.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace treediff {
 
@@ -70,14 +72,25 @@ struct RecoveryReport {
 /// After any I/O failure the store is *poisoned*: mutations fail fast with
 /// kFailedPrecondition (the log's tail state is unknown); reads still work.
 /// Reopening the path recovers to the last durable commit.
+///
+/// Thread-safety: every method serializes on an internal Mutex (checked by
+/// the thread-safety analysis), so concurrent Commit/Materialize/accessor
+/// calls from different threads are safe. Multi-step protocols that span
+/// calls — parsing a document into the store's LabelTable and then
+/// committing it — still need external serialization, which DiffService
+/// provides per attached store. Moving a store concurrently with any other
+/// use is (as for any type) undefined.
 class VersionStore {
  public:
   /// Creates an in-memory store whose version 0 is `base`.
   explicit VersionStore(Tree base, DiffOptions options = {});
 
-  // The store owns a log writer in durable mode; it moves but does not copy.
-  VersionStore(VersionStore&&) = default;
-  VersionStore& operator=(VersionStore&&) = default;
+  // The store owns a log writer in durable mode; it moves but does not
+  // copy. Moves transfer the logical state but not the mutex (each store
+  // owns its own); they are excluded from the analysis since the moved-from
+  // store's lock is not held.
+  VersionStore(VersionStore&& other) NO_THREAD_SAFETY_ANALYSIS;
+  VersionStore& operator=(VersionStore&& other) NO_THREAD_SAFETY_ANALYSIS;
   VersionStore(const VersionStore&) = delete;
   VersionStore& operator=(const VersionStore&) = delete;
 
@@ -112,32 +125,40 @@ class VersionStore {
   }
 
   /// OK unless an I/O failure has poisoned the store (durable mode only).
-  const Status& io_status() const { return io_status_; }
+  Status io_status() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return io_status_;
+  }
 
   /// Commits `new_version` (same LabelTable as the base) as the next
   /// version, storing only its delta against the current head. In durable
   /// mode the delta record is appended and fsync'd before the in-memory
   /// head advances; on any failure the store is observably unchanged.
   /// Returns the new version number.
-  StatusOr<int> Commit(const Tree& new_version);
+  StatusOr<int> Commit(const Tree& new_version) EXCLUDES(mu_);
 
   /// Number of versions stored (>= 1; version 0 is the base).
-  int VersionCount() const { return static_cast<int>(scripts_.size()) + 1; }
+  int VersionCount() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return VersionCountLocked();
+  }
 
   /// Rebuilds version `v` (0 = base, VersionCount()-1 = head) by replaying
   /// the stored scripts.
-  StatusOr<Tree> Materialize(int v) const;
+  StatusOr<Tree> Materialize(int v) const EXCLUDES(mu_);
 
   /// Discards the newest version: the head is rolled back to the previous
   /// version by applying the inverse of the last stored delta
   /// (InvertScript), and the delta is dropped. In durable mode a rollback
   /// record is appended and fsync'd first. Returns the new head version
   /// number; fails (leaving the store unchanged) if only the base remains.
-  StatusOr<int> RollbackHead();
+  StatusOr<int> RollbackHead() EXCLUDES(mu_);
 
   /// The stored delta that takes version v-1 to version v (1-based v), or
-  /// null if `v` is out of range [1, VersionCount()-1].
-  const EditScript* DeltaFor(int v) const;
+  /// null if `v` is out of range [1, VersionCount()-1]. The pointer stays
+  /// valid until the next Commit or RollbackHead — hold the result across
+  /// mutations and it dangles, so don't.
+  const EditScript* DeltaFor(int v) const EXCLUDES(mu_);
 
   /// Aggregate per-version change counters, the "querying over changes"
   /// facility a warehouse needs.
@@ -149,7 +170,8 @@ class VersionStore {
     double cost = 0.0;
     size_t nodes = 0;  // Size of the version after the delta.
   };
-  const VersionInfo& Info(int v) const {
+  VersionInfo Info(int v) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return infos_[static_cast<size_t>(v - 1)];
   }
 
@@ -167,35 +189,53 @@ class VersionStore {
                        static_cast<double>(delta_bytes);
     }
   };
-  StorageStats Storage() const;
+  StorageStats Storage() const EXCLUDES(mu_);
 
  private:
   VersionStore() = default;  // Assembled field-by-field in Create/Open.
 
+  int VersionCountLocked() const REQUIRES(mu_) {
+    return static_cast<int>(scripts_.size()) + 1;
+  }
+
+  /// Materialize with the lock already held (RollbackHead's replay).
+  StatusOr<Tree> MaterializeLocked(int v) const REQUIRES(mu_);
+
   /// Appends `payload` as a `type` record and fsyncs. On failure poisons
   /// the store and returns the error; the in-memory state must not have
   /// been touched yet (write-ahead ordering).
-  Status AppendDurable(LogRecordType type, std::string_view payload);
+  Status AppendDurable(LogRecordType type, std::string_view payload)
+      REQUIRES(mu_);
 
   /// Appends a checkpoint record if the interval policy says so.
   /// Best-effort: a failure poisons the store (future commits fail fast)
   /// but does not undo the already durable commit.
-  void MaybeCheckpoint();
+  void MaybeCheckpoint() REQUIRES(mu_);
+
+  /// Serializes every method; guards the mutable version/log state below.
+  /// Immutable-after-construction members (base_, options_, env_, path_,
+  /// store_options_) are read without it.
+  mutable Mutex mu_;
 
   Tree base_;
-  Tree head_;  // Materialized head, kept for diffing the next commit.
   DiffOptions options_;
-  std::vector<EditScript> scripts_;
-  std::vector<VersionInfo> infos_;
-  std::vector<size_t> full_sizes_;  // Serialized size of every version.
 
-  // Durable mode (null/empty in memory-only stores).
-  std::unique_ptr<LogWriter> writer_;
+  // Materialized head, kept for diffing the next commit.
+  Tree head_ GUARDED_BY(mu_);
+  std::vector<EditScript> scripts_ GUARDED_BY(mu_);
+  std::vector<VersionInfo> infos_ GUARDED_BY(mu_);
+  // Serialized size of every version.
+  std::vector<size_t> full_sizes_ GUARDED_BY(mu_);
+
+  // Durable mode (null/empty in memory-only stores). The writer pointer is
+  // set once during Create/Open, before the store is shared; appending
+  // through it (the log's tail state) requires the lock.
+  std::unique_ptr<LogWriter> writer_ PT_GUARDED_BY(mu_);
   Env* env_ = nullptr;
   std::string path_;
   StoreOptions store_options_;
-  Status io_status_;
-  int commits_since_checkpoint_ = 0;
+  Status io_status_ GUARDED_BY(mu_);
+  int commits_since_checkpoint_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace treediff

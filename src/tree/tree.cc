@@ -61,8 +61,9 @@ Tree::~Tree() { NotifyGoneAndClear(); }
 
 void Tree::AbortIfFrozen(const char* op) const {
   if (!frozen_) return;
-  std::fprintf(stderr, "treediff: %s on a frozen tree (see Tree::Freeze)\n",
-               op);
+  // About to abort: the diagnostic is best effort.
+  (void)std::fprintf(stderr,
+                     "treediff: %s on a frozen tree (see Tree::Freeze)\n", op);
   std::abort();
 }
 

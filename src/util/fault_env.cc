@@ -141,9 +141,10 @@ class FaultWritableFile : public WritableFile {
                           ? FaultPlan::kNever
                           : env_->plan_.crash_at_byte - env_->bytes_written_;
     if (budget < data.size()) {
-      // Torn write: the prefix reaches the base file, then the lights go out.
-      Status ignored = base_->Append(data.substr(0, budget));
-      (void)ignored;
+      // Torn write: the prefix reaches the base file, then the lights go
+      // out — a failure here is indistinguishable from the crash being
+      // simulated, so it is dropped on purpose.
+      base_->Append(data.substr(0, budget)).IgnoreError();
       env_->bytes_written_ += budget;
       env_->down_ = true;
       return Status::Internal("injected fault: crash mid-append");

@@ -13,8 +13,25 @@ namespace treediff {
 
 namespace {
 
+// strerror(3) formats into a buffer shared across threads; the store and
+// service layers hit these I/O paths concurrently, so use strerror_r into
+// caller storage. glibc exposes the GNU overload (returns char*, may not
+// use buf) unless strict-POSIX macros select the XSI one (returns int);
+// these two overloads normalize whichever the libc provides.
+[[maybe_unused]] const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+[[maybe_unused]] const char* StrerrorResult(const char* ret,
+                                            const char* /*buf*/) {
+  return ret;
+}
+
 Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
-  return Status::Internal(op + " " + path + ": " + std::strerror(err));
+  char buf[128];
+  buf[0] = '\0';
+  return Status::Internal(op + " " + path + ": " +
+                          StrerrorResult(strerror_r(err, buf, sizeof(buf)),
+                                         buf));
 }
 
 class PosixWritableFile : public WritableFile {

@@ -75,36 +75,37 @@ double Histogram::Quantile(double q) const {
 }
 
 Counter* MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::string MetricsRegistry::TextExposition() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   char line[160];
   for (const auto& [name, c] : counters_) {
-    std::snprintf(line, sizeof line, "%s %llu\n", name.c_str(),
+    (void)std::snprintf(line, sizeof line, "%s %llu\n", name.c_str(),
                   static_cast<unsigned long long>(c->Value()));
     out += line;
   }
   for (const auto& [name, h] : histograms_) {
-    std::snprintf(line, sizeof line, "%s_count %llu\n", name.c_str(),
+    (void)std::snprintf(line, sizeof line, "%s_count %llu\n", name.c_str(),
                   static_cast<unsigned long long>(h->Count()));
     out += line;
-    std::snprintf(line, sizeof line, "%s_sum %.9g\n", name.c_str(), h->Sum());
+    (void)std::snprintf(line, sizeof line, "%s_sum %.9g\n", name.c_str(),
+                        h->Sum());
     out += line;
     for (const double q : {0.5, 0.9, 0.99}) {
-      std::snprintf(line, sizeof line, "%s{quantile=\"%.2g\"} %.9g\n",
+      (void)std::snprintf(line, sizeof line, "%s{quantile=\"%.2g\"} %.9g\n",
                     name.c_str(), q, h->Quantile(q));
       out += line;
     }

@@ -6,8 +6,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace treediff {
 
@@ -61,18 +63,19 @@ class Histogram {
 class MetricsRegistry {
  public:
   /// The counter/histogram named `name`, created on first use.
-  Counter* counter(const std::string& name);
-  Histogram* histogram(const std::string& name);
+  Counter* counter(const std::string& name) EXCLUDES(mu_);
+  Histogram* histogram(const std::string& name) EXCLUDES(mu_);
 
   /// Text exposition, one metric per line, names sorted:
   ///   <name> <value>
   ///   <name>_count <n> / <name>_sum <s> / <name>{quantile="0.5"} <v> ...
-  std::string TextExposition() const;
+  std::string TextExposition() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace treediff

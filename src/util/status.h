@@ -29,7 +29,13 @@ const char* CodeName(Code code);
 /// A lightweight success-or-error result, modeled after the Status idiom used
 /// by production database engines. An OK status carries no message; an error
 /// status carries a code and a message describing what went wrong.
-class Status {
+///
+/// The class is [[nodiscard]]: a call that returns Status and ignores it is
+/// a compile error under -Werror=unused-result (on by default via -Wall
+/// -Werror), because a dropped Status is a silently swallowed failure.
+/// Where dropping really is the intent — best-effort cleanup, metrics
+/// writes — say so in code with `.IgnoreError()`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(Code::kOk) {}
@@ -74,6 +80,11 @@ class Status {
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// The explicit escape hatch from [[nodiscard]]: drops this status on the
+  /// floor, on purpose, visibly. Use only where a failure genuinely has no
+  /// consumer (best-effort work whose fallback is "carry on").
+  void IgnoreError() const {}
+
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
@@ -84,8 +95,9 @@ class Status {
 
 /// Either a value of type T or an error Status. Accessing the value of an
 /// error result is a programming error (checked by assert in debug builds).
+/// [[nodiscard]] like Status: discarding a StatusOr discards an error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -98,6 +110,9 @@ class StatusOr {
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
+
+  /// See Status::IgnoreError.
+  void IgnoreError() const {}
 
   const T& value() const& {
     assert(ok());
@@ -130,6 +145,18 @@ class StatusOr {
   do {                                              \
     ::treediff::Status _st = (expr);                \
     if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Consumes a Status that is OK by construction (the caller has already
+/// validated every precondition): asserts in debug builds, deliberately
+/// drops the status in release builds. This is the explicit spelling of
+/// the old `Status st = ...; assert(st.ok()); (void)st;` idiom, kept
+/// greppable now that Status is [[nodiscard]].
+#define TREEDIFF_CHECK_OK(expr)                     \
+  do {                                              \
+    const ::treediff::Status _st = (expr);          \
+    assert(_st.ok());                               \
+    _st.IgnoreError();                              \
   } while (0)
 
 #endif  // TREEDIFF_UTIL_STATUS_H_

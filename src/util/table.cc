@@ -15,19 +15,20 @@ void TablePrinter::AddRow(std::vector<std::string> row) {
 
 std::string TablePrinter::Fmt(double value, int precision) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  (void)std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   return buf;
 }
 
 std::string TablePrinter::Fmt(size_t value) {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%zu", value);
+  (void)std::snprintf(buf, sizeof(buf), "%zu", value);
   return buf;
 }
 
 std::string TablePrinter::Fmt(int64_t value) {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  (void)std::snprintf(buf, sizeof(buf),
+                      "%lld", static_cast<long long>(value));
   return buf;
 }
 
@@ -60,6 +61,10 @@ std::string TablePrinter::ToString() const {
   return out;
 }
 
-void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+void TablePrinter::Print() const {
+  // Best-effort human-readable output; a short write to stdout is not an
+  // error the caller can act on.
+  (void)std::fputs(ToString().c_str(), stdout);
+}
 
 }  // namespace treediff

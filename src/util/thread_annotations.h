@@ -1,0 +1,85 @@
+#ifndef TREEDIFF_UTIL_THREAD_ANNOTATIONS_H_
+#define TREEDIFF_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attributes (-Wthread-safety), in the
+/// conventional unprefixed spelling used by LevelDB and the Clang
+/// documentation. On compilers without the analysis (GCC, MSVC) every macro
+/// expands to nothing, so annotated code builds everywhere while Clang
+/// builds — the `static-analysis` CI job compiles with
+/// `-Werror=thread-safety-analysis` — turn lock-discipline violations into
+/// compile errors.
+///
+/// The vocabulary, briefly (docs/static-analysis.md has the conventions):
+///  * CAPABILITY marks a class as a lockable resource (util/mutex.h).
+///  * GUARDED_BY(mu) on a member: reads and writes require holding `mu`.
+///  * PT_GUARDED_BY(mu) on a pointer member: dereferencing requires `mu`
+///    (the pointer itself may be read freely, e.g. set-once pointers).
+///  * REQUIRES(mu) on a function: the caller must already hold `mu`.
+///  * EXCLUDES(mu) on a function: the caller must NOT hold `mu` (the
+///    function acquires it itself; prevents self-deadlock).
+///  * ACQUIRE/RELEASE annotate the lock primitives themselves.
+///  * SCOPED_CAPABILITY marks RAII guards (MutexLock).
+
+#if defined(__clang__) && !defined(SWIG)
+#define TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define CAPABILITY(x) TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define SCOPED_CAPABILITY TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define GUARDED_BY(x) TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  TREEDIFF_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // TREEDIFF_UTIL_THREAD_ANNOTATIONS_H_

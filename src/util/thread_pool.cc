@@ -8,6 +8,7 @@ namespace treediff {
 ThreadPool::ThreadPool(Options options)
     : capacity_(std::max<size_t>(options.queue_capacity, 1)) {
   const int n = std::max(options.num_threads, 1);
+  num_threads_ = n;
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -18,56 +19,63 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (shutdown_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(task));
   }
-  not_empty_.notify_one();
+  not_empty_.Signal();
   return true;
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return shutdown_ || queue_.size() < capacity_; });
+    MutexLock lock(&mu_);
+    while (!shutdown_ && queue_.size() >= capacity_) {
+      not_full_.Wait(&mu_);
+    }
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
-  not_empty_.notify_one();
+  not_empty_.Signal();
   return true;
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return queue_.size();
 }
 
 void ThreadPool::Shutdown() {
+  // Claim the workers under the lock: with concurrent Shutdown calls
+  // exactly one caller ends up joining each thread (the losers see an
+  // empty vector), where joining the shared vector unlocked would join
+  // the same std::thread twice — undefined behavior.
+  std::vector<std::thread> claimed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_ && workers_.empty()) return;
+    MutexLock lock(&mu_);
     shutdown_ = true;
+    claimed.swap(workers_);
   }
-  not_empty_.notify_all();
-  not_full_.notify_all();
-  for (std::thread& w : workers_) {
+  not_empty_.SignalAll();
+  not_full_.SignalAll();
+  for (std::thread& w : claimed) {
     if (w.joinable()) w.join();
   }
-  workers_.clear();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) {
+        not_empty_.Wait(&mu_);
+      }
       if (queue_.empty()) return;  // Shutdown with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    not_full_.notify_one();
+    not_full_.Signal();
     task();
   }
 }

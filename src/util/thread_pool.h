@@ -1,13 +1,14 @@
 #ifndef TREEDIFF_UTIL_THREAD_POOL_H_
 #define TREEDIFF_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace treediff {
 
@@ -23,6 +24,8 @@ namespace treediff {
 ///
 /// Destruction (or Shutdown) drains the queue: already-accepted tasks run
 /// to completion, then the workers join. Submitting after shutdown fails.
+/// All state transitions are guarded by one Mutex and checked by the
+/// thread-safety analysis.
 class ThreadPool {
  public:
   struct Options {
@@ -41,33 +44,36 @@ class ThreadPool {
 
   /// Enqueues `task` unless the queue is at capacity or the pool is shut
   /// down; never blocks. Returns whether the task was accepted.
-  bool TrySubmit(std::function<void()> task);
+  bool TrySubmit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Enqueues `task`, waiting for queue space if necessary. Returns false
   /// only when the pool is (or becomes) shut down.
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Tasks queued and not yet handed to a worker. A snapshot — concurrent
   /// submits and completions move it immediately.
-  size_t QueueDepth() const;
+  size_t QueueDepth() const EXCLUDES(mu_);
 
   size_t queue_capacity() const { return capacity_; }
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int num_threads() const { return num_threads_; }
 
   /// Stops accepting tasks, runs everything already queued, joins the
-  /// workers. Idempotent; called by the destructor.
-  void Shutdown();
+  /// workers. Idempotent and safe to race from several threads: the joiner
+  /// claims the worker vector under the lock, so exactly one caller joins
+  /// each thread.
+  void Shutdown() EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  int num_threads_ = 0;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
 };
 
 }  // namespace treediff

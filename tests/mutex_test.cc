@@ -1,0 +1,124 @@
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace treediff {
+namespace {
+
+TEST(MutexTest, CountsStayConsistentUnderContention) {
+  Mutex mu;
+  int count = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(&mu);
+        ++count;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(count, 4000);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldAndRecoversAfter) {
+  Mutex mu;
+  mu.Lock();
+  std::atomic<bool> acquired{false};
+  std::thread other([&] { acquired.store(mu.TryLock()); });
+  other.join();
+  EXPECT_FALSE(acquired.load());
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, CondVarWakesWaiterOnSignal) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    observed = 1;
+  });
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.Signal();
+  waiter.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(MutexTest, CondVarSignalAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  waiters.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      woke.fetch_add(1);
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.SignalAll();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(SharedMutexTest, ReadersOverlapWritersExclude) {
+  SharedMutex mu;
+  int value = 0;
+
+  // Two readers hold the shared lock at once: each waits until the other
+  // has entered before leaving, which would deadlock if reads excluded
+  // each other.
+  std::atomic<int> readers_in{0};
+  std::vector<std::thread> readers;
+  readers.reserve(2);
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      ReaderMutexLock lock(&mu);
+      readers_in.fetch_add(1);
+      while (readers_in.load() < 2) std::this_thread::yield();
+      EXPECT_EQ(value, 0);
+    });
+  }
+  for (std::thread& t : readers) t.join();
+
+  // Writers are mutually exclusive: interleaved increments would lose
+  // updates if WriterMutexLock did not exclude other writers.
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        WriterMutexLock lock(&mu);
+        ++value;
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  ReaderMutexLock lock(&mu);
+  EXPECT_EQ(value, 2000);
+}
+
+}  // namespace
+}  // namespace treediff

@@ -82,5 +82,24 @@ TEST(StatusTest, ReturnIfErrorMacroPropagates) {
   EXPECT_EQ(Wrapper(-1).code(), Code::kInvalidArgument);
 }
 
+TEST(StatusTest, IgnoreErrorAcceptsAnyStatus) {
+  // Status is [[nodiscard]]; IgnoreError() is the only sanctioned way to
+  // drop one, and it must be callable on ok and error values alike.
+  FailsIfNegative(1).IgnoreError();
+  FailsIfNegative(-1).IgnoreError();
+  StatusOr<int> bad = Status::Internal("boom");
+  bad.IgnoreError();
+  StatusOr<int> good = 3;
+  good.IgnoreError();
+  EXPECT_EQ(*good, 3);
+}
+
+TEST(StatusTest, CheckOkPassesThroughOkStatus) {
+  // TREEDIFF_CHECK_OK asserts in debug builds and discards in release;
+  // with an ok status it must be a no-op either way.
+  TREEDIFF_CHECK_OK(FailsIfNegative(5));
+  TREEDIFF_CHECK_OK(Status::Ok());
+}
+
 }  // namespace
 }  // namespace treediff

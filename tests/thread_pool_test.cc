@@ -81,6 +81,24 @@ TEST(ThreadPoolTest, ClampsDegenerateOptions) {
   EXPECT_TRUE(ran.load());
 }
 
+TEST(ThreadPoolTest, ConcurrentShutdownJoinsEachWorkerOnce) {
+  // Regression test: two threads racing into Shutdown used to both walk
+  // workers_ and could join the same std::thread twice (UB). Shutdown now
+  // claims the worker vector under the lock, so exactly one caller joins.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool({.num_threads = 4, .queue_capacity = 16});
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+    }
+    std::thread racer([&pool] { pool.Shutdown(); });
+    pool.Shutdown();
+    racer.join();
+    EXPECT_EQ(ran.load(), 8);
+    EXPECT_FALSE(pool.TrySubmit([] {}));
+  }
+}
+
 TEST(ThreadPoolTest, ManyProducersManyConsumers) {
   ThreadPool pool({.num_threads = 8, .queue_capacity = 32});
   std::atomic<int> sum{0};

@@ -1,0 +1,20 @@
+// Control fixture for the negative-compile test: identical to
+// nodiscard_violation.cc except the drop is spelled out with IgnoreError().
+// Must COMPILE under the same flags — if it fails, the "violation fails to
+// compile" half of the test is vacuous (e.g. a broken include path fails
+// both fixtures).
+
+#include "util/status.h"
+
+namespace {
+
+treediff::Status Fallible() { return treediff::Status::Internal("boom"); }
+
+}  // namespace
+
+int main() {
+  Fallible().IgnoreError();
+  treediff::StatusOr<int> maybe = 42;
+  maybe.IgnoreError();
+  return maybe.ok() ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// Negative-compile fixture: a fallible call whose Status is dropped on the
+// floor. Must FAIL to compile under -Werror=unused-result; if it ever
+// starts compiling, the [[nodiscard]] enforcement has silently regressed.
+
+#include "util/status.h"
+
+namespace {
+
+treediff::Status Fallible() { return treediff::Status::Internal("boom"); }
+
+}  // namespace
+
+int main() {
+  Fallible();  // Dropped Status: the error this test exists to catch.
+  return 0;
+}

@@ -1,0 +1,60 @@
+# Negative-compile checks for the static-analysis enforcement
+# (tests/tsa_negative_test). A lint that is supposed to reject bad code is
+# itself untested until something proves it still rejects it, so this
+# script compiles four fixtures and asserts the expected verdicts:
+#
+#   nodiscard_ok.cc          must compile  } under -Werror=unused-result
+#   nodiscard_violation.cc   must NOT      } (any compiler)
+#   tsa_ok.cc                must compile  } under -Wthread-safety
+#   tsa_violation.cc         must NOT      } -Werror=thread-safety-analysis
+#                                            (Clang only; skipped elsewhere)
+#
+# Each "must NOT compile" case is paired with a near-identical control that
+# must compile, so a broken include path or flag typo cannot fake a pass.
+#
+# Invoked by ctest as:
+#   cmake -DCXX=<compiler> -DSOURCE_DIR=<repo root> -DTSA_SUPPORTED=<bool>
+#         -P run_negative_checks.cmake
+
+if(NOT DEFINED CXX OR NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "usage: cmake -DCXX=... -DSOURCE_DIR=... "
+                      "[-DTSA_SUPPORTED=ON] -P run_negative_checks.cmake")
+endif()
+
+set(FIXTURES "${SOURCE_DIR}/tests/tsa_negative")
+set(COMMON_FLAGS -std=c++20 -fsyntax-only "-I${SOURCE_DIR}/src")
+
+# expect_verdict(<fixture.cc> <COMPILES|REJECTS> <flag...>)
+function(expect_verdict fixture verdict)
+  execute_process(
+    COMMAND "${CXX}" ${COMMON_FLAGS} ${ARGN} "${FIXTURES}/${fixture}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(verdict STREQUAL "COMPILES" AND NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "${fixture} should compile under [${ARGN}] but was rejected "
+        "(control fixture broken?):\n${err}")
+  endif()
+  if(verdict STREQUAL "REJECTS" AND rc EQUAL 0)
+    message(FATAL_ERROR
+        "${fixture} compiled under [${ARGN}] — the seeded violation was "
+        "NOT rejected; the static-analysis enforcement has regressed")
+  endif()
+  message(STATUS "${fixture}: ${verdict} as expected")
+endfunction()
+
+# [[nodiscard]] Status enforcement: works on every supported compiler.
+expect_verdict(nodiscard_ok.cc COMPILES -Werror=unused-result)
+expect_verdict(nodiscard_violation.cc REJECTS -Werror=unused-result)
+
+# Thread-safety analysis: Clang-only (the macros are no-ops elsewhere, so
+# the violation fixture would — correctly — compile on GCC).
+if(TSA_SUPPORTED)
+  set(TSA_FLAGS -Wthread-safety -Wthread-safety-beta
+                -Werror=thread-safety-analysis)
+  expect_verdict(tsa_ok.cc COMPILES ${TSA_FLAGS})
+  expect_verdict(tsa_violation.cc REJECTS ${TSA_FLAGS})
+else()
+  message(STATUS "compiler has no -Wthread-safety; TSA fixtures skipped")
+endif()

@@ -1,0 +1,38 @@
+// Control fixture for the thread-safety negative-compile test: the same
+// guarded counter, with the discipline followed (RAII lock on the write
+// path, REQUIRES on the helper). Must COMPILE under
+//   -Wthread-safety -Werror=thread-safety-analysis
+// so that tsa_violation.cc failing proves the analysis — not a broken
+// include path — rejected the violation.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Bump() EXCLUDES(mu_) {
+    treediff::MutexLock lock(&mu_);
+    BumpLocked();
+  }
+
+  int Value() EXCLUDES(mu_) {
+    treediff::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  void BumpLocked() REQUIRES(mu_) { ++value_; }
+
+  treediff::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Bump();
+  return g.Value() == 1 ? 0 : 1;
+}

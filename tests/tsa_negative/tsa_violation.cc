@@ -1,0 +1,30 @@
+// Negative-compile fixture: a GUARDED_BY member written without its mutex.
+// Must FAIL to compile under Clang with
+//   -Wthread-safety -Werror=thread-safety-analysis
+// (the static-analysis CI configuration); if it ever starts compiling, the
+// lock-discipline enforcement has silently regressed. Compilers without
+// the analysis skip this fixture — the macros are no-ops there.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  // The violation: value_ is guarded by mu_, and Bump neither holds the
+  // lock nor declares REQUIRES(mu_).
+  void Bump() { ++value_; }
+
+ private:
+  treediff::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Bump();
+  return 0;
+}

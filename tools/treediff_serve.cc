@@ -25,6 +25,8 @@
 //
 // Usage: treediff_serve [--threads N] [--queue N] [--deadline SECONDS]
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +57,21 @@ std::vector<std::string> SplitTabs(const std::string& line) {
     fields.push_back(line.substr(start, tab - start));
     start = tab + 1;
   }
+}
+
+/// Strict base-10 integer parse. std::atoi silently maps garbage to 0,
+/// which on the wire turned "VDIFF doc x y" into a perfectly plausible
+/// diff of version 0 against itself — an error path dropped before the
+/// [[nodiscard]] discipline made such swallowing a policy violation.
+bool ParseInt(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  if (v < INT_MIN || v > INT_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
 }
 
 bool ParseFormat(const std::string& name, DiffRequest::Format* format) {
@@ -100,14 +117,28 @@ int main(int argc, char** argv) {
     };
     if (arg == "--threads") {
       const char* v = next();
-      if (v != nullptr) options.num_threads = std::atoi(v);
+      if (v == nullptr || !ParseInt(v, &options.num_threads)) {
+        std::fprintf(stderr, "treediff_serve: --threads wants an integer\n");
+        return 2;
+      }
     } else if (arg == "--queue") {
       const char* v = next();
-      if (v != nullptr) options.queue_capacity =
-          static_cast<size_t>(std::atol(v));
+      int queue = 0;
+      if (v == nullptr || !ParseInt(v, &queue) || queue < 1) {
+        std::fprintf(stderr,
+                     "treediff_serve: --queue wants a positive integer\n");
+        return 2;
+      }
+      options.queue_capacity = static_cast<size_t>(queue);
     } else if (arg == "--deadline") {
       const char* v = next();
-      if (v != nullptr) default_deadline = std::atof(v);
+      char* end = nullptr;
+      default_deadline = v != nullptr ? std::strtod(v, &end) : 0.0;
+      if (v == nullptr || end != v + std::strlen(v) || default_deadline < 0) {
+        std::fprintf(stderr,
+                     "treediff_serve: --deadline wants seconds (>= 0)\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: treediff_serve [--threads N] [--queue N] "
@@ -187,8 +218,14 @@ int main(int argc, char** argv) {
     if (cmd == "VDIFF" && f.size() == 4) {
       DiffRequest request;
       request.doc_id = f[1];
-      request.from_version = std::atoi(f[2].c_str());
-      request.to_version = std::atoi(f[3].c_str());
+      if (!ParseInt(f[2], &request.from_version) ||
+          !ParseInt(f[3], &request.to_version)) {
+        PrintError(treediff::Status::InvalidArgument(
+            "bad version number \"" + f[2] + "\"/\"" + f[3] +
+            "\" (want base-10 integers)"));
+        std::cout.flush();
+        continue;
+      }
       PrintDiffResponse(service.SubmitSync(std::move(request)));
       std::cout.flush();
       continue;
@@ -200,5 +237,13 @@ int main(int argc, char** argv) {
     std::cout.flush();
   }
   service.Shutdown();
+  // A response the peer never received is an error path, not a success:
+  // surface write failures (closed pipe, full disk behind a redirect)
+  // instead of exiting 0 with responses silently dropped on the wire.
+  std::cout.flush();
+  if (!std::cout) {
+    std::fprintf(stderr, "treediff_serve: error writing responses to stdout\n");
+    return 1;
+  }
   return 0;
 }
