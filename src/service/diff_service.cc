@@ -1,11 +1,13 @@
 #include "service/diff_service.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "core/script_io.h"
 #include "doc/xml.h"
 #include "tree/builder.h"
+#include "util/retry.h"
 
 namespace treediff {
 
@@ -21,7 +23,36 @@ DiffRung LowerRung(DiffRung a, DiffRung b) {
   return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
 }
 
+/// Errors that say the store itself is sick. Requests for things that do
+/// not exist (kNotFound/kOutOfRange), unparseable documents, and versions
+/// permanently lost to a salvage hole (kDataLoss) are answered correctly
+/// by a healthy store, so they never move the breaker.
+bool CountsTowardBreaker(const Status& status) {
+  switch (status.code()) {
+    case Code::kNotFound:
+    case Code::kOutOfRange:
+    case Code::kInvalidArgument:
+    case Code::kParseError:
+    case Code::kDataLoss:
+      return false;
+    default:
+      return true;
+  }
+}
+
 }  // namespace
+
+const char* StoreHealthName(StoreHealth health) {
+  switch (health) {
+    case StoreHealth::kHealthy:
+      return "healthy";
+    case StoreHealth::kDegraded:
+      return "degraded";
+    case StoreHealth::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
 
 DiffService::DiffService(DiffServiceOptions options)
     : options_(options),
@@ -42,16 +73,159 @@ DiffService::DiffService(DiffServiceOptions options)
         std::string("diff_rung_total{rung=\"") +
         DiffRungName(static_cast<DiffRung>(r)) + "\"}");
   }
+  store_retries_ = metrics_.counter("store_retry_total");
+  breaker_trips_ = metrics_.counter("store_breaker_trips_total");
+  breaker_fast_fails_ = metrics_.counter("store_breaker_fast_fails_total");
+  store_repairs_ = metrics_.counter("store_repairs_total");
+  scrub_runs_ = metrics_.counter("store_scrub_runs_total");
+  scrub_corruption_found_ = metrics_.counter("store_scrub_corruption_total");
   queue_wait_h_ = metrics_.histogram("diff_queue_wait_seconds");
   resolve_h_ = metrics_.histogram("diff_resolve_seconds");
   match_h_ = metrics_.histogram("diff_match_seconds");
   gen_h_ = metrics_.histogram("diff_gen_seconds");
   e2e_h_ = metrics_.histogram("diff_e2e_seconds");
+
+  if (options_.scrub_interval_seconds > 0.0) {
+    scrubber_ = std::thread([this] { ScrubLoop(); });
+  }
 }
 
 DiffService::~DiffService() { Shutdown(); }
 
-void DiffService::Shutdown() { pool_.Shutdown(); }
+void DiffService::Shutdown() {
+  {
+    MutexLock lock(&scrub_mu_);
+    scrub_stop_ = true;
+  }
+  scrub_cv_.SignalAll();
+  if (scrubber_.joinable()) scrubber_.join();
+  pool_.Shutdown();
+}
+
+void DiffService::ScrubLoop() {
+  for (;;) {
+    {
+      MutexLock lock(&scrub_mu_);
+      if (!scrub_stop_) {
+        scrub_cv_.WaitFor(&scrub_mu_, options_.scrub_interval_seconds);
+      }
+      if (scrub_stop_) return;
+    }
+    // Scrub outside scrub_mu_ so Shutdown never waits on store I/O.
+    ScrubNow();
+  }
+}
+
+int DiffService::ScrubNow() {
+  // Snapshot the registry first: entries are never removed, so the
+  // pointers stay valid after the lock drops, and the slow per-store work
+  // does not hold the registry lock against attaches and lookups.
+  std::vector<StoreEntry*> entries;
+  {
+    ReaderMutexLock lock(&stores_mu_);
+    entries.reserve(stores_.size());
+    for (const auto& [id, entry] : stores_) entries.push_back(entry.get());
+  }
+  int scrubbed = 0;
+  for (StoreEntry* entry : entries) {
+    MutexLock lock(&entry->mu);
+    if (!entry->store->durable()) continue;
+    const StatusOr<ScrubReport> report = entry->store->Scrub();
+    scrub_runs_->Increment();
+    ++scrubbed;
+    if (report.ok() && report->corruption_found) {
+      scrub_corruption_found_->Increment();
+    }
+  }
+  return scrubbed;
+}
+
+std::vector<DiffService::StoreStatus> DiffService::StoreStatuses() {
+  std::vector<std::pair<std::string, StoreEntry*>> entries;
+  {
+    ReaderMutexLock lock(&stores_mu_);
+    entries.reserve(stores_.size());
+    for (const auto& [id, entry] : stores_) {
+      entries.emplace_back(id, entry.get());
+    }
+  }
+  std::vector<StoreStatus> statuses;
+  statuses.reserve(entries.size());
+  for (const auto& [id, entry] : entries) {
+    StoreStatus status;
+    status.doc_id = id;
+    MutexLock lock(&entry->mu);
+    status.versions = entry->store->VersionCount();
+    status.durable = entry->store->durable();
+    status.faults = entry->store->fault_counters();
+    status.health = entry->health;
+    status.consecutive_failures = entry->consecutive_failures;
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+Status DiffService::GuardedStoreOp(
+    StoreEntry* entry, const std::function<Status(VersionStore*)>& op) {
+  MutexLock lock(&entry->mu);
+  if (entry->health == StoreHealth::kQuarantined) {
+    if (Clock::now() < entry->quarantined_until) {
+      breaker_fast_fails_->Increment();
+      return Status::Unavailable(
+          "store quarantined by circuit breaker; retry after cooldown");
+    }
+    // Cooldown over: fall through and let this request probe (half-open).
+  }
+
+  const int attempts = std::max(options_.store_retry_attempts, 1);
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      store_retries_->Increment();
+      const double backoff = options_.store_retry_backoff_seconds *
+                             static_cast<double>(1 << (attempt - 1));
+      if (options_.sleep) {
+        options_.sleep(backoff);
+      } else if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+    }
+    last = op(entry->store);
+    if (last.ok()) break;
+    if (last.code() == Code::kFailedPrecondition &&
+        entry->store->durable()) {
+      // The store poisoned itself after an I/O failure. Heal it by
+      // rotation and re-run the operation on the fresh log; no
+      // acknowledged commit is lost (the in-memory state is the
+      // acknowledged state). A failed repair falls through to the
+      // transient/permanent classification below.
+      store_repairs_->Increment();
+      const Status repaired = entry->store->Repair();
+      if (repaired.ok()) continue;
+      last = repaired;
+    }
+    if (!IsTransientError(last)) break;
+  }
+
+  if (last.ok()) {
+    entry->consecutive_failures = 0;
+    entry->health = StoreHealth::kHealthy;
+  } else if (CountsTowardBreaker(last)) {
+    ++entry->consecutive_failures;
+    if (entry->consecutive_failures >=
+        std::max(options_.breaker_failure_threshold, 1)) {
+      entry->health = StoreHealth::kQuarantined;
+      entry->quarantined_until =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 options_.breaker_cooldown_seconds));
+      breaker_trips_->Increment();
+    } else {
+      entry->health = StoreHealth::kDegraded;
+    }
+  }
+  return last;
+}
 
 std::future<DiffResponse> DiffService::Submit(DiffRequest request) {
   requests_->Increment();
@@ -245,20 +419,23 @@ StatusOr<std::shared_ptr<const CachedTree>> DiffService::ResolveVersion(
   }
   *cache_hit = false;
   cache_misses_->Increment();
-  // Materialize under the store lock (VersionStore is single-threaded);
-  // freezing + indexing happen inside Insert, off the lock.
-  StatusOr<Tree> tree = [&]() -> StatusOr<Tree> {
-    MutexLock lock(&entry->mu);
-    if (version < 0 || version >= entry->store->VersionCount()) {
+  // Materialize through the resilience wrapper (retry / repair / breaker);
+  // freezing + indexing happen inside Insert, off the store lock.
+  std::optional<Tree> tree;
+  const Status status = GuardedStoreOp(entry, [&](VersionStore* store) {
+    if (version < 0 || version >= store->VersionCount()) {
       return Status::OutOfRange(
           "version " + std::to_string(version) + " out of range [0, " +
-          std::to_string(entry->store->VersionCount() - 1) + "] for \"" +
-          doc_id + "\"");
+          std::to_string(store->VersionCount() - 1) + "] for \"" + doc_id +
+          "\"");
     }
-    return entry->store->Materialize(version);
-  }();
-  if (!tree.ok()) return tree.status();
-  return cache_.Insert(key, std::move(tree).value());
+    StatusOr<Tree> materialized = store->Materialize(version);
+    if (!materialized.ok()) return materialized.status();
+    tree = std::move(materialized).value();
+    return Status::Ok();
+  });
+  if (!status.ok()) return status;
+  return cache_.Insert(key, std::move(*tree));
 }
 
 Status DiffService::AttachStore(const std::string& doc_id,
@@ -304,15 +481,22 @@ StatusOr<int> DiffService::CommitVersion(const std::string& doc_id,
     return Status::NotFound("no store attached under doc_id \"" + doc_id +
                             "\"");
   }
-  MutexLock lock(&entry->mu);
-  // Commits must use the store's label table, which for attached stores is
-  // not the service's inline table.
-  StatusOr<Tree> tree =
-      format == DiffRequest::Format::kSexpr
-          ? ParseSexpr(doc, entry->store->label_table())
-          : ParseXml(doc, entry->store->label_table());
-  if (!tree.ok()) return tree.status();
-  return entry->store->Commit(*tree);
+  int version = -1;
+  const Status status = GuardedStoreOp(entry, [&](VersionStore* store) {
+    // Commits must use the store's label table, which for attached stores
+    // is not the service's inline table. Re-parsing on a retry is safe:
+    // interning is idempotent.
+    StatusOr<Tree> tree = format == DiffRequest::Format::kSexpr
+                              ? ParseSexpr(doc, store->label_table())
+                              : ParseXml(doc, store->label_table());
+    if (!tree.ok()) return tree.status();
+    StatusOr<int> committed = store->Commit(*tree);
+    if (!committed.ok()) return committed.status();
+    version = *committed;
+    return Status::Ok();
+  });
+  if (!status.ok()) return status;
+  return version;
 }
 
 }  // namespace treediff

@@ -2,10 +2,13 @@
 #define TREEDIFF_SERVICE_DIFF_SERVICE_H_
 
 #include <chrono>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/diff.h"
 #include "service/tree_cache.h"
@@ -73,6 +76,16 @@ struct DiffResponse {
   double total_seconds = 0.0;    // Submit -> response.
 };
 
+/// Circuit-breaker health of one attached store, from the service's view.
+/// A healthy store serves normally; a degraded store has had recent
+/// server-side failures but still takes traffic; a quarantined store
+/// fast-fails every request until its cooldown expires, after which one
+/// request is let through as a probe (half-open) and its outcome decides
+/// between recovery and another quarantine round.
+enum class StoreHealth { kHealthy, kDegraded, kQuarantined };
+
+const char* StoreHealthName(StoreHealth health);
+
 /// Tuning of a DiffService instance.
 struct DiffServiceOptions {
   int num_threads = 4;
@@ -93,6 +106,27 @@ struct DiffServiceOptions {
   double default_deadline_seconds = 0.0;
   size_t default_node_cap = 0;
 
+  /// Store resilience. Transient store errors (kUnavailable) are retried up
+  /// to `store_retry_attempts` total tries with doubling backoff starting
+  /// at `store_retry_backoff_seconds`; a poisoned durable store is repaired
+  /// (VersionStore::Repair) and the operation re-run. After
+  /// `breaker_failure_threshold` consecutive server-side failures a store's
+  /// circuit breaker opens: its requests fast-fail with kUnavailable for
+  /// `breaker_cooldown_seconds` instead of piling onto a sick store.
+  int store_retry_attempts = 3;
+  double store_retry_backoff_seconds = 0.001;
+  int breaker_failure_threshold = 3;
+  double breaker_cooldown_seconds = 5.0;
+
+  /// Period of the background scrubber, which re-verifies the log
+  /// checksums of every attached durable store (VersionStore::Scrub);
+  /// 0 disables the thread. ScrubNow() works either way.
+  double scrub_interval_seconds = 0.0;
+
+  /// Replaces the real store-retry backoff sleep (tests pass a no-op);
+  /// null means a real clock wait. The scrubber cadence is not affected.
+  std::function<void(double seconds)> sleep;
+
   /// Base pipeline options (thresholds, matcher choice, cost model, ...).
   /// `budget`, `index1`, and `index2` are overwritten per request. A custom
   /// `comparator` must be thread-safe — the default (null: one
@@ -109,6 +143,14 @@ struct DiffServiceOptions {
 /// nearly-full queue admits requests onto a lower rung of the degradation
 /// ladder so they cost less. Counters and latency histograms for every
 /// stage live in the service's MetricsRegistry.
+///
+/// Attached stores are served through a resilience wrapper: transient
+/// store errors are retried with backoff, a poisoned durable store is
+/// repaired in place (VersionStore::Repair) and the request re-run, and a
+/// per-store circuit breaker (StoreHealth) quarantines a store that keeps
+/// failing so requests fail fast instead of piling onto it. An optional
+/// background scrubber re-verifies every durable store's log checksums on
+/// a timer (DiffServiceOptions::scrub_interval_seconds).
 ///
 /// Thread-safety: Submit and the store/metrics accessors may be called
 /// from any thread. Shutdown (or destruction) drains in-flight requests.
@@ -145,6 +187,25 @@ class DiffService {
       DiffRequest::Format format = DiffRequest::Format::kSexpr)
       EXCLUDES(stores_mu_);
 
+  /// One attached store's service-side status, for the STATUS endpoint,
+  /// operators, and tests.
+  struct StoreStatus {
+    std::string doc_id;
+    int versions = 0;
+    bool durable = false;
+    StoreHealth health = StoreHealth::kHealthy;
+    int consecutive_failures = 0;
+    VersionStore::FaultCounters faults;
+  };
+
+  /// Status of every attached store, ordered by doc_id.
+  std::vector<StoreStatus> StoreStatuses() EXCLUDES(stores_mu_);
+
+  /// Runs one scrub pass over every attached durable store — the same pass
+  /// the background scrubber runs every scrub_interval_seconds. Returns
+  /// the number of stores scrubbed.
+  int ScrubNow() EXCLUDES(stores_mu_);
+
   /// The label table shared by every inline document this service parses.
   /// Pre-interning the expected label vocabulary here pins label ids, which
   /// makes concurrent runs byte-identical to sequential ones (ids otherwise
@@ -169,6 +230,15 @@ class DiffService {
     /// is published under stores_mu_, so only dereferences need `mu`.
     VersionStore* store PT_GUARDED_BY(mu) = nullptr;
     std::unique_ptr<VersionStore> owned;  // CreateStore-owned stores.
+
+    /// Circuit-breaker state (see StoreHealth). Only server-side failures
+    /// count toward the threshold — a client asking for a version that
+    /// does not exist (kNotFound/kOutOfRange), failing to parse, or
+    /// requesting a version permanently lost to a salvage hole (kDataLoss)
+    /// says nothing about the store's ability to serve.
+    StoreHealth health GUARDED_BY(mu) = StoreHealth::kHealthy;
+    int consecutive_failures GUARDED_BY(mu) = 0;
+    Clock::time_point quarantined_until GUARDED_BY(mu){};
   };
 
   /// Runs one admitted request on a worker thread.
@@ -187,6 +257,16 @@ class DiffService {
   /// shared: lookups on the request path don't serialize behind each other.
   StoreEntry* FindStore(const std::string& doc_id) EXCLUDES(stores_mu_);
 
+  /// Runs `op` against the entry's store under its lock, wrapped in the
+  /// service's resilience policy: breaker fast-fail while quarantined,
+  /// transient-error retry with doubling backoff, automatic Repair of a
+  /// poisoned durable store, and breaker bookkeeping on the final outcome.
+  Status GuardedStoreOp(StoreEntry* entry,
+                        const std::function<Status(VersionStore*)>& op);
+
+  /// Body of the background scrubber thread.
+  void ScrubLoop() EXCLUDES(scrub_mu_);
+
   StatusOr<Tree> ParseDoc(const std::string& text, DiffRequest::Format format);
 
   DiffServiceOptions options_;
@@ -201,6 +281,13 @@ class DiffService {
   std::map<std::string, std::unique_ptr<StoreEntry>> stores_
       GUARDED_BY(stores_mu_);
 
+  /// Background scrubber (running only when scrub_interval_seconds > 0;
+  /// Shutdown stops and joins it before the worker pool).
+  Mutex scrub_mu_;
+  CondVar scrub_cv_;
+  bool scrub_stop_ GUARDED_BY(scrub_mu_) = false;
+  std::thread scrubber_;
+
   // Hot-path metric handles (registered once; recording is pure atomics).
   Counter* requests_ = nullptr;
   Counter* responses_ok_ = nullptr;
@@ -211,6 +298,12 @@ class DiffService {
   Counter* cache_hits_ = nullptr;
   Counter* cache_misses_ = nullptr;
   Counter* rung_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
+  Counter* store_retries_ = nullptr;
+  Counter* breaker_trips_ = nullptr;
+  Counter* breaker_fast_fails_ = nullptr;
+  Counter* store_repairs_ = nullptr;
+  Counter* scrub_runs_ = nullptr;
+  Counter* scrub_corruption_found_ = nullptr;
   Histogram* queue_wait_h_ = nullptr;
   Histogram* resolve_h_ = nullptr;
   Histogram* match_h_ = nullptr;

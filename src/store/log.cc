@@ -1,5 +1,6 @@
 #include "store/log.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "store/codec.h"
@@ -26,15 +27,58 @@ Status LogWriter::AppendRecord(LogRecordType type, std::string_view payload) {
   return Status::Ok();
 }
 
-StatusOr<LogScanResult> ScanLog(RandomAccessFile* file) {
+namespace {
+
+// True if the bytes at data[pos..] form a complete, checksum-valid record.
+// Used both for the normal forward scan and as the resync predicate when
+// salvaging past corruption.
+bool ValidRecordAt(const std::string& data, uint64_t pos) {
+  if (pos + kLogRecordHeaderSize > data.size()) return false;
+  uint32_t len = DecodeFixed32(data.data() + pos);
+  uint32_t stored_crc = DecodeFixed32(data.data() + pos + 4);
+  uint8_t type = static_cast<uint8_t>(data[pos + 8]);
+  if (len > kLogMaxRecordSize) return false;
+  if (type < static_cast<uint8_t>(LogRecordType::kSnapshot) ||
+      type > static_cast<uint8_t>(LogRecordType::kRollback)) {
+    return false;
+  }
+  if (pos + kLogRecordHeaderSize + len > data.size()) return false;
+  uint32_t crc = Crc32cExtend(0, &type, 1);
+  crc = Crc32cExtend(crc, data.data() + pos + kLogRecordHeaderSize, len);
+  return Crc32cMask(crc) == stored_crc;
+}
+
+}  // namespace
+
+std::string EncodeLogRecord(LogRecordType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kLogRecordHeaderSize + payload.size());
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  uint32_t crc = Crc32cExtend(0, &type, 1);
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  PutFixed32(&out, Crc32cMask(crc));
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+  return out;
+}
+
+StatusOr<LogScanResult> ScanLog(RandomAccessFile* file,
+                                const LogScanOptions& options) {
   StatusOr<uint64_t> size = file->Size();
   if (!size.ok()) return size.status();
 
   LogScanResult result;
   result.file_size = *size;
 
+  const size_t magic_want =
+      static_cast<size_t>(std::min<uint64_t>(*size, kLogMagicSize));
   StatusOr<std::string> magic = file->Read(0, kLogMagicSize);
   if (!magic.ok()) return magic.status();
+  if (magic->size() < magic_want) {
+    // Size() promised more bytes than Read delivered: a transient short
+    // read, not a short file. Truncating on it would destroy good data.
+    return Status::Unavailable("short read of log magic; retry the scan");
+  }
   if (magic->size() < kLogMagicSize ||
       std::memcmp(magic->data(), kLogMagic, kLogMagicSize) != 0) {
     return Status::ParseError("not a treediff commit log (bad magic)");
@@ -45,38 +89,68 @@ StatusOr<LogScanResult> ScanLog(RandomAccessFile* file) {
   StatusOr<std::string> data =
       file->Read(kLogMagicSize, static_cast<size_t>(*size - kLogMagicSize));
   if (!data.ok()) return data.status();
+  if (data->size() < static_cast<size_t>(*size - kLogMagicSize)) {
+    return Status::Unavailable("short read of log body; retry the scan");
+  }
 
   uint64_t pos = 0;
+  bool resynced_next = false;
+  bool stopped_early = false;
   result.durable_prefix = kLogMagicSize;
   while (pos + kLogRecordHeaderSize <= data->size()) {
+    if (!ValidRecordAt(*data, pos)) {
+      // Classify the way the conservative policy reports it: a partial
+      // record or implausible length reads as a torn tail; a complete
+      // record whose checksum does not match is a corruption event.
+      uint32_t len = DecodeFixed32(data->data() + pos);
+      const bool is_torn = len > kLogMaxRecordSize ||
+                           pos + kLogRecordHeaderSize + len > data->size();
+      if (!options.salvage) {
+        if (is_torn) {
+          result.torn_tail = true;
+        } else {
+          result.checksum_failures = 1;
+        }
+        stopped_early = true;
+        break;
+      }
+      // Salvage: slide forward one byte at a time until something checks
+      // out as a whole record again. Linear in the damaged span, and each
+      // candidate is fully CRC-verified before being trusted.
+      uint64_t next = pos + 1;
+      while (next + kLogRecordHeaderSize <= data->size() &&
+             !ValidRecordAt(*data, next)) {
+        ++next;
+      }
+      if (next + kLogRecordHeaderSize > data->size()) {
+        // Damage runs to end of file: tail damage after all, disposed of
+        // by truncation rather than a salvage gap.
+        if (is_torn) {
+          result.torn_tail = true;
+        } else {
+          ++result.checksum_failures;
+        }
+        stopped_early = true;
+        break;
+      }
+      ++result.checksum_failures;
+      result.skipped.push_back({kLogMagicSize + pos, kLogMagicSize + next});
+      pos = next;
+      resynced_next = true;
+      continue;
+    }
     uint32_t len = DecodeFixed32(data->data() + pos);
-    uint32_t stored_crc = DecodeFixed32(data->data() + pos + 4);
-    uint8_t type = static_cast<uint8_t>((*data)[pos + 8]);
-    if (len > kLogMaxRecordSize) {
-      // A corrupt length field is indistinguishable from a torn tail.
-      result.torn_tail = true;
-      break;
-    }
-    if (pos + kLogRecordHeaderSize + len > data->size()) {
-      result.torn_tail = true;
-      break;
-    }
-    const char* body = data->data() + pos + kLogRecordHeaderSize;
-    uint32_t crc = Crc32cExtend(0, &type, 1);
-    crc = Crc32cExtend(crc, body, len);
-    if (Crc32cMask(crc) != stored_crc) {
-      result.checksum_failures = 1;
-      break;
-    }
     LogScanRecord record;
-    record.type = static_cast<LogRecordType>(type);
-    record.payload.assign(body, len);
+    record.type = static_cast<LogRecordType>((*data)[pos + 8]);
+    record.payload.assign(data->data() + pos + kLogRecordHeaderSize, len);
     record.offset = kLogMagicSize + pos;
+    record.resynced = resynced_next;
+    resynced_next = false;
     result.records.push_back(std::move(record));
     pos += kLogRecordHeaderSize + len;
     result.durable_prefix = kLogMagicSize + pos;
   }
-  if (result.checksum_failures == 0 && !result.torn_tail &&
+  if (!stopped_early && !result.torn_tail &&
       result.durable_prefix < result.file_size) {
     // A few trailing header bytes that never formed a full header.
     result.torn_tail = true;

@@ -71,36 +71,76 @@ class LogWriter {
   uint64_t offset_;
 };
 
+/// Formats one record (header + payload) in the exact wire format
+/// LogWriter::AppendRecord writes. Log rotation uses it to build a full
+/// replacement log image in memory before publishing it atomically.
+std::string EncodeLogRecord(LogRecordType type, std::string_view payload);
+
 /// One record surfaced by ScanLog.
 struct LogScanRecord {
   LogRecordType type;
   std::string payload;
   uint64_t offset = 0;  // File offset of the record header.
+
+  /// True if this record was reached by resynchronizing past corrupt bytes
+  /// (salvage mode only): the records before the gap and this one are both
+  /// valid, but an unknown number of records between them are gone.
+  bool resynced = false;
 };
 
-/// Result of scanning a log: the valid prefix and how the scan ended.
+/// A damaged byte range the salvage scan skipped: [begin, end) in file
+/// offsets. The bytes are unparseable; whatever records they held are lost.
+struct SkippedRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// How ScanLog treats the first invalid record.
+struct LogScanOptions {
+  /// Default: stop at the first invalid record and report everything after
+  /// it as garbage (the conservative crash-recovery posture — a torn tail
+  /// is by far the common case and truncation is always safe for it).
+  ///
+  /// Salvage: skip forward byte by byte until the next verifiable record
+  /// header (plausible type and length, checksum over the full payload
+  /// matches) and resume there, recording the skipped range. A mid-log bit
+  /// flip then costs the records inside the damaged range instead of every
+  /// record after it. A 32-bit CRC plus type/length plausibility makes a
+  /// false resync on garbage bytes a ~2^-32 event per candidate offset.
+  bool salvage = false;
+};
+
+/// Result of scanning a log: the valid records and how the scan ended.
 struct LogScanResult {
   std::vector<LogScanRecord> records;
 
   /// End offset of the last valid record; everything at and beyond this
-  /// offset is garbage to be truncated.
+  /// offset is garbage to be truncated. (Salvage gaps *before* this offset
+  /// are listed in `skipped`, not covered by truncation.)
   uint64_t durable_prefix = 0;
 
   uint64_t file_size = 0;
 
-  /// 1 if the scan stopped on a checksum mismatch (the policy stops at the
-  /// first, so this is 0 or 1).
+  /// Invalid-record events. Without salvage the scan stops at the first,
+  /// so this is 0 or 1; with salvage each skipped range counts one.
   size_t checksum_failures = 0;
 
-  /// True if the scan stopped on a partial record (torn write) or an
-  /// implausible length field.
+  /// True if the scan ended on a partial record (torn write) or an
+  /// implausible length field with no valid record after it.
   bool torn_tail = false;
+
+  /// Damaged ranges the salvage scan stepped over (empty without salvage).
+  std::vector<SkippedRange> skipped;
 };
 
 /// Scans `file` from the start: validates the magic, then accepts records
-/// until the first invalid one. Corrupt or torn data is reported, not an
-/// error — only unreadable files and a bad magic fail.
-StatusOr<LogScanResult> ScanLog(RandomAccessFile* file);
+/// until the first invalid one (or past it, with `options.salvage`).
+/// Corrupt or torn data is reported, not an error — only unreadable files
+/// and a bad magic fail. A read that returns fewer bytes than Size()
+/// promised fails with kUnavailable so the caller retries instead of
+/// mistaking the missing suffix for a torn tail.
+StatusOr<LogScanResult> ScanLog(RandomAccessFile* file,
+                                const LogScanOptions& options = {});
 
 }  // namespace treediff
 

@@ -1,7 +1,10 @@
 #include "store/version_store.h"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "core/script_io.h"
@@ -59,12 +62,35 @@ std::string RecoveryReport::ToString() const {
     out += "; truncated " + std::to_string(bytes_truncated) + " byte(s) (" +
            (checksum_failures > 0 ? "checksum failure" : "torn tail") + ")";
   }
+  if (!salvage_ranges.empty()) {
+    out += "; salvaged past " + std::to_string(salvage_ranges.size()) +
+           " damaged range(s) [";
+    for (size_t i = 0; i < salvage_ranges.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(salvage_ranges[i].begin) + "-" +
+             std::to_string(salvage_ranges[i].end);
+    }
+    out += ")";
+  }
+  if (records_skipped > 0) {
+    out += "; skipped " + std::to_string(records_skipped) + " record(s)";
+  }
+  if (versions_lost > 0) {
+    out += "; lost " + std::to_string(versions_lost) + " version(s)";
+  }
+  if (rotated) {
+    out += "; log rewritten (original quarantined)";
+  }
   return out;
 }
 
 VersionStore::VersionStore(Tree base, DiffOptions options)
     : base_(base.Clone()), options_(options), head_(std::move(base)) {
-  full_sizes_.push_back(base_.ToDebugString().size());
+  Segment seg;
+  seg.first = 0;
+  seg.anchor = base_.Clone();
+  seg.anchor_full_size = base_.ToDebugString().size();
+  segments_.push_back(std::move(seg));
 }
 
 // Moves transfer everything but the mutex. The analysis is disabled here
@@ -74,44 +100,87 @@ VersionStore::VersionStore(VersionStore&& other)
     : base_(std::move(other.base_)),
       options_(other.options_),
       head_(std::move(other.head_)),
-      scripts_(std::move(other.scripts_)),
-      infos_(std::move(other.infos_)),
-      full_sizes_(std::move(other.full_sizes_)),
+      segments_(std::move(other.segments_)),
+      durable_(other.durable_),
       writer_(std::move(other.writer_)),
       env_(other.env_),
       path_(std::move(other.path_)),
-      store_options_(other.store_options_),
+      store_options_(std::move(other.store_options_)),
       io_status_(std::move(other.io_status_)),
-      commits_since_checkpoint_(other.commits_since_checkpoint_) {}
+      commits_since_checkpoint_(other.commits_since_checkpoint_),
+      faults_(other.faults_) {}
 
 VersionStore& VersionStore::operator=(VersionStore&& other) {
   if (this == &other) return *this;
   base_ = std::move(other.base_);
   options_ = other.options_;
   head_ = std::move(other.head_);
-  scripts_ = std::move(other.scripts_);
-  infos_ = std::move(other.infos_);
-  full_sizes_ = std::move(other.full_sizes_);
+  segments_ = std::move(other.segments_);
+  durable_ = other.durable_;
   writer_ = std::move(other.writer_);
   env_ = other.env_;
   path_ = std::move(other.path_);
-  store_options_ = other.store_options_;
+  store_options_ = std::move(other.store_options_);
   io_status_ = std::move(other.io_status_);
   commits_since_checkpoint_ = other.commits_since_checkpoint_;
+  faults_ = other.faults_;
   return *this;
+}
+
+void VersionStore::BumpCounter(const char* name, uint64_t n) {
+  if (store_options_.metrics) {
+    store_options_.metrics->counter(name)->Increment(n);
+  }
+}
+
+Status VersionStore::AppendOnce(LogRecordType type, std::string_view payload) {
+  TREEDIFF_RETURN_IF_ERROR(writer_->AppendRecord(type, payload));
+  return writer_->Sync();
 }
 
 Status VersionStore::AppendDurable(LogRecordType type,
                                    std::string_view payload) {
-  Status st = writer_->AppendRecord(type, payload);
-  if (st.ok()) st = writer_->Sync();
-  if (!st.ok()) {
-    // The log tail is now in an unknown state; poison the store so no
-    // further mutation can commit on top of it. Reads stay available and
-    // Open() recovers the durable prefix.
-    io_status_ = st;
+  // Transient faults are retried under the store's budget, but never by
+  // naively re-running append+sync on the same file: the failed attempt may
+  // have left a torn record, and a sync that reported failure may have
+  // dropped its dirty pages — re-issuing it and trusting the second OK is
+  // the fsyncgate mistake. Instead each retry first *rotates*: the full
+  // in-memory state (which the failed record is not yet part of) is written
+  // to a fresh log and atomically swapped in, so the retry appends to a
+  // tail whose every byte is known good.
+  Retryer backoff(store_options_.retry, store_options_.sleep);
+  const int max_attempts = std::max(store_options_.retry.max_attempts, 1);
+  bool need_rotation = false;
+  Status last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (need_rotation) {
+      last = RotateLocked();
+      if (last.ok()) {
+        need_rotation = false;
+        last = AppendOnce(type, payload);
+      }
+    } else {
+      last = AppendOnce(type, payload);
+    }
+    if (last.ok()) return last;
+    if (!IsTransientError(last)) break;
+    need_rotation = true;
+    if (attempt < max_attempts) {
+      ++faults_.transient_retries;
+      BumpCounter("store_retries_total", 1);
+      const double seconds = backoff.BackoffSeconds(attempt);
+      if (store_options_.sleep) {
+        store_options_.sleep(seconds);
+      } else if (seconds > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+      }
+    }
   }
-  return st;
+  // The log tail is now in an unknown state; poison the store so no
+  // further mutation can commit on top of it. Reads stay available, and
+  // Repair() or reopening restores service.
+  io_status_ = last;
+  return last;
 }
 
 void VersionStore::MaybeCheckpoint() {
@@ -142,7 +211,7 @@ StatusOr<int> VersionStore::Commit(const Tree& new_version) {
   if (!diff.ok()) return diff.status();
 
   // Apply the delta to the head; the head's id space (not the snapshot's)
-  // is what subsequent scripts address, so replay from the base stays
+  // is what subsequent scripts address, so replay from the anchor stays
   // deterministic.
   Tree next = head_.Clone();
   TREEDIFF_RETURN_IF_ERROR(diff->script.ApplyTo(&next));
@@ -168,11 +237,29 @@ StatusOr<int> VersionStore::Commit(const Tree& new_version) {
   }
 
   head_ = std::move(next);
-  scripts_.push_back(std::move(diff->script));
-  infos_.push_back(info);
-  full_sizes_.push_back(full_size);
+  Segment& last = segments_.back();
+  last.scripts.push_back(std::move(diff->script));
+  last.infos.push_back(info);
+  last.full_sizes.push_back(full_size);
   if (durable()) MaybeCheckpoint();
   return VersionCountLocked() - 1;
+}
+
+const VersionStore::Segment* VersionStore::FindSegment(int v) const {
+  if (v < 0 || v >= VersionCountLocked()) return nullptr;
+  // Few segments (one unless salvage re-anchored); scan from the back.
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    if (it->first <= v) {
+      return v <= it->first + static_cast<int>(it->scripts.size()) ? &*it
+                                                                   : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+bool VersionStore::VersionAvailable(int v) const {
+  MutexLock lock(&mu_);
+  return FindSegment(v) != nullptr;
 }
 
 StatusOr<Tree> VersionStore::Materialize(int v) const {
@@ -184,9 +271,15 @@ StatusOr<Tree> VersionStore::MaterializeLocked(int v) const {
   if (v < 0 || v >= VersionCountLocked()) {
     return Status::OutOfRange("no such version: " + std::to_string(v));
   }
-  Tree tree = base_.Clone();
-  for (int i = 0; i < v; ++i) {
-    TREEDIFF_RETURN_IF_ERROR(scripts_[static_cast<size_t>(i)].ApplyTo(&tree));
+  const Segment* seg = FindSegment(v);
+  if (!seg) {
+    return Status::DataLoss("version " + std::to_string(v) +
+                            " was lost to log corruption (salvage hole)");
+  }
+  Tree tree = seg->anchor.Clone();
+  for (int i = 0; i < v - seg->first; ++i) {
+    TREEDIFF_RETURN_IF_ERROR(
+        seg->scripts[static_cast<size_t>(i)].ApplyTo(&tree));
   }
   return tree;
 }
@@ -197,7 +290,14 @@ StatusOr<int> VersionStore::RollbackHead() {
     return Status::FailedPrecondition(
         "store is poisoned by an earlier I/O error: " + io_status_.message());
   }
-  if (scripts_.empty()) {
+  Segment& last = segments_.back();
+  if (last.scripts.empty()) {
+    if (segments_.size() > 1) {
+      // The head is a salvage anchor: the delta beneath it was lost with
+      // the damaged range, so there is nothing to invert.
+      return Status::FailedPrecondition(
+          "cannot roll back across a salvage hole");
+    }
     return Status::FailedPrecondition("cannot roll back the base version");
   }
   // The inverse must be computed against the pre-state of the last delta,
@@ -205,7 +305,7 @@ StatusOr<int> VersionStore::RollbackHead() {
   // the exact node ids the head evolved from.
   StatusOr<Tree> prev = MaterializeLocked(VersionCountLocked() - 2);
   if (!prev.ok()) return prev.status();
-  StatusOr<EditScript> inverse = InvertScript(scripts_.back(), *prev);
+  StatusOr<EditScript> inverse = InvertScript(last.scripts.back(), *prev);
   if (!inverse.ok()) return inverse.status();
   // Verify on a scratch copy so the member state stays untouched until the
   // rollback is durable.
@@ -222,30 +322,179 @@ StatusOr<int> VersionStore::RollbackHead() {
   // Adopt the replayed tree (not the undone head): the id space must match
   // what future commits' scripts will see when materialized from the base.
   head_ = std::move(*prev);
-  scripts_.pop_back();
-  infos_.pop_back();
-  full_sizes_.pop_back();
+  last.scripts.pop_back();
+  last.infos.pop_back();
+  last.full_sizes.pop_back();
   return VersionCountLocked() - 1;
 }
 
 const EditScript* VersionStore::DeltaFor(int v) const {
   MutexLock lock(&mu_);
-  if (v < 1 || v >= VersionCountLocked()) return nullptr;
-  return &scripts_[static_cast<size_t>(v - 1)];
+  const Segment* seg = FindSegment(v);
+  if (!seg || v <= seg->first) return nullptr;  // Anchor or base: no delta.
+  return &seg->scripts[static_cast<size_t>(v - seg->first - 1)];
+}
+
+VersionStore::VersionInfo VersionStore::Info(int v) const {
+  MutexLock lock(&mu_);
+  const Segment* seg = FindSegment(v);
+  if (!seg || v <= seg->first) return {};
+  return seg->infos[static_cast<size_t>(v - seg->first - 1)];
 }
 
 VersionStore::StorageStats VersionStore::Storage() const {
   MutexLock lock(&mu_);
   StorageStats stats;
   const LabelTable& labels = base_.labels();
-  for (const EditScript& script : scripts_) {
-    stats.delta_bytes += FormatEditScript(script, labels).size();
-  }
-  // The base is stored in full either way; count the subsequent versions.
-  for (size_t i = 1; i < full_sizes_.size(); ++i) {
-    stats.full_copy_bytes += full_sizes_[i];
+  for (const Segment& seg : segments_) {
+    for (const EditScript& script : seg.scripts) {
+      stats.delta_bytes += FormatEditScript(script, labels).size();
+    }
+    // The base is stored in full either way; count every other version,
+    // including salvage anchors (which really are stored in full).
+    if (seg.first != 0) stats.full_copy_bytes += seg.anchor_full_size;
+    for (size_t size : seg.full_sizes) stats.full_copy_bytes += size;
   }
   return stats;
+}
+
+std::string VersionStore::EncodeStateLocked() const {
+  std::string out(kLogMagic, kLogMagicSize);
+  out += EncodeLogRecord(LogRecordType::kSnapshot, EncodeTree(base_));
+  const LabelTable& labels = base_.labels();
+  for (const Segment& seg : segments_) {
+    if (seg.first != 0) {
+      // Re-anchoring checkpoint: recovery reads the version jump and
+      // resumes the chain here (the versions before it that fall in a gap
+      // stay lost, by design).
+      std::string payload;
+      PutVarint64(&payload, static_cast<uint64_t>(seg.first));
+      payload.append(EncodeTree(seg.anchor));
+      out += EncodeLogRecord(LogRecordType::kCheckpoint, payload);
+    }
+    for (size_t i = 0; i < seg.scripts.size(); ++i) {
+      out += EncodeLogRecord(
+          LogRecordType::kDelta,
+          EncodeDeltaPayload(seg.infos[i], seg.full_sizes[i],
+                             FormatEditScript(seg.scripts[i], labels)));
+    }
+  }
+  return out;
+}
+
+Status VersionStore::RotateLocked() {
+  // 1. Build the replacement under a tmp name and make it durable.
+  const std::string tmp = path_ + ".tmp";
+  const std::string bytes = EncodeStateLocked();
+  auto file = env_->NewWritableFile(tmp, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  TREEDIFF_RETURN_IF_ERROR((*file)->Append(bytes));
+  TREEDIFF_RETURN_IF_ERROR((*file)->Sync());
+  TREEDIFF_RETURN_IF_ERROR((*file)->Close());
+
+  // 2. Quarantine the current log by *copying* it to path.N — never by
+  // renaming it away, which would leave a moment with no store at `path`.
+  // Best-effort: keeping the forensic copy is worth less than restoring
+  // service, so a copy failure does not abort the rotation.
+  if (env_->FileExists(path_)) {
+    std::string quarantine;
+    for (int n = 1;; ++n) {
+      quarantine = path_ + "." + std::to_string(n);
+      if (!env_->FileExists(quarantine)) break;
+    }
+    auto old_file = env_->NewRandomAccessFile(path_);
+    if (old_file.ok()) {
+      auto size = (*old_file)->Size();
+      StatusOr<std::string> old_bytes =
+          size.ok() ? (*old_file)->Read(0, static_cast<size_t>(*size))
+                    : StatusOr<std::string>(size.status());
+      if (old_bytes.ok()) {
+        auto qfile = env_->NewWritableFile(quarantine, /*truncate=*/true);
+        if (qfile.ok()) {
+          (*qfile)->Append(*old_bytes).IgnoreError();
+          (*qfile)->Sync().IgnoreError();
+          (*qfile)->Close().IgnoreError();
+        }
+      }
+    }
+  }
+
+  // 3. Atomic swap: `path` is at every instant either the old log (still
+  // recoverable, possibly via salvage) or the complete new one.
+  if (writer_) writer_->Close().IgnoreError();
+  writer_.reset();
+  TREEDIFF_RETURN_IF_ERROR(env_->RenameFile(tmp, path_));
+  auto append = env_->NewWritableFile(path_, /*truncate=*/false);
+  if (!append.ok()) return append.status();
+  writer_ = std::make_unique<LogWriter>(std::move(*append), bytes.size());
+  // Replay cost of the fresh log equals the last segment's delta count.
+  commits_since_checkpoint_ =
+      static_cast<int>(segments_.back().scripts.size());
+  io_status_ = Status::Ok();  // The new log is trustworthy end to end.
+  ++faults_.rotations;
+  BumpCounter("store_rotations_total", 1);
+  return Status::Ok();
+}
+
+Status VersionStore::Repair() {
+  MutexLock lock(&mu_);
+  if (!durable()) {
+    return Status::FailedPrecondition("repair of a non-durable store");
+  }
+  return RotateLocked();
+}
+
+StatusOr<ScrubReport> VersionStore::Scrub() {
+  uint64_t cold_limit = 0;
+  {
+    MutexLock lock(&mu_);
+    if (!durable()) {
+      return Status::FailedPrecondition("scrub of a non-durable store");
+    }
+    if (!writer_) {
+      return Status::FailedPrecondition("scrub of a store without a log");
+    }
+    cold_limit = writer_->offset();
+  }
+
+  // Scan outside the lock: scrubbing must not stall commits. Bytes at or
+  // beyond `cold_limit` may legitimately be mid-append, so only damage
+  // strictly before it counts. Transient read faults are retried.
+  StatusOr<LogScanResult> scan = Status::Internal("scan never ran");
+  Retryer retryer(store_options_.retry, store_options_.sleep);
+  Status scanned = retryer.Run([&]() {
+    auto file = env_->NewRandomAccessFile(path_);
+    if (!file.ok()) {
+      scan = file.status();
+      return file.status();
+    }
+    scan = ScanLog(file->get());
+    return scan.status();
+  });
+  if (!scanned.ok()) return scanned;
+
+  ScrubReport report;
+  report.bytes_verified = std::min(scan->durable_prefix, cold_limit);
+  report.records_verified = scan->records.size();
+  report.corruption_found = scan->durable_prefix < cold_limit;
+
+  MutexLock lock(&mu_);
+  ++faults_.scrubs;
+  BumpCounter("store_scrubs_total", 1);
+  if (report.corruption_found) {
+    // Bit rot in bytes that were once verified durable. The in-memory
+    // state is still the acknowledged truth, so a rotation rewrites a
+    // fully valid log from it — detection *and* repair in one pass.
+    ++faults_.scrub_corruption;
+    BumpCounter("store_scrub_corruption_total", 1);
+    report.repaired = RotateLocked().ok();
+  }
+  return report;
+}
+
+VersionStore::FaultCounters VersionStore::fault_counters() const {
+  MutexLock lock(&mu_);
+  return faults_;
 }
 
 StatusOr<VersionStore> VersionStore::Create(const std::string& path, Tree base,
@@ -276,6 +525,7 @@ StatusOr<VersionStore> VersionStore::Create(const std::string& path, Tree base,
   VersionStore store;
   store.base_ = base.Clone();
   store.options_ = options;
+  store.durable_ = true;
   store.writer_ =
       std::make_unique<LogWriter>(std::move(*append), bootstrap.offset());
   store.env_ = env;
@@ -284,7 +534,11 @@ StatusOr<VersionStore> VersionStore::Create(const std::string& path, Tree base,
   {
     MutexLock lock(&store.mu_);  // Satisfies the analysis; no contention yet.
     store.head_ = std::move(base);
-    store.full_sizes_.push_back(store.base_.ToDebugString().size());
+    Segment seg;
+    seg.first = 0;
+    seg.anchor = store.base_.Clone();
+    seg.anchor_full_size = store.base_.ToDebugString().size();
+    store.segments_.push_back(std::move(seg));
   }
   return store;
 }
@@ -294,46 +548,107 @@ StatusOr<VersionStore> VersionStore::Open(const std::string& path,
                                           StoreOptions store_options,
                                           RecoveryReport* report) {
   Env* env = store_options.env ? store_options.env : Env::Default();
+  const bool salvage = store_options.recovery == RecoveryMode::kSalvage;
+
   auto file = env->NewRandomAccessFile(path);
-  if (!file.ok()) return file.status();
-  StatusOr<LogScanResult> scan = ScanLog(file->get());
-  if (!scan.ok()) return scan.status();
+  if (!file.ok()) return file.status();  // NotFound / InvalidArgument(dir).
+  {
+    auto size = (*file)->Size();
+    if (size.ok() && *size == 0) {
+      return Status::DataLoss("store log is empty (zero-length file): " +
+                              path);
+    }
+  }
+
+  // Scan with a retry budget: a transient short read must not be mistaken
+  // for a torn tail (ScanLog fails such reads with kUnavailable).
+  LogScanOptions scan_options;
+  scan_options.salvage = salvage;
+  StatusOr<LogScanResult> scan = Status::Internal("scan never ran");
+  Retryer retryer(store_options.retry, store_options.sleep);
+  Status scanned = retryer.Run([&]() {
+    scan = ScanLog(file->get(), scan_options);
+    return scan.status();
+  });
+  if (!scanned.ok()) {
+    if (scanned.code() == Code::kParseError) {
+      // Bad or truncated magic: the file is not (or no longer) a log.
+      return Status::DataLoss("unrecoverable store " + path + ": " +
+                              scanned.message());
+    }
+    return scanned;
+  }
 
   if (scan->records.empty() ||
-      scan->records[0].type != LogRecordType::kSnapshot) {
-    return Status::ParseError(
+      scan->records[0].type != LogRecordType::kSnapshot ||
+      scan->records[0].resynced) {
+    return Status::DataLoss(
         "unrecoverable store: the base snapshot record is missing or "
         "corrupt: " + path);
   }
   auto labels = std::make_shared<LabelTable>();
   StatusOr<Tree> base = DecodeTree(scan->records[0].payload, labels);
   if (!base.ok()) {
-    return Status::ParseError("unrecoverable store: base snapshot: " +
-                              base.status().message());
+    return Status::DataLoss("unrecoverable store: base snapshot of " + path +
+                            ": " + base.status().message());
   }
 
-  // Replay the record sequence into the logical state. A record that passes
-  // its checksum but fails payload-level validation is treated exactly like
-  // a corrupt tail: accept the prefix before it, truncate it and everything
-  // after. `accepted_end` tracks the truncation point.
-  std::vector<EditScript> scripts;
-  std::vector<VersionInfo> infos;
-  std::vector<size_t> full_sizes;
-  full_sizes.push_back(base->ToDebugString().size());
-  struct Checkpoint {
-    size_t version;
+  // Replay the record sequence into the logical state (a segment chain —
+  // one segment for a healthy log; salvage adds one per re-anchoring
+  // checkpoint). Under kTruncate a record that passes its checksum but
+  // fails payload-level validation is treated exactly like a corrupt tail:
+  // accept the prefix before it, truncate it and everything after
+  // (`accepted_end` tracks the truncation point). Under kSalvage it is
+  // skipped and the chain stays broken (`in_hole`) until the next
+  // re-anchoring checkpoint.
+  std::vector<Segment> segments(1);
+  segments[0].first = 0;
+  segments[0].anchor = base->Clone();
+  segments[0].anchor_full_size = base->ToDebugString().size();
+  struct InnerCheckpoint {
+    int version;
     std::string payload;  // Codec bytes (payload minus the version varint).
   };
-  std::optional<Checkpoint> checkpoint;
-  uint64_t accepted_end = scan->durable_prefix;
+  std::optional<InnerCheckpoint> checkpoint;  // Replay bound, last segment.
+  uint64_t accepted_end =
+      scan->records[0].offset + kLogRecordHeaderSize +
+      scan->records[0].payload.size();
   size_t accepted_records = 1;
+  size_t records_skipped = 0;
+  std::vector<SkippedRange> payload_holes;
   bool invalid_record = false;
+  bool in_hole = false;
+
+  auto head_version = [&segments]() {
+    return segments.back().first +
+           static_cast<int>(segments.back().scripts.size());
+  };
+  auto record_end = [](const LogScanRecord& r) {
+    return r.offset + kLogRecordHeaderSize + r.payload.size();
+  };
 
   for (size_t i = 1; i < scan->records.size() && !invalid_record; ++i) {
     const LogScanRecord& record = scan->records[i];
+    if (record.resynced) in_hole = true;  // A damaged range precedes it.
     std::string_view payload = record.payload;
+    bool used = true;
+    // Skips this record; under salvage with `break_chain` the versions the
+    // rest of the log describes can no longer be derived, so replay stays
+    // in the hole until a checkpoint re-anchors it.
+    auto skip = [&](bool break_chain) {
+      used = false;
+      ++records_skipped;
+      payload_holes.push_back({record.offset, record_end(record)});
+      if (break_chain) in_hole = true;
+    };
     switch (record.type) {
       case LogRecordType::kDelta: {
+        if (in_hole) {
+          // Deltas carry no version number; after a gap there is no way to
+          // know which version this one produces.
+          skip(true);
+          break;
+        }
         uint64_t nodes = 0, full_size = 0;
         double cost = 0.0;
         StatusOr<EditScript> script = Status::ParseError("bad delta header");
@@ -341,7 +656,11 @@ StatusOr<VersionStore> VersionStore::Open(const std::string& path,
           script = ParseEditScript(payload, labels.get());
         }
         if (!script.ok()) {
-          invalid_record = true;
+          if (!salvage) {
+            invalid_record = true;
+          } else {
+            skip(true);
+          }
           break;
         }
         VersionInfo info;
@@ -351,116 +670,254 @@ StatusOr<VersionStore> VersionStore::Open(const std::string& path,
         info.moves = script->num_moves();
         info.cost = cost;
         info.nodes = static_cast<size_t>(nodes);
-        scripts.push_back(std::move(*script));
-        infos.push_back(info);
-        full_sizes.push_back(static_cast<size_t>(full_size));
+        Segment& last = segments.back();
+        last.scripts.push_back(std::move(*script));
+        last.infos.push_back(info);
+        last.full_sizes.push_back(static_cast<size_t>(full_size));
         break;
       }
       case LogRecordType::kCheckpoint: {
-        uint64_t version = 0;
-        if (!GetVarint64(&payload, &version) || version != scripts.size()) {
-          invalid_record = true;
+        uint64_t version64 = 0;
+        if (!GetVarint64(&payload, &version64)) {
+          if (!salvage) {
+            invalid_record = true;
+          } else {
+            skip(true);
+          }
           break;
         }
-        checkpoint = Checkpoint{static_cast<size_t>(version),
-                                std::string(payload)};
+        const int version = static_cast<int>(version64);
+        const int head = head_version();
+        if (version == head && !in_hole) {
+          // The normal interval checkpoint: a replay bound for rebuilding
+          // the head without touching the chain.
+          checkpoint = InnerCheckpoint{version, std::string(payload)};
+          break;
+        }
+        if (version > head || (in_hole && version >= segments.back().first)) {
+          // A re-anchoring checkpoint: either a version jump written by a
+          // salvage rewrite, or the first trustworthy state after a
+          // damaged range. The checkpoint is self-describing (version +
+          // full tree), so the chain resumes here.
+          StatusOr<Tree> anchor = DecodeTree(payload, labels);
+          if (!anchor.ok()) {
+            if (!salvage) {
+              invalid_record = true;
+            } else {
+              skip(true);
+            }
+            break;
+          }
+          Segment& last = segments.back();
+          // Drop any scripts the new anchor shadows (possible only when
+          // re-anchoring inside a hole at the current head version, e.g.
+          // the gap swallowed a rollback+recommit pair): the checkpoint,
+          // being later in the log, is authoritative for its version.
+          while (!last.scripts.empty() &&
+                 last.first + static_cast<int>(last.scripts.size()) >=
+                     version) {
+            last.scripts.pop_back();
+            last.infos.pop_back();
+            last.full_sizes.pop_back();
+          }
+          if (last.first == version && last.scripts.empty() &&
+              segments.size() > 1) {
+            last.anchor = std::move(*anchor);
+            last.anchor_full_size = last.anchor.ToDebugString().size();
+          } else {
+            Segment seg;
+            seg.first = version;
+            seg.anchor = std::move(*anchor);
+            seg.anchor_full_size = seg.anchor.ToDebugString().size();
+            segments.push_back(std::move(seg));
+          }
+          checkpoint.reset();
+          in_hole = false;
+          break;
+        }
+        // A checkpoint of an older version (stale after rollbacks, or
+        // scrambled): useless but harmless — the chain is unaffected.
+        if (!salvage) {
+          invalid_record = true;
+        } else {
+          skip(false);
+        }
         break;
       }
       case LogRecordType::kRollback: {
-        uint64_t dropped = 0;
-        if (!GetVarint64(&payload, &dropped) || scripts.empty() ||
-            dropped != scripts.size()) {
-          invalid_record = true;
+        if (in_hole) {
+          skip(true);
           break;
         }
-        scripts.pop_back();
-        infos.pop_back();
-        full_sizes.pop_back();
+        uint64_t dropped = 0;
+        Segment& last = segments.back();
+        if (!GetVarint64(&payload, &dropped) || last.scripts.empty() ||
+            static_cast<int>(dropped) != head_version()) {
+          if (!salvage) {
+            invalid_record = true;
+          } else {
+            skip(true);
+          }
+          break;
+        }
+        last.scripts.pop_back();
+        last.infos.pop_back();
+        last.full_sizes.pop_back();
         // A checkpoint of a version the rollback discarded no longer
         // describes any surviving state.
-        if (checkpoint && checkpoint->version > scripts.size()) {
+        if (checkpoint && checkpoint->version > head_version()) {
           checkpoint.reset();
         }
         break;
       }
       case LogRecordType::kSnapshot:
-        invalid_record = true;  // Only the first record may be a snapshot.
+        // Only the first record may be a snapshot.
+        if (!salvage) {
+          invalid_record = true;
+        } else {
+          skip(true);
+        }
         break;
       default:
-        invalid_record = true;  // Unknown type from a future version.
+        // Unknown type from a future version.
+        if (!salvage) {
+          invalid_record = true;
+        } else {
+          skip(true);
+        }
         break;
     }
-    if (!invalid_record) {
-      accepted_end = record.offset + kLogRecordHeaderSize +
-                     record.payload.size();
-      ++accepted_records;
-    }
+    if (invalid_record) break;
+    // Salvage keeps scanning past skipped records; truncation mode only
+    // reaches here for records it accepted.
+    accepted_end = record_end(record);
+    if (used) ++accepted_records;
   }
   if (invalid_record) {
-    // Recompute the truncation point as the end of the last accepted
-    // record (the scan-level prefix extends further).
-    accepted_end = accepted_records == scan->records.size()
-                       ? scan->durable_prefix
-                       : scan->records[accepted_records].offset;
+    // accepted_end already marks the end of the last good record; the
+    // scan-level prefix extends further and is rejected wholesale.
   }
 
-  // Rebuild the head: from the newest surviving checkpoint when one
-  // exists (bounding replay cost), from the base otherwise.
+  // Rebuild the head: the last segment's anchor (or the newest surviving
+  // in-segment checkpoint, bounding replay cost) plus its deltas.
+  const Segment& tail_segment = segments.back();
   Tree head;
-  size_t replay_from = 0;
+  size_t replay_from = 0;  // Index into tail_segment.scripts.
   int checkpoint_version = -1;
   if (checkpoint) {
     StatusOr<Tree> decoded = DecodeTree(checkpoint->payload, labels);
     if (decoded.ok()) {
       head = std::move(*decoded);
-      replay_from = checkpoint->version;
-      checkpoint_version = static_cast<int>(checkpoint->version);
+      replay_from =
+          static_cast<size_t>(checkpoint->version - tail_segment.first);
+      checkpoint_version = checkpoint->version;
     }
   }
-  if (checkpoint_version < 0) head = base->Clone();
-  for (size_t i = replay_from; i < scripts.size(); ++i) {
-    Status applied = scripts[i].ApplyTo(&head);
+  if (checkpoint_version < 0) {
+    head = tail_segment.anchor.Clone();
+    if (tail_segment.first > 0) checkpoint_version = tail_segment.first;
+  }
+  for (size_t i = replay_from; i < tail_segment.scripts.size(); ++i) {
+    Status applied = tail_segment.scripts[i].ApplyTo(&head);
     if (!applied.ok()) {
-      return Status::Internal("recovery replay failed at delta " +
-                              std::to_string(i + 1) + ": " +
-                              applied.message());
+      return Status::Internal(
+          "recovery replay failed at delta " +
+          std::to_string(tail_segment.first + static_cast<int>(i) + 1) +
+          ": " + applied.message());
     }
   }
+  const size_t deltas_replayed = tail_segment.scripts.size() - replay_from;
 
-  // Physically drop the rejected tail so the next commit appends to a log
-  // whose every byte is valid.
-  if (accepted_end < scan->file_size) {
-    TREEDIFF_RETURN_IF_ERROR(env->TruncateFile(path, accepted_end));
+  size_t versions_lost = 0;
+  for (size_t k = 0; k + 1 < segments.size(); ++k) {
+    versions_lost += static_cast<size_t>(
+        segments[k + 1].first - segments[k].first -
+        static_cast<int>(segments[k].scripts.size()) - 1);
   }
-  auto append = env->NewWritableFile(path, /*truncate=*/false);
-  if (!append.ok()) return append.status();
-
-  if (report) {
-    report->bytes_total = scan->file_size;
-    report->bytes_truncated = scan->file_size - accepted_end;
-    report->records_scanned = accepted_records;
-    report->checksum_failures = scan->checksum_failures;
-    report->torn_tail = scan->torn_tail;
-    report->versions_recovered = scripts.size() + 1;
-    report->deltas_replayed = scripts.size() - replay_from;
-    report->checkpoint_version = checkpoint_version;
+  size_t versions_recovered = 0;
+  for (const Segment& seg : segments) {
+    versions_recovered += seg.scripts.size() + 1;
   }
 
   VersionStore store;
   store.base_ = std::move(*base);
   store.options_ = options;
-  store.writer_ = std::make_unique<LogWriter>(std::move(*append), accepted_end);
+  store.durable_ = true;
   store.env_ = env;
   store.path_ = path;
   store.store_options_ = store_options;
   {
     MutexLock lock(&store.mu_);  // Satisfies the analysis; no contention yet.
     store.head_ = std::move(head);
-    store.scripts_ = std::move(scripts);
-    store.infos_ = std::move(infos);
-    store.full_sizes_ = std::move(full_sizes);
-    store.commits_since_checkpoint_ =
-        static_cast<int>(store.scripts_.size() - replay_from);
+    store.segments_ = std::move(segments);
+    store.commits_since_checkpoint_ = static_cast<int>(
+        store.segments_.back().scripts.size() - replay_from);
+    store.faults_.salvage_skipped = records_skipped;
+  }
+  if (records_skipped > 0) {
+    MutexLock lock(&store.mu_);
+    store.BumpCounter("store_salvage_records_skipped_total", records_skipped);
+  }
+
+  const bool damaged_interior = !scan->skipped.empty() || records_skipped > 0;
+  bool rotated = false;
+  if (salvage && damaged_interior) {
+    // Interior damage cannot be truncated away. Rewrite the log compactly
+    // from the recovered state (re-anchoring checkpoints bridge the holes)
+    // and quarantine the damaged original — crash-safe because `path` is
+    // swapped atomically and the old log stays salvageable until then.
+    // Retried inline (not via Retryer) so the analysis sees the lock held
+    // across RotateLocked.
+    MutexLock lock(&store.mu_);
+    Retryer rotate_backoff(store_options.retry, store_options.sleep);
+    const int max_attempts = std::max(store_options.retry.max_attempts, 1);
+    Status st;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      st = store.RotateLocked();
+      if (st.ok() || !IsTransientError(st)) break;
+      if (attempt < max_attempts) {
+        const double seconds = rotate_backoff.BackoffSeconds(attempt);
+        if (store_options.sleep) {
+          store_options.sleep(seconds);
+        } else if (seconds > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+        }
+      }
+    }
+    TREEDIFF_RETURN_IF_ERROR(st);
+    rotated = true;
+  } else {
+    // Tail-only damage (or none): physically drop the rejected tail so the
+    // next commit appends to a log whose every byte is valid.
+    if (accepted_end < scan->file_size) {
+      TREEDIFF_RETURN_IF_ERROR(env->TruncateFile(path, accepted_end));
+    }
+    auto append = env->NewWritableFile(path, /*truncate=*/false);
+    if (!append.ok()) return append.status();
+    MutexLock lock(&store.mu_);
+    store.writer_ =
+        std::make_unique<LogWriter>(std::move(*append), accepted_end);
+  }
+
+  if (report) {
+    report->bytes_total = scan->file_size;
+    report->bytes_truncated = rotated ? 0 : scan->file_size - accepted_end;
+    report->records_scanned = accepted_records;
+    report->checksum_failures = scan->checksum_failures;
+    report->torn_tail = scan->torn_tail;
+    report->versions_recovered = versions_recovered;
+    report->deltas_replayed = deltas_replayed;
+    report->checkpoint_version = checkpoint_version;
+    report->records_skipped = records_skipped;
+    report->versions_lost = versions_lost;
+    report->rotated = rotated;
+    report->salvage_ranges = scan->skipped;
+    report->salvage_ranges.insert(report->salvage_ranges.end(),
+                                  payload_holes.begin(), payload_holes.end());
+    std::sort(report->salvage_ranges.begin(), report->salvage_ranges.end(),
+              [](const SkippedRange& a, const SkippedRange& b) {
+                return a.begin < b.begin;
+              });
   }
   return store;
 }

@@ -10,11 +10,29 @@
 #include "store/log.h"
 #include "tree/tree.h"
 #include "util/io.h"
+#include "util/metrics.h"
 #include "util/mutex.h"
+#include "util/retry.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace treediff {
+
+/// How VersionStore::Open treats corruption found *before* the log tail.
+enum class RecoveryMode {
+  /// Stop at the first invalid record and truncate it plus everything
+  /// after — the conservative posture, and always correct for the common
+  /// failure (a torn tail after a crash). Mid-log bit rot costs every
+  /// version after the damage.
+  kTruncate,
+
+  /// Scan past damaged ranges (store/log.h salvage), re-anchor the version
+  /// chain on the next checkpoint, and quarantine the damaged original by
+  /// rotating it aside — one flipped byte costs the versions inside the
+  /// damaged range, not the rest of the log. Versions lost to a gap fail
+  /// Materialize with kDataLoss instead of silently vanishing.
+  kSalvage,
+};
 
 /// Durability knobs for a file-backed VersionStore.
 struct StoreOptions {
@@ -25,7 +43,26 @@ struct StoreOptions {
   /// Append a checkpoint record (full snapshot of the head) every this many
   /// commits, bounding how many deltas recovery must replay to rebuild the
   /// head. 0 disables checkpoints (recovery replays from the base).
+  /// Checkpoints are also what salvage recovery re-anchors on: a log
+  /// without them can only be recovered up to its first damaged byte.
   int checkpoint_interval = 16;
+
+  /// Recovery posture for Open (see RecoveryMode).
+  RecoveryMode recovery = RecoveryMode::kTruncate;
+
+  /// Retry budget for transient I/O faults (kUnavailable) on the append,
+  /// sync, and recovery-scan paths. Permanent errors are never retried.
+  RetryPolicy retry;
+
+  /// Replaces the real backoff sleep (tests pass a no-op or recorder);
+  /// null means a real clock wait.
+  std::function<void(double seconds)> sleep;
+
+  /// Optional registry mirroring the store's fault counters as
+  /// `store_retries_total`, `store_rotations_total`, `store_scrubs_total`,
+  /// `store_scrub_corruption_total`, `store_salvage_records_skipped_total`.
+  /// Must outlive the store. Null disables the mirror.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// What VersionStore::Open found and did while recovering a commit log,
@@ -35,18 +72,38 @@ struct RecoveryReport {
   uint64_t bytes_total = 0;      // Log size before recovery.
   uint64_t bytes_truncated = 0;  // Corrupt/torn tail discarded.
   size_t records_scanned = 0;    // Valid records accepted.
-  size_t checksum_failures = 0;  // 0 or 1: scan stops at the first.
+  size_t checksum_failures = 0;  // Corruption events (0/1 when truncating;
+                                 // one per damaged range when salvaging).
   bool torn_tail = false;        // Partial record at the tail.
   size_t versions_recovered = 0;
   size_t deltas_replayed = 0;    // Scripts applied to rebuild the head.
   int checkpoint_version = -1;   // Checkpoint the head was rebuilt from.
 
-  /// True if the log was fully intact (nothing truncated or corrupt).
+  // Salvage-mode outcomes (all zero/empty under RecoveryMode::kTruncate).
+  size_t records_skipped = 0;  // Records lost inside damaged/unusable spans.
+  size_t versions_lost = 0;    // Versions no longer materializable.
+  bool rotated = false;        // Log was rewritten; original quarantined.
+  /// Damaged byte ranges of the *original* log that salvage stepped over
+  /// (offsets refer to the quarantined file once `rotated`).
+  std::vector<SkippedRange> salvage_ranges;
+
+  /// True if the log was fully intact (nothing truncated, skipped, or
+  /// corrupt).
   bool clean() const {
-    return bytes_truncated == 0 && checksum_failures == 0 && !torn_tail;
+    return bytes_truncated == 0 && checksum_failures == 0 && !torn_tail &&
+           records_skipped == 0 && versions_lost == 0 && !rotated &&
+           salvage_ranges.empty();
   }
 
   std::string ToString() const;
+};
+
+/// Post-hoc integrity check of the cold log (VersionStore::Scrub).
+struct ScrubReport {
+  uint64_t bytes_verified = 0;  // Prefix re-read and CRC-checked.
+  size_t records_verified = 0;
+  bool corruption_found = false;
+  bool repaired = false;  // A rotation rewrote the log from memory.
 };
 
 /// A delta-compressed version store for hierarchical data — the version and
@@ -69,9 +126,26 @@ struct RecoveryReport {
 ///    by scanning the log, dropping any torn or corrupt tail, and
 ///    rebuilding the head from the latest checkpoint.
 ///
-/// After any I/O failure the store is *poisoned*: mutations fail fast with
-/// kFailedPrecondition (the log's tail state is unknown); reads still work.
-/// Reopening the path recovers to the last durable commit.
+/// Fault handling in durable mode, from least to most severe:
+///  * **Transient faults** (kUnavailable — flaky medium, interrupted
+///    syscall) are retried under StoreOptions::retry with exponential
+///    backoff. A failed *sync* is never naively re-issued — an fsync that
+///    reported failure may have dropped its dirty pages, so a second OK
+///    proves nothing. Instead the store **rotates**: it rewrites its full
+///    state to a fresh log, quarantines the old file as `path + ".N"`, and
+///    atomically swaps the new one into place.
+///  * **Permanent faults** (disk full, unknown errors) *poison* the store:
+///    mutations fail fast with kFailedPrecondition, reads still work, and
+///    Repair() (or reopening) restores service by the same rotation.
+///  * **Bit rot** is caught by Scrub(), which re-verifies the checksums of
+///    everything already on disk and repairs by rotation, and by Open's
+///    salvage mode (RecoveryMode::kSalvage), which recovers everything
+///    outside the damaged ranges.
+///
+/// Salvage can leave *holes* in the version history: a version lost to a
+/// damaged range fails Materialize with kDataLoss (and Info/DeltaFor report
+/// it as absent) while every version outside the hole stays available.
+/// RollbackHead cannot cross a hole.
 ///
 /// Thread-safety: every method serializes on an internal Mutex (checked by
 /// the thread-safety analysis), so concurrent Commit/Materialize/accessor
@@ -105,16 +179,17 @@ class VersionStore {
   /// Opens and recovers a durable store from `path`. The log is scanned
   /// front to back; the longest prefix of checksum-valid records wins, and
   /// a torn or corrupt tail is physically truncated so the next commit
-  /// appends to a clean log. Recovered state always equals the state after
-  /// some acknowledged commit — never a torn mix. `report`, when non-null,
-  /// receives what recovery found.
+  /// appends to a clean log. Under RecoveryMode::kSalvage, mid-log damage
+  /// is skipped instead of truncated (see RecoveryMode). Recovered state
+  /// always equals the state after some acknowledged commit — never a torn
+  /// mix. `report`, when non-null, receives what recovery found.
   static StatusOr<VersionStore> Open(const std::string& path,
                                      DiffOptions options = {},
                                      StoreOptions store_options = {},
                                      RecoveryReport* report = nullptr);
 
   /// True when backed by a commit log.
-  bool durable() const { return writer_ != nullptr; }
+  bool durable() const { return durable_; }
 
   /// The label table shared by the base, the head, and every materialized
   /// version. Trees passed to Commit must use this table — note that Open
@@ -137,27 +212,37 @@ class VersionStore {
   /// Returns the new version number.
   StatusOr<int> Commit(const Tree& new_version) EXCLUDES(mu_);
 
-  /// Number of versions stored (>= 1; version 0 is the base).
+  /// Number of versions in the numbering space (>= 1; version 0 is the
+  /// base, VersionCount()-1 is the head). After a salvage with holes, some
+  /// versions inside the range are lost — VersionAvailable tells them
+  /// apart.
   int VersionCount() const EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return VersionCountLocked();
   }
 
+  /// True if version `v` can be materialized (in range and not lost to a
+  /// salvage hole).
+  bool VersionAvailable(int v) const EXCLUDES(mu_);
+
   /// Rebuilds version `v` (0 = base, VersionCount()-1 = head) by replaying
-  /// the stored scripts.
+  /// the stored scripts. Fails with kOutOfRange outside [0, VersionCount())
+  /// and kDataLoss for a version lost to a salvage hole.
   StatusOr<Tree> Materialize(int v) const EXCLUDES(mu_);
 
   /// Discards the newest version: the head is rolled back to the previous
   /// version by applying the inverse of the last stored delta
   /// (InvertScript), and the delta is dropped. In durable mode a rollback
   /// record is appended and fsync'd first. Returns the new head version
-  /// number; fails (leaving the store unchanged) if only the base remains.
+  /// number; fails (leaving the store unchanged) if only the base remains
+  /// or the previous version lies across a salvage hole.
   StatusOr<int> RollbackHead() EXCLUDES(mu_);
 
   /// The stored delta that takes version v-1 to version v (1-based v), or
-  /// null if `v` is out of range [1, VersionCount()-1]. The pointer stays
-  /// valid until the next Commit or RollbackHead — hold the result across
-  /// mutations and it dangles, so don't.
+  /// null if `v` is out of range [1, VersionCount()-1] or either endpoint
+  /// was lost to a salvage hole. The pointer stays valid until the next
+  /// Commit or RollbackHead — hold the result across mutations and it
+  /// dangles, so don't.
   const EditScript* DeltaFor(int v) const EXCLUDES(mu_);
 
   /// Aggregate per-version change counters, the "querying over changes"
@@ -170,10 +255,11 @@ class VersionStore {
     double cost = 0.0;
     size_t nodes = 0;  // Size of the version after the delta.
   };
-  VersionInfo Info(int v) const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return infos_[static_cast<size_t>(v - 1)];
-  }
+
+  /// Info for version `v`, or a zero VersionInfo when `v` is the base, out
+  /// of range, lost to a salvage hole, or a salvage re-anchor (whose delta
+  /// stats did not survive).
+  VersionInfo Info(int v) const EXCLUDES(mu_);
 
   /// Storage accounting: serialized bytes of all stored scripts versus what
   /// storing every version in full (as s-expressions) would take — the
@@ -191,26 +277,92 @@ class VersionStore {
   };
   StorageStats Storage() const EXCLUDES(mu_);
 
+  // --- Self-healing (durable mode) ---
+
+  /// Rewrites the full in-memory state to a fresh log, quarantines the old
+  /// file as `path + ".N"` (first free N), atomically swaps the new log
+  /// into place, and clears the poison. This is how the store recovers
+  /// from a failed fsync (whose covered bytes have unknown durability) and
+  /// from scrub-detected bit rot without losing any acknowledged commit —
+  /// the in-memory state *is* the acknowledged state. Fails (store stays
+  /// poisoned, if it was) when the environment itself cannot complete the
+  /// rewrite.
+  Status Repair() EXCLUDES(mu_);
+
+  /// Re-reads the cold log (everything appended before the scrub started)
+  /// and re-verifies every checksum — the background defense against bit
+  /// rot that would otherwise surface only at the next Open. On corruption
+  /// the store repairs itself by rotation (see Repair). Cheap enough to
+  /// run periodically; DiffService schedules it.
+  StatusOr<ScrubReport> Scrub() EXCLUDES(mu_);
+
+  /// Cumulative fault-handling activity, for tests and service metrics.
+  struct FaultCounters {
+    uint64_t transient_retries = 0;   // Append/sync attempts retried.
+    uint64_t rotations = 0;           // Log rewrites (Repair + self-heal).
+    uint64_t scrubs = 0;              // Scrub passes completed.
+    uint64_t scrub_corruption = 0;    // Scrubs that found corruption.
+    uint64_t salvage_skipped = 0;     // Records skipped by salvage Open.
+  };
+  FaultCounters fault_counters() const EXCLUDES(mu_);
+
  private:
   VersionStore() = default;  // Assembled field-by-field in Create/Open.
 
+  /// A contiguous run of versions: `anchor` is the materialized tree of
+  /// version `first`, and scripts[i] takes version first+i to first+i+1.
+  /// A healthy store has exactly one segment (first = 0, anchor = base);
+  /// salvage recovery adds one segment per re-anchoring checkpoint, with
+  /// the versions between two segments lost to the damage.
+  struct Segment {
+    int first = 0;
+    Tree anchor;
+    std::vector<EditScript> scripts;
+    std::vector<VersionInfo> infos;          // Aligned with scripts.
+    std::vector<size_t> full_sizes;          // Aligned with scripts.
+    size_t anchor_full_size = 0;             // Snapshot bytes of `first`.
+  };
+
   int VersionCountLocked() const REQUIRES(mu_) {
-    return static_cast<int>(scripts_.size()) + 1;
+    const Segment& last = segments_.back();
+    return last.first + static_cast<int>(last.scripts.size()) + 1;
   }
+
+  /// The segment owning version `v`, or null when `v` is out of range or
+  /// lost in a gap between segments.
+  const Segment* FindSegment(int v) const REQUIRES(mu_);
 
   /// Materialize with the lock already held (RollbackHead's replay).
   StatusOr<Tree> MaterializeLocked(int v) const REQUIRES(mu_);
 
-  /// Appends `payload` as a `type` record and fsyncs. On failure poisons
-  /// the store and returns the error; the in-memory state must not have
-  /// been touched yet (write-ahead ordering).
+  /// Appends `payload` as a `type` record and fsyncs, retrying transient
+  /// faults and self-healing by rotation when the log file itself has
+  /// become untrustworthy (failed sync). On permanent failure poisons the
+  /// store and returns the error; the in-memory state must not have been
+  /// touched yet (write-ahead ordering).
   Status AppendDurable(LogRecordType type, std::string_view payload)
+      REQUIRES(mu_);
+
+  /// One append+sync attempt, no retry or healing.
+  Status AppendOnce(LogRecordType type, std::string_view payload)
       REQUIRES(mu_);
 
   /// Appends a checkpoint record if the interval policy says so.
   /// Best-effort: a failure poisons the store (future commits fail fast)
   /// but does not undo the already durable commit.
   void MaybeCheckpoint() REQUIRES(mu_);
+
+  /// Serializes the in-memory state into fresh log bytes (magic, snapshot,
+  /// segment-0 deltas, then per later segment a re-anchoring checkpoint
+  /// and its deltas).
+  std::string EncodeStateLocked() const REQUIRES(mu_);
+
+  /// Rotation: writes EncodeStateLocked() to `path.tmp`, moves the current
+  /// log aside to `path.N`, and atomically renames the new log into place.
+  /// On success the store appends to the fresh log and is not poisoned.
+  Status RotateLocked() REQUIRES(mu_);
+
+  void BumpCounter(const char* name, uint64_t n) REQUIRES(mu_);
 
   /// Serializes every method; guards the mutable version/log state below.
   /// Immutable-after-construction members (base_, options_, env_, path_,
@@ -222,20 +374,19 @@ class VersionStore {
 
   // Materialized head, kept for diffing the next commit.
   Tree head_ GUARDED_BY(mu_);
-  std::vector<EditScript> scripts_ GUARDED_BY(mu_);
-  std::vector<VersionInfo> infos_ GUARDED_BY(mu_);
-  // Serialized size of every version.
-  std::vector<size_t> full_sizes_ GUARDED_BY(mu_);
+  // Never empty: segments_[0].first == 0 and its anchor is the base.
+  std::vector<Segment> segments_ GUARDED_BY(mu_);
 
-  // Durable mode (null/empty in memory-only stores). The writer pointer is
-  // set once during Create/Open, before the store is shared; appending
-  // through it (the log's tail state) requires the lock.
+  // Durable mode (false/null/empty in memory-only stores). The writer is
+  // replaced on rotation; all access is under the lock.
+  bool durable_ = false;
   std::unique_ptr<LogWriter> writer_ PT_GUARDED_BY(mu_);
   Env* env_ = nullptr;
   std::string path_;
   StoreOptions store_options_;
   Status io_status_ GUARDED_BY(mu_);
   int commits_since_checkpoint_ GUARDED_BY(mu_) = 0;
+  FaultCounters faults_ GUARDED_BY(mu_);
 };
 
 }  // namespace treediff

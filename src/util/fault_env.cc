@@ -1,12 +1,20 @@
 #include "util/fault_env.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace treediff {
 
 // ---------------------------------------------------------------------------
 // MemEnv
+//
+// Locking: the env mutex guards the path→state map; each FileState carries
+// its own mutex guarding its bytes and watermark. Lock order is always
+// map-then-file, and no file lock is held while taking another file's, so
+// the pair cannot deadlock. Open files keep the state alive via shared_ptr
+// even if the path is deleted or renamed away (POSIX unlink semantics).
 
 namespace {
 using FileStatePtr = std::shared_ptr<MemEnv::FileState>;
@@ -18,12 +26,14 @@ class MemWritableFile : public WritableFile {
 
   Status Append(std::string_view data) override {
     if (!state_) return Status::FailedPrecondition("append to closed file");
+    MutexLock lock(&state_->mu);
     state_->data.append(data);
     return Status::Ok();
   }
 
   Status Sync() override {
     if (!state_) return Status::FailedPrecondition("sync of closed file");
+    MutexLock lock(&state_->mu);
     state_->synced = state_->data.size();
     return Status::Ok();
   }
@@ -42,6 +52,7 @@ class MemRandomAccessFile : public RandomAccessFile {
   explicit MemRandomAccessFile(FileStatePtr state) : state_(std::move(state)) {}
 
   StatusOr<std::string> Read(uint64_t offset, size_t n) const override {
+    MutexLock lock(&state_->mu);
     const std::string& data = state_->data;
     if (offset >= data.size()) return std::string();
     size_t avail = data.size() - static_cast<size_t>(offset);
@@ -49,6 +60,7 @@ class MemRandomAccessFile : public RandomAccessFile {
   }
 
   StatusOr<uint64_t> Size() const override {
+    MutexLock lock(&state_->mu);
     return static_cast<uint64_t>(state_->data.size());
   }
 
@@ -56,47 +68,65 @@ class MemRandomAccessFile : public RandomAccessFile {
   FileStatePtr state_;
 };
 
+MemEnv::FileStatePtr MemEnv::Find(const std::string& path) const {
+  MutexLock lock(&mu_);
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : it->second;
+}
+
 StatusOr<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
     const std::string& path, bool truncate) {
-  FileStatePtr& state = files_[path];
-  if (!state || truncate) state = std::make_shared<FileState>();
-  return std::unique_ptr<WritableFile>(std::make_unique<MemWritableFile>(state));
+  FileStatePtr state;
+  {
+    MutexLock lock(&mu_);
+    FileStatePtr& slot = files_[path];
+    if (!slot || truncate) slot = std::make_shared<FileState>();
+    state = slot;
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemWritableFile>(std::move(state)));
 }
 
 StatusOr<std::unique_ptr<RandomAccessFile>> MemEnv::NewRandomAccessFile(
     const std::string& path) {
-  auto it = files_.find(path);
-  if (it == files_.end()) {
-    return Status::NotFound("no such file: " + path);
-  }
+  FileStatePtr state = Find(path);
+  if (!state) return Status::NotFound("no such file: " + path);
   return std::unique_ptr<RandomAccessFile>(
-      std::make_unique<MemRandomAccessFile>(it->second));
+      std::make_unique<MemRandomAccessFile>(std::move(state)));
 }
 
 bool MemEnv::FileExists(const std::string& path) {
+  MutexLock lock(&mu_);
   return files_.count(path) > 0;
 }
 
 Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  MutexLock lock(&mu_);
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound("rename: no file " + from);
-  // Rename is atomic and durable (the real Env fsyncs the directory); the
-  // renamed file keeps its own synced watermark.
+  // rename(2): atomically replaces any existing destination; a reader that
+  // already opened the old `to` keeps reading the old bytes (its state stays
+  // alive through the shared_ptr). The renamed file keeps its own synced
+  // watermark; the real Env fsyncs the directory to make the swap durable.
   files_[to] = it->second;
   files_.erase(it);
   return Status::Ok();
 }
 
 Status MemEnv::TruncateFile(const std::string& path, uint64_t size) {
-  auto it = files_.find(path);
-  if (it == files_.end()) return Status::NotFound("truncate: no file " + path);
-  FileState& st = *it->second;
-  if (size < st.data.size()) st.data.resize(static_cast<size_t>(size));
-  st.synced = std::min<uint64_t>(st.data.size(), size);
+  FileStatePtr state = Find(path);
+  if (!state) return Status::NotFound("truncate: no file " + path);
+  MutexLock lock(&state->mu);
+  // ftruncate(2): shrinking discards the tail, growing extends with zero
+  // bytes, and the durable watermark never rises — synced can only shrink
+  // to the new size (the zero fill is not fsync'd data).
+  state->data.resize(static_cast<size_t>(size), '\0');
+  state->synced = std::min(state->synced, size);
   return Status::Ok();
 }
 
 Status MemEnv::DeleteFile(const std::string& path) {
+  MutexLock lock(&mu_);
   if (files_.erase(path) == 0) {
     return Status::NotFound("delete: no file " + path);
   }
@@ -104,31 +134,76 @@ Status MemEnv::DeleteFile(const std::string& path) {
 }
 
 void MemEnv::DropUnsynced() {
+  MutexLock lock(&mu_);
   for (auto& [path, state] : files_) {
+    MutexLock file_lock(&state->mu);
     state->data.resize(static_cast<size_t>(state->synced));
   }
 }
 
 Status MemEnv::CorruptByte(const std::string& path, uint64_t offset,
                            uint8_t mask) {
-  auto it = files_.find(path);
-  if (it == files_.end()) return Status::NotFound("corrupt: no file " + path);
-  if (offset >= it->second->data.size()) {
+  FileStatePtr state = Find(path);
+  if (!state) return Status::NotFound("corrupt: no file " + path);
+  MutexLock lock(&state->mu);
+  if (offset >= state->data.size()) {
     return Status::OutOfRange("corrupt: offset beyond end of " + path);
   }
-  it->second->data[static_cast<size_t>(offset)] =
-      static_cast<char>(it->second->data[static_cast<size_t>(offset)] ^ mask);
+  state->data[static_cast<size_t>(offset)] =
+      static_cast<char>(state->data[static_cast<size_t>(offset)] ^ mask);
   return Status::Ok();
 }
 
 StatusOr<std::string> MemEnv::FileBytes(const std::string& path) const {
-  auto it = files_.find(path);
-  if (it == files_.end()) return Status::NotFound("no such file: " + path);
-  return it->second->data;
+  FileStatePtr state = Find(path);
+  if (!state) return Status::NotFound("no such file: " + path);
+  MutexLock lock(&state->mu);
+  return state->data;
+}
+
+StatusOr<uint64_t> MemEnv::SyncedBytes(const std::string& path) const {
+  FileStatePtr state = Find(path);
+  if (!state) return Status::NotFound("no such file: " + path);
+  MutexLock lock(&state->mu);
+  return state->synced;
+}
+
+std::vector<std::string> MemEnv::ListFiles() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> paths;
+  paths.reserve(files_.size());
+  for (const auto& [path, state] : files_) paths.push_back(path);
+  return paths;  // std::map iterates sorted.
 }
 
 // ---------------------------------------------------------------------------
 // FaultInjectingEnv
+
+Status FaultInjectingEnv::CheckDown(const char* op) const {
+  if (down_) {
+    return Status::Internal(std::string("injected fault: env down during ") +
+                            op);
+  }
+  return Status::Ok();
+}
+
+bool FaultInjectingEnv::Flip(double p) {
+  if (!transient_enabled_ || p <= 0.0) return false;
+  return rng_.Bernoulli(p);
+}
+
+void FaultInjectingEnv::MaybeDelay() {
+  if (plan_.op_delay_p <= 0.0 || plan_.op_delay_seconds <= 0.0) return;
+  bool delay;
+  {
+    MutexLock lock(&mu_);
+    delay = Flip(plan_.op_delay_p);
+  }
+  if (delay) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(plan_.op_delay_seconds));
+  }
+}
 
 class FaultWritableFile : public WritableFile {
  public:
@@ -136,36 +211,81 @@ class FaultWritableFile : public WritableFile {
       : base_(std::move(base)), env_(env) {}
 
   Status Append(std::string_view data) override {
-    TREEDIFF_RETURN_IF_ERROR(env_->CheckDown("append"));
-    uint64_t budget = env_->plan_.crash_at_byte == FaultPlan::kNever
-                          ? FaultPlan::kNever
-                          : env_->plan_.crash_at_byte - env_->bytes_written_;
-    if (budget < data.size()) {
+    env_->MaybeDelay();
+    uint64_t torn = 0;       // Bytes that still reach the base file.
+    bool crash = false;      // Terminal: env goes down after the torn write.
+    bool enospc = false;     // Permanent but the env stays up.
+    {
+      MutexLock lock(&env_->mu_);
+      TREEDIFF_RETURN_IF_ERROR(env_->CheckDown("append"));
+      if (env_->Flip(env_->plan_.transient_append_p)) {
+        // Clean transient failure: no byte reaches the file, so the caller
+        // may simply retry the same append.
+        ++env_->transient_faults_;
+        return Status::Unavailable("injected fault: transient append failure");
+      }
+      const uint64_t crash_budget =
+          env_->plan_.crash_at_byte == FaultPlan::kNever
+              ? FaultPlan::kNever
+              : env_->plan_.crash_at_byte - env_->bytes_written_;
+      const uint64_t space_budget =
+          env_->plan_.disk_capacity_bytes == FaultPlan::kNever
+              ? FaultPlan::kNever
+              : env_->plan_.disk_capacity_bytes -
+                    std::min(env_->bytes_written_,
+                             env_->plan_.disk_capacity_bytes);
+      if (crash_budget < data.size() && crash_budget <= space_budget) {
+        torn = crash_budget;
+        crash = true;
+        env_->down_ = true;
+      } else if (space_budget < data.size()) {
+        torn = space_budget;
+        enospc = true;
+      } else {
+        torn = data.size();
+      }
+      env_->bytes_written_ += torn;
+    }
+    if (crash) {
       // Torn write: the prefix reaches the base file, then the lights go
       // out — a failure here is indistinguishable from the crash being
       // simulated, so it is dropped on purpose.
-      base_->Append(data.substr(0, budget)).IgnoreError();
-      env_->bytes_written_ += budget;
-      env_->down_ = true;
+      base_->Append(data.substr(0, static_cast<size_t>(torn))).IgnoreError();
       return Status::Internal("injected fault: crash mid-append");
     }
-    TREEDIFF_RETURN_IF_ERROR(base_->Append(data));
-    env_->bytes_written_ += data.size();
-    return Status::Ok();
+    if (enospc) {
+      // ENOSPC: write(2) stores what fits and reports the shortfall; the
+      // machine stays up, so this is permanent-until-space-frees, not a
+      // crash. The partial record is exactly the torn tail recovery handles.
+      base_->Append(data.substr(0, static_cast<size_t>(torn))).IgnoreError();
+      return Status::ResourceExhausted("injected fault: disk full");
+    }
+    return base_->Append(data);
   }
 
   Status Sync() override {
-    TREEDIFF_RETURN_IF_ERROR(env_->CheckDown("sync"));
-    ++env_->sync_calls_;
-    if (env_->sync_calls_ == env_->plan_.crash_during_sync_at) {
-      // Power loss inside fsync: durability of this data is unknown. Leave
-      // the base unsynced (the pessimistic outcome) and go down.
-      env_->down_ = true;
-      return Status::Internal("injected fault: crash during sync");
-    }
-    if (env_->sync_calls_ == env_->plan_.fail_sync_at) {
-      env_->down_ = true;
-      return Status::Internal("injected fault: sync failed");
+    env_->MaybeDelay();
+    {
+      MutexLock lock(&env_->mu_);
+      TREEDIFF_RETURN_IF_ERROR(env_->CheckDown("sync"));
+      ++env_->sync_calls_;
+      if (env_->sync_calls_ == env_->plan_.crash_during_sync_at) {
+        // Power loss inside fsync: durability of this data is unknown. Leave
+        // the base unsynced (the pessimistic outcome) and go down.
+        env_->down_ = true;
+        return Status::Internal("injected fault: crash during sync");
+      }
+      if (env_->sync_calls_ == env_->plan_.fail_sync_at) {
+        env_->down_ = true;
+        return Status::Internal("injected fault: sync failed");
+      }
+      if (env_->Flip(env_->plan_.transient_sync_p)) {
+        // The sync reports failure and the covered bytes stay volatile —
+        // per fsyncgate, a second fsync saying OK would prove nothing, so
+        // the store must rotate to a fresh file instead of retrying here.
+        ++env_->transient_faults_;
+        return Status::Unavailable("injected fault: transient sync failure");
+      }
     }
     return base_->Sync();
   }
@@ -180,9 +300,60 @@ class FaultWritableFile : public WritableFile {
   FaultInjectingEnv* env_;
 };
 
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                        FaultInjectingEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  StatusOr<std::string> Read(uint64_t offset, size_t n) const override {
+    env_->MaybeDelay();
+    bool short_read = false;
+    {
+      MutexLock lock(&env_->mu_);
+      TREEDIFF_RETURN_IF_ERROR(env_->CheckDown("read"));
+      if (env_->Flip(env_->plan_.transient_read_p)) {
+        ++env_->transient_faults_;
+        return Status::Unavailable("injected fault: transient read failure");
+      }
+      short_read = env_->Flip(env_->plan_.short_read_p);
+    }
+    auto data = base_->Read(offset, n);
+    if (!data.ok()) return data;
+    if (short_read && !data->empty()) {
+      // A short read not at end of file: a strict prefix of the available
+      // bytes. Readers that trusted Size() must notice and retry rather
+      // than mistake the missing suffix for a torn log tail.
+      size_t keep;
+      {
+        MutexLock lock(&env_->mu_);
+        ++env_->transient_faults_;
+        keep = static_cast<size_t>(env_->rng_.Uniform(data->size()));
+      }
+      data->resize(keep);
+    }
+    return data;
+  }
+
+  StatusOr<uint64_t> Size() const override {
+    {
+      MutexLock lock(&env_->mu_);
+      TREEDIFF_RETURN_IF_ERROR(env_->CheckDown("size"));
+    }
+    return base_->Size();
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  FaultInjectingEnv* env_;
+};
+
 StatusOr<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
     const std::string& path, bool truncate) {
-  TREEDIFF_RETURN_IF_ERROR(CheckDown("open"));
+  {
+    MutexLock lock(&mu_);
+    TREEDIFF_RETURN_IF_ERROR(CheckDown("open"));
+  }
   auto base = base_->NewWritableFile(path, truncate);
   if (!base.ok()) return base.status();
   return std::unique_ptr<WritableFile>(
@@ -191,8 +362,14 @@ StatusOr<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
 
 StatusOr<std::unique_ptr<RandomAccessFile>>
 FaultInjectingEnv::NewRandomAccessFile(const std::string& path) {
-  TREEDIFF_RETURN_IF_ERROR(CheckDown("open"));
-  return base_->NewRandomAccessFile(path);
+  {
+    MutexLock lock(&mu_);
+    TREEDIFF_RETURN_IF_ERROR(CheckDown("open"));
+  }
+  auto base = base_->NewRandomAccessFile(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<FaultRandomAccessFile>(std::move(*base), this));
 }
 
 bool FaultInjectingEnv::FileExists(const std::string& path) {
@@ -201,18 +378,59 @@ bool FaultInjectingEnv::FileExists(const std::string& path) {
 
 Status FaultInjectingEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
-  TREEDIFF_RETURN_IF_ERROR(CheckDown("rename"));
+  MaybeDelay();
+  {
+    MutexLock lock(&mu_);
+    TREEDIFF_RETURN_IF_ERROR(CheckDown("rename"));
+  }
   return base_->RenameFile(from, to);
 }
 
-Status FaultInjectingEnv::TruncateFile(const std::string& path, uint64_t size) {
-  TREEDIFF_RETURN_IF_ERROR(CheckDown("truncate"));
+Status FaultInjectingEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  {
+    MutexLock lock(&mu_);
+    TREEDIFF_RETURN_IF_ERROR(CheckDown("truncate"));
+  }
   return base_->TruncateFile(path, size);
 }
 
 Status FaultInjectingEnv::DeleteFile(const std::string& path) {
-  TREEDIFF_RETURN_IF_ERROR(CheckDown("delete"));
+  {
+    MutexLock lock(&mu_);
+    TREEDIFF_RETURN_IF_ERROR(CheckDown("delete"));
+  }
   return base_->DeleteFile(path);
+}
+
+uint64_t FaultInjectingEnv::bytes_written() const {
+  MutexLock lock(&mu_);
+  return bytes_written_;
+}
+
+uint64_t FaultInjectingEnv::sync_calls() const {
+  MutexLock lock(&mu_);
+  return sync_calls_;
+}
+
+uint64_t FaultInjectingEnv::transient_faults() const {
+  MutexLock lock(&mu_);
+  return transient_faults_;
+}
+
+bool FaultInjectingEnv::down() const {
+  MutexLock lock(&mu_);
+  return down_;
+}
+
+void FaultInjectingEnv::ClearFault() {
+  MutexLock lock(&mu_);
+  down_ = false;
+}
+
+void FaultInjectingEnv::DisableTransientFaults() {
+  MutexLock lock(&mu_);
+  transient_enabled_ = false;
 }
 
 }  // namespace treediff

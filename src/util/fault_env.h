@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "util/io.h"
+#include "util/mutex.h"
+#include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace treediff {
 
@@ -16,50 +19,86 @@ namespace treediff {
 /// separate library (`treediff_faultenv`) linked only by tests and fault
 /// benchmarks, so no fault-injection code is compiled into the release
 /// store path — the production binaries see only Env::Default().
+///
+/// Both environments are thread-safe: the chaos harness drives a
+/// DiffService's worker pool, commit threads, and a scrubber through one
+/// env concurrently, so every file-state access is serialized on internal
+/// mutexes (checked by the thread-safety analysis).
 
 /// An in-memory Env that models durability the way a real disk does: every
 /// file tracks a `synced` watermark, and bytes appended after the last
 /// Sync() are *not* durable. DropUnsynced() simulates the OS page cache
 /// vanishing in a power loss; what survives is exactly the synced prefix.
+///
+/// Semantics deliberately match POSIX where tests depend on the difference:
+/// RenameFile atomically replaces an existing destination (rename(2)),
+/// TruncateFile past EOF extends with zero bytes (ftruncate(2)), and
+/// CorruptByte can flip bytes in the unsynced suffix (page-cache rot that a
+/// later crash erases).
 class MemEnv : public Env {
  public:
   struct FileState {
-    std::string data;
-    uint64_t synced = 0;  // data[0, synced) has been fsync'd.
+    Mutex mu;
+    std::string data GUARDED_BY(mu);
+    uint64_t synced GUARDED_BY(mu) = 0;  // data[0, synced) has been fsync'd.
   };
 
   // Env interface.
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
-      const std::string& path, bool truncate) override;
+      const std::string& path, bool truncate) override EXCLUDES(mu_);
   StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
-      const std::string& path) override;
-  bool FileExists(const std::string& path) override;
-  Status RenameFile(const std::string& from, const std::string& to) override;
-  Status TruncateFile(const std::string& path, uint64_t size) override;
-  Status DeleteFile(const std::string& path) override;
+      const std::string& path) override EXCLUDES(mu_);
+  bool FileExists(const std::string& path) override EXCLUDES(mu_);
+  Status RenameFile(const std::string& from, const std::string& to) override
+      EXCLUDES(mu_);
+  Status TruncateFile(const std::string& path, uint64_t size) override
+      EXCLUDES(mu_);
+  Status DeleteFile(const std::string& path) override EXCLUDES(mu_);
 
   // Crash and corruption hooks.
 
   /// Discards every byte written after the last Sync() of every file — the
   /// pessimistic power-loss model.
-  void DropUnsynced();
+  void DropUnsynced() EXCLUDES(mu_);
 
   /// XORs `mask` into byte `offset` of `path` (bit flips for checksum
-  /// tests). Fails if the file or offset does not exist.
-  Status CorruptByte(const std::string& path, uint64_t offset, uint8_t mask);
+  /// tests). Fails if the file or offset does not exist. Works on synced
+  /// and unsynced bytes alike; a flip past the synced watermark models
+  /// page-cache rot and vanishes with DropUnsynced().
+  Status CorruptByte(const std::string& path, uint64_t offset, uint8_t mask)
+      EXCLUDES(mu_);
 
   /// The raw bytes of `path` (test inspection).
-  StatusOr<std::string> FileBytes(const std::string& path) const;
+  StatusOr<std::string> FileBytes(const std::string& path) const EXCLUDES(mu_);
+
+  /// The synced watermark of `path` (test inspection).
+  StatusOr<uint64_t> SyncedBytes(const std::string& path) const EXCLUDES(mu_);
+
+  /// Paths of every file, sorted (test inspection).
+  std::vector<std::string> ListFiles() const EXCLUDES(mu_);
 
  private:
   friend class MemWritableFile;
   friend class MemRandomAccessFile;
-  std::map<std::string, std::shared_ptr<FileState>> files_;
+  using FileStatePtr = std::shared_ptr<FileState>;
+
+  FileStatePtr Find(const std::string& path) const EXCLUDES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, FileStatePtr> files_ GUARDED_BY(mu_);
 };
 
-/// Deterministic fault plan for one FaultInjectingEnv run. Every field uses
-/// kNever (disabled) by default; a test enables exactly the faults it wants
-/// so failures reproduce from (seed, plan) alone.
+/// Deterministic fault plan for one FaultInjectingEnv run. Every fault is
+/// disabled by default; a test enables exactly the faults it wants so
+/// failures reproduce from (seed, plan) alone.
+///
+/// Two fault families:
+///  * **Terminal** (crash_at_byte, fail_sync_at, crash_during_sync_at):
+///    the machine dies — after one fires, every operation fails until
+///    ClearFault() models the restart.
+///  * **Transient** (the probabilistic fields): one operation fails with
+///    kUnavailable (or returns short data) and the env keeps running —
+///    the flaky-disk model the retry and self-healing paths are built for.
 struct FaultPlan {
   static constexpr uint64_t kNever = std::numeric_limits<uint64_t>::max();
 
@@ -76,57 +115,101 @@ struct FaultPlan {
   /// completes nor reports — the caller never learns whether its bytes are
   /// durable. Models power loss inside fsync.
   uint64_t crash_during_sync_at = kNever;
+
+  /// Seeds the probabilistic faults below. Same (seed, op sequence) →
+  /// same faults. Note that a multithreaded caller's op *interleaving* is
+  /// scheduler-dependent; determinism holds per op stream, which is what
+  /// the chaos harness's recovery property needs.
+  uint64_t seed = 0;
+
+  /// Append fails with kUnavailable *before any byte reaches the file* —
+  /// the clean-failure half of write(2) (the torn half is crash_at_byte).
+  double transient_append_p = 0.0;
+
+  /// Sync fails with kUnavailable; the covered bytes stay unsynced. A
+  /// correct caller must not simply re-fsync and believe the second OK
+  /// (the fsyncgate lesson) — the store rotates to a fresh log instead.
+  double transient_sync_p = 0.0;
+
+  /// Read fails with kUnavailable.
+  double transient_read_p = 0.0;
+
+  /// Read returns a strict prefix of the available bytes (a short read not
+  /// at EOF). Callers that know the file size must detect and retry.
+  double short_read_p = 0.0;
+
+  /// ENOSPC: once cumulative appended bytes reach this cap, the append
+  /// that crosses it writes the prefix that fits and fails with
+  /// kResourceExhausted; later appends fail outright. The env stays up
+  /// (reads and syncs still work) — a full disk, not a dead machine.
+  uint64_t disk_capacity_bytes = kNever;
+
+  /// Per-op latency injection: with probability `op_delay_p` an operation
+  /// sleeps `op_delay_seconds` first. Shakes out interleavings under TSan.
+  double op_delay_p = 0.0;
+  double op_delay_seconds = 0.0;
 };
 
 /// Wraps a base Env (typically MemEnv) and injects the faults described by
-/// a FaultPlan. After a fault fires the env is "down": every subsequent
-/// file operation fails with kInternal, like a machine that lost power.
-/// ClearFault() models the restart, after which the store can be reopened
-/// and recovery exercised against whatever bytes survived.
+/// a FaultPlan. After a *terminal* fault fires the env is "down": every
+/// subsequent file operation fails with kInternal, like a machine that
+/// lost power. ClearFault() models the restart, after which the store can
+/// be reopened and recovery exercised against whatever bytes survived.
+/// Transient faults fail one operation and leave the env up.
 class FaultInjectingEnv : public Env {
  public:
   explicit FaultInjectingEnv(Env* base, FaultPlan plan = {})
-      : base_(base), plan_(plan) {}
+      : base_(base), plan_(plan), rng_(plan.seed) {}
 
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
-      const std::string& path, bool truncate) override;
+      const std::string& path, bool truncate) override EXCLUDES(mu_);
   StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
-      const std::string& path) override;
+      const std::string& path) override EXCLUDES(mu_);
   bool FileExists(const std::string& path) override;
-  Status RenameFile(const std::string& from, const std::string& to) override;
-  Status TruncateFile(const std::string& path, uint64_t size) override;
-  Status DeleteFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override
+      EXCLUDES(mu_);
+  Status TruncateFile(const std::string& path, uint64_t size) override
+      EXCLUDES(mu_);
+  Status DeleteFile(const std::string& path) override EXCLUDES(mu_);
 
   /// Cumulative bytes appended through this env (fault points are byte
   /// offsets into this stream).
-  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_written() const EXCLUDES(mu_);
 
   /// Total Sync() calls observed.
-  uint64_t sync_calls() const { return sync_calls_; }
+  uint64_t sync_calls() const EXCLUDES(mu_);
 
-  /// True once a planned fault has fired.
-  bool down() const { return down_; }
+  /// Transient faults injected so far (append + sync + read + short read).
+  uint64_t transient_faults() const EXCLUDES(mu_);
+
+  /// True once a planned terminal fault has fired.
+  bool down() const EXCLUDES(mu_);
 
   /// Restart: subsequent operations reach the base env again. The plan does
   /// not re-arm; counters keep running.
-  void ClearFault() { down_ = false; }
+  void ClearFault() EXCLUDES(mu_);
+
+  /// Disables the probabilistic faults from now on (verification phases of
+  /// chaos tests read through the same env without injected flakiness).
+  void DisableTransientFaults() EXCLUDES(mu_);
 
  private:
   friend class FaultWritableFile;
+  friend class FaultRandomAccessFile;
 
-  Status CheckDown(const char* op) const {
-    if (down_) {
-      return Status::Internal(std::string("injected fault: env is down (") +
-                              op + ")");
-    }
-    return Status::Ok();
-  }
+  Status CheckDown(const char* op) const REQUIRES(mu_);
+  void MaybeDelay() EXCLUDES(mu_);
+  bool Flip(double p) REQUIRES(mu_);  // Bernoulli(p) unless disabled.
 
   Env* base_;
   FaultPlan plan_;
-  uint64_t bytes_written_ = 0;
-  uint64_t sync_calls_ = 0;
-  bool down_ = false;
+  mutable Mutex mu_;
+  Rng rng_ GUARDED_BY(mu_);
+  bool transient_enabled_ GUARDED_BY(mu_) = true;
+  uint64_t bytes_written_ GUARDED_BY(mu_) = 0;
+  uint64_t sync_calls_ GUARDED_BY(mu_) = 0;
+  uint64_t transient_faults_ GUARDED_BY(mu_) = 0;
+  bool down_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace treediff

@@ -29,9 +29,23 @@ namespace {
 Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
   char buf[128];
   buf[0] = '\0';
-  return Status::Internal(op + " " + path + ": " +
-                          StrerrorResult(strerror_r(err, buf, sizeof(buf)),
-                                         buf));
+  std::string msg = op + " " + path + ": " +
+                    StrerrorResult(strerror_r(err, buf, sizeof(buf)), buf);
+  // Classify so the retry layer (util/retry.h) and the store's self-healing
+  // paths can tell a fault worth retrying from a permanent answer.
+  switch (err) {
+    case EINTR:   // Interrupted syscall: retry is the textbook response.
+    case EAGAIN:  // Momentarily unable (non-blocking fd, kernel pressure).
+    case EIO:     // Flaky medium: a reread/rewrite elsewhere may succeed.
+      return Status::Unavailable(std::move(msg));
+    case ENOSPC:  // Disk full (and quota): permanent until space is freed.
+    case EDQUOT:
+      return Status::ResourceExhausted(std::move(msg));
+    case ENOENT:
+      return Status::NotFound(std::move(msg));
+    default:
+      return Status::Internal(std::move(msg));
+  }
 }
 
 class PosixWritableFile : public WritableFile {
@@ -128,6 +142,14 @@ class PosixEnv : public Env {
       const std::string& path) override {
     int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0) return ErrnoStatus("open", path, errno);
+    // open(2) happily opens a directory read-only; the reads then fail with
+    // EISDIR deep inside recovery. Reject it here with a clear message.
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && S_ISDIR(st.st_mode)) {
+      ::close(fd);
+      return Status::InvalidArgument("path is a directory, not a store: " +
+                                     path);
+    }
     return std::unique_ptr<RandomAccessFile>(
         std::make_unique<PosixRandomAccessFile>(fd, path));
   }

@@ -1,6 +1,7 @@
 #ifndef TREEDIFF_UTIL_MUTEX_H_
 #define TREEDIFF_UTIL_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -112,6 +113,15 @@ class CondVar {
   void Wait(Mutex* mu) REQUIRES(mu) {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Timed Wait: returns after `seconds` elapse or an earlier Signal,
+  /// whichever comes first (plus the usual spurious wakeups — recheck the
+  /// predicate either way).
+  void WaitFor(Mutex* mu, double seconds) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait_for(lock, std::chrono::duration<double>(seconds));
     lock.release();
   }
 

@@ -1,0 +1,47 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace treediff {
+
+bool IsTransientError(const Status& status) {
+  return status.code() == Code::kUnavailable;
+}
+
+Retryer::Retryer(const RetryPolicy& policy, SleepFn sleep)
+    : policy_(policy), sleep_(std::move(sleep)), rng_(policy.seed) {
+  policy_.max_attempts = std::max(policy_.max_attempts, 1);
+}
+
+double Retryer::BackoffSeconds(int retry_index) {
+  double base = policy_.initial_backoff_seconds;
+  for (int i = 1; i < retry_index; ++i) base *= policy_.backoff_multiplier;
+  base = std::min(base, policy_.max_backoff_seconds);
+  const double j = std::clamp(policy_.jitter_fraction, 0.0, 1.0);
+  // NextDouble is in [0, 1): scale into [1 - j, 1 + j).
+  const double jitter = 1.0 - j + 2.0 * j * rng_.NextDouble();
+  return std::max(base * jitter, 0.0);
+}
+
+Status Retryer::Run(const std::function<Status()>& op) {
+  attempts_ = 0;
+  Status last = Status::Ok();
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    attempts_ = attempt;
+    last = op();
+    if (last.ok() || !IsTransientError(last)) return last;
+    if (attempt == policy_.max_attempts) break;
+    ++total_retries_;
+    const double backoff = BackoffSeconds(attempt);
+    if (sleep_) {
+      sleep_(backoff);
+    } else if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+  }
+  return last;
+}
+
+}  // namespace treediff

@@ -1,0 +1,85 @@
+#ifndef TREEDIFF_UTIL_RETRY_H_
+#define TREEDIFF_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace treediff {
+
+/// Deterministic retry with exponential backoff and jitter, for the
+/// transient faults a real storage stack produces (interrupted syscalls,
+/// flaky media, momentary overload). Two properties production retry loops
+/// need and ad-hoc ones lack:
+///
+///  * **Budgeted**: a hard cap on attempts, so a permanent failure is
+///    reported instead of looped on forever.
+///  * **Deterministic**: jitter comes from the project's seeded Rng, so a
+///    failing (seed, fault plan) pair replays the exact same backoff
+///    schedule — the fault-injection tests depend on reproducibility.
+///
+/// Only `kUnavailable` is retried; every other code is a permanent answer
+/// (invalid input, real data loss, exhausted disk) that retrying cannot
+/// change. Classification happens where the error is minted: the POSIX Env
+/// maps EINTR/EAGAIN to kUnavailable, ENOSPC/EDQUOT to kResourceExhausted;
+/// FaultInjectingEnv's probabilistic faults are kUnavailable by design.
+struct RetryPolicy {
+  /// Total tries, including the first (values < 1 behave as 1).
+  int max_attempts = 4;
+
+  /// Backoff before retry k (1-based) is
+  ///   min(initial * multiplier^(k-1), max) * jitter,
+  /// jitter uniform in [1 - jitter_fraction, 1 + jitter_fraction].
+  double initial_backoff_seconds = 0.001;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.100;
+  double jitter_fraction = 0.5;
+
+  /// Seeds the jitter stream (see Retryer).
+  uint64_t seed = 0;
+};
+
+/// True for errors worth retrying (currently exactly kUnavailable).
+bool IsTransientError(const Status& status);
+
+/// One retry loop. Construction seeds the jitter Rng from the policy, so
+/// the backoff schedule is a pure function of (policy, failure sequence).
+/// Not thread-safe; make one per protected operation or hold the caller's
+/// lock across Run.
+class Retryer {
+ public:
+  using SleepFn = std::function<void(double seconds)>;
+
+  /// `sleep` replaces the real clock wait — tests pass a recorder or a
+  /// no-op. Null means std::this_thread::sleep_for.
+  explicit Retryer(const RetryPolicy& policy, SleepFn sleep = nullptr);
+
+  /// Runs `op` until it succeeds, fails permanently, or the attempt budget
+  /// is spent. Returns the last status. `op` must be safe to re-run after
+  /// a transient failure (the caller owns that contract; the VersionStore
+  /// re-verifies the log tail before re-appending, for example).
+  Status Run(const std::function<Status()>& op);
+
+  /// Backoff (with jitter) that preceded retry k during Run, recomputed
+  /// fresh: the k-th value drawn from this instance's jitter stream.
+  double BackoffSeconds(int retry_index);
+
+  /// Attempts made by the last Run (1 = first try succeeded).
+  int attempts() const { return attempts_; }
+
+  /// Retries across every Run of this instance.
+  uint64_t total_retries() const { return total_retries_; }
+
+ private:
+  RetryPolicy policy_;
+  SleepFn sleep_;
+  Rng rng_;
+  int attempts_ = 0;
+  uint64_t total_retries_ = 0;
+};
+
+}  // namespace treediff
+
+#endif  // TREEDIFF_UTIL_RETRY_H_

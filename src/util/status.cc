@@ -22,6 +22,10 @@ const char* CodeName(Code code) {
       return "ResourceExhausted";
     case Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Code::kUnavailable:
+      return "Unavailable";
+    case Code::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

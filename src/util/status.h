@@ -20,6 +20,8 @@ enum class Code {
   kParseError = 6,
   kResourceExhausted = 7,
   kDeadlineExceeded = 8,
+  kUnavailable = 9,
+  kDataLoss = 10,
 };
 
 /// Returns a human-readable name for a status code ("OK", "InvalidArgument",
@@ -74,6 +76,17 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// A transient fault (flaky medium, interrupted syscall, overload): the
+  /// operation may well succeed if retried. The retry layer (util/retry.h)
+  /// treats exactly this code as retryable.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  /// Durable data is gone or unusable (corruption past what recovery could
+  /// salvage, a version lost to a damaged log region). Not retryable.
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -182,6 +182,65 @@ TEST(MemEnvTest, TruncateAdjustsSyncedWatermark) {
   EXPECT_EQ(*bytes, "0123");
 }
 
+TEST(MemEnvTest, RenameClobbersExistingDestination) {
+  // rename(2) semantics: an existing destination is atomically replaced —
+  // exactly what log rotation leans on when it swaps the fresh log over
+  // the old path.
+  MemEnv env;
+  auto old_file = env.NewWritableFile("f", true);
+  ASSERT_TRUE(old_file.ok());
+  ASSERT_TRUE((*old_file)->Append("old contents").ok());
+  ASSERT_TRUE((*old_file)->Sync().ok());
+  ASSERT_TRUE((*old_file)->Close().ok());
+  auto new_file = env.NewWritableFile("f.tmp", true);
+  ASSERT_TRUE(new_file.ok());
+  ASSERT_TRUE((*new_file)->Append("new").ok());
+  ASSERT_TRUE((*new_file)->Sync().ok());
+  ASSERT_TRUE((*new_file)->Close().ok());
+  ASSERT_TRUE(env.RenameFile("f.tmp", "f").ok());
+  EXPECT_FALSE(env.FileExists("f.tmp"));
+  auto bytes = env.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "new");  // The destination was replaced, not appended.
+}
+
+TEST(MemEnvTest, TruncateBeyondEofZeroFillsUndurably) {
+  // ftruncate(2) semantics: extending zero-fills, and the extension is
+  // page cache until the next fsync — a power loss takes it back.
+  MemEnv env;
+  auto file = env.NewWritableFile("f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abc").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE(env.TruncateFile("f", 6).ok());
+  auto bytes = env.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, std::string("abc\0\0\0", 6));
+  env.DropUnsynced();
+  bytes = env.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "abc");  // The unsynced extension did not survive.
+}
+
+TEST(MemEnvTest, CorruptByteReachesTheUnsyncedSuffix) {
+  // Bit rot is not limited to durable bytes: dirty pages can rot too, and
+  // whatever rots there still vanishes with the page cache.
+  MemEnv env;
+  auto file = env.NewWritableFile("f", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("sync").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("dirt").ok());
+  ASSERT_TRUE(env.CorruptByte("f", 5, 0x04).ok());  // 'i' ^ 0x04 == 'm'
+  auto bytes = env.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "syncdmrt");
+  env.DropUnsynced();
+  bytes = env.FileBytes("f");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "sync");
+}
+
 // ---------------------------------------------------------------------------
 // FaultInjectingEnv
 

@@ -1,0 +1,149 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace treediff {
+namespace {
+
+TEST(RetryTest, IsTransientErrorIsExactlyUnavailable) {
+  EXPECT_TRUE(IsTransientError(Status::Unavailable("flaky")));
+  EXPECT_FALSE(IsTransientError(Status::Ok()));
+  EXPECT_FALSE(IsTransientError(Status::DataLoss("gone")));
+  EXPECT_FALSE(IsTransientError(Status::ResourceExhausted("disk full")));
+  EXPECT_FALSE(IsTransientError(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(IsTransientError(Status::Internal("broken")));
+}
+
+TEST(RetryTest, FirstTrySuccessNeverSleeps) {
+  std::vector<double> sleeps;
+  Retryer retryer({}, [&](double s) { sleeps.push_back(s); });
+  int calls = 0;
+  Status s = retryer.Run([&] {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retryer.attempts(), 1);
+  EXPECT_TRUE(sleeps.empty());
+  EXPECT_EQ(retryer.total_retries(), 0u);
+}
+
+TEST(RetryTest, TransientFailuresRetriedUntilSuccess) {
+  std::vector<double> sleeps;
+  Retryer retryer({}, [&](double s) { sleeps.push_back(s); });
+  int calls = 0;
+  Status s = retryer.Run([&] {
+    return ++calls < 3 ? Status::Unavailable("flaky") : Status::Ok();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retryer.attempts(), 3);
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(retryer.total_retries(), 2u);
+}
+
+TEST(RetryTest, PermanentFailureNotRetried) {
+  std::vector<double> sleeps;
+  Retryer retryer({}, [&](double s) { sleeps.push_back(s); });
+  int calls = 0;
+  Status s = retryer.Run([&] {
+    ++calls;
+    return Status::DataLoss("permanent");
+  });
+  EXPECT_EQ(s.code(), Code::kDataLoss);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, BudgetBoundsAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Retryer retryer(policy, [](double) {});
+  int calls = 0;
+  Status s = retryer.Run([&] {
+    ++calls;
+    return Status::Unavailable("always");
+  });
+  EXPECT_EQ(s.code(), Code::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retryer.attempts(), 3);
+}
+
+TEST(RetryTest, AttemptBudgetBelowOneBehavesAsOne) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  Retryer retryer(policy, [](double) {});
+  int calls = 0;
+  Status s = retryer.Run([&] {
+    ++calls;
+    return Status::Unavailable("always");
+  });
+  EXPECT_EQ(s.code(), Code::kUnavailable);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffStaysInsideJitteredEnvelope) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.010;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.050;
+  policy.jitter_fraction = 0.5;
+  policy.seed = 7;
+  Retryer retryer(policy);
+  for (int k = 1; k <= 8; ++k) {
+    const double base =
+        std::min(0.010 * static_cast<double>(1 << (k - 1)), 0.050);
+    const double backoff = retryer.BackoffSeconds(k);
+    EXPECT_GE(backoff, base * 0.5) << "retry " << k;
+    EXPECT_LE(backoff, base * 1.5) << "retry " << k;
+  }
+}
+
+TEST(RetryTest, BackoffScheduleIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  policy.seed = 42;
+  Retryer a(policy);
+  Retryer b(policy);
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_DOUBLE_EQ(a.BackoffSeconds(k), b.BackoffSeconds(k)) << k;
+  }
+  policy.seed = 43;
+  Retryer c(policy);
+  bool any_different = false;
+  Retryer a2({.seed = 42});
+  for (int k = 1; k <= 6; ++k) {
+    any_different |= a2.BackoffSeconds(k) != c.BackoffSeconds(k);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RetryTest, SleepsMatchBackoffStream) {
+  // The sleeps Run performs are exactly the BackoffSeconds stream of an
+  // identically seeded Retryer — the reproducibility the fault-injection
+  // tests lean on.
+  RetryPolicy policy;
+  policy.seed = 99;
+  std::vector<double> sleeps;
+  Retryer running(policy, [&](double s) { sleeps.push_back(s); });
+  int calls = 0;
+  EXPECT_TRUE(running
+                  .Run([&] {
+                    return ++calls < 4 ? Status::Unavailable("flaky")
+                                       : Status::Ok();
+                  })
+                  .ok());
+  Retryer reference(policy);
+  ASSERT_EQ(sleeps.size(), 3u);
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_DOUBLE_EQ(sleeps[static_cast<size_t>(k - 1)],
+                     reference.BackoffSeconds(k))
+        << k;
+  }
+}
+
+}  // namespace
+}  // namespace treediff

@@ -1,0 +1,254 @@
+// DiffService resilience around attached stores: transient-error retry,
+// automatic Repair of a poisoned store, the per-store circuit breaker
+// (degraded -> quarantined -> half-open probe -> healthy), and scrubbing
+// through the service.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/diff_service.h"
+#include "store/log.h"
+#include "store/version_store.h"
+#include "tree/builder.h"
+#include "util/fault_env.h"
+
+namespace treediff {
+namespace {
+
+std::string DocText(int v) {
+  std::string s = "(D";
+  for (int p = 0; p <= v; ++p) {
+    s += " (P (S \"svc" + std::to_string(p) + " body words\"))";
+  }
+  s += ")";
+  return s;
+}
+
+StoreOptions QuietStoreOptions(Env* env) {
+  StoreOptions store_options;
+  store_options.env = env;
+  store_options.checkpoint_interval = 0;  // One sync per commit.
+  store_options.sleep = [](double) {};
+  return store_options;
+}
+
+DiffServiceOptions QuietServiceOptions() {
+  DiffServiceOptions options;
+  options.num_threads = 2;
+  options.sleep = [](double) {};  // No real store-retry waits in tests.
+  return options;
+}
+
+uint64_t CounterValue(DiffService* service, const std::string& name) {
+  return service->metrics().counter(name)->Value();
+}
+
+TEST(ServiceResilienceTest, TransientStoreFaultsAreRetriedBehindTheApi) {
+  MemEnv mem;
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.transient_append_p = 0.15;
+  FaultInjectingEnv env(&mem, plan);
+
+  // Give the store itself no retry budget so every transient fault
+  // surfaces to the service as kUnavailable — the layer under test here.
+  StoreOptions store_options = QuietStoreOptions(&env);
+  store_options.retry.max_attempts = 1;
+  StatusOr<VersionStore> store = Status::Internal("never tried");
+  for (int i = 0; i < 64 && !store.ok(); ++i) {
+    store = VersionStore::Create("svc.log", *ParseSexpr(DocText(0)), {},
+                                 store_options);
+  }
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  DiffServiceOptions options = QuietServiceOptions();
+  options.store_retry_attempts = 6;
+  DiffService service(options);
+  ASSERT_TRUE(service.AttachStore("doc", &*store).ok());
+
+  for (int v = 1; v <= 8; ++v) {
+    StatusOr<int> version = service.CommitVersion("doc", DocText(v));
+    ASSERT_TRUE(version.ok()) << "version " << v << ": "
+                              << version.status().ToString();
+    EXPECT_EQ(*version, v);
+  }
+  EXPECT_GT(env.transient_faults(), 0u);
+  EXPECT_GT(CounterValue(&service, "store_retry_total"), 0u);
+
+  std::vector<DiffService::StoreStatus> statuses = service.StoreStatuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].health, StoreHealth::kHealthy);
+  EXPECT_EQ(statuses[0].consecutive_failures, 0);
+  EXPECT_EQ(statuses[0].versions, 9);
+  EXPECT_TRUE(statuses[0].durable);
+  service.Shutdown();
+}
+
+TEST(ServiceResilienceTest, BreakerTripsFastFailsAndRecoversViaRepair) {
+  MemEnv mem;
+  FaultPlan plan;
+  plan.fail_sync_at = 2;  // Create's fsync is #1; the first commit dies.
+  FaultInjectingEnv env(&mem, plan);
+  auto store = VersionStore::Create("svc.log", *ParseSexpr(DocText(0)), {},
+                                    QuietStoreOptions(&env));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  DiffServiceOptions options = QuietServiceOptions();
+  options.store_retry_attempts = 2;
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown_seconds = 0.05;
+  DiffService service(options);
+  ASSERT_TRUE(service.AttachStore("doc", &*store).ok());
+
+  // Failure 1: the terminal sync fault fires; the env goes down and the
+  // store poisons itself. Server-side error -> degraded.
+  StatusOr<int> first = service.CommitVersion("doc", DocText(1));
+  ASSERT_FALSE(first.ok());
+  {
+    auto statuses = service.StoreStatuses();
+    ASSERT_EQ(statuses.size(), 1u);
+    EXPECT_EQ(statuses[0].health, StoreHealth::kDegraded);
+    EXPECT_EQ(statuses[0].consecutive_failures, 1);
+  }
+
+  // Failure 2: the service sees the poison (kFailedPrecondition), attempts
+  // an automatic Repair, and the repair fails too — the medium is still
+  // down. That trips the breaker.
+  StatusOr<int> second = service.CommitVersion("doc", DocText(1));
+  ASSERT_FALSE(second.ok());
+  EXPECT_GE(CounterValue(&service, "store_repairs_total"), 1u);
+  EXPECT_EQ(CounterValue(&service, "store_breaker_trips_total"), 1u);
+  {
+    auto statuses = service.StoreStatuses();
+    EXPECT_EQ(statuses[0].health, StoreHealth::kQuarantined);
+    EXPECT_STREQ(StoreHealthName(statuses[0].health), "quarantined");
+  }
+
+  // Quarantined: requests fast-fail without touching the store.
+  StatusOr<int> shed = service.CommitVersion("doc", DocText(1));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), Code::kUnavailable);
+  EXPECT_NE(shed.status().message().find("quarantined"), std::string::npos);
+  EXPECT_GE(CounterValue(&service, "store_breaker_fast_fails_total"), 1u);
+
+  // The medium comes back; after the cooldown the next request is let
+  // through as a half-open probe. It finds the poison, Repair now
+  // succeeds, and the retried commit lands.
+  env.ClearFault();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  StatusOr<int> probe = service.CommitVersion("doc", DocText(1));
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(*probe, 1);
+  {
+    auto statuses = service.StoreStatuses();
+    EXPECT_EQ(statuses[0].health, StoreHealth::kHealthy);
+    EXPECT_EQ(statuses[0].consecutive_failures, 0);
+    EXPECT_GT(statuses[0].faults.rotations, 0u);
+  }
+
+  // Back in business end to end: another commit and a stored-mode diff.
+  ASSERT_TRUE(service.CommitVersion("doc", DocText(2)).ok());
+  DiffRequest request;
+  request.doc_id = "doc";
+  request.from_version = 0;
+  request.to_version = 2;
+  DiffResponse response = service.SubmitSync(std::move(request));
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_GT(response.operations, 0u);
+  service.Shutdown();
+}
+
+TEST(ServiceResilienceTest, ClientErrorsDoNotTripTheBreaker) {
+  DiffServiceOptions options = QuietServiceOptions();
+  options.breaker_failure_threshold = 2;
+  DiffService service(options);
+  ASSERT_TRUE(service.CreateStore("doc", DocText(0)).ok());
+
+  for (int i = 0; i < 5; ++i) {
+    DiffRequest request;
+    request.doc_id = "doc";
+    request.from_version = 0;
+    request.to_version = 99;  // Out of range: the client's fault.
+    DiffResponse response = service.SubmitSync(std::move(request));
+    EXPECT_EQ(response.status.code(), Code::kOutOfRange);
+  }
+  auto statuses = service.StoreStatuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].health, StoreHealth::kHealthy);
+  EXPECT_EQ(CounterValue(&service, "store_breaker_trips_total"), 0u);
+  service.Shutdown();
+}
+
+TEST(ServiceResilienceTest, ScrubNowCoversDurableStoresAndFindsBitRot) {
+  MemEnv env;
+  auto store = VersionStore::Create("svc.log", *ParseSexpr(DocText(0)), {},
+                                    QuietStoreOptions(&env));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (int v = 1; v <= 4; ++v) {
+    ASSERT_TRUE(store->Commit(*ParseSexpr(DocText(v), store->label_table()))
+                    .ok());
+  }
+
+  DiffService service(QuietServiceOptions());
+  ASSERT_TRUE(service.AttachStore("durable", &*store).ok());
+  ASSERT_TRUE(service.CreateStore("ephemeral", DocText(0)).ok());
+
+  // Only the durable store is scrubbable.
+  EXPECT_EQ(service.ScrubNow(), 1);
+  EXPECT_EQ(CounterValue(&service, "store_scrub_runs_total"), 1u);
+  EXPECT_EQ(CounterValue(&service, "store_scrub_corruption_total"), 0u);
+
+  // Flip a cold byte; the next pass catches and repairs it.
+  auto file = env.NewRandomAccessFile("svc.log");
+  ASSERT_TRUE(file.ok());
+  auto scan = ScanLog(file->get());
+  ASSERT_TRUE(scan.ok());
+  ASSERT_GE(scan->records.size(), 2u);
+  ASSERT_TRUE(env.CorruptByte("svc.log",
+                              scan->records[1].offset + kLogRecordHeaderSize,
+                              0x10)
+                  .ok());
+  EXPECT_EQ(service.ScrubNow(), 1);
+  EXPECT_EQ(CounterValue(&service, "store_scrub_corruption_total"), 1u);
+  auto statuses = service.StoreStatuses();
+  ASSERT_EQ(statuses.size(), 2u);  // Ordered by doc_id: durable first.
+  EXPECT_EQ(statuses[0].doc_id, "durable");
+  EXPECT_GT(statuses[0].faults.rotations, 0u);
+  EXPECT_EQ(statuses[1].doc_id, "ephemeral");
+  EXPECT_FALSE(statuses[1].durable);
+
+  // Commits keep landing on the repaired log.
+  StatusOr<int> version = service.CommitVersion("durable", DocText(5));
+  ASSERT_TRUE(version.ok()) << version.status().ToString();
+  EXPECT_EQ(*version, 5);
+  service.Shutdown();
+}
+
+TEST(ServiceResilienceTest, BackgroundScrubberRunsOnItsTimer) {
+  MemEnv env;
+  auto store = VersionStore::Create("svc.log", *ParseSexpr(DocText(0)), {},
+                                    QuietStoreOptions(&env));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  DiffServiceOptions options = QuietServiceOptions();
+  options.scrub_interval_seconds = 0.01;
+  DiffService service(options);
+  ASSERT_TRUE(service.AttachStore("doc", &*store).ok());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (CounterValue(&service, "store_scrub_runs_total") == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(CounterValue(&service, "store_scrub_runs_total"), 0u);
+  service.Shutdown();  // Must join the scrubber without hanging.
+  EXPECT_EQ(store->fault_counters().scrub_corruption, 0u);
+}
+
+}  // namespace
+}  // namespace treediff

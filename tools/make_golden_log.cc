@@ -1,0 +1,80 @@
+// Regenerates tests/testdata/golden_v1_log.hex, the frozen v1 commit-log
+// fixture that GoldenLogTest recovers on every run.
+//
+// DO NOT regenerate casually: the fixture exists to catch *accidental*
+// format changes. If the log format changes on purpose, bump the format
+// (new magic / version), keep Open able to read the old one, rerun this
+// tool, and say so loudly in the change description.
+//
+// Usage: make_golden_log <output-file>
+//
+// The content mirrors tests/salvage_recovery_test.cc's DocText: versions
+// 0..4, one new paragraph per version, checkpoint every 2 commits.
+
+#include <cstdio>
+#include <string>
+
+#include "store/version_store.h"
+#include "tree/builder.h"
+#include "util/fault_env.h"
+
+namespace {
+
+std::string DocText(int v) {
+  std::string s = "(D";
+  for (int p = 0; p <= v; ++p) {
+    s += " (P (S \"para" + std::to_string(p) + " body words\"))";
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_golden_log <output-file>\n");
+    return 2;
+  }
+  using treediff::MemEnv;
+  using treediff::ParseSexpr;
+  using treediff::StoreOptions;
+  using treediff::VersionStore;
+
+  MemEnv env;
+  StoreOptions store_options;
+  store_options.env = &env;
+  store_options.checkpoint_interval = 2;
+  auto store = VersionStore::Create("golden.log", *ParseSexpr(DocText(0)),
+                                    {}, store_options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "create: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  for (int v = 1; v <= 4; ++v) {
+    auto tree = ParseSexpr(DocText(v), store->label_table());
+    if (!tree.ok() || !store->Commit(*tree).ok()) {
+      std::fprintf(stderr, "commit %d failed\n", v);
+      return 1;
+    }
+  }
+  auto bytes = env.FileBytes("golden.log");
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "read: %s\n", bytes.status().ToString().c_str());
+    return 1;
+  }
+
+  std::FILE* out = std::fopen(argv[1], "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  for (size_t i = 0; i < bytes->size(); ++i) {
+    std::fprintf(out, "%02x%s", static_cast<unsigned char>((*bytes)[i]),
+                 (i + 1) % 32 == 0 ? "\n" : "");
+  }
+  if (bytes->size() % 32 != 0) std::fprintf(out, "\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %zu bytes (%s)\n", bytes->size(), argv[1]);
+  return 0;
+}

@@ -13,6 +13,8 @@
 //   OPEN <doc_id> <format> <base_doc>   create an in-memory version store
 //   COMMIT <doc_id> <format> <doc>      commit the next version -> OK <v>
 //   VDIFF <doc_id> <from> <to>          diff two stored versions
+//   STATUS                              per-store health, one line each,
+//                                       terminated by "."
 //   METRICS                             dump the metrics registry
 //   QUIT                                exit (EOF works too)
 //
@@ -157,6 +159,21 @@ int main(int argc, char** argv) {
 
     if (cmd == "QUIT") break;
 
+    if (cmd == "STATUS") {
+      for (const DiffService::StoreStatus& s : service.StoreStatuses()) {
+        std::cout << "store=" << s.doc_id << " versions=" << s.versions
+                  << " durable=" << (s.durable ? 1 : 0)
+                  << " health=" << treediff::StoreHealthName(s.health)
+                  << " failures=" << s.consecutive_failures
+                  << " retries=" << s.faults.transient_retries
+                  << " rotations=" << s.faults.rotations
+                  << " scrubs=" << s.faults.scrubs << "\n";
+      }
+      std::cout << ".\n";
+      std::cout.flush();
+      continue;
+    }
+
     if (cmd == "METRICS") {
       std::cout << service.metrics().TextExposition() << ".\n";
       std::cout.flush();
@@ -233,7 +250,7 @@ int main(int argc, char** argv) {
 
     PrintError(treediff::Status::InvalidArgument(
         "bad request \"" + cmd + "\" (or wrong field count); commands: "
-        "DIFF OPEN COMMIT VDIFF METRICS QUIT"));
+        "DIFF OPEN COMMIT VDIFF STATUS METRICS QUIT"));
     std::cout.flush();
   }
   service.Shutdown();
