@@ -2,9 +2,11 @@
 
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "core/matcher.h"
 #include "core/post_process.h"
+#include "core/share_map.h"
 #include "util/timer.h"
 
 namespace treediff {
@@ -48,13 +50,37 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
   // degradation contract: bounded work instead of an error.
   DiffRung rung = options.start_rung;
   std::optional<Matching> matching;
-  for (;;) {
-    MatchResult attempt = MatcherForRung(rung).Run(ctx);
-    if (attempt.matching.has_value()) {
-      matching = std::move(attempt.matching);
-      break;
+  std::vector<std::pair<NodeId, NodeId>> settled;
+  if (options.reuse_matching != nullptr) {
+    // Chain reuse (service layer): the caller vouches that this matching was
+    // produced by a prior DiffTrees over byte-identical trees, so phase 1 is
+    // skipped outright and generation proceeds from the cached matching.
+    matching = *options.reuse_matching;
+    report.matching_reused = true;
+  } else {
+    // The share-map pre-pass settles byte-identical subtrees wholesale
+    // before the ladder runs, shrinking every matcher's working set to the
+    // unsettled frontier. It runs uncharged (like the bounded low rungs) and
+    // only while the budget still holds, so a budget-tripped request
+    // degrades exactly as it would have without the pre-pass.
+    Matching seed(t1.id_bound(), t2.id_bound());
+    if (options.share_mode != ShareMode::kOff && BudgetOk(budget)) {
+      ShareStats share;
+      seed = PrematchSharedSubtrees(
+          ctx, options.share_mode == ShareMode::kIndexed, &share, &settled);
+      report.share_lookups = share.lookups;
+      report.prune_settled_subtrees = share.settled_subtrees;
+      report.prune_settled_nodes = share.settled_nodes;
+      report.prune_collisions = share.collisions;
     }
-    rung = static_cast<DiffRung>(static_cast<int>(rung) + 1);
+    for (;;) {
+      MatchResult attempt = MatcherForRung(rung).Run(ctx, seed);
+      if (attempt.matching.has_value()) {
+        matching = std::move(attempt.matching);
+        break;
+      }
+      rung = static_cast<DiffRung>(static_cast<int>(rung) + 1);
+    }
   }
 
   // The roots of the trees being compared always correspond (the generator
@@ -67,8 +93,10 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
   }
   // The repair passes consult the criteria (and hence the budget); with an
   // exhausted budget they would no-op at best, and a requested
-  // kTopLevelReplace must stay a bare replace.
-  if (BudgetOk(budget) && rung != DiffRung::kTopLevelReplace) {
+  // kTopLevelReplace must stay a bare replace. A reused matching is already
+  // a phase-1 final product — re-running the passes could perturb it.
+  if (!report.matching_reused && BudgetOk(budget) &&
+      rung != DiffRung::kTopLevelReplace) {
     if (options.post_process) {
       stats.post_process_rematched =
           PostProcessMatching(t1, t2, ctx.evaluator(), &matching.value());
@@ -77,6 +105,16 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
       stats.context_completed =
           CompleteContextMatching(t1, t2, &matching.value());
     }
+  }
+  // The repair passes may have re-paired nodes inside a settled region; the
+  // generator may only skip regions that survived intact. Only kIndexed
+  // forwards the settled list: kReference deliberately generates over the
+  // full trees, so the byte-identity discipline (reference vs indexed)
+  // exercises the generator's interior-skipping as well as the share-map.
+  if (options.share_mode == ShareMode::kIndexed) {
+    FilterIntactSettled(t1, t2, *matching, &settled);
+  } else {
+    settled.clear();
   }
   stats.match_seconds = timer.ElapsedSeconds();
   stats.compare_calls = ctx.evaluator().compare_calls();
@@ -91,10 +129,11 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
   StatusOr<EditScriptResult> gen =
       GenerateEditScript(t1, t2, *matching, &ctx.comparator(),
                          /*use_lcs_alignment=*/true, options.cost_model,
-                         gen_budget);
+                         gen_budget, settled.empty() ? nullptr : &settled);
   if (!gen.ok() && IsExhaustion(gen.status().code())) {
     // The budget tripped mid-generation: fall to the last rung. Root-only
-    // matching makes generation O(n); run it budget-free.
+    // matching makes generation O(n); run it budget-free. The settled list
+    // belongs to the discarded matching, so it must not be forwarded.
     rung = DiffRung::kTopLevelReplace;
     matching = RootOnlyMatching(t1, t2);
     gen = GenerateEditScript(t1, t2, *matching, &ctx.comparator(),
@@ -129,9 +168,14 @@ StatusOr<DiffResult> DiffTrees(const Tree& t1, const Tree& t2,
     report.comparisons = stats.compare_calls + stats.partner_checks;
     report.elapsed_seconds = stats.match_seconds + stats.script_seconds;
   }
+  // Report this run's cache traffic only: the comparator may be shared
+  // across DiffTrees calls (the service reuses one per worker), so the
+  // cumulative totals are diffed against the snapshot the context took at
+  // construction.
   const ValueComparator::CacheStats cache = ctx.comparator().cache_stats();
-  report.tokenize_cache_hits = cache.tokenize_hits;
-  report.tokenize_cache_misses = cache.tokenize_misses;
+  const ValueComparator::CacheStats& base = ctx.comparator_baseline();
+  report.tokenize_cache_hits = cache.tokenize_hits - base.tokenize_hits;
+  report.tokenize_cache_misses = cache.tokenize_misses - base.tokenize_misses;
 
   DiffResult result{std::move(*matching), std::move(gen->script), stats,
                     std::move(report)};

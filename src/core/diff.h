@@ -47,8 +47,23 @@ struct DiffReport {
   /// Comparator tokenization-cache traffic (WordLcsComparator dedups token
   /// vectors by 64-bit value hash; see ValueComparator::cache_stats). Both
   /// zero when the caller supplied a comparator without cache accounting.
+  /// Counted per DiffTrees call: a comparator reused across runs reports
+  /// only this run's traffic, not the cumulative totals.
   size_t tokenize_cache_hits = 0;
   size_t tokenize_cache_misses = 0;
+
+  /// Share-map pre-pass counters (DiffOptions::share_mode != kOff): twin
+  /// lookups issued, subtrees (and nodes) settled wholesale before the
+  /// matcher ladder ran, and fingerprint collisions rejected by the
+  /// byte-wise verification.
+  size_t share_lookups = 0;
+  size_t prune_settled_subtrees = 0;
+  size_t prune_settled_nodes = 0;
+  size_t prune_collisions = 0;
+
+  /// True if phase 1 was skipped because the caller supplied
+  /// DiffOptions::reuse_matching (service-level chain reuse).
+  bool matching_reused = false;
 };
 
 /// Counters and measures reported by DiffTrees; these are the quantities the

@@ -6,6 +6,7 @@
 #include "core/compare.h"
 #include "core/cost_model.h"
 #include "core/criteria.h"
+#include "core/matching.h"
 #include "tree/schema.h"
 #include "tree/tree.h"
 #include "tree/tree_index.h"
@@ -41,6 +42,23 @@ enum class DiffRung {
 
 /// "OptimalZs", "FastMatch", "KeyedStructural", or "TopLevelReplace".
 const char* DiffRungName(DiffRung rung);
+
+/// How the share-map pre-pass (core/share_map.h) runs before the matcher
+/// ladder. The pre-pass wholesale-matches identical subtrees so the
+/// matchers and the script generator only work the unsettled remainder:
+///
+///  * kOff — no pre-pass; the matchers solve the whole trees (the exact
+///    pre-share pipeline, byte-stable with it).
+///  * kReference — the pre-pass decision rule evaluated by direct subtree
+///    comparison (no fingerprint index). O(n^2) worst case; exists as the
+///    verification baseline the pruned path is byte-compared against.
+///  * kIndexed — the same decision rule answered through the per-diff
+///    share-map (combined subtree fingerprints -> document-order node
+///    lists, every candidate re-verified by actual subtree comparison).
+///    Produces the identical matching to kReference by construction —
+///    identical subtrees always share a fingerprint and bucket lists
+///    preserve document order — at O(n + shared bytes) cost.
+enum class ShareMode { kOff, kReference, kIndexed };
 
 /// Options controlling the end-to-end change-detection pipeline.
 struct DiffOptions {
@@ -107,6 +125,21 @@ struct DiffOptions {
   /// pipeline; kOptimalZs buys the optimal-baseline script when the budget
   /// affords it; the lower rungs force a cheap match up front.
   DiffRung start_rung = DiffRung::kFastMatch;
+
+  /// Share-map pre-pass mode (see ShareMode). kOff preserves the exact
+  /// pre-share pipeline; kIndexed is the incremental fast path. The
+  /// pre-pass runs uncharged (its work is bounded, like the low ladder
+  /// rungs) but is skipped entirely when the budget is already exhausted.
+  ShareMode share_mode = ShareMode::kOff;
+
+  /// A phase-1 matching to reuse verbatim: the matcher ladder is skipped
+  /// and script generation runs directly on a copy of this matching. The
+  /// caller asserts it was produced by DiffTrees over these same two trees
+  /// (same node-id spaces) — the DiffService's matching cache replays a
+  /// prior run's matching when the same (fingerprint1, fingerprint2) pair
+  /// is served again, making the re-diff byte-identical by construction.
+  /// Must outlive the call. Ignored when null.
+  const Matching* reuse_matching = nullptr;
 };
 
 /// Everything one DiffTrees invocation shares across its stages: the two
@@ -135,6 +168,15 @@ class DiffContext {
   /// The caller's comparator, or the owned default WordLcsComparator.
   const ValueComparator& comparator() const { return *comparator_; }
 
+  /// The comparator's cache counters as they stood when this context was
+  /// built. A caller-supplied comparator accumulates cache traffic across
+  /// diffs; per-run reporting subtracts this baseline so DiffResult::report
+  /// never bleeds a previous run's hits into the next (satellite of the
+  /// shared-comparator serving path).
+  const ValueComparator::CacheStats& comparator_baseline() const {
+    return comparator_baseline_;
+  }
+
   const CriteriaEvaluator& evaluator() const { return evaluator_; }
 
   const Budget* budget() const { return options_.budget; }
@@ -145,6 +187,7 @@ class DiffContext {
   DiffOptions options_;
   std::unique_ptr<WordLcsComparator> owned_comparator_;
   const ValueComparator* comparator_;
+  ValueComparator::CacheStats comparator_baseline_;
   // Built here unless DiffOptions::index1/index2 lend pre-built ones (the
   // tree-cache fast path); index1_/index2_ point at whichever is in use.
   std::unique_ptr<TreeIndex> owned_index1_;

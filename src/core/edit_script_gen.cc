@@ -21,7 +21,8 @@ class ScriptGenerator {
  public:
   ScriptGenerator(const Tree& t1, const Tree& t2, const Matching& matching,
                   const ValueComparator* cmp, bool lcs_align,
-                  const CostModel* costs, const Budget* budget)
+                  const CostModel* costs, const Budget* budget,
+                  const std::vector<std::pair<NodeId, NodeId>>* settled)
       : t2_(t2),
         work_(t1.Clone()),
         work_index_(work_),
@@ -37,6 +38,25 @@ class ScriptGenerator {
       p1_[static_cast<size_t>(x)] = y;
       p2_[static_cast<size_t>(y)] = x;
     }
+    // Interiors of settled regions are op-free for the BFS scan (see the
+    // header contract); mark the strict descendants of every settled T2
+    // root for skipping. Disabled under weighted alignment — a zero-move-
+    // cost model can emit zero-cost moves even inside identical regions.
+    if (settled != nullptr && !settled->empty() &&
+        !(lcs_align && costs != nullptr)) {
+      skip2_.assign(static_cast<size_t>(t2.id_bound()), 0);
+      std::vector<NodeId> stack;
+      for (const auto& [a, b] : *settled) {
+        if (p2_[static_cast<size_t>(b)] != a) continue;  // Defensive.
+        for (NodeId c : t2.children(b)) stack.push_back(c);
+        while (!stack.empty()) {
+          const NodeId d = stack.back();
+          stack.pop_back();
+          skip2_[static_cast<size_t>(d)] = 1;
+          for (NodeId c : t2.children(d)) stack.push_back(c);
+        }
+      }
+    }
   }
 
   Status Run() {
@@ -49,6 +69,9 @@ class ScriptGenerator {
     const std::vector<NodeId> bfs =
         i2 != nullptr ? i2->BfsOrder() : t2_.BfsOrder();
     for (NodeId x : bfs) {
+      // A settled interior charges nothing and emits nothing: the prune is
+      // where generation cost drops from O(document) to O(changed).
+      if (!skip2_.empty() && skip2_[static_cast<size_t>(x)]) continue;
       if (!BudgetChargeNodes(budget_)) return BudgetStatus(budget_);
       NodeId w;
       if (x == t2_.root()) {
@@ -333,6 +356,7 @@ class ScriptGenerator {
   std::vector<NodeId> p2_;
   std::vector<char> in_order1_;
   std::vector<char> in_order2_;
+  std::vector<char> skip2_;
   EditScript script_;
   size_t weighted_ = 0;
   size_t intra_moves_ = 0;
@@ -344,7 +368,8 @@ class ScriptGenerator {
 StatusOr<EditScriptResult> GenerateEditScript(
     const Tree& t1, const Tree& t2, const Matching& matching,
     const ValueComparator* update_cost_comparator, bool use_lcs_alignment,
-    const CostModel* cost_model, const Budget* budget) {
+    const CostModel* cost_model, const Budget* budget,
+    const std::vector<std::pair<NodeId, NodeId>>* settled_subtrees) {
   if (t1.root() == kInvalidNode || t2.root() == kInvalidNode) {
     return Status::FailedPrecondition("both trees must be non-empty");
   }
@@ -381,7 +406,7 @@ StatusOr<EditScriptResult> GenerateEditScript(
   }
 
   ScriptGenerator gen(t1, t2, m, update_cost_comparator, use_lcs_alignment,
-                      cost_model, budget);
+                      cost_model, budget, settled_subtrees);
   TREEDIFF_RETURN_IF_ERROR(gen.Run());
   EditScriptResult result = std::move(gen).TakeResult();
 

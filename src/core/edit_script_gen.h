@@ -1,6 +1,9 @@
 #ifndef TREEDIFF_CORE_EDIT_SCRIPT_GEN_H_
 #define TREEDIFF_CORE_EDIT_SCRIPT_GEN_H_
 
+#include <utility>
+#include <vector>
+
 #include "core/compare.h"
 #include "core/cost_model.h"
 #include "core/edit_script.h"
@@ -76,11 +79,25 @@ struct EditScriptResult {
 /// BFS order is consumed instead of re-traversing; the mutating working copy
 /// of `t1` always gets its own index, which serves O(1) child positions and
 /// subtree leaf counts throughout generation.
+///
+/// `settled_subtrees`, if non-null, lists (t1, t2) root pairs of regions the
+/// share-map pre-pass matched wholesale and that survived the repair passes
+/// intact (core/share_map.h FilterIntactSettled): every pair inside is in
+/// `matching`, values are byte-equal, and child order agrees. The BFS scan
+/// skips the *interiors* of those regions — for such nodes the update, move,
+/// and align phases are provably no-ops, so the skip cannot change the
+/// script. The region roots are still visited (they may move as a unit and
+/// participate in their parent's alignment). Under the weighted-alignment
+/// strategy (use_lcs_alignment with a cost_model) skipping is disabled: a
+/// degenerate cost model with zero move costs makes the
+/// heaviest-subsequence alignment emit zero-cost moves even inside
+/// identical regions, and byte-identity outranks the speedup there.
 StatusOr<EditScriptResult> GenerateEditScript(
     const Tree& t1, const Tree& t2, const Matching& matching,
     const ValueComparator* update_cost_comparator = nullptr,
     bool use_lcs_alignment = true, const CostModel* cost_model = nullptr,
-    const Budget* budget = nullptr);
+    const Budget* budget = nullptr,
+    const std::vector<std::pair<NodeId, NodeId>>* settled_subtrees = nullptr);
 
 }  // namespace treediff
 

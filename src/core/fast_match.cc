@@ -89,8 +89,10 @@ std::vector<LabelId> MergedLabels(
 
 Matching ComputeFastMatch(const Tree& t1, const Tree& t2,
                           const CriteriaEvaluator& eval,
-                          const LabelSchema* schema, int fallback_limit_k) {
-  Matching m(t1.id_bound(), t2.id_bound());
+                          const LabelSchema* schema, int fallback_limit_k,
+                          const Matching* seed) {
+  Matching m = seed != nullptr ? *seed
+                               : Matching(t1.id_bound(), t2.id_bound());
 
   // The per-(label, kind) document-order chains are maintained by the
   // per-tree indexes; the seed rebuilt them here on every call.
@@ -109,6 +111,23 @@ Matching ComputeFastMatch(const Tree& t1, const Tree& t2,
     return labels;
   };
 
+  // With a pre-matched seed, each chain is filtered down to its unsettled
+  // nodes before the LCS sees it: the settled region is invisible to the
+  // chain algebra, so LCS cost tracks the edit, not the document. A node's
+  // chain is processed exactly once, so filtering against the growing `m`
+  // is filtering against the seed for that chain.
+  const bool extend = seed != nullptr;
+  std::vector<NodeId> f1;
+  std::vector<NodeId> f2;
+  auto unsettled = [&m](const std::vector<NodeId>& chain, bool first,
+                        std::vector<NodeId>* out) -> const std::vector<NodeId>& {
+    out->clear();
+    for (NodeId v : chain) {
+      if (first ? !m.HasT1(v) : !m.HasT2(v)) out->push_back(v);
+    }
+    return *out;
+  };
+
   // Step 2: leaf labels first (the internal criterion needs leaf matches).
   // Exhaustion mid-way returns the partial matching built so far; callers
   // detect it via the budget itself.
@@ -116,15 +135,25 @@ Matching ComputeFastMatch(const Tree& t1, const Tree& t2,
   for (LabelId label : ordered_labels(index1.LeafChains(),
                                       index2.LeafChains())) {
     if (!BudgetCheckNow(budget)) break;
-    MatchChain(index1.LeafChain(label), index2.LeafChain(label),
-               /*leaves=*/true, eval, fallback_limit_k, &m);
+    const std::vector<NodeId>& s1 =
+        extend ? unsettled(index1.LeafChain(label), true, &f1)
+               : index1.LeafChain(label);
+    const std::vector<NodeId>& s2 =
+        extend ? unsettled(index2.LeafChain(label), false, &f2)
+               : index2.LeafChain(label);
+    MatchChain(s1, s2, /*leaves=*/true, eval, fallback_limit_k, &m);
   }
   // Step 3: internal labels.
   for (LabelId label : ordered_labels(index1.InternalChains(),
                                       index2.InternalChains())) {
     if (!BudgetCheckNow(budget)) break;
-    MatchChain(index1.InternalChain(label), index2.InternalChain(label),
-               /*leaves=*/false, eval, fallback_limit_k, &m);
+    const std::vector<NodeId>& s1 =
+        extend ? unsettled(index1.InternalChain(label), true, &f1)
+               : index1.InternalChain(label);
+    const std::vector<NodeId>& s2 =
+        extend ? unsettled(index2.InternalChain(label), false, &f2)
+               : index2.InternalChain(label);
+    MatchChain(s1, s2, /*leaves=*/false, eval, fallback_limit_k, &m);
   }
   return m;
 }

@@ -30,10 +30,16 @@ namespace treediff {
 /// of possibly missing out-of-order matches — a controlled
 /// optimality-for-efficiency trade (the result is still a correct matching,
 /// only potentially smaller).
+/// `seed`, when non-null, is the pre-matched region (the share-map
+/// pre-pass's wholesale pairs): the returned matching extends a copy of it,
+/// and every label chain is filtered down to unsettled nodes before the LCS
+/// runs — the chains shrink to the changed regions, which is where the
+/// incremental pipeline's work-proportional-to-edit behaviour comes from.
 Matching ComputeFastMatch(const Tree& t1, const Tree& t2,
                           const CriteriaEvaluator& eval,
                           const LabelSchema* schema = nullptr,
-                          int fallback_limit_k = 0);
+                          int fallback_limit_k = 0,
+                          const Matching* seed = nullptr);
 
 }  // namespace treediff
 

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/share_map.h"
 #include "lcs/lcs.h"
 #include "tree/tree_index.h"
 
@@ -42,14 +43,16 @@ KeyIndex IndexKeys(const Tree& t, const KeyFn& key_fn) {
 }  // namespace
 
 Matching ComputeKeyedMatch(const Tree& t1, const Tree& t2,
-                           const KeyFn& key_fn) {
-  Matching m(t1.id_bound(), t2.id_bound());
+                           const KeyFn& key_fn, const Matching* seed) {
+  Matching m = seed != nullptr ? *seed
+                               : Matching(t1.id_bound(), t2.id_bound());
   KeyIndex index2 = IndexKeys(t2, key_fn);
   KeyIndex index1 = IndexKeys(t1, key_fn);
   for (const auto& [slot, x] : index1) {
     if (x == kInvalidNode) continue;  // Duplicate key in T1.
     auto it = index2.find(slot);
     if (it == index2.end() || it->second == kInvalidNode) continue;
+    if (m.HasT1(x) || m.HasT2(it->second)) continue;  // Settled by the seed.
     m.Add(x, it->second);
   }
   return m;
@@ -57,8 +60,9 @@ Matching ComputeKeyedMatch(const Tree& t1, const Tree& t2,
 
 Matching ComputeHybridMatch(const Tree& t1, const Tree& t2,
                             const KeyFn& key_fn,
-                            const CriteriaEvaluator& eval) {
-  Matching m = ComputeKeyedMatch(t1, t2, key_fn);
+                            const CriteriaEvaluator& eval,
+                            const Matching* seed) {
+  Matching m = ComputeKeyedMatch(t1, t2, key_fn, seed);
 
   // FastMatch over the remainder: per-(label, kind) chains of unmatched
   // nodes, LCS first, then the quadratic fallback (Figure 11 restricted to
@@ -118,43 +122,12 @@ Matching ComputeHybridMatch(const Tree& t1, const Tree& t2,
   return m;
 }
 
-namespace {
-
-/// Exact subtree equality (labels, values, order) — the collision guard
-/// behind the hash buckets. Both trees share one LabelTable (checked by the
-/// caller).
-bool SubtreesIdentical(const Tree& t1, NodeId x, const Tree& t2, NodeId y) {
-  std::vector<std::pair<NodeId, NodeId>> stack = {{x, y}};
-  while (!stack.empty()) {
-    auto [a, b] = stack.back();
-    stack.pop_back();
-    if (t1.label(a) != t2.label(b) || t1.value(a) != t2.value(b)) return false;
-    const auto& ka = t1.children(a);
-    const auto& kb = t2.children(b);
-    if (ka.size() != kb.size()) return false;
-    for (size_t i = 0; i < ka.size(); ++i) stack.push_back({ka[i], kb[i]});
-  }
-  return true;
-}
-
-/// Matches every node of two identical subtrees pairwise.
-void MatchSubtreePair(const Tree& t1, NodeId x, const Tree& t2, NodeId y,
-                      Matching* m) {
-  std::vector<std::pair<NodeId, NodeId>> stack = {{x, y}};
-  while (!stack.empty()) {
-    auto [a, b] = stack.back();
-    stack.pop_back();
-    m->Add(a, b);
-    const auto& ka = t1.children(a);
-    const auto& kb = t2.children(b);
-    for (size_t i = 0; i < ka.size(); ++i) stack.push_back({ka[i], kb[i]});
-  }
-}
-
-}  // namespace
-
-Matching ComputeStructuralMatch(const Tree& t1, const Tree& t2) {
-  Matching m(t1.id_bound(), t2.id_bound());
+Matching ComputeStructuralMatch(const Tree& t1, const Tree& t2,
+                                const Matching* seed) {
+  // SubtreesIdentical / MatchSubtreePair live in core/share_map.h — the
+  // same collision guard and wholesale settling the share-map pre-pass uses.
+  Matching m = seed != nullptr ? *seed
+                               : Matching(t1.id_bound(), t2.id_bound());
   if (t1.root() == kInvalidNode || t2.root() == kInvalidNode) return m;
 
   // Subtree fingerprints come from the trees' indexes — the DiffContext's
@@ -177,8 +150,10 @@ Matching ComputeStructuralMatch(const Tree& t1, const Tree& t2) {
   while (!stack.empty()) {
     const NodeId x = stack.back();
     stack.pop_back();
-    bool matched = false;
-    auto it = by_hash.find(i1->SubtreeHash(x));
+    // A seed pair settles its whole subtree (the pre-pass matches
+    // wholesale), so a settled x needs neither probing nor descent.
+    bool matched = m.HasT1(x);
+    auto it = matched ? by_hash.end() : by_hash.find(i1->SubtreeHash(x));
     if (it != by_hash.end()) {
       for (NodeId y : it->second) {
         if (m.HasT2(y)) continue;

@@ -29,15 +29,22 @@ using KeyFn =
 ///
 /// Duplicate keys on either side are treated as keyless (the guarantee is
 /// void), so the result is always a valid one-to-one matching.
+///
+/// All three entry points accept an optional `seed` — the pre-matched
+/// region from the share-map pre-pass (core/share_map.h). The result
+/// extends a copy of the seed and never re-derives or contradicts a settled
+/// pair: keyed pairs that would collide with the seed are dropped.
 Matching ComputeKeyedMatch(const Tree& t1, const Tree& t2,
-                           const KeyFn& key_fn);
+                           const KeyFn& key_fn,
+                           const Matching* seed = nullptr);
 
 /// Keyed pre-pass + FastMatch over the unkeyed remainder. The returned
 /// matching contains every keyed pair plus the criteria-based pairs for the
 /// rest; suitable as input to GenerateEditScript.
 Matching ComputeHybridMatch(const Tree& t1, const Tree& t2,
                             const KeyFn& key_fn,
-                            const CriteriaEvaluator& eval);
+                            const CriteriaEvaluator& eval,
+                            const Matching* seed = nullptr);
 
 /// A ready-made KeyFn for values of the form "key=K ...": nodes whose value
 /// starts with "key=" are keyed by the token following it. Mirrors how
@@ -57,7 +64,8 @@ std::optional<std::string> ValuePrefixKey(const Tree& tree, NodeId node);
 /// The result is a valid matching for GenerateEditScript (labels of every
 /// pair agree) but can be far from minimal — unlike FastMatch it never pays
 /// for near-miss matches, so heavily edited nodes become delete+insert.
-Matching ComputeStructuralMatch(const Tree& t1, const Tree& t2);
+Matching ComputeStructuralMatch(const Tree& t1, const Tree& t2,
+                                const Matching* seed = nullptr);
 
 }  // namespace treediff
 

@@ -19,8 +19,11 @@ bool Equal(const Tree& t1, NodeId x, const Tree& t2, NodeId y,
 }  // namespace
 
 Matching ComputeMatch(const Tree& t1, const Tree& t2,
-                      const CriteriaEvaluator& eval) {
-  Matching m(t1.id_bound(), t2.id_bound());
+                      const CriteriaEvaluator& eval, const Matching* seed) {
+  // The HasT1/HasT2 guards below make extension natural: settled T1 nodes
+  // are never probed and settled T2 candidates are never taken.
+  Matching m = seed != nullptr ? *seed
+                               : Matching(t1.id_bound(), t2.id_bound());
 
   // T2 candidates bucketed by (label, is-leaf) in document order: exactly
   // the per-label chains the T2 index maintains.

@@ -20,8 +20,13 @@ namespace treediff {
 ///
 /// `eval` carries the thresholds, the comparator, and the instrumentation
 /// counters; it must have been built over the same (t1, t2).
+///
+/// `seed`, when non-null, is the pre-matched region (the share-map
+/// pre-pass's wholesale pairs): the returned matching extends a copy of it,
+/// and settled nodes on either side are skipped rather than re-derived.
 Matching ComputeMatch(const Tree& t1, const Tree& t2,
-                      const CriteriaEvaluator& eval);
+                      const CriteriaEvaluator& eval,
+                      const Matching* seed = nullptr);
 
 }  // namespace treediff
 

@@ -24,7 +24,8 @@ namespace {
 /// cannot fit the DP table or the solver exhausts mid-run.
 class ZsMatcher final : public Matcher {
  public:
-  MatchResult Run(const DiffContext& ctx) const override {
+  MatchResult Run(const DiffContext& ctx,
+                  const Matching& seed) const override {
     const Tree& t1 = ctx.t1();
     const Tree& t2 = ctx.t2();
     const Budget* budget = ctx.budget();
@@ -48,9 +49,13 @@ class ZsMatcher final : public Matcher {
     if (!BudgetOk(budget)) return {};
 
     // A ZS mapping may pair nodes with different labels (relabels); our
-    // edit model never relabels, so keep only the label-equal pairs.
-    Matching m(t1.id_bound(), t2.id_bound());
+    // edit model never relabels, so keep only the label-equal pairs. The
+    // seed's pre-matched pairs take precedence: ZS pairs touching a settled
+    // node are dropped rather than letting the optimal rung un-settle a
+    // verified identical region.
+    Matching m = seed;
     for (const auto& [x, y] : zs.mapping) {
+      if (m.HasT1(x) || m.HasT2(y)) continue;
       if (t1.label(x) == t2.label(y)) m.Add(x, y);
     }
     return {std::move(m)};
@@ -65,15 +70,17 @@ class ZsMatcher final : public Matcher {
 /// already exhausted or trips mid-run (a partial matching is discarded).
 class CriteriaMatcher final : public Matcher {
  public:
-  MatchResult Run(const DiffContext& ctx) const override {
+  MatchResult Run(const DiffContext& ctx,
+                  const Matching& seed) const override {
     const Budget* budget = ctx.budget();
     if (!BudgetOk(budget)) return {};
     const DiffOptions& options = ctx.options();
     Matching m = options.use_fast_match
                      ? ComputeFastMatch(ctx.t1(), ctx.t2(), ctx.evaluator(),
                                         options.schema,
-                                        options.fallback_limit_k)
-                     : ComputeMatch(ctx.t1(), ctx.t2(), ctx.evaluator());
+                                        options.fallback_limit_k, &seed)
+                     : ComputeMatch(ctx.t1(), ctx.t2(), ctx.evaluator(),
+                                    &seed);
     if (!BudgetOk(budget)) return {};
     return {std::move(m)};
   }
@@ -87,8 +94,9 @@ class CriteriaMatcher final : public Matcher {
 /// degradation contract: bounded work instead of an error.
 class StructuralMatcher final : public Matcher {
  public:
-  MatchResult Run(const DiffContext& ctx) const override {
-    return {ComputeStructuralMatch(ctx.t1(), ctx.t2())};
+  MatchResult Run(const DiffContext& ctx,
+                  const Matching& seed) const override {
+    return {ComputeStructuralMatch(ctx.t1(), ctx.t2(), &seed)};
   }
 
   DiffRung rung() const override { return DiffRung::kKeyedStructural; }
@@ -97,8 +105,19 @@ class StructuralMatcher final : public Matcher {
 /// kTopLevelReplace: the rung of last resort, O(n). Never declines.
 class TopLevelMatcher final : public Matcher {
  public:
-  MatchResult Run(const DiffContext& ctx) const override {
-    return {RootOnlyMatching(ctx.t1(), ctx.t2())};
+  MatchResult Run(const DiffContext& ctx,
+                  const Matching& seed) const override {
+    const Tree& t1 = ctx.t1();
+    const Tree& t2 = ctx.t2();
+    // Pre-matched regions survive even the last rung: the script keeps the
+    // settled subtrees (as moves at worst) instead of replaying them as
+    // delete+insert. With an empty seed this is exactly RootOnlyMatching.
+    Matching m = seed;
+    if (!m.HasT1(t1.root()) && !m.HasT2(t2.root()) &&
+        t1.label(t1.root()) == t2.label(t2.root())) {
+      m.Add(t1.root(), t2.root());
+    }
+    return {std::move(m)};
   }
 
   DiffRung rung() const override { return DiffRung::kTopLevelReplace; }

@@ -25,8 +25,14 @@ class Matcher {
  public:
   virtual ~Matcher() = default;
 
-  /// Attempts to solve the Good Matching problem at this rung.
-  virtual MatchResult Run(const DiffContext& ctx) const = 0;
+  /// Extends a partial matching over the unsettled regions of the trees.
+  /// `seed` carries the pre-matched region — the share-map pre-pass's
+  /// wholesale subtree pairs (core/share_map.h), or an empty matching for a
+  /// whole-tree solve. Every pair of `seed` appears in the result; the
+  /// matcher only works nodes the seed left unsettled, which is what makes
+  /// re-diff cost proportional to the edit instead of the document.
+  virtual MatchResult Run(const DiffContext& ctx,
+                          const Matching& seed) const = 0;
 
   /// The rung this matcher implements.
   virtual DiffRung rung() const = 0;

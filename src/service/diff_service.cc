@@ -73,6 +73,12 @@ DiffService::DiffService(DiffServiceOptions options)
         std::string("diff_rung_total{rung=\"") +
         DiffRungName(static_cast<DiffRung>(r)) + "\"}");
   }
+  prune_subtrees_ = metrics_.counter("diff_prune_subtrees_total");
+  prune_nodes_ = metrics_.counter("diff_prune_nodes_total");
+  prune_collisions_ = metrics_.counter("diff_prune_collisions_total");
+  match_cache_hits_ = metrics_.counter("diff_match_cache_hits_total");
+  match_cache_misses_ = metrics_.counter("diff_match_cache_misses_total");
+  chain_log_hits_ = metrics_.counter("diff_chain_log_hits_total");
   store_retries_ = metrics_.counter("store_retry_total");
   breaker_trips_ = metrics_.counter("store_breaker_trips_total");
   breaker_fast_fails_ = metrics_.counter("store_breaker_fast_fails_total");
@@ -266,6 +272,71 @@ DiffResponse DiffService::SubmitSync(DiffRequest request) {
   return Submit(std::move(request)).get();
 }
 
+std::shared_ptr<const DiffService::MatchingCacheEntry>
+DiffService::LookupMatching(uint64_t key_old, uint64_t key_new,
+                            DiffRung rung) {
+  MutexLock lock(&match_cache_mu_);
+  for (auto it = match_cache_.begin(); it != match_cache_.end(); ++it) {
+    if (it->key_old == key_old && it->key_new == key_new &&
+        it->rung == rung) {
+      match_cache_.splice(match_cache_.begin(), match_cache_, it);
+      return match_cache_.front().entry;
+    }
+  }
+  return nullptr;
+}
+
+void DiffService::StoreMatching(
+    uint64_t key_old, uint64_t key_new, DiffRung rung,
+    std::shared_ptr<const MatchingCacheEntry> entry) {
+  MutexLock lock(&match_cache_mu_);
+  for (const MatchingCacheSlot& slot : match_cache_) {
+    if (slot.key_old == key_old && slot.key_new == key_new &&
+        slot.rung == rung) {
+      return;  // A concurrent request published the same matching first.
+    }
+  }
+  match_cache_.push_front({key_old, key_new, rung, std::move(entry)});
+  const size_t cap = std::max<size_t>(options_.matching_cache_entries, 1);
+  while (match_cache_.size() > cap) match_cache_.pop_back();
+}
+
+bool DiffService::ServeFromChainLog(const DiffRequest& request,
+                                    DiffResponse* response) {
+  if (request.doc_id.empty() || request.from_version < 0 ||
+      request.to_version != request.from_version + 1) {
+    return false;
+  }
+  StoreEntry* entry = FindStore(request.doc_id);
+  if (entry == nullptr) return false;  // Normal path reports kNotFound.
+
+  // The delta that takes from_version to to_version is exactly what the
+  // store replays inside Materialize, so answering with it skips resolve,
+  // matching, and generation outright. The script must be copied out (and
+  // formatted) under the store lock: the DeltaFor pointer dangles across
+  // the next Commit/RollbackHead.
+  bool served = false;
+  size_t operations = 0;
+  std::string text;
+  const Status status = GuardedStoreOp(entry, [&](VersionStore* store) {
+    const EditScript* delta = store->DeltaFor(request.to_version);
+    if (delta == nullptr) return Status::Ok();  // Fall through below.
+    operations = delta->size();
+    if (request.want_script_text) {
+      text = FormatEditScript(*delta, *store->label_table());
+    }
+    served = true;
+    return Status::Ok();
+  });
+  if (!status.ok() || !served) return false;
+
+  response->operations = operations;
+  response->script = std::move(text);
+  response->chain_log_hit = true;
+  chain_log_hits_->Increment();
+  return true;
+}
+
 DiffResponse DiffService::Process(const DiffRequest& request,
                                   Clock::time_point submitted,
                                   bool shed_degraded) {
@@ -314,6 +385,12 @@ DiffResponse DiffService::Process(const DiffRequest& request,
     budgeted = true;
   }
 
+  // Incremental chain path: an adjacent stored-mode request is answered
+  // from the commit log without resolving, matching, or generating.
+  if (options_.incremental && ServeFromChainLog(request, &response)) {
+    return finish(std::move(response));
+  }
+
   // Resolve both documents through the tree cache.
   const Clock::time_point resolve_start = Clock::now();
   StatusOr<std::shared_ptr<const CachedTree>> old_entry = [&] {
@@ -353,6 +430,27 @@ DiffResponse DiffService::Process(const DiffRequest& request,
     diff.start_rung =
         LowerRung(diff.start_rung, options_.degraded_start_rung);
   }
+  if (options_.incremental && diff.share_mode == ShareMode::kOff) {
+    diff.share_mode = ShareMode::kIndexed;
+  }
+
+  // Matching reuse: only for unbudgeted requests (a budget can stop phase 1
+  // anywhere, so only a full, deterministic phase-1 product is cacheable)
+  // and keyed by the content fingerprints of both trees plus the effective
+  // starting rung. The cached matching pins its tree entries, so the node
+  // ids it holds stay valid.
+  std::shared_ptr<const MatchingCacheEntry> reused;
+  const bool cacheable = options_.incremental && !budgeted;
+  if (cacheable) {
+    reused = LookupMatching(old_cached.key, new_cached.key, diff.start_rung);
+    if (reused != nullptr) {
+      diff.reuse_matching = &reused->matching;
+      response.matching_cache_hit = true;
+      match_cache_hits_->Increment();
+    } else {
+      match_cache_misses_->Increment();
+    }
+  }
 
   StatusOr<DiffResult> result =
       DiffTrees(old_cached.tree, new_cached.tree, diff);
@@ -360,6 +458,17 @@ DiffResponse DiffService::Process(const DiffRequest& request,
     response.status = result.status();
     return finish(std::move(response));
   }
+
+  if (cacheable && reused == nullptr && !result->report.degraded) {
+    StoreMatching(old_cached.key, new_cached.key, diff.start_rung,
+                  std::make_shared<MatchingCacheEntry>(
+                      *old_entry, *new_entry, result->matching));
+  }
+  response.pruned_subtrees = result->report.prune_settled_subtrees;
+  response.pruned_nodes = result->report.prune_settled_nodes;
+  prune_subtrees_->Increment(result->report.prune_settled_subtrees);
+  prune_nodes_->Increment(result->report.prune_settled_nodes);
+  prune_collisions_->Increment(result->report.prune_collisions);
 
   response.rung = result->report.rung;
   response.degraded = result->report.degraded;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <functional>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -69,6 +70,12 @@ struct DiffResponse {
   bool cache_hit_old = false;  // Tree cache served the old / new document.
   bool cache_hit_new = false;
 
+  /// Incremental-serving provenance (DiffServiceOptions::incremental).
+  bool matching_cache_hit = false;  // Phase 1 reused a cached matching.
+  bool chain_log_hit = false;       // Answered from the store's commit log.
+  size_t pruned_subtrees = 0;       // Share-map pre-pass wholesale matches.
+  size_t pruned_nodes = 0;          // Nodes settled by those matches.
+
   double queue_seconds = 0.0;    // Submit -> worker pickup.
   double resolve_seconds = 0.0;  // Parse / materialize / cache fetch.
   double match_seconds = 0.0;    // Phase 1 (matching).
@@ -117,6 +124,23 @@ struct DiffServiceOptions {
   double store_retry_backoff_seconds = 0.001;
   int breaker_failure_threshold = 3;
   double breaker_cooldown_seconds = 5.0;
+
+  /// Incremental serving. When on, every request runs the share-map
+  /// pre-pass (DiffOptions::share_mode = kIndexed) so matching and
+  /// generation cost track the edit rather than the document; unbudgeted
+  /// requests additionally reuse the phase-1 matching of an earlier request
+  /// over the same (old, new) content fingerprints; and a stored-mode
+  /// request for adjacent versions (from = to - 1) is answered straight
+  /// from the version store's commit log — the stored delta *is* the
+  /// authoritative diff (Materialize replays it), so no pipeline runs at
+  /// all. Off by default: the service then behaves byte-identically to the
+  /// plain pipeline.
+  bool incremental = false;
+
+  /// Capacity of the (old fingerprint, new fingerprint, rung)-keyed
+  /// phase-1 matching cache used when `incremental` is on. Entries pin
+  /// their tree-cache entries, so size this in tens, not thousands.
+  size_t matching_cache_entries = 64;
 
   /// Period of the background scrubber, which re-verifies the log
   /// checksums of every attached durable store (VersionStore::Scrub);
@@ -245,6 +269,38 @@ class DiffService {
   DiffResponse Process(const DiffRequest& request, Clock::time_point submitted,
                        bool shed_degraded);
 
+  /// One cached phase-1 matching. The entry pins both tree-cache entries:
+  /// the matching's node ids are only meaningful against exactly those
+  /// trees, and pinning them keeps the ids valid for the entry's lifetime.
+  struct MatchingCacheEntry {
+    std::shared_ptr<const CachedTree> old_tree;
+    std::shared_ptr<const CachedTree> new_tree;
+    Matching matching;
+    MatchingCacheEntry(std::shared_ptr<const CachedTree> o,
+                       std::shared_ptr<const CachedTree> n, Matching m)
+        : old_tree(std::move(o)), new_tree(std::move(n)),
+          matching(std::move(m)) {}
+  };
+
+  /// The cached matching for (old fingerprint, new fingerprint, rung), or
+  /// null. A hit is moved to the front of the LRU list.
+  std::shared_ptr<const MatchingCacheEntry> LookupMatching(
+      uint64_t key_old, uint64_t key_new, DiffRung rung)
+      EXCLUDES(match_cache_mu_);
+
+  /// Publishes a phase-1 matching under its key, evicting the LRU tail
+  /// beyond DiffServiceOptions::matching_cache_entries.
+  void StoreMatching(uint64_t key_old, uint64_t key_new, DiffRung rung,
+                     std::shared_ptr<const MatchingCacheEntry> entry)
+      EXCLUDES(match_cache_mu_);
+
+  /// Serve-from-log: answers an adjacent stored-mode request (from = to-1)
+  /// directly from the store's commit log. Returns true and fills
+  /// `response` on success; false means "fall through to the pipeline"
+  /// (non-adjacent, store missing the delta, or store error).
+  bool ServeFromChainLog(const DiffRequest& request, DiffResponse* response)
+      EXCLUDES(stores_mu_);
+
   /// Resolves one document (inline text or stored version) to a cache
   /// entry; `*cache_hit` reports whether parse/materialize was skipped.
   StatusOr<std::shared_ptr<const CachedTree>> ResolveInline(
@@ -281,6 +337,18 @@ class DiffService {
   std::map<std::string, std::unique_ptr<StoreEntry>> stores_
       GUARDED_BY(stores_mu_);
 
+  /// Phase-1 matching cache (incremental serving). A plain mutex + intrusive
+  /// LRU list: the capacity is tens of entries, so a linear key scan beats
+  /// hash-map bookkeeping and keeps eviction trivial.
+  struct MatchingCacheSlot {
+    uint64_t key_old = 0;
+    uint64_t key_new = 0;
+    DiffRung rung = DiffRung::kFastMatch;
+    std::shared_ptr<const MatchingCacheEntry> entry;
+  };
+  Mutex match_cache_mu_;
+  std::list<MatchingCacheSlot> match_cache_ GUARDED_BY(match_cache_mu_);
+
   /// Background scrubber (running only when scrub_interval_seconds > 0;
   /// Shutdown stops and joins it before the worker pool).
   Mutex scrub_mu_;
@@ -298,6 +366,12 @@ class DiffService {
   Counter* cache_hits_ = nullptr;
   Counter* cache_misses_ = nullptr;
   Counter* rung_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
+  Counter* prune_subtrees_ = nullptr;
+  Counter* prune_nodes_ = nullptr;
+  Counter* prune_collisions_ = nullptr;
+  Counter* match_cache_hits_ = nullptr;
+  Counter* match_cache_misses_ = nullptr;
+  Counter* chain_log_hits_ = nullptr;
   Counter* store_retries_ = nullptr;
   Counter* breaker_trips_ = nullptr;
   Counter* breaker_fast_fails_ = nullptr;

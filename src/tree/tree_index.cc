@@ -146,6 +146,16 @@ const std::map<LabelId, std::vector<NodeId>>& TreeIndex::InternalChains()
 
 // ----- Fingerprint tier -----
 
+uint64_t TreeIndex::StructuralHash(NodeId x) const {
+  EnsureFingerprints();
+  return structural_hash_[Idx(x)];
+}
+
+uint64_t TreeIndex::LiteralHash(NodeId x) const {
+  EnsureFingerprints();
+  return literal_hash_[Idx(x)];
+}
+
 uint64_t TreeIndex::SubtreeHash(NodeId x) const {
   EnsureFingerprints();
   return subtree_hash_[Idx(x)];
@@ -273,12 +283,22 @@ void TreeIndex::RebuildOrders() const {
 
 void TreeIndex::RebuildFingerprints() const {
   assert(tree_ != nullptr && "index used after its tree was destroyed");
-  subtree_hash_.assign(tree_->id_bound(), 0);
+  const size_t n = tree_->id_bound();
+  structural_hash_.assign(n, 0);
+  literal_hash_.assign(n, 0);
+  subtree_hash_.assign(n, 0);
   for (NodeId x : post_order_) {
-    uint64_t h = HashCombine(static_cast<uint64_t>(tree_->label(x)),
-                             value_hash_[Idx(x)]);
-    for (NodeId c : tree_->children(x)) h = HashCombine(h, subtree_hash_[Idx(c)]);
-    subtree_hash_[Idx(x)] = h;
+    // Seed the structural hash with 1 so a leaf's structural hash differs
+    // from the "no children" literal seed even when label == value hash.
+    uint64_t sh = HashCombine(1, static_cast<uint64_t>(tree_->label(x)));
+    uint64_t lh = HashCombine(2, value_hash_[Idx(x)]);
+    for (NodeId c : tree_->children(x)) {
+      sh = HashCombine(sh, structural_hash_[Idx(c)]);
+      lh = HashCombine(lh, literal_hash_[Idx(c)]);
+    }
+    structural_hash_[Idx(x)] = sh;
+    literal_hash_[Idx(x)] = lh;
+    subtree_hash_[Idx(x)] = HashCombine(sh, lh);
   }
   fingerprints_dirty_ = false;
 }
@@ -415,7 +435,11 @@ void TreeIndex::OnTruncateDeadTail(size_t bound) {
     leaf_begin_.resize(bound);
     leaf_end_.resize(bound);
   }
-  if (!fingerprints_dirty_) subtree_hash_.resize(bound);
+  if (!fingerprints_dirty_) {
+    structural_hash_.resize(bound);
+    literal_hash_.resize(bound);
+    subtree_hash_.resize(bound);
+  }
 }
 
 void TreeIndex::OnBulkStructureChange() {

@@ -39,9 +39,10 @@ uint64_t NodeValueHash(const Tree& t, NodeId x);
 ///  * order tier — pre/post/BFS orders, Euler intervals, the leaf sequence
 ///    with per-node leaf ranges, and per-label node chains. Invalidated by
 ///    structural edits and rebuilt lazily on next access.
-///  * fingerprint tier — 64-bit subtree fingerprints over (label, value
-///    hash, child fingerprints). Invalidated by any edit (including value
-///    updates) and rebuilt lazily.
+///  * fingerprint tier — 64-bit subtree fingerprints, split into a
+///    structural hash (labels + shape), a literal hash (values), and their
+///    combination (the share-map key). Invalidated by any edit (including
+///    value updates) and rebuilt lazily.
 ///
 /// A patched index is indistinguishable from a freshly built one (asserted
 /// by index_consistency_test). The index dies gracefully when its tree is
@@ -120,10 +121,26 @@ class TreeIndex {
 
   // ----- Fingerprint tier (lazily rebuilt after any edit) -----
 
-  /// 64-bit fingerprint of the subtree rooted at `x`, combining label,
-  /// value hash, and child fingerprints in order. Equal subtrees (labels,
-  /// values, shapes) always agree; unequal ones collide with probability
-  /// ~2^-64. 0 for dead nodes.
+  /// 64-bit *structural* fingerprint of the subtree rooted at `x`: labels
+  /// and shape only (label + child structural hashes in order), blind to
+  /// values. Two subtrees agree iff they have the same labeled shape —
+  /// the diff_heap-style signal that a value edit left the skeleton
+  /// intact. 0 for dead nodes.
+  uint64_t StructuralHash(NodeId x) const;
+
+  /// 64-bit *literal* fingerprint of the subtree rooted at `x`: value
+  /// hashes only (value hash + child literal hashes in order), blind to
+  /// labels. Complements StructuralHash; the pair distinguishes "same
+  /// shape, new text" from "same text, new shape". 0 for dead nodes.
+  uint64_t LiteralHash(NodeId x) const;
+
+  /// 64-bit combined fingerprint of the subtree rooted at `x`: the
+  /// structural and literal hashes mixed, so it covers labels, values, and
+  /// shape at once. Equal subtrees (labels, values, shapes) always agree;
+  /// unequal ones collide with probability ~2^-64 — which is why every
+  /// consumer that promises exactness (the share-map pre-pass, the
+  /// structural matcher) re-verifies candidates by actual subtree
+  /// comparison. 0 for dead nodes.
   uint64_t SubtreeHash(NodeId x) const;
 
   // ----- Shared read-only use -----
@@ -194,7 +211,10 @@ class TreeIndex {
   mutable std::map<LabelId, std::vector<NodeId>> leaf_chains_;
   mutable std::map<LabelId, std::vector<NodeId>> internal_chains_;
 
-  // Fingerprint tier.
+  // Fingerprint tier. subtree_hash_ is HashCombine(structural, literal),
+  // precomputed because it is the hot key of the share-map pre-pass.
+  mutable std::vector<uint64_t> structural_hash_;
+  mutable std::vector<uint64_t> literal_hash_;
   mutable std::vector<uint64_t> subtree_hash_;
 
   mutable bool scalars_dirty_ = true;

@@ -55,7 +55,8 @@ TEST_F(MatcherTest, EveryRungProducesAMatchingUnbudgeted) {
   for (DiffRung rung :
        {DiffRung::kOptimalZs, DiffRung::kFastMatch,
         DiffRung::kKeyedStructural, DiffRung::kTopLevelReplace}) {
-    MatchResult result = MatcherForRung(rung).Run(ctx);
+    MatchResult result =
+        MatcherForRung(rung).Run(ctx, Matching(t1_.id_bound(), t2_.id_bound()));
     ASSERT_TRUE(result.matching.has_value()) << DiffRungName(rung);
     // Every matcher's pairs are label-legal (the edit model never relabels).
     for (const auto& [x, y] : result.matching->Pairs()) {
@@ -67,8 +68,8 @@ TEST_F(MatcherTest, EveryRungProducesAMatchingUnbudgeted) {
 TEST_F(MatcherTest, CriteriaMatcherAgreesWithDirectFastMatch) {
   DiffOptions options;
   DiffContext ctx(t1_, t2_, options);
-  MatchResult via_registry =
-      MatcherForRung(DiffRung::kFastMatch).Run(ctx);
+  MatchResult via_registry = MatcherForRung(DiffRung::kFastMatch)
+                                 .Run(ctx, Matching(t1_.id_bound(), t2_.id_bound()));
   ASSERT_TRUE(via_registry.matching.has_value());
   Matching direct = ComputeFastMatch(t1_, t2_, ctx.evaluator(),
                                      options.schema, options.fallback_limit_k);
@@ -79,7 +80,8 @@ TEST_F(MatcherTest, StructuralMatcherAgreesWithDirectCall) {
   DiffOptions options;
   DiffContext ctx(t1_, t2_, options);
   MatchResult via_registry =
-      MatcherForRung(DiffRung::kKeyedStructural).Run(ctx);
+      MatcherForRung(DiffRung::kKeyedStructural)
+          .Run(ctx, Matching(t1_.id_bound(), t2_.id_bound()));
   ASSERT_TRUE(via_registry.matching.has_value());
   EXPECT_EQ(via_registry.matching->Pairs(),
             ComputeStructuralMatch(t1_, t2_).Pairs());
@@ -91,7 +93,8 @@ TEST_F(MatcherTest, ZsMatcherDeclinesWhenTheTableCannotFit) {
   DiffOptions options;
   options.budget = &budget;
   DiffContext ctx(t1_, t2_, options);
-  MatchResult result = MatcherForRung(DiffRung::kOptimalZs).Run(ctx);
+  MatchResult result = MatcherForRung(DiffRung::kOptimalZs)
+                           .Run(ctx, Matching(t1_.id_bound(), t2_.id_bound()));
   EXPECT_FALSE(result.matching.has_value());
 }
 
@@ -106,14 +109,17 @@ TEST_F(MatcherTest, CriteriaMatcherDeclinesOnExhaustedBudget) {
   while (budget.ChargeNodes(1)) {
   }
   ASSERT_TRUE(budget.exhausted());
-  MatchResult result = MatcherForRung(DiffRung::kFastMatch).Run(ctx);
+  MatchResult result = MatcherForRung(DiffRung::kFastMatch)
+                           .Run(ctx, Matching(t1_.id_bound(), t2_.id_bound()));
   EXPECT_FALSE(result.matching.has_value());
 }
 
 TEST_F(MatcherTest, TopLevelMatcherPairsOnlyEqualLabeledRoots) {
   DiffOptions options;
   DiffContext ctx(t1_, t2_, options);
-  MatchResult result = MatcherForRung(DiffRung::kTopLevelReplace).Run(ctx);
+  MatchResult result =
+      MatcherForRung(DiffRung::kTopLevelReplace)
+          .Run(ctx, Matching(t1_.id_bound(), t2_.id_bound()));
   ASSERT_TRUE(result.matching.has_value());
   ASSERT_EQ(result.matching->Pairs().size(), 1u);
   EXPECT_EQ(result.matching->PartnerOfT2(t2_.root()), t1_.root());

@@ -21,11 +21,19 @@
 // <format> is "sexpr" or "xml". Responses:
 //
 //   OK [<field>...]      success; DIFF/VDIFF append rung=<name> ops=<n>
-//                        degraded=<0|1> cache=<0|1><0|1>, then the edit
-//                        script, one operation per line, terminated by "."
+//                        degraded=<0|1> cache=<0|1><0|1> pruned=<n>
+//                        mcache=<0|1> chain=<0|1>, then the edit script,
+//                        one operation per line, terminated by "."
 //   ERR <Code> <message> failure (one line)
 //
 // Usage: treediff_serve [--threads N] [--queue N] [--deadline SECONDS]
+//                        [--incremental on|off]
+//
+// --incremental (default on) turns on incremental serving: the share-map
+// pre-pass prunes unchanged subtrees out of every diff, repeated diffs of
+// the same document pair reuse the cached phase-1 matching, and adjacent
+// VDIFFs are answered straight from the store's commit log. STATUS gains a
+// PRUNE line with the cumulative counters.
 
 #include <cerrno>
 #include <climits>
@@ -102,7 +110,10 @@ void PrintDiffResponse(const DiffResponse& response) {
             << " ops=" << response.operations
             << " degraded=" << (response.degraded ? 1 : 0) << " cache="
             << (response.cache_hit_old ? 1 : 0)
-            << (response.cache_hit_new ? 1 : 0) << "\n";
+            << (response.cache_hit_new ? 1 : 0)
+            << " pruned=" << response.pruned_subtrees
+            << " mcache=" << (response.matching_cache_hit ? 1 : 0)
+            << " chain=" << (response.chain_log_hit ? 1 : 0) << "\n";
   std::cout << response.script;
   std::cout << ".\n";
 }
@@ -111,6 +122,7 @@ void PrintDiffResponse(const DiffResponse& response) {
 
 int main(int argc, char** argv) {
   DiffServiceOptions options;
+  options.incremental = true;  // The serving tool defaults to incremental.
   double default_deadline = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -141,10 +153,21 @@ int main(int argc, char** argv) {
                      "treediff_serve: --deadline wants seconds (>= 0)\n");
         return 2;
       }
+    } else if (arg == "--incremental") {
+      const char* v = next();
+      if (v != nullptr && std::strcmp(v, "on") == 0) {
+        options.incremental = true;
+      } else if (v != nullptr && std::strcmp(v, "off") == 0) {
+        options.incremental = false;
+      } else {
+        std::fprintf(stderr,
+                     "treediff_serve: --incremental wants on|off\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: treediff_serve [--threads N] [--queue N] "
-                   "[--deadline SECONDS]\n");
+                   "[--deadline SECONDS] [--incremental on|off]\n");
       return 2;
     }
   }
@@ -160,6 +183,16 @@ int main(int argc, char** argv) {
     if (cmd == "QUIT") break;
 
     if (cmd == "STATUS") {
+      treediff::MetricsRegistry& m = service.metrics();
+      std::cout << "PRUNE subtrees="
+                << m.counter("diff_prune_subtrees_total")->Value()
+                << " nodes=" << m.counter("diff_prune_nodes_total")->Value()
+                << " collisions="
+                << m.counter("diff_prune_collisions_total")->Value()
+                << " mcache_hits="
+                << m.counter("diff_match_cache_hits_total")->Value()
+                << " chain_hits="
+                << m.counter("diff_chain_log_hits_total")->Value() << "\n";
       for (const DiffService::StoreStatus& s : service.StoreStatuses()) {
         std::cout << "store=" << s.doc_id << " versions=" << s.versions
                   << " durable=" << (s.durable ? 1 : 0)
