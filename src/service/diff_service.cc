@@ -83,6 +83,7 @@ DiffService::DiffService(DiffServiceOptions options)
   breaker_trips_ = metrics_.counter("store_breaker_trips_total");
   breaker_fast_fails_ = metrics_.counter("store_breaker_fast_fails_total");
   store_repairs_ = metrics_.counter("store_repairs_total");
+  store_failovers_ = metrics_.counter("store_failovers_total");
   scrub_runs_ = metrics_.counter("store_scrub_runs_total");
   scrub_corruption_found_ = metrics_.counter("store_scrub_corruption_total");
   queue_wait_h_ = metrics_.histogram("diff_queue_wait_seconds");
@@ -134,6 +135,14 @@ int DiffService::ScrubNow() {
   }
   int scrubbed = 0;
   for (StoreEntry* entry : entries) {
+    if (entry->replicated != nullptr) {
+      // The group scrubs the primary's log *and* re-verifies every
+      // follower's CRC chain (divergence detection + resync).
+      entry->replicated->Scrub().IgnoreError();
+      scrub_runs_->Increment();
+      ++scrubbed;
+      continue;
+    }
     MutexLock lock(&entry->mu);
     if (!entry->store->durable()) continue;
     const StatusOr<ScrubReport> report = entry->store->Scrub();
@@ -160,12 +169,20 @@ std::vector<DiffService::StoreStatus> DiffService::StoreStatuses() {
   for (const auto& [id, entry] : entries) {
     StoreStatus status;
     status.doc_id = id;
-    MutexLock lock(&entry->mu);
-    status.versions = entry->store->VersionCount();
-    status.durable = entry->store->durable();
-    status.faults = entry->store->fault_counters();
-    status.health = entry->health;
-    status.consecutive_failures = entry->consecutive_failures;
+    {
+      MutexLock lock(&entry->mu);
+      status.versions = entry->store->VersionCount();
+      status.durable = entry->store->durable();
+      status.faults = entry->store->fault_counters();
+      status.health = entry->health;
+      status.consecutive_failures = entry->consecutive_failures;
+    }
+    if (entry->replicated != nullptr) {
+      status.replicated = true;
+      status.repl_epoch = entry->replicated->epoch();
+      status.repl_primary = entry->replicated->primary_index();
+      status.replicas = entry->replicated->Replicas();
+    }
     statuses.push_back(std::move(status));
   }
   return statuses;
@@ -220,6 +237,23 @@ Status DiffService::GuardedStoreOp(
     ++entry->consecutive_failures;
     if (entry->consecutive_failures >=
         std::max(options_.breaker_failure_threshold, 1)) {
+      // A replicated entry has a stronger recovery rung than quarantine:
+      // fail away from the sick primary. Promote the most-caught-up
+      // follower (fenced: the epoch bump invalidates the deposed
+      // primary's leases) and probe the new primary with the same op.
+      if (entry->replicated != nullptr &&
+          entry->replicated->Promote().ok()) {
+        store_failovers_->Increment();
+        entry->primary_holder = entry->replicated->primary();
+        entry->store = entry->primary_holder.get();
+        entry->consecutive_failures = 0;
+        last = op(entry->store);
+        if (last.ok()) {
+          entry->health = StoreHealth::kHealthy;
+          return last;
+        }
+        ++entry->consecutive_failures;  // New primary is failing too.
+      }
       entry->health = StoreHealth::kQuarantined;
       entry->quarantined_until =
           Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -520,7 +554,16 @@ StatusOr<std::shared_ptr<const CachedTree>> DiffService::ResolveVersion(
     return Status::NotFound("no store attached under doc_id \"" + doc_id +
                             "\"");
   }
-  const uint64_t key = TreeCache::FingerprintVersion(doc_id, version);
+  // Replicated stores salt the cache key with the group epoch: a version
+  // number can be reused across a failover (a non-quorum-acked commit lost
+  // with the deposed primary, then the slot recommitted under the new
+  // epoch), and an unsalted key would keep serving the dead timeline.
+  const uint64_t key =
+      entry->replicated != nullptr
+          ? TreeCache::FingerprintVersion(
+                doc_id + "@e" + std::to_string(entry->replicated->epoch()),
+                version)
+          : TreeCache::FingerprintVersion(doc_id, version);
   if (auto cached = cache_.Lookup(key)) {
     *cache_hit = true;
     cache_hits_->Increment();
@@ -538,7 +581,11 @@ StatusOr<std::shared_ptr<const CachedTree>> DiffService::ResolveVersion(
           std::to_string(store->VersionCount() - 1) + "] for \"" + doc_id +
           "\"");
     }
-    StatusOr<Tree> materialized = store->Materialize(version);
+    // Replicated reads go through the group, which prefers a caught-up
+    // follower within the staleness bound and falls back to the primary.
+    StatusOr<Tree> materialized = entry->replicated != nullptr
+                                      ? entry->replicated->Materialize(version)
+                                      : store->Materialize(version);
     if (!materialized.ok()) return materialized.status();
     tree = std::move(materialized).value();
     return Status::Ok();
@@ -599,13 +646,60 @@ StatusOr<int> DiffService::CommitVersion(const std::string& doc_id,
                               ? ParseSexpr(doc, store->label_table())
                               : ParseXml(doc, store->label_table());
     if (!tree.ok()) return tree.status();
-    StatusOr<int> committed = store->Commit(*tree);
+    // Replicated commits go through the group: a lease minted now fences
+    // the write against concurrent failovers, and quorum mode blocks for
+    // follower acks. Direct store->Commit would bypass both.
+    StatusOr<int> committed = entry->replicated != nullptr
+                                  ? entry->replicated->Commit(*tree)
+                                  : store->Commit(*tree);
     if (!committed.ok()) return committed.status();
     version = *committed;
     return Status::Ok();
   });
   if (!status.ok()) return status;
   return version;
+}
+
+Status DiffService::AttachReplicatedStore(
+    const std::string& doc_id, std::shared_ptr<ReplicatedVersionStore> group) {
+  if (group == nullptr) {
+    return Status::InvalidArgument("AttachReplicatedStore: null group");
+  }
+  auto entry = std::make_unique<StoreEntry>();
+  entry->replicated = std::move(group);
+  {
+    MutexLock entry_lock(&entry->mu);
+    entry->primary_holder = entry->replicated->primary();
+    entry->store = entry->primary_holder.get();
+  }
+  WriterMutexLock lock(&stores_mu_);
+  auto [it, inserted] = stores_.emplace(doc_id, nullptr);
+  if (!inserted) {
+    return Status::FailedPrecondition("doc_id \"" + doc_id +
+                                      "\" already attached");
+  }
+  it->second = std::move(entry);
+  return Status::Ok();
+}
+
+Status DiffService::CreateReplicatedStore(const std::string& doc_id,
+                                          const std::string& base_doc,
+                                          std::vector<ReplicaConfig> replicas,
+                                          AckMode ack_mode,
+                                          DiffRequest::Format format) {
+  StatusOr<Tree> base = ParseDoc(base_doc, format);
+  if (!base.ok()) return base.status();
+  ReplicationOptions repl;
+  repl.ack_mode = ack_mode;
+  repl.metrics = &metrics_;
+  repl.store_options.metrics = &metrics_;
+  repl.store_options.sleep = options_.sleep;
+  auto group = ReplicatedVersionStore::Create(
+      std::move(replicas), std::move(base).value(), options_.diff, repl);
+  if (!group.ok()) return group.status();
+  return AttachReplicatedStore(doc_id,
+                               std::shared_ptr<ReplicatedVersionStore>(
+                                   std::move(*group)));
 }
 
 }  // namespace treediff

@@ -13,6 +13,7 @@
 
 #include "core/diff.h"
 #include "service/tree_cache.h"
+#include "store/replication.h"
 #include "store/version_store.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
@@ -204,6 +205,28 @@ class DiffService {
                      DiffRequest::Format format = DiffRequest::Format::kSexpr)
       EXCLUDES(stores_mu_);
 
+  /// Attaches a replication group under `doc_id`. Reads and commits route
+  /// through the group (staleness-bounded follower reads, lease-fenced
+  /// quorum commits), and the circuit breaker gains a stronger recovery
+  /// rung: when the current primary fails past the breaker threshold, the
+  /// service promotes the most-caught-up follower (fenced failover) and
+  /// retries, instead of quarantining a store it could fail away from.
+  Status AttachReplicatedStore(const std::string& doc_id,
+                               std::shared_ptr<ReplicatedVersionStore> group)
+      EXCLUDES(stores_mu_);
+
+  /// Creates and attaches a service-owned replication group: the base
+  /// document is parsed into the service's label table and becomes version
+  /// 0 on replicas[0] (the initial primary); the remaining replicas catch
+  /// up by log shipping. The group's metrics land in this service's
+  /// registry.
+  Status CreateReplicatedStore(
+      const std::string& doc_id, const std::string& base_doc,
+      std::vector<ReplicaConfig> replicas,
+      AckMode ack_mode = AckMode::kLeaderOnly,
+      DiffRequest::Format format = DiffRequest::Format::kSexpr)
+      EXCLUDES(stores_mu_);
+
   /// Commits a new version to a store created with CreateStore or attached
   /// with AttachStore. Returns the new version number.
   StatusOr<int> CommitVersion(
@@ -220,6 +243,12 @@ class DiffService {
     StoreHealth health = StoreHealth::kHealthy;
     int consecutive_failures = 0;
     VersionStore::FaultCounters faults;
+
+    /// Replication view (empty/zero for unreplicated stores).
+    bool replicated = false;
+    uint64_t repl_epoch = 0;
+    int repl_primary = -1;
+    std::vector<ReplicaStatus> replicas;
   };
 
   /// Status of every attached store, ordered by doc_id.
@@ -250,10 +279,18 @@ class DiffService {
     /// Serializes all use of the store, including parses into its
     /// LabelTable (which Commit-side parsing mutates).
     Mutex mu;
-    /// Attached or owned.get(); the pointer is set once before the entry
-    /// is published under stores_mu_, so only dereferences need `mu`.
+    /// Attached or owned.get(); set before the entry is published under
+    /// stores_mu_. For replicated entries this tracks the group's *current
+    /// primary* and is re-pointed (under `mu`) when a breaker-driven
+    /// failover promotes a follower.
     VersionStore* store PT_GUARDED_BY(mu) = nullptr;
     std::unique_ptr<VersionStore> owned;  // CreateStore-owned stores.
+
+    /// Replication group (null for plain stores; set once before publish).
+    /// `primary_holder` pins the current primary so `store` cannot dangle
+    /// across the group's own lifecycle events.
+    std::shared_ptr<ReplicatedVersionStore> replicated;
+    std::shared_ptr<VersionStore> primary_holder GUARDED_BY(mu);
 
     /// Circuit-breaker state (see StoreHealth). Only server-side failures
     /// count toward the threshold — a client asking for a version that
@@ -376,6 +413,7 @@ class DiffService {
   Counter* breaker_trips_ = nullptr;
   Counter* breaker_fast_fails_ = nullptr;
   Counter* store_repairs_ = nullptr;
+  Counter* store_failovers_ = nullptr;
   Counter* scrub_runs_ = nullptr;
   Counter* scrub_corruption_found_ = nullptr;
   Histogram* queue_wait_h_ = nullptr;

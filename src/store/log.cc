@@ -8,17 +8,51 @@
 
 namespace treediff {
 
+namespace {
+
+// Epochs travel as fixed32 in the record header: a replication group that
+// fails over 4 billion times has other problems, and a fixed-width field
+// keeps the header scannable without varint decoding in the resync loop.
+void PutEpoch(std::string* out, uint64_t epoch) {
+  PutFixed32(out, static_cast<uint32_t>(epoch));
+}
+
+uint32_t RecordCrc(LogFormat format, LogRecordType type, uint64_t epoch,
+                   std::string_view payload) {
+  uint8_t type_byte = static_cast<uint8_t>(type);
+  uint32_t crc = Crc32cExtend(0, &type_byte, 1);
+  if (format == LogFormat::kV2) {
+    std::string epoch_bytes;
+    PutEpoch(&epoch_bytes, epoch);
+    crc = Crc32cExtend(crc, epoch_bytes.data(), epoch_bytes.size());
+  }
+  return Crc32cExtend(crc, payload.data(), payload.size());
+}
+
+std::string EncodeRecord(LogFormat format, LogRecordType type,
+                         std::string_view payload, uint64_t epoch) {
+  std::string out;
+  out.reserve(LogRecordHeaderSize(format) + payload.size());
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&out, Crc32cMask(RecordCrc(format, type, epoch, payload)));
+  out.push_back(static_cast<char>(type));
+  if (format == LogFormat::kV2) PutEpoch(&out, epoch);
+  out.append(payload);
+  return out;
+}
+
+}  // namespace
+
 Status LogWriter::AppendRecord(LogRecordType type, std::string_view payload) {
   if (payload.size() > kLogMaxRecordSize) {
     return Status::InvalidArgument("log record exceeds the 1 GiB cap");
   }
   std::string header;
-  header.reserve(kLogRecordHeaderSize);
+  header.reserve(LogRecordHeaderSize(format_));
   PutFixed32(&header, static_cast<uint32_t>(payload.size()));
-  uint32_t crc = Crc32cExtend(0, &type, 1);
-  crc = Crc32cExtend(crc, payload.data(), payload.size());
-  PutFixed32(&header, Crc32cMask(crc));
+  PutFixed32(&header, Crc32cMask(RecordCrc(format_, type, epoch_, payload)));
   header.push_back(static_cast<char>(type));
+  if (format_ == LogFormat::kV2) PutEpoch(&header, epoch_);
   // One Append per buffer: the header+payload boundary is a fault point the
   // recovery test exercises, so keep the write pattern simple and ordered.
   TREEDIFF_RETURN_IF_ERROR(file_->Append(header));
@@ -29,37 +63,42 @@ Status LogWriter::AppendRecord(LogRecordType type, std::string_view payload) {
 
 namespace {
 
-// True if the bytes at data[pos..] form a complete, checksum-valid record.
-// Used both for the normal forward scan and as the resync predicate when
-// salvaging past corruption.
-bool ValidRecordAt(const std::string& data, uint64_t pos) {
-  if (pos + kLogRecordHeaderSize > data.size()) return false;
+// True if the bytes at data[pos..] form a complete, checksum-valid record
+// in the given framing. Used both for the normal forward scan and as the
+// resync predicate when salvaging past corruption.
+bool ValidRecordAt(const std::string& data, uint64_t pos, LogFormat format) {
+  const size_t header_size = LogRecordHeaderSize(format);
+  if (pos + header_size > data.size()) return false;
   uint32_t len = DecodeFixed32(data.data() + pos);
   uint32_t stored_crc = DecodeFixed32(data.data() + pos + 4);
   uint8_t type = static_cast<uint8_t>(data[pos + 8]);
   if (len > kLogMaxRecordSize) return false;
+  const uint8_t max_type = format == LogFormat::kV1
+                               ? static_cast<uint8_t>(LogRecordType::kRollback)
+                               : static_cast<uint8_t>(LogRecordType::kEpoch);
   if (type < static_cast<uint8_t>(LogRecordType::kSnapshot) ||
-      type > static_cast<uint8_t>(LogRecordType::kRollback)) {
+      type > max_type) {
     return false;
   }
-  if (pos + kLogRecordHeaderSize + len > data.size()) return false;
+  if (pos + header_size + len > data.size()) return false;
   uint32_t crc = Crc32cExtend(0, &type, 1);
-  crc = Crc32cExtend(crc, data.data() + pos + kLogRecordHeaderSize, len);
+  // In format 2 the epoch bytes sit between the type byte and the payload
+  // and are covered by the checksum, so a flipped epoch is caught exactly
+  // like a flipped payload byte.
+  crc = Crc32cExtend(crc, data.data() + pos + kLogRecordHeaderSize,
+                     header_size - kLogRecordHeaderSize + len);
   return Crc32cMask(crc) == stored_crc;
 }
 
 }  // namespace
 
 std::string EncodeLogRecord(LogRecordType type, std::string_view payload) {
-  std::string out;
-  out.reserve(kLogRecordHeaderSize + payload.size());
-  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
-  uint32_t crc = Crc32cExtend(0, &type, 1);
-  crc = Crc32cExtend(crc, payload.data(), payload.size());
-  PutFixed32(&out, Crc32cMask(crc));
-  out.push_back(static_cast<char>(type));
-  out.append(payload);
-  return out;
+  return EncodeRecord(LogFormat::kV1, type, payload, 0);
+}
+
+std::string EncodeLogRecordV2(LogRecordType type, std::string_view payload,
+                              uint64_t epoch) {
+  return EncodeRecord(LogFormat::kV2, type, payload, epoch);
 }
 
 StatusOr<LogScanResult> ScanLog(RandomAccessFile* file,
@@ -79,10 +118,18 @@ StatusOr<LogScanResult> ScanLog(RandomAccessFile* file,
     // read, not a short file. Truncating on it would destroy good data.
     return Status::Unavailable("short read of log magic; retry the scan");
   }
-  if (magic->size() < kLogMagicSize ||
-      std::memcmp(magic->data(), kLogMagic, kLogMagicSize) != 0) {
+  if (magic->size() < kLogMagicSize) {
     return Status::ParseError("not a treediff commit log (bad magic)");
   }
+  if (std::memcmp(magic->data(), kLogMagic, kLogMagicSize) == 0) {
+    result.format = LogFormat::kV1;
+  } else if (std::memcmp(magic->data(), kLogMagicV2, kLogMagicSize) == 0) {
+    result.format = LogFormat::kV2;
+  } else {
+    return Status::ParseError("not a treediff commit log (bad magic)");
+  }
+  const LogFormat format = result.format;
+  const size_t header_size = LogRecordHeaderSize(format);
 
   // One sequential read of the whole file; logs are checkpoint-bounded and
   // recovery reads each byte exactly once.
@@ -97,14 +144,14 @@ StatusOr<LogScanResult> ScanLog(RandomAccessFile* file,
   bool resynced_next = false;
   bool stopped_early = false;
   result.durable_prefix = kLogMagicSize;
-  while (pos + kLogRecordHeaderSize <= data->size()) {
-    if (!ValidRecordAt(*data, pos)) {
+  while (pos + header_size <= data->size()) {
+    if (!ValidRecordAt(*data, pos, format)) {
       // Classify the way the conservative policy reports it: a partial
       // record or implausible length reads as a torn tail; a complete
       // record whose checksum does not match is a corruption event.
       uint32_t len = DecodeFixed32(data->data() + pos);
-      const bool is_torn = len > kLogMaxRecordSize ||
-                           pos + kLogRecordHeaderSize + len > data->size();
+      const bool is_torn =
+          len > kLogMaxRecordSize || pos + header_size + len > data->size();
       if (!options.salvage) {
         if (is_torn) {
           result.torn_tail = true;
@@ -118,11 +165,11 @@ StatusOr<LogScanResult> ScanLog(RandomAccessFile* file,
       // out as a whole record again. Linear in the damaged span, and each
       // candidate is fully CRC-verified before being trusted.
       uint64_t next = pos + 1;
-      while (next + kLogRecordHeaderSize <= data->size() &&
-             !ValidRecordAt(*data, next)) {
+      while (next + header_size <= data->size() &&
+             !ValidRecordAt(*data, next, format)) {
         ++next;
       }
-      if (next + kLogRecordHeaderSize > data->size()) {
+      if (next + header_size > data->size()) {
         // Damage runs to end of file: tail damage after all, disposed of
         // by truncation rather than a salvage gap.
         if (is_torn) {
@@ -142,12 +189,15 @@ StatusOr<LogScanResult> ScanLog(RandomAccessFile* file,
     uint32_t len = DecodeFixed32(data->data() + pos);
     LogScanRecord record;
     record.type = static_cast<LogRecordType>((*data)[pos + 8]);
-    record.payload.assign(data->data() + pos + kLogRecordHeaderSize, len);
+    if (format == LogFormat::kV2) {
+      record.epoch = DecodeFixed32(data->data() + pos + kLogRecordHeaderSize);
+    }
+    record.payload.assign(data->data() + pos + header_size, len);
     record.offset = kLogMagicSize + pos;
     record.resynced = resynced_next;
     resynced_next = false;
     result.records.push_back(std::move(record));
-    pos += kLogRecordHeaderSize + len;
+    pos += header_size + len;
     result.durable_prefix = kLogMagicSize + pos;
   }
   if (!stopped_early && !result.torn_tail &&

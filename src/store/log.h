@@ -13,14 +13,28 @@
 namespace treediff {
 
 /// The VersionStore commit log: an append-only file of length-prefixed,
-/// CRC32C-checksummed records behind an 8-byte magic header. On-disk
-/// layout (all integers little-endian):
+/// CRC32C-checksummed records behind an 8-byte magic header. Two framing
+/// formats exist; the magic selects one per file (all integers
+/// little-endian):
+///
+/// Format 1 (pre-replication, still read and appended to in place):
 ///
 ///   "TDIFLOG1"                                   file magic, 8 bytes
 ///   repeated records:
 ///     u32  payload length                        (type byte not included)
 ///     u32  masked CRC32C over [type, payload]    (see Crc32cMask)
 ///     u8   record type                           (LogRecordType)
+///     payload bytes
+///
+/// Format 2 (replication-aware) widens the record header with a fencing
+/// epoch so a replica can reject records shipped by a deposed primary:
+///
+///   "TDIFLOG2"                                   file magic, 8 bytes
+///   repeated records:
+///     u32  payload length
+///     u32  masked CRC32C over [type, epoch, payload]
+///     u8   record type                           (LogRecordType)
+///     u32  epoch the record was written under
 ///     payload bytes
 ///
 /// A record is valid only if it is fully present and its checksum matches;
@@ -30,8 +44,20 @@ namespace treediff {
 /// same truncation policy handles).
 
 inline constexpr char kLogMagic[8] = {'T', 'D', 'I', 'F', 'L', 'O', 'G', '1'};
+inline constexpr char kLogMagicV2[8] = {'T', 'D', 'I', 'F', 'L', 'O', 'G', '2'};
 inline constexpr size_t kLogMagicSize = 8;
 inline constexpr size_t kLogRecordHeaderSize = 9;  // u32 len + u32 crc + u8 type
+inline constexpr size_t kLogRecordHeaderSizeV2 = 13;  // v1 header + u32 epoch
+
+/// The two on-disk framings. kV1 files carry no epochs (every record reads
+/// back as epoch 0); kV2 files stamp the writer's epoch into each record.
+enum class LogFormat : uint8_t { kV1 = 1, kV2 = 2 };
+
+/// Header size for a given framing.
+inline constexpr size_t LogRecordHeaderSize(LogFormat format) {
+  return format == LogFormat::kV1 ? kLogRecordHeaderSize
+                                  : kLogRecordHeaderSizeV2;
+}
 
 /// Upper bound on a single record's payload; a length beyond it is treated
 /// as corruption rather than an allocation request.
@@ -42,6 +68,7 @@ enum class LogRecordType : uint8_t {
   kDelta = 2,       // stats header + serialized edit script: one commit
   kCheckpoint = 3,  // varint version + codec-encoded tree of that version
   kRollback = 4,    // varint of the version RollbackHead dropped
+  kEpoch = 5,       // varint new epoch: fencing bump (format 2 only)
 };
 
 /// Appends records to an open log file. The writer formats and appends;
@@ -50,11 +77,17 @@ enum class LogRecordType : uint8_t {
 class LogWriter {
  public:
   /// Takes an already positioned append-mode file; `offset` is the current
-  /// file size (records land at and beyond it).
-  LogWriter(std::unique_ptr<WritableFile> file, uint64_t offset)
-      : file_(std::move(file)), offset_(offset) {}
+  /// file size (records land at and beyond it). `format` must match the
+  /// magic already at the head of the file.
+  LogWriter(std::unique_ptr<WritableFile> file, uint64_t offset,
+            LogFormat format = LogFormat::kV1, uint64_t epoch = 0)
+      : file_(std::move(file)),
+        offset_(offset),
+        format_(format),
+        epoch_(epoch) {}
 
   /// Appends one record (header + payload). Not durable until Sync().
+  /// Format-2 records are stamped with the writer's current epoch.
   Status AppendRecord(LogRecordType type, std::string_view payload);
 
   /// Forces appended records to stable storage.
@@ -66,21 +99,36 @@ class LogWriter {
   /// Byte offset the next record would start at.
   uint64_t offset() const { return offset_; }
 
+  LogFormat format() const { return format_; }
+
+  /// Epoch stamped into subsequent format-2 records (ignored for v1).
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+
  private:
   std::unique_ptr<WritableFile> file_;
   uint64_t offset_;
+  LogFormat format_;
+  uint64_t epoch_;
 };
 
-/// Formats one record (header + payload) in the exact wire format
-/// LogWriter::AppendRecord writes. Log rotation uses it to build a full
-/// replacement log image in memory before publishing it atomically.
+/// Formats one format-1 record (header + payload) in the exact wire format
+/// a v1 LogWriter writes. Log rotation uses it to build a full replacement
+/// log image in memory before publishing it atomically.
 std::string EncodeLogRecord(LogRecordType type, std::string_view payload);
+
+/// Formats one format-2 record with an explicit epoch stamp.
+std::string EncodeLogRecordV2(LogRecordType type, std::string_view payload,
+                              uint64_t epoch);
 
 /// One record surfaced by ScanLog.
 struct LogScanRecord {
   LogRecordType type;
   std::string payload;
   uint64_t offset = 0;  // File offset of the record header.
+
+  /// Epoch stamped in the record header (always 0 in format-1 logs).
+  uint64_t epoch = 0;
 
   /// True if this record was reached by resynchronizing past corrupt bytes
   /// (salvage mode only): the records before the gap and this one are both
@@ -114,6 +162,9 @@ struct LogScanOptions {
 struct LogScanResult {
   std::vector<LogScanRecord> records;
 
+  /// Framing the magic selected.
+  LogFormat format = LogFormat::kV1;
+
   /// End offset of the last valid record; everything at and beyond this
   /// offset is garbage to be truncated. (Salvage gaps *before* this offset
   /// are listed in `skipped`, not covered by truncation.)
@@ -133,12 +184,12 @@ struct LogScanResult {
   std::vector<SkippedRange> skipped;
 };
 
-/// Scans `file` from the start: validates the magic, then accepts records
-/// until the first invalid one (or past it, with `options.salvage`).
-/// Corrupt or torn data is reported, not an error — only unreadable files
-/// and a bad magic fail. A read that returns fewer bytes than Size()
-/// promised fails with kUnavailable so the caller retries instead of
-/// mistaking the missing suffix for a torn tail.
+/// Scans `file` from the start: validates the magic (either format), then
+/// accepts records until the first invalid one (or past it, with
+/// `options.salvage`). Corrupt or torn data is reported, not an error —
+/// only unreadable files and a bad magic fail. A read that returns fewer
+/// bytes than Size() promised fails with kUnavailable so the caller retries
+/// instead of mistaking the missing suffix for a torn tail.
 StatusOr<LogScanResult> ScanLog(RandomAccessFile* file,
                                 const LogScanOptions& options = {});
 

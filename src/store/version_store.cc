@@ -108,7 +108,9 @@ VersionStore::VersionStore(VersionStore&& other)
       store_options_(std::move(other.store_options_)),
       io_status_(std::move(other.io_status_)),
       commits_since_checkpoint_(other.commits_since_checkpoint_),
-      faults_(other.faults_) {}
+      faults_(other.faults_),
+      log_format_(other.log_format_),
+      epoch_(other.epoch_) {}
 
 VersionStore& VersionStore::operator=(VersionStore&& other) {
   if (this == &other) return *this;
@@ -124,6 +126,8 @@ VersionStore& VersionStore::operator=(VersionStore&& other) {
   io_status_ = std::move(other.io_status_);
   commits_since_checkpoint_ = other.commits_since_checkpoint_;
   faults_ = other.faults_;
+  log_format_ = other.log_format_;
+  epoch_ = other.epoch_;
   return *this;
 }
 
@@ -359,8 +363,23 @@ VersionStore::StorageStats VersionStore::Storage() const {
 }
 
 std::string VersionStore::EncodeStateLocked() const {
-  std::string out(kLogMagic, kLogMagicSize);
-  out += EncodeLogRecord(LogRecordType::kSnapshot, EncodeTree(base_));
+  // Rotation always rewrites in format 2 (every record stamped with the
+  // current epoch): the rewrite happens under this writer's authority, and
+  // upgrading here is what migrates pre-replication logs without a separate
+  // conversion pass. A follower tailing the old bytes detects the rotation
+  // via rotations() and resyncs.
+  std::string out(kLogMagicV2, kLogMagicSize);
+  auto put = [&](LogRecordType type, std::string_view payload) {
+    out += EncodeLogRecordV2(type, payload, epoch_);
+  };
+  put(LogRecordType::kSnapshot, EncodeTree(base_));
+  if (epoch_ > 0) {
+    // Re-announce the fencing epoch explicitly so even a log whose later
+    // records are truncated by a crash still recovers the right epoch.
+    std::string payload;
+    PutVarint64(&payload, epoch_);
+    put(LogRecordType::kEpoch, payload);
+  }
   const LabelTable& labels = base_.labels();
   for (const Segment& seg : segments_) {
     if (seg.first != 0) {
@@ -370,11 +389,10 @@ std::string VersionStore::EncodeStateLocked() const {
       std::string payload;
       PutVarint64(&payload, static_cast<uint64_t>(seg.first));
       payload.append(EncodeTree(seg.anchor));
-      out += EncodeLogRecord(LogRecordType::kCheckpoint, payload);
+      put(LogRecordType::kCheckpoint, payload);
     }
     for (size_t i = 0; i < seg.scripts.size(); ++i) {
-      out += EncodeLogRecord(
-          LogRecordType::kDelta,
+      put(LogRecordType::kDelta,
           EncodeDeltaPayload(seg.infos[i], seg.full_sizes[i],
                              FormatEditScript(seg.scripts[i], labels)));
     }
@@ -426,7 +444,9 @@ Status VersionStore::RotateLocked() {
   TREEDIFF_RETURN_IF_ERROR(env_->RenameFile(tmp, path_));
   auto append = env_->NewWritableFile(path_, /*truncate=*/false);
   if (!append.ok()) return append.status();
-  writer_ = std::make_unique<LogWriter>(std::move(*append), bytes.size());
+  log_format_ = LogFormat::kV2;
+  writer_ = std::make_unique<LogWriter>(std::move(*append), bytes.size(),
+                                        LogFormat::kV2, epoch_);
   // Replay cost of the fresh log equals the last segment's delta count.
   commits_since_checkpoint_ =
       static_cast<int>(segments_.back().scripts.size());
@@ -497,6 +517,54 @@ VersionStore::FaultCounters VersionStore::fault_counters() const {
   return faults_;
 }
 
+LogFormat VersionStore::log_format() const {
+  MutexLock lock(&mu_);
+  return log_format_;
+}
+
+uint64_t VersionStore::DurableOffset() const {
+  MutexLock lock(&mu_);
+  return writer_ ? writer_->offset() : 0;
+}
+
+uint64_t VersionStore::rotations() const {
+  MutexLock lock(&mu_);
+  return faults_.rotations;
+}
+
+uint64_t VersionStore::epoch() const {
+  MutexLock lock(&mu_);
+  return epoch_;
+}
+
+Status VersionStore::BumpEpoch(uint64_t new_epoch) {
+  MutexLock lock(&mu_);
+  if (!durable()) {
+    return Status::FailedPrecondition("epoch bump on a non-durable store");
+  }
+  if (!io_status_.ok()) {
+    return Status::FailedPrecondition(
+        "store is poisoned by an earlier I/O error: " + io_status_.message());
+  }
+  if (new_epoch <= epoch_) {
+    return Status::InvalidArgument(
+        "epoch must advance: " + std::to_string(new_epoch) + " <= " +
+        std::to_string(epoch_));
+  }
+  if (log_format_ == LogFormat::kV1) {
+    // Format-1 records have no epoch field to stamp; upgrade by rotation
+    // (which rewrites in format 2) before announcing the bump.
+    TREEDIFF_RETURN_IF_ERROR(RotateLocked());
+  }
+  // Stamp first so the kEpoch record itself — and any rotation a retry
+  // performs — already carries the new epoch.
+  epoch_ = new_epoch;
+  writer_->set_epoch(new_epoch);
+  std::string payload;
+  PutVarint64(&payload, new_epoch);
+  return AppendDurable(LogRecordType::kEpoch, payload);
+}
+
 StatusOr<VersionStore> VersionStore::Create(const std::string& path, Tree base,
                                             DiffOptions options,
                                             StoreOptions store_options) {
@@ -511,8 +579,8 @@ StatusOr<VersionStore> VersionStore::Create(const std::string& path, Tree base,
   auto file = env->NewWritableFile(tmp, /*truncate=*/true);
   if (!file.ok()) return file.status();
   TREEDIFF_RETURN_IF_ERROR(
-      (*file)->Append(std::string_view(kLogMagic, kLogMagicSize)));
-  LogWriter bootstrap(std::move(*file), kLogMagicSize);
+      (*file)->Append(std::string_view(kLogMagicV2, kLogMagicSize)));
+  LogWriter bootstrap(std::move(*file), kLogMagicSize, LogFormat::kV2);
   TREEDIFF_RETURN_IF_ERROR(
       bootstrap.AppendRecord(LogRecordType::kSnapshot, EncodeTree(base)));
   TREEDIFF_RETURN_IF_ERROR(bootstrap.Sync());
@@ -526,8 +594,8 @@ StatusOr<VersionStore> VersionStore::Create(const std::string& path, Tree base,
   store.base_ = base.Clone();
   store.options_ = options;
   store.durable_ = true;
-  store.writer_ =
-      std::make_unique<LogWriter>(std::move(*append), bootstrap.offset());
+  store.writer_ = std::make_unique<LogWriter>(
+      std::move(*append), bootstrap.offset(), LogFormat::kV2);
   store.env_ = env;
   store.path_ = path;
   store.store_options_ = store_options;
@@ -586,7 +654,9 @@ StatusOr<VersionStore> VersionStore::Open(const std::string& path,
         "unrecoverable store: the base snapshot record is missing or "
         "corrupt: " + path);
   }
-  auto labels = std::make_shared<LabelTable>();
+  std::shared_ptr<LabelTable> labels =
+      store_options.labels ? store_options.labels
+                           : std::make_shared<LabelTable>();
   StatusOr<Tree> base = DecodeTree(scan->records[0].payload, labels);
   if (!base.ok()) {
     return Status::DataLoss("unrecoverable store: base snapshot of " + path +
@@ -610,21 +680,25 @@ StatusOr<VersionStore> VersionStore::Open(const std::string& path,
     std::string payload;  // Codec bytes (payload minus the version varint).
   };
   std::optional<InnerCheckpoint> checkpoint;  // Replay bound, last segment.
+  const size_t header_size = LogRecordHeaderSize(scan->format);
   uint64_t accepted_end =
-      scan->records[0].offset + kLogRecordHeaderSize +
-      scan->records[0].payload.size();
+      scan->records[0].offset + header_size + scan->records[0].payload.size();
   size_t accepted_records = 1;
   size_t records_skipped = 0;
   std::vector<SkippedRange> payload_holes;
   bool invalid_record = false;
   bool in_hole = false;
+  // The recovered fencing epoch: the max over every accepted record's
+  // header stamp and every kEpoch announcement. Headers alone would do for
+  // an intact log; the explicit records make the value survive rewrites.
+  uint64_t epoch_seen = scan->records[0].epoch;
 
   auto head_version = [&segments]() {
     return segments.back().first +
            static_cast<int>(segments.back().scripts.size());
   };
-  auto record_end = [](const LogScanRecord& r) {
-    return r.offset + kLogRecordHeaderSize + r.payload.size();
+  auto record_end = [header_size](const LogScanRecord& r) {
+    return r.offset + header_size + r.payload.size();
   };
 
   for (size_t i = 1; i < scan->records.size() && !invalid_record; ++i) {
@@ -770,6 +844,22 @@ StatusOr<VersionStore> VersionStore::Open(const std::string& path,
         }
         break;
       }
+      case LogRecordType::kEpoch: {
+        // A fencing bump. Self-describing (the payload repeats the epoch),
+        // so it is trusted even inside a salvage hole — it affects only the
+        // epoch high-water mark, never the version chain.
+        uint64_t announced = 0;
+        if (!GetVarint64(&payload, &announced)) {
+          if (!salvage) {
+            invalid_record = true;
+          } else {
+            skip(false);
+          }
+          break;
+        }
+        epoch_seen = std::max(epoch_seen, announced);
+        break;
+      }
       case LogRecordType::kSnapshot:
         // Only the first record may be a snapshot.
         if (!salvage) {
@@ -791,7 +881,10 @@ StatusOr<VersionStore> VersionStore::Open(const std::string& path,
     // Salvage keeps scanning past skipped records; truncation mode only
     // reaches here for records it accepted.
     accepted_end = record_end(record);
-    if (used) ++accepted_records;
+    if (used) {
+      ++accepted_records;
+      epoch_seen = std::max(epoch_seen, record.epoch);
+    }
   }
   if (invalid_record) {
     // accepted_end already marks the end of the last good record; the
@@ -853,6 +946,8 @@ StatusOr<VersionStore> VersionStore::Open(const std::string& path,
     store.commits_since_checkpoint_ = static_cast<int>(
         store.segments_.back().scripts.size() - replay_from);
     store.faults_.salvage_skipped = records_skipped;
+    store.log_format_ = scan->format;
+    store.epoch_ = epoch_seen;
   }
   if (records_skipped > 0) {
     MutexLock lock(&store.mu_);
@@ -895,8 +990,10 @@ StatusOr<VersionStore> VersionStore::Open(const std::string& path,
     auto append = env->NewWritableFile(path, /*truncate=*/false);
     if (!append.ok()) return append.status();
     MutexLock lock(&store.mu_);
-    store.writer_ =
-        std::make_unique<LogWriter>(std::move(*append), accepted_end);
+    // Appends continue in the format the log already uses: a clean open of
+    // a pre-replication (format-1) log leaves its bytes untouched.
+    store.writer_ = std::make_unique<LogWriter>(
+        std::move(*append), accepted_end, scan->format, epoch_seen);
   }
 
   if (report) {

@@ -63,6 +63,13 @@ struct StoreOptions {
   /// `store_scrub_corruption_total`, `store_salvage_records_skipped_total`.
   /// Must outlive the store. Null disables the mirror.
   MetricsRegistry* metrics = nullptr;
+
+  /// Label table Open recovers into; null means a fresh table per store.
+  /// A replication group passes one shared table to every member so trees
+  /// materialized from different replicas stay diff-compatible (DiffTrees
+  /// requires both trees to share a LabelTable; the table itself is fully
+  /// synchronized, so sharing across stores is safe).
+  std::shared_ptr<LabelTable> labels;
 };
 
 /// What VersionStore::Open found and did while recovering a commit log,
@@ -306,6 +313,41 @@ class VersionStore {
   };
   FaultCounters fault_counters() const EXCLUDES(mu_);
 
+  // --- Replication hooks (durable mode) ---
+
+  /// The log path this store appends to (empty for in-memory stores).
+  /// Replication tails these bytes directly.
+  const std::string& log_path() const { return path_; }
+
+  /// The environment the log lives in (null for in-memory stores).
+  Env* env() const { return env_; }
+
+  /// Framing of the live log. Freshly created stores write format 2;
+  /// Open preserves whatever format it found (so pre-replication logs are
+  /// not rewritten just for being opened), and any rotation upgrades the
+  /// file to format 2.
+  LogFormat log_format() const EXCLUDES(mu_);
+
+  /// Byte offset one past the last appended record — the durable prefix a
+  /// follower may ship up to. 0 for in-memory stores.
+  uint64_t DurableOffset() const EXCLUDES(mu_);
+
+  /// Number of log rewrites so far (Repair, self-heal, scrub repair). A
+  /// follower that cached this count can detect that the primary's log was
+  /// rewritten underneath its cursor and must resync from scratch.
+  uint64_t rotations() const EXCLUDES(mu_);
+
+  /// The fencing epoch stamped into every appended format-2 record. 0
+  /// until the first BumpEpoch (and for format-1 logs).
+  uint64_t epoch() const EXCLUDES(mu_);
+
+  /// Durably raises the fencing epoch: appends a kEpoch record (rotating a
+  /// format-1 log up to format 2 first) and stamps all subsequent records
+  /// with the new value. Fails with kInvalidArgument unless `new_epoch` is
+  /// strictly greater than the current epoch, and with kFailedPrecondition
+  /// on in-memory or poisoned stores. Promotion is the only caller.
+  Status BumpEpoch(uint64_t new_epoch) EXCLUDES(mu_);
+
  private:
   VersionStore() = default;  // Assembled field-by-field in Create/Open.
 
@@ -387,6 +429,8 @@ class VersionStore {
   Status io_status_ GUARDED_BY(mu_);
   int commits_since_checkpoint_ GUARDED_BY(mu_) = 0;
   FaultCounters faults_ GUARDED_BY(mu_);
+  LogFormat log_format_ GUARDED_BY(mu_) = LogFormat::kV2;
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace treediff

@@ -215,6 +215,7 @@ class FaultWritableFile : public WritableFile {
     uint64_t torn = 0;       // Bytes that still reach the base file.
     bool crash = false;      // Terminal: env goes down after the torn write.
     bool enospc = false;     // Permanent but the env stays up.
+    bool torn_transient = false;  // Transient torn write; env stays up.
     {
       MutexLock lock(&env_->mu_);
       TREEDIFF_RETURN_IF_ERROR(env_->CheckDown("append"));
@@ -224,27 +225,43 @@ class FaultWritableFile : public WritableFile {
         ++env_->transient_faults_;
         return Status::Unavailable("injected fault: transient append failure");
       }
-      const uint64_t crash_budget =
-          env_->plan_.crash_at_byte == FaultPlan::kNever
-              ? FaultPlan::kNever
-              : env_->plan_.crash_at_byte - env_->bytes_written_;
-      const uint64_t space_budget =
-          env_->plan_.disk_capacity_bytes == FaultPlan::kNever
-              ? FaultPlan::kNever
-              : env_->plan_.disk_capacity_bytes -
-                    std::min(env_->bytes_written_,
-                             env_->plan_.disk_capacity_bytes);
-      if (crash_budget < data.size() && crash_budget <= space_budget) {
-        torn = crash_budget;
-        crash = true;
-        env_->down_ = true;
-      } else if (space_budget < data.size()) {
-        torn = space_budget;
-        enospc = true;
-      } else {
-        torn = data.size();
+      if (!data.empty() && env_->Flip(env_->plan_.torn_append_p)) {
+        // Dirty transient failure: a strict prefix lands, the error is
+        // reported, and the env keeps running. Retrying the same append
+        // without first truncating back duplicates the prefix — the torn
+        // follower tail the replication catch-up must repair.
+        torn = env_->rng_.Uniform(data.size());
+        ++env_->transient_faults_;
+        env_->bytes_written_ += torn;
+        torn_transient = true;
       }
-      env_->bytes_written_ += torn;
+      if (!torn_transient) {
+        const uint64_t crash_budget =
+            env_->plan_.crash_at_byte == FaultPlan::kNever
+                ? FaultPlan::kNever
+                : env_->plan_.crash_at_byte - env_->bytes_written_;
+        const uint64_t space_budget =
+            env_->plan_.disk_capacity_bytes == FaultPlan::kNever
+                ? FaultPlan::kNever
+                : env_->plan_.disk_capacity_bytes -
+                      std::min(env_->bytes_written_,
+                               env_->plan_.disk_capacity_bytes);
+        if (crash_budget < data.size() && crash_budget <= space_budget) {
+          torn = crash_budget;
+          crash = true;
+          env_->down_ = true;
+        } else if (space_budget < data.size()) {
+          torn = space_budget;
+          enospc = true;
+        } else {
+          torn = data.size();
+        }
+        env_->bytes_written_ += torn;
+      }
+    }
+    if (torn_transient) {
+      base_->Append(data.substr(0, static_cast<size_t>(torn))).IgnoreError();
+      return Status::Unavailable("injected fault: torn append (prefix wrote)");
     }
     if (crash) {
       // Torn write: the prefix reaches the base file, then the lights go
@@ -382,15 +399,28 @@ Status FaultInjectingEnv::RenameFile(const std::string& from,
   {
     MutexLock lock(&mu_);
     TREEDIFF_RETURN_IF_ERROR(CheckDown("rename"));
+    if (Flip(plan_.transient_rename_p)) {
+      // The swap never happened: both names still refer to what they did
+      // before, so the caller may retry the whole rename.
+      ++transient_faults_;
+      return Status::Unavailable("injected fault: transient rename failure");
+    }
   }
   return base_->RenameFile(from, to);
 }
 
 Status FaultInjectingEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
+  MaybeDelay();
   {
     MutexLock lock(&mu_);
     TREEDIFF_RETURN_IF_ERROR(CheckDown("truncate"));
+    if (Flip(plan_.transient_truncate_p)) {
+      // Nothing changed; the torn tail the caller wanted gone is still
+      // there, so the repair must be retried before any further append.
+      ++transient_faults_;
+      return Status::Unavailable("injected fault: transient truncate failure");
+    }
   }
   return base_->TruncateFile(path, size);
 }
@@ -431,6 +461,11 @@ void FaultInjectingEnv::ClearFault() {
 void FaultInjectingEnv::DisableTransientFaults() {
   MutexLock lock(&mu_);
   transient_enabled_ = false;
+}
+
+void FaultInjectingEnv::EnableTransientFaults() {
+  MutexLock lock(&mu_);
+  transient_enabled_ = true;
 }
 
 }  // namespace treediff

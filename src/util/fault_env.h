@@ -134,6 +134,22 @@ struct FaultPlan {
   /// Read fails with kUnavailable.
   double transient_read_p = 0.0;
 
+  /// Append persists a random strict prefix of the data, then fails with
+  /// kUnavailable while the env stays up — a torn write the caller *hears
+  /// about*, unlike crash_at_byte. Models a partially shipped replication
+  /// batch or a torn follower tail: the receiver must truncate back to its
+  /// last known-good offset before retrying, or the garbage prefix corrupts
+  /// everything appended after it.
+  double torn_append_p = 0.0;
+
+  /// RenameFile fails with kUnavailable and performs no rename — the
+  /// atomic-swap step of rotation and follower resync flaking.
+  double transient_rename_p = 0.0;
+
+  /// TruncateFile fails with kUnavailable and changes nothing — the
+  /// tail-repair step of follower catch-up flaking.
+  double transient_truncate_p = 0.0;
+
   /// Read returns a strict prefix of the available bytes (a short read not
   /// at EOF). Callers that know the file size must detect and retry.
   double short_read_p = 0.0;
@@ -192,6 +208,10 @@ class FaultInjectingEnv : public Env {
   /// Disables the probabilistic faults from now on (verification phases of
   /// chaos tests read through the same env without injected flakiness).
   void DisableTransientFaults() EXCLUDES(mu_);
+
+  /// Re-arms the probabilistic faults. Chaos tests bootstrap their fixtures
+  /// through a quiet env, then flip the storm on for the traffic phase.
+  void EnableTransientFaults() EXCLUDES(mu_);
 
  private:
   friend class FaultWritableFile;

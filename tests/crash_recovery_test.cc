@@ -205,7 +205,7 @@ TEST(CrashRecoveryPropertyTest, EveryFaultPointRecoversExactly) {
     std::set<uint64_t> byte_points = {0, kLogMagicSize, total_bytes - 1,
                                       total_bytes};
     for (const LogScanRecord& rec : scan->records) {
-      const uint64_t end = rec.offset + kLogRecordHeaderSize +
+      const uint64_t end = rec.offset + LogRecordHeaderSize(scan->format) +
                            rec.payload.size();
       byte_points.insert(rec.offset - 1);
       byte_points.insert(rec.offset);

@@ -1,0 +1,648 @@
+// ReplicatedVersionStore: log shipping, quorum acks, and fenced failover.
+// Every test here is deterministic — background_ship is off and the test
+// drives PumpFollowers() by hand, so each scenario (a follower mid-catch-up
+// at promotion time, a zombie writer's stale-epoch record, a torn follower
+// tail) is constructed exactly, not hoped for. The nondeterministic sweep
+// lives in replication_chaos_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/diff_service.h"
+#include "store/log.h"
+#include "store/replication.h"
+#include "store/version_store.h"
+#include "tree/builder.h"
+#include "util/fault_env.h"
+#include "util/metrics.h"
+
+namespace treediff {
+namespace {
+
+std::string DocText(int v) {
+  std::string s = "(D";
+  for (int p = 0; p <= v; ++p) {
+    s += " (P (S \"repl" + std::to_string(p) + " body words\"))";
+  }
+  s += ")";
+  return s;
+}
+
+/// A three-replica group over independent MemEnvs (three "machines").
+/// Optional per-replica fault wrapping is layered by the tests that need
+/// it; everything shares one no-op sleep so retry backoff never waits.
+struct Cluster {
+  static constexpr int kN = 3;
+  MemEnv mem[kN];
+  std::vector<ReplicaConfig> configs;
+  std::unique_ptr<ReplicatedVersionStore> group;
+
+  Status Build(ReplicationOptions options = {},
+               std::vector<Env*> envs = {}) {
+    options.background_ship = false;
+    options.store_options.sleep = [](double) {};
+    configs.clear();
+    for (int i = 0; i < kN; ++i) {
+      ReplicaConfig config;
+      Env* env =
+          i < static_cast<int>(envs.size()) ? envs[static_cast<size_t>(i)]
+                                            : nullptr;
+      config.env = env != nullptr ? env : &mem[i];  // Null = plain MemEnv.
+      config.path = "r" + std::to_string(i) + ".log";
+      configs.push_back(config);
+    }
+    auto built = ReplicatedVersionStore::Create(
+        configs, *ParseSexpr(DocText(0)), {}, options);
+    if (!built.ok()) return built.status();
+    group = std::move(*built);
+    return Status::Ok();
+  }
+
+  Status Commit(int v) {
+    auto tree = ParseSexpr(DocText(v), group->label_table());
+    if (!tree.ok()) return tree.status();
+    auto committed = group->Commit(*tree);
+    if (!committed.ok()) return committed.status();
+    if (*committed != v) {
+      return Status::Internal("expected version " + std::to_string(v) +
+                              ", got " + std::to_string(*committed));
+    }
+    return Status::Ok();
+  }
+
+  /// Pumps until every follower reports caught_up (or `rounds` runs out —
+  /// fault tests converge through repeated rounds).
+  bool PumpUntilCaughtUp(int rounds = 200) {
+    for (int i = 0; i < rounds; ++i) {
+      group->PumpFollowers().IgnoreError();
+      bool all = true;
+      for (const ReplicaStatus& r : group->Replicas()) {
+        if (r.role == ReplicaRole::kFollower && !r.caught_up) all = false;
+      }
+      if (all) return true;
+    }
+    return false;
+  }
+
+  std::string Bytes(int i) {
+    auto bytes = mem[i].FileBytes(configs[static_cast<size_t>(i)].path);
+    return bytes.ok() ? *bytes : std::string();
+  }
+};
+
+void ExpectAllVersionsServed(ReplicatedVersionStore* group, int last) {
+  for (int v = 0; v <= last; ++v) {
+    auto tree = group->Materialize(v);
+    ASSERT_TRUE(tree.ok()) << "version " << v << ": "
+                           << tree.status().ToString();
+    auto expected = ParseSexpr(DocText(v), group->label_table());
+    ASSERT_TRUE(expected.ok());
+    EXPECT_TRUE(Tree::Isomorphic(*tree, *expected)) << "version " << v;
+  }
+}
+
+TEST(ReplicationTest, FollowersConvergeToByteIdenticalLogs) {
+  Cluster c;
+  ASSERT_TRUE(c.Build().ok());
+  for (int v = 1; v <= 6; ++v) ASSERT_TRUE(c.Commit(v).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+
+  const std::string primary_bytes = c.Bytes(0);
+  ASSERT_FALSE(primary_bytes.empty());
+  EXPECT_EQ(c.Bytes(1), primary_bytes);
+  EXPECT_EQ(c.Bytes(2), primary_bytes);
+
+  const ReplicationCounters counters = c.group->counters();
+  EXPECT_GT(counters.records_shipped, 0u);
+  EXPECT_EQ(counters.bytes_shipped, 2 * primary_bytes.size());
+  EXPECT_EQ(counters.failovers, 0u);
+  EXPECT_EQ(counters.stale_epoch_rejects, 0u);
+  ExpectAllVersionsServed(c.group.get(), 6);
+}
+
+TEST(ReplicationTest, QuorumCommitAcksOnceMajorityFsynced) {
+  Cluster c;
+  ReplicationOptions options;
+  options.ack_mode = AckMode::kQuorum;
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  ASSERT_TRUE(c.Build(options).ok());
+
+  // With no shipper thread, the quorum wait pumps inline — the commit only
+  // returns once a majority (primary + at least one follower) has fsynced.
+  for (int v = 1; v <= 4; ++v) ASSERT_TRUE(c.Commit(v).ok());
+
+  const uint64_t durable = c.group->primary()->DurableOffset();
+  int acked = 0;
+  for (const ReplicaStatus& r : c.group->Replicas()) {
+    if (r.role == ReplicaRole::kFollower && r.cursor >= durable) ++acked;
+  }
+  EXPECT_GE(acked + 1, 2) << "no majority at ack time";
+  EXPECT_EQ(c.group->counters().quorum_timeouts, 0u);
+  EXPECT_GT(metrics.histogram("replication_ack_seconds")->Count(), 0u);
+}
+
+TEST(ReplicationTest, QuorumTimeoutReportsUnavailableButStaysDurable) {
+  Cluster c;
+  FaultPlan dead;
+  dead.transient_append_p = 1.0;  // Followers can never append.
+  FaultInjectingEnv env1(&c.mem[1], dead);
+  FaultInjectingEnv env2(&c.mem[2], dead);
+  ReplicationOptions options;
+  options.ack_mode = AckMode::kQuorum;
+  options.ack_timeout_seconds = 0.05;
+  ASSERT_TRUE(c.Build(options, {nullptr, &env1, &env2}).ok());
+
+  auto tree = ParseSexpr(DocText(1), c.group->label_table());
+  ASSERT_TRUE(tree.ok());
+  auto committed = c.group->Commit(*tree);
+  ASSERT_FALSE(committed.ok());
+  EXPECT_EQ(committed.status().code(), Code::kUnavailable);
+  EXPECT_EQ(c.group->counters().quorum_timeouts, 1u);
+
+  // The contract: the commit IS durable on the primary — the error says
+  // only that the replication guarantee was not met.
+  EXPECT_EQ(c.group->primary()->VersionCount(), 2);
+  ExpectAllVersionsServed(c.group.get(), 1);
+}
+
+TEST(ReplicationTest, StalenessBoundGovernsFollowerReads) {
+  Cluster c;
+  ReplicationOptions options;
+  options.max_read_lag_bytes = 1u << 20;  // Any follower qualifies.
+  ASSERT_TRUE(c.Build(options).ok());
+  ASSERT_TRUE(c.Commit(1).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+  ASSERT_TRUE(c.Commit(2).ok());  // Not yet shipped: followers lag.
+
+  bool lagging = false;
+  for (const ReplicaStatus& r : c.group->Replicas()) {
+    if (r.role == ReplicaRole::kFollower && r.lag_bytes > 0) lagging = true;
+  }
+  EXPECT_TRUE(lagging);
+
+  // Version 1 is within every follower's prefix; version 2 only the
+  // primary has (a follower read falls through on kOutOfRange). Repeat
+  // reads exercise the cached-reader reopen path.
+  ExpectAllVersionsServed(c.group.get(), 2);
+  ExpectAllVersionsServed(c.group.get(), 2);
+
+  // With a zero staleness bound the lagging followers are skipped and the
+  // primary serves everything — same answers.
+  Cluster strict;
+  ASSERT_TRUE(strict.Build().ok());  // max_read_lag_bytes = 0.
+  ASSERT_TRUE(strict.Commit(1).ok());
+  ASSERT_TRUE(strict.Commit(2).ok());
+  ExpectAllVersionsServed(strict.group.get(), 2);
+}
+
+TEST(ReplicationTest, StaleLeaseCommitFencedAfterPromotion) {
+  Cluster c;
+  ASSERT_TRUE(c.Build().ok());
+  ASSERT_TRUE(c.Commit(1).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+
+  const CommitLease stale = c.group->lease();
+  EXPECT_EQ(stale.epoch, 0u);
+
+  auto promoted = c.group->Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_EQ(*promoted, 1);  // Most-caught-up follower, ties to the lowest.
+  EXPECT_EQ(c.group->epoch(), 1u);
+  EXPECT_EQ(c.group->primary_index(), 1);
+
+  // The deposed primary's writer still holds the old lease: its commit is
+  // rejected before touching any log.
+  auto tree = ParseSexpr(DocText(2), c.group->label_table());
+  ASSERT_TRUE(tree.ok());
+  const int versions_before = c.group->primary()->VersionCount();
+  auto fenced = c.group->CommitWithLease(*tree, stale);
+  ASSERT_FALSE(fenced.ok());
+  EXPECT_EQ(fenced.status().code(), Code::kFailedPrecondition);
+  EXPECT_NE(fenced.status().ToString().find("fenced"), std::string::npos);
+  EXPECT_EQ(c.group->primary()->VersionCount(), versions_before);
+
+  // A fresh lease under the new epoch commits normally.
+  ASSERT_TRUE(c.Commit(2).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+  ExpectAllVersionsServed(c.group.get(), 2);
+}
+
+TEST(ReplicationTest, PromotionDuringQuorumWaitNeverAcksADroppedCommit) {
+  // The ack-wait race: a commit lands on the primary and blocks for
+  // quorum; before any follower receives it, a promotion picks a follower
+  // whose cursor is BELOW the commit's end offset. The record now exists
+  // only on the deposed machine — the wait must fail the commit as
+  // unacked, not count cursors that advance along the new primary's
+  // (different) byte stream until they spuriously pass the target.
+  //
+  // Construction, fully deterministic: background shipping with an
+  // hour-long poll (the shipper only wakes when a commit signals it),
+  // dead follower appends so that one wake accomplishes nothing, then
+  // heal follower 1 and promote it while the committer sits in the wait.
+  MemEnv mems[3];
+  FaultPlan dead;
+  dead.transient_append_p = 1.0;
+  FaultInjectingEnv env1(&mems[1], dead);
+  FaultInjectingEnv env2(&mems[2], dead);
+  env1.DisableTransientFaults();  // Quiet for bootstrap.
+  env2.DisableTransientFaults();
+
+  std::vector<ReplicaConfig> configs = {
+      {&mems[0], "r0.log"}, {&env1, "r1.log"}, {&env2, "r2.log"}};
+  ReplicationOptions options;
+  options.ack_mode = AckMode::kQuorum;
+  options.ack_timeout_seconds = 5.0;  // Fail via timeout only if detection breaks.
+  options.poll_interval_seconds = 3600.0;
+  options.background_ship = true;
+  options.store_options.sleep = [](double) {};
+  auto built = ReplicatedVersionStore::Create(configs, *ParseSexpr(DocText(0)),
+                                              {}, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ReplicatedVersionStore* group = built->get();
+  for (int i = 0; i < 200; ++i) {
+    group->PumpFollowers().IgnoreError();
+    bool all = true;
+    for (const ReplicaStatus& r : group->Replicas()) {
+      if (r.role == ReplicaRole::kFollower && !r.caught_up) all = false;
+    }
+    if (all) break;
+  }
+  env1.EnableTransientFaults();
+  env2.EnableTransientFaults();
+
+  auto tree = ParseSexpr(DocText(1), group->label_table());
+  ASSERT_TRUE(tree.ok());
+  StatusOr<int> committed = Status::Internal("not run");
+  std::thread committer(
+      [&] { committed = group->Commit(*tree); });
+
+  // Let the committer reach the wait (its commit itself is instant), then
+  // heal follower 1 and promote it. Its cursor still predates the commit:
+  // the shipper's one wake hit dead appends and went back to sleep.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  env1.DisableTransientFaults();
+  auto promoted = group->Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_EQ(*promoted, 1);
+  committer.join();
+
+  ASSERT_FALSE(committed.ok());
+  EXPECT_EQ(committed.status().code(), Code::kUnavailable);
+  EXPECT_NE(committed.status().ToString().find("failover during ack wait"),
+            std::string::npos)
+      << committed.status().ToString();
+
+  // The new primary never saw the dropped commit; its version slot is
+  // reused under the new epoch and the group serves consistently. (The
+  // recommit's quorum needs shipping, and this test parked the shipper on
+  // an hour-long poll — pump from here while the commit blocks.)
+  env2.DisableTransientFaults();
+  EXPECT_EQ(group->primary()->VersionCount(), 1);
+  StatusOr<int> recommitted = Status::Internal("not run");
+  std::thread recommitter([&] { recommitted = group->Commit(*tree); });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (group->primary()->VersionCount() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    group->PumpFollowers().IgnoreError();
+  }
+  while (std::chrono::steady_clock::now() < deadline) {
+    group->PumpFollowers().IgnoreError();
+    bool all = true;
+    for (const ReplicaStatus& r : group->Replicas()) {
+      if (r.role == ReplicaRole::kFollower && !r.caught_up) all = false;
+    }
+    if (all) break;
+  }
+  recommitter.join();
+  ASSERT_TRUE(recommitted.ok()) << recommitted.status().ToString();
+  EXPECT_EQ(*recommitted, 1);
+  ExpectAllVersionsServed(group, 1);
+}
+
+TEST(ReplicationTest, PromoteWhileFollowerMidCatchUpThenHeal) {
+  Cluster c;
+  FaultPlan stuck;
+  stuck.transient_append_p = 1.0;  // Replica 2 cannot append for now.
+  FaultInjectingEnv env2(&c.mem[2], stuck);
+  ASSERT_TRUE(c.Build({}, {nullptr, nullptr, &env2}).ok());
+
+  for (int v = 1; v <= 5; ++v) ASSERT_TRUE(c.Commit(v).ok());
+  c.group->PumpFollowers().IgnoreError();  // r1 catches up; r2 stays at 0.
+
+  std::vector<ReplicaStatus> replicas = c.group->Replicas();
+  EXPECT_TRUE(replicas[1].caught_up);
+  EXPECT_EQ(replicas[2].cursor, 0u);
+
+  // Promote picks the most-caught-up follower — r1, never the laggard.
+  auto promoted = c.group->Promote();
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_EQ(*promoted, 1);
+  EXPECT_EQ(c.group->epoch(), 1u);
+
+  // No acked byte was lost: the new primary serves the full history and
+  // accepts new commits under the new epoch.
+  ExpectAllVersionsServed(c.group.get(), 5);
+  ASSERT_TRUE(c.Commit(6).ok());
+
+  // The mid-catch-up follower heals: its medium recovers, it resumes
+  // shipping from the *new* primary (its empty log is trivially a prefix),
+  // and the deposed r0 rejoins via a full resync. Everyone converges to
+  // the new primary's bytes.
+  env2.DisableTransientFaults();
+  ASSERT_TRUE(c.group->Rejoin(0).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+  const std::string primary_bytes = c.Bytes(1);
+  ASSERT_FALSE(primary_bytes.empty());
+  EXPECT_EQ(c.Bytes(0), primary_bytes);
+  EXPECT_EQ(c.Bytes(2), primary_bytes);
+  EXPECT_GE(c.group->counters().resyncs, 1u);
+  ExpectAllVersionsServed(c.group.get(), 6);
+}
+
+TEST(ReplicationTest, DoublePromotionRaceExactlyOneEpochWins) {
+  Cluster c;
+  ASSERT_TRUE(c.Build().ok());
+  ASSERT_TRUE(c.Commit(1).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+
+  // Two failover initiators observed epoch 0 and each try to install their
+  // own candidate. The compare-and-swap admits exactly one.
+  auto first = c.group->PromoteIfEpoch(1, 0);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = c.group->PromoteIfEpoch(2, 0);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), Code::kFailedPrecondition);
+  EXPECT_NE(second.status().ToString().find("lost promotion race"),
+            std::string::npos);
+  EXPECT_EQ(c.group->epoch(), 1u);
+  EXPECT_EQ(c.group->primary_index(), 1);
+  EXPECT_EQ(c.group->counters().failovers, 1u);
+}
+
+TEST(ReplicationTest, ConcurrentPromotionRaceIsSerialized) {
+  Cluster c;
+  ASSERT_TRUE(c.Build().ok());
+  ASSERT_TRUE(c.Commit(1).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+
+  Status results[2];
+  std::thread t1([&] { results[0] = c.group->PromoteIfEpoch(1, 0).status(); });
+  std::thread t2([&] { results[1] = c.group->PromoteIfEpoch(2, 0).status(); });
+  t1.join();
+  t2.join();
+
+  const int winners = (results[0].ok() ? 1 : 0) + (results[1].ok() ? 1 : 0);
+  EXPECT_EQ(winners, 1) << results[0].ToString() << " / "
+                        << results[1].ToString();
+  EXPECT_EQ(c.group->epoch(), 1u);
+  // The group still serves: commit under the winning epoch, converge.
+  ASSERT_TRUE(c.Commit(2).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+  ExpectAllVersionsServed(c.group.get(), 2);
+}
+
+TEST(ReplicationTest, ZombieWriterStaleEpochRecordRejected) {
+  Cluster c;
+  ASSERT_TRUE(c.Build().ok());
+  ASSERT_TRUE(c.Commit(1).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+  ASSERT_TRUE(c.group->Promote().ok());  // r1 leads at epoch 1.
+  ASSERT_TRUE(c.PumpUntilCaughtUp());    // r2 ships the kEpoch record.
+
+  // A zombie writer that never heard about the promotion appends a
+  // well-framed epoch-0 record to the new primary's log medium. The CRC is
+  // valid — only the fence can catch this.
+  {
+    auto out = c.mem[1].NewWritableFile(c.configs[1].path, /*truncate=*/false);
+    ASSERT_TRUE(out.ok());
+    const std::string zombie =
+        EncodeLogRecordV2(LogRecordType::kRollback, std::string(1, '\0'),
+                          /*epoch=*/0);
+    ASSERT_TRUE((*out)->Append(zombie).ok());
+    ASSERT_TRUE((*out)->Sync().ok());
+  }
+  // The real primary commits; its durable offset now covers the zombie's
+  // bytes, so the next shipping round reads them.
+  ASSERT_TRUE(c.Commit(2).ok());
+
+  const std::string follower_before = c.Bytes(2);
+  Status pumped = c.group->PumpFollowers();
+  ASSERT_FALSE(pumped.ok());
+  EXPECT_EQ(pumped.code(), Code::kFailedPrecondition);
+  EXPECT_NE(pumped.ToString().find("stale"), std::string::npos);
+  EXPECT_GE(c.group->counters().stale_epoch_rejects, 1u);
+  // Rejected means rejected: not one zombie byte reached the follower.
+  EXPECT_EQ(c.Bytes(2), follower_before);
+}
+
+TEST(ReplicationTest, ScrubCatchesFollowerDivergenceAndResyncs) {
+  Cluster c;
+  ASSERT_TRUE(c.Build().ok());
+  for (int v = 1; v <= 4; ++v) ASSERT_TRUE(c.Commit(v).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+
+  // Bit rot inside follower 1's verified prefix: its bytes no longer match
+  // the CRC chain it acked.
+  ASSERT_TRUE(c.mem[1].CorruptByte(c.configs[1].path, kLogMagicSize + 3, 0x40)
+                  .ok());
+  ASSERT_TRUE(c.group->Scrub().ok());
+  EXPECT_EQ(c.group->counters().divergence, 1u);
+  EXPECT_GE(c.group->counters().resyncs, 1u);
+
+  // The resync recopies from the primary; everyone converges again.
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+  EXPECT_EQ(c.Bytes(1), c.Bytes(0));
+  EXPECT_EQ(c.Bytes(2), c.Bytes(0));
+  ExpectAllVersionsServed(c.group.get(), 4);
+}
+
+TEST(ReplicationTest, PrimaryLogRewriteForcesFollowerResync) {
+  Cluster c;
+  ASSERT_TRUE(c.Build().ok());
+  for (int v = 1; v <= 4; ++v) ASSERT_TRUE(c.Commit(v).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+
+  // Cold-log corruption on the primary: its own scrub repairs by rotation,
+  // which rewrites the log — every follower byte offset is now meaningless
+  // and the rotation counter says so.
+  ASSERT_TRUE(c.mem[0].CorruptByte(c.configs[0].path, kLogMagicSize + 3, 0x10)
+                  .ok());
+  ASSERT_TRUE(c.group->Scrub().ok());
+  EXPECT_GT(c.group->primary()->rotations(), 0u);
+
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+  EXPECT_GE(c.group->counters().resyncs, 2u);  // Both followers recopied.
+  EXPECT_EQ(c.Bytes(1), c.Bytes(0));
+  EXPECT_EQ(c.Bytes(2), c.Bytes(0));
+  ExpectAllVersionsServed(c.group.get(), 4);
+}
+
+TEST(ReplicationTest, TornFollowerTailsHealByTruncateAndRetry) {
+  Cluster c;
+  FaultPlan flaky;
+  flaky.seed = 7;
+  flaky.torn_append_p = 0.35;       // Batches tear mid-append...
+  flaky.transient_truncate_p = 0.25;  // ...and even the repair flakes.
+  FaultInjectingEnv env1(&c.mem[1], flaky);
+  FaultPlan flaky_reads;
+  flaky_reads.seed = 11;
+  flaky_reads.short_read_p = 0.2;  // Shipping reads return short.
+  flaky_reads.transient_read_p = 0.1;
+  FaultInjectingEnv env0(&c.mem[0], flaky_reads);
+  ASSERT_TRUE(c.Build({}, {&env0, &env1}).ok());
+
+  // Interleave commits and shipping rounds so the catch-up path performs
+  // many small appends — each one a chance for the plan to tear it.
+  for (int v = 1; v <= 8; ++v) {
+    ASSERT_TRUE(c.Commit(v).ok());
+    ASSERT_TRUE(c.PumpUntilCaughtUp(500));
+  }
+
+  EXPECT_GT(env1.transient_faults(), 0u);
+  // Despite torn tails and short reads, the converged logs are
+  // byte-identical — the truncate-repair discipline never let a garbage
+  // prefix survive.
+  EXPECT_EQ(c.Bytes(1), c.Bytes(0));
+  EXPECT_EQ(c.Bytes(2), c.Bytes(0));
+  ExpectAllVersionsServed(c.group.get(), 8);
+}
+
+TEST(ReplicationTest, MetricsRegistryMirrorsReplicationActivity) {
+  Cluster c;
+  MetricsRegistry metrics;
+  ReplicationOptions options;
+  options.metrics = &metrics;
+  ASSERT_TRUE(c.Build(options).ok());
+  for (int v = 1; v <= 3; ++v) ASSERT_TRUE(c.Commit(v).ok());
+  ASSERT_TRUE(c.PumpUntilCaughtUp());
+  ASSERT_TRUE(c.group->Promote().ok());
+
+  EXPECT_GT(metrics.counter("replication_records_shipped_total")->Value(), 0u);
+  EXPECT_GT(metrics.counter("replication_bytes_shipped_total")->Value(), 0u);
+  EXPECT_EQ(metrics.counter("replication_failovers_total")->Value(), 1u);
+  EXPECT_GT(metrics.histogram("replication_follower_lag_bytes")->Count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DiffService integration: replicated stores behind the circuit breaker.
+
+TEST(ReplicationServiceTest, ServiceRoutesReadsAndCommitsThroughGroup) {
+  MemEnv mems[3];
+  std::vector<ReplicaConfig> configs;
+  for (int i = 0; i < 3; ++i) {
+    configs.push_back({&mems[i], "svc" + std::to_string(i) + ".log"});
+  }
+  DiffServiceOptions options;
+  options.num_threads = 2;
+  options.sleep = [](double) {};
+  DiffService service(options);
+  ASSERT_TRUE(
+      service.CreateReplicatedStore("doc", DocText(0), configs).ok());
+
+  auto v1 = service.CommitVersion("doc", DocText(1));
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(*v1, 1);
+
+  DiffRequest request;
+  request.doc_id = "doc";
+  request.from_version = 0;
+  request.to_version = 1;
+  DiffResponse response = service.SubmitSync(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_GT(response.operations, 0u);
+
+  std::vector<DiffService::StoreStatus> statuses = service.StoreStatuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_TRUE(statuses[0].replicated);
+  EXPECT_EQ(statuses[0].repl_epoch, 0u);
+  EXPECT_EQ(statuses[0].repl_primary, 0);
+  ASSERT_EQ(statuses[0].replicas.size(), 3u);
+  EXPECT_EQ(statuses[0].replicas[0].role, ReplicaRole::kPrimary);
+
+  // ScrubNow covers replicated entries (primary log + follower chains).
+  EXPECT_EQ(service.ScrubNow(), 1);
+}
+
+TEST(ReplicationServiceTest, BreakerOpenPromotesFollowerAndResumesTraffic) {
+  // Deterministic "primary dies mid-commit": dry-run the same sequence on
+  // a clean env to learn which fsync the failing commit lands on, then arm
+  // a terminal fault exactly there.
+  uint64_t syncs_through_v1 = 0;
+  {
+    MemEnv probe_mem;
+    FaultInjectingEnv probe(&probe_mem, {});
+    MemEnv f1, f2;
+    std::vector<ReplicaConfig> configs = {
+        {&probe, "p.log"}, {&f1, "f1.log"}, {&f2, "f2.log"}};
+    DiffServiceOptions options;
+    options.sleep = [](double) {};
+    DiffService service(options);
+    ASSERT_TRUE(
+        service.CreateReplicatedStore("doc", DocText(0), configs).ok());
+    ASSERT_TRUE(service.CommitVersion("doc", DocText(1)).ok());
+    syncs_through_v1 = probe.sync_calls();
+  }
+  ASSERT_GT(syncs_through_v1, 0u);
+
+  MemEnv mems[3];
+  FaultPlan lethal;
+  lethal.crash_during_sync_at = syncs_through_v1 + 1;
+  FaultInjectingEnv dying(&mems[0], lethal);
+  std::vector<ReplicaConfig> configs = {
+      {&dying, "p.log"}, {&mems[1], "f1.log"}, {&mems[2], "f2.log"}};
+
+  DiffServiceOptions options;
+  options.sleep = [](double) {};
+  options.store_retry_attempts = 1;
+  options.breaker_failure_threshold = 1;
+  DiffService service(options);
+  ASSERT_TRUE(service.CreateReplicatedStore("doc", DocText(0), configs).ok());
+  ASSERT_TRUE(service.CommitVersion("doc", DocText(1)).ok());
+
+  // Let the shipper catch the followers up before the primary dies, so the
+  // promotion candidate holds every acked byte.
+  for (int i = 0; i < 200; ++i) {
+    std::vector<DiffService::StoreStatus> statuses = service.StoreStatuses();
+    bool all = true;
+    for (const ReplicaStatus& r : statuses[0].replicas) {
+      if (r.role == ReplicaRole::kFollower && !r.caught_up) all = false;
+    }
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // This commit's fsync kills the primary's machine. The breaker sees the
+  // failure, promotes the most-caught-up follower (fenced epoch bump), and
+  // re-runs the same op on the new primary — the commit lands.
+  auto v2 = service.CommitVersion("doc", DocText(2));
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(*v2, 2);
+  EXPECT_TRUE(dying.down());
+  EXPECT_EQ(service.metrics().counter("store_failovers_total")->Value(), 1u);
+
+  std::vector<DiffService::StoreStatus> statuses = service.StoreStatuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].repl_epoch, 1u);
+  EXPECT_NE(statuses[0].repl_primary, 0);
+  EXPECT_EQ(statuses[0].health, StoreHealth::kHealthy);
+
+  // Traffic resumes under the new epoch: further commits and stored diffs.
+  auto v3 = service.CommitVersion("doc", DocText(3));
+  ASSERT_TRUE(v3.ok()) << v3.status().ToString();
+  DiffRequest request;
+  request.doc_id = "doc";
+  request.from_version = 1;
+  request.to_version = 3;
+  DiffResponse response = service.SubmitSync(request);
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+}
+
+}  // namespace
+}  // namespace treediff

@@ -76,7 +76,7 @@ std::vector<RecordLoc> Records(Env* env, const std::string& path) {
   if (!scan.ok()) return out;
   for (const LogScanRecord& r : scan->records) {
     out.push_back({r.type, r.offset,
-                   static_cast<uint64_t>(kLogRecordHeaderSize) +
+                   static_cast<uint64_t>(LogRecordHeaderSize(scan->format)) +
                        r.payload.size()});
   }
   return out;
@@ -518,6 +518,101 @@ TEST(GoldenLogTest, FrozenV1LogRecoversExactly) {
   EXPECT_EQ(store->VersionCount(), 5);
   ExpectVersionsIntact(*store, {0, 1, 2, 3, 4});
   // Recovery must not have modified the log: byte-identical round trip.
+  auto after = env.FileBytes("golden.log");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *bytes);
+}
+
+/// Plants `bytes` as golden.log on `env`.
+void PlantFixture(MemEnv* env, const std::string& bytes) {
+  auto file = env->NewWritableFile("golden.log", true);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(bytes).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+}
+
+TEST(GoldenLogTest, FrozenV1LogSalvagesPastMidLogDamage) {
+  // Salvage must keep working on the frozen v1 image, not just on logs the
+  // current build wrote itself. Corrupt a delta payload byte mid-log: the
+  // damaged version falls in the hole, everything else survives.
+  auto bytes = ReadHexFixture("golden_v1_log.hex");
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  MemEnv env;
+  PlantFixture(&env, *bytes);
+  auto records = Records(&env, "golden.log");
+  // Fixture layout: snapshot, d1, d2, cp2, d3, d4, cp4. Hit d3.
+  const int target = NthOfType(records, LogRecordType::kDelta, 2);
+  ASSERT_GE(target, 0);
+  ASSERT_TRUE(
+      env.CorruptByte("golden.log",
+                      records[static_cast<size_t>(target)].offset +
+                          kLogRecordHeaderSize + 2,
+                      0x40)
+          .ok());
+  StoreOptions salvage = MemOptions(&env);
+  salvage.recovery = RecoveryMode::kSalvage;
+  RecoveryReport report;
+  auto store = VersionStore::Open("golden.log", {}, salvage, &report);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->VersionCount(), 5);
+  ExpectVersionsIntact(*store, {0, 1, 2, 4});
+  EXPECT_FALSE(store->VersionAvailable(3));
+  EXPECT_EQ(report.records_skipped, 1u);
+}
+
+TEST(GoldenLogTest, FrozenV1LogKeepsV1FramingAcrossAppends) {
+  // Opening an old-format log must not silently upgrade it: new commits
+  // append v1 frames to a v1 log (only rotation rewrites to the current
+  // generation), so a store shared with an older build stays readable by
+  // that build.
+  auto bytes = ReadHexFixture("golden_v1_log.hex");
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  MemEnv env;
+  PlantFixture(&env, *bytes);
+  {
+    auto store = VersionStore::Open("golden.log", {}, MemOptions(&env));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ(store->log_format(), LogFormat::kV1);
+    auto tree = ParseSexpr(DocText(5), store->label_table());
+    ASSERT_TRUE(tree.ok());
+    auto committed = store->Commit(*tree);
+    ASSERT_TRUE(committed.ok()) << committed.status().ToString();
+    EXPECT_EQ(*committed, 5);
+    EXPECT_EQ(store->log_format(), LogFormat::kV1);
+  }
+  // The appended log still scans as v1 end to end and reopens cleanly.
+  {
+    auto file = env.NewRandomAccessFile("golden.log");
+    ASSERT_TRUE(file.ok());
+    auto scan = ScanLog(file->get());
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(scan->format, LogFormat::kV1);
+  }
+  RecoveryReport report;
+  auto reopened = VersionStore::Open("golden.log", {}, MemOptions(&env),
+                                     &report);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_EQ(reopened->VersionCount(), 6);
+  ExpectVersionsIntact(*reopened, {0, 1, 2, 3, 4, 5});
+}
+
+TEST(GoldenLogTest, FrozenV2LogRecoversExactly) {
+  // The current generation gets the same freeze: a v2 image written when
+  // the epoch field landed must stay readable by every future build.
+  auto bytes = ReadHexFixture("golden_v2_log.hex");
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  MemEnv env;
+  PlantFixture(&env, *bytes);
+  RecoveryReport report;
+  auto store = VersionStore::Open("golden.log", {}, MemOptions(&env), &report);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE(report.clean()) << report.ToString();
+  EXPECT_EQ(store->log_format(), LogFormat::kV2);
+  EXPECT_EQ(store->VersionCount(), 5);
+  EXPECT_EQ(store->epoch(), 0u);
+  ExpectVersionsIntact(*store, {0, 1, 2, 3, 4});
   auto after = env.FileBytes("golden.log");
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(*after, *bytes);

@@ -1,10 +1,14 @@
-// Regenerates tests/testdata/golden_v1_log.hex, the frozen v1 commit-log
-// fixture that GoldenLogTest recovers on every run.
+// Emits a frozen commit-log fixture in the CURRENT format generation
+// (TDIFLOG2 since the epoch field landed); GoldenLogTest recovers the
+// committed .hex files on every run.
 //
-// DO NOT regenerate casually: the fixture exists to catch *accidental*
-// format changes. If the log format changes on purpose, bump the format
-// (new magic / version), keep Open able to read the old one, rerun this
-// tool, and say so loudly in the change description.
+// The frozen images are append-only history, one per generation:
+//   golden_v1_log.hex — written by the TDIFLOG1 build; NEVER regenerate.
+//   golden_v2_log.hex — written by this tool at the TDIFLOG2 freeze.
+// If the format changes on purpose, bump the generation (new magic /
+// version), keep Open able to read every older one, run this tool into a
+// NEW golden_vN_log.hex, and add a FrozenVNLogRecoversExactly test — do
+// not overwrite an existing fixture.
 //
 // Usage: make_golden_log <output-file>
 //

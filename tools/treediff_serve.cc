@@ -11,9 +11,17 @@
 //
 //   DIFF <format> <old_doc> <new_doc>   diff two inline documents
 //   OPEN <doc_id> <format> <base_doc>   create an in-memory version store
+//   OPENR <doc_id> <format> <n> <base_doc>
+//                                       create a replicated store with n
+//                                       replicas (log files under
+//                                       --store-dir); commits ship to the
+//                                       followers, and a failing primary
+//                                       fails over behind the breaker
 //   COMMIT <doc_id> <format> <doc>      commit the next version -> OK <v>
 //   VDIFF <doc_id> <from> <to>          diff two stored versions
-//   STATUS                              per-store health, one line each,
+//   STATUS                              per-store health, one line each
+//                                       (replicated stores add a REPL line:
+//                                       role, epoch, per-follower lag),
 //                                       terminated by "."
 //   METRICS                             dump the metrics registry
 //   QUIT                                exit (EOF works too)
@@ -27,7 +35,7 @@
 //   ERR <Code> <message> failure (one line)
 //
 // Usage: treediff_serve [--threads N] [--queue N] [--deadline SECONDS]
-//                        [--incremental on|off]
+//                        [--incremental on|off] [--store-dir DIR]
 //
 // --incremental (default on) turns on incremental serving: the share-map
 // pre-pass prunes unchanged subtrees out of every diff, repeated diffs of
@@ -124,6 +132,7 @@ int main(int argc, char** argv) {
   DiffServiceOptions options;
   options.incremental = true;  // The serving tool defaults to incremental.
   double default_deadline = 0.0;
+  std::string store_dir = ".";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -153,6 +162,13 @@ int main(int argc, char** argv) {
                      "treediff_serve: --deadline wants seconds (>= 0)\n");
         return 2;
       }
+    } else if (arg == "--store-dir") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "treediff_serve: --store-dir wants a path\n");
+        return 2;
+      }
+      store_dir = v;
     } else if (arg == "--incremental") {
       const char* v = next();
       if (v != nullptr && std::strcmp(v, "on") == 0) {
@@ -167,7 +183,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: treediff_serve [--threads N] [--queue N] "
-                   "[--deadline SECONDS] [--incremental on|off]\n");
+                   "[--deadline SECONDS] [--incremental on|off] "
+                   "[--store-dir DIR]\n");
       return 2;
     }
   }
@@ -201,6 +218,16 @@ int main(int argc, char** argv) {
                   << " retries=" << s.faults.transient_retries
                   << " rotations=" << s.faults.rotations
                   << " scrubs=" << s.faults.scrubs << "\n";
+        if (s.replicated) {
+          std::cout << "REPL doc=" << s.doc_id << " epoch=" << s.repl_epoch
+                    << " primary=" << s.repl_primary;
+          for (const treediff::ReplicaStatus& r : s.replicas) {
+            std::cout << " r" << r.index << "="
+                      << treediff::ReplicaRoleName(r.role)
+                      << ":lag=" << r.lag_bytes;
+          }
+          std::cout << "\n";
+        }
       }
       std::cout << ".\n";
       std::cout.flush();
@@ -246,6 +273,41 @@ int main(int argc, char** argv) {
       continue;
     }
 
+    if (cmd == "OPENR" && f.size() == 5) {
+      DiffRequest::Format format;
+      int replicas = 0;
+      if (!ParseFormat(f[2], &format)) {
+        PrintError(treediff::Status::InvalidArgument(
+            "unknown format \"" + f[2] + "\" (want sexpr|xml)"));
+        std::cout.flush();
+        continue;
+      }
+      if (!ParseInt(f[3], &replicas) || replicas < 1) {
+        PrintError(treediff::Status::InvalidArgument(
+            "bad replica count \"" + f[3] + "\" (want a positive integer)"));
+        std::cout.flush();
+        continue;
+      }
+      std::vector<treediff::ReplicaConfig> configs;
+      for (int i = 0; i < replicas; ++i) {
+        treediff::ReplicaConfig config;
+        config.path =
+            store_dir + "/" + f[1] + ".r" + std::to_string(i) + ".log";
+        configs.push_back(std::move(config));
+      }
+      const treediff::Status status = service.CreateReplicatedStore(
+          f[1], f[4], std::move(configs), treediff::AckMode::kLeaderOnly,
+          format);
+      if (status.ok()) {
+        std::cout << "OK doc=" << f[1] << " version=0 replicas=" << replicas
+                  << "\n";
+      } else {
+        PrintError(status);
+      }
+      std::cout.flush();
+      continue;
+    }
+
     if (cmd == "COMMIT" && f.size() == 4) {
       DiffRequest::Format format;
       if (!ParseFormat(f[2], &format)) {
@@ -283,7 +345,7 @@ int main(int argc, char** argv) {
 
     PrintError(treediff::Status::InvalidArgument(
         "bad request \"" + cmd + "\" (or wrong field count); commands: "
-        "DIFF OPEN COMMIT VDIFF STATUS METRICS QUIT"));
+        "DIFF OPEN OPENR COMMIT VDIFF STATUS METRICS QUIT"));
     std::cout.flush();
   }
   service.Shutdown();
