@@ -1,0 +1,247 @@
+#include "net/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace treediff {
+namespace net {
+
+namespace {
+
+TenantQuota Clamped(TenantQuota quota) {
+  quota.weight = std::max<uint32_t>(quota.weight, 1);
+  quota.max_queued = std::max<size_t>(quota.max_queued, 1);
+  quota.max_inflight = std::max<size_t>(quota.max_inflight, 1);
+  return quota;
+}
+
+}  // namespace
+
+TenantScheduler::TenantScheduler(TenantSchedulerOptions options,
+                                 MetricsRegistry* registry)
+    : options_(std::move(options)) {
+  if (registry != nullptr) {
+    enqueued_ = registry->counter("net_tenant_enqueued_total");
+    shed_queue_ = registry->counter("net_shed_tenant_quota_total");
+    shed_tenants_ = registry->counter("net_shed_tenant_cap_total");
+    cancelled_ = registry->counter("net_jobs_cancelled_total");
+    dispatched_total_ = registry->counter("net_jobs_dispatched_total");
+  }
+}
+
+TenantScheduler::~TenantScheduler() {
+  // Callers own shutdown ordering (Drain + AwaitIdle / CancelQueued); by
+  // destruction time nothing may still be queued or dispatched.
+}
+
+TenantScheduler::Tenant* TenantScheduler::FindOrCreateTenant(
+    const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return it->second.get();
+
+  const auto config = options_.tenants.find(name);
+  const bool configured = config != options_.tenants.end();
+  if (!configured &&
+      tenants_.size() >= std::max<size_t>(options_.max_tenants, 1)) {
+    return nullptr;  // A flood of novel tenant ids must not grow state.
+  }
+  auto tenant = std::make_unique<Tenant>();
+  tenant->name = name;
+  tenant->quota =
+      Clamped(configured ? config->second : options_.default_quota);
+  Tenant* raw = tenant.get();
+  tenants_.emplace(name, std::move(tenant));
+  return raw;
+}
+
+Status TenantScheduler::Enqueue(const std::string& tenant_name, Job run,
+                                std::function<void(const Status&)> cancel) {
+  std::vector<std::pair<Tenant*, Job>> batch;
+  {
+    MutexLock lock(&mu_);
+    if (draining_) {
+      return Status::Unavailable("server draining: request not admitted");
+    }
+    Tenant* tenant = FindOrCreateTenant(tenant_name);
+    if (tenant == nullptr) {
+      if (shed_tenants_ != nullptr) shed_tenants_->Increment();
+      return Status::ResourceExhausted(
+          "tenant table full: unknown tenant \"" + tenant_name +
+          "\" not admitted");
+    }
+    if (tenant->queue.size() >= tenant->quota.max_queued) {
+      if (shed_queue_ != nullptr) shed_queue_->Increment();
+      return Status::ResourceExhausted("tenant \"" + tenant_name +
+                                       "\" queue quota exceeded");
+    }
+    if (enqueued_ != nullptr) enqueued_->Increment();
+    tenant->queue.push_back(
+        Tenant::Pending{std::move(run), std::move(cancel)});
+    ++queued_;
+    if (!tenant->in_active_ring) {
+      tenant->in_active_ring = true;
+      active_.push_back(tenant);
+    }
+    PumpLocked(&batch);
+  }
+  RunBatch(std::move(batch));
+  return Status::Ok();
+}
+
+void TenantScheduler::PumpLocked(
+    std::vector<std::pair<Tenant*, Job>>* batch) {
+  const size_t max_dispatched = std::max<size_t>(options_.max_dispatched, 1);
+  // Each iteration dispatches at least one job (bounded by the window),
+  // retires a tenant from the ring (bounded by the ring), or breaks, so
+  // the loop terminates.
+  while (dispatched_ < max_dispatched && !active_.empty()) {
+    Tenant* tenant = active_.front();
+    if (tenant->inflight >= tenant->quota.max_inflight) {
+      // Out of the ring until a completion frees an inflight unit; its
+      // backlog waits in its own queue, not in front of other tenants.
+      active_.pop_front();
+      tenant->in_active_ring = false;
+      continue;
+    }
+    // One quantum per round: the deficit is topped up only once it is
+    // exhausted, and the tenant holds the ring front until then. If the
+    // dispatch window closes mid-quantum, the tenant resumes its burst on
+    // the next pump WITHOUT a fresh top-up — otherwise a tight window
+    // would hand every tenant one dispatch per rotation and erase the
+    // weights entirely.
+    if (tenant->deficit < 1) tenant->deficit += tenant->quota.weight;
+    while (tenant->deficit >= 1 && !tenant->queue.empty() &&
+           tenant->inflight < tenant->quota.max_inflight &&
+           dispatched_ < max_dispatched) {
+      batch->emplace_back(tenant, std::move(tenant->queue.front().run));
+      tenant->queue.pop_front();
+      --queued_;
+      tenant->deficit -= 1;
+      ++tenant->inflight;
+      ++dispatched_;
+      if (dispatched_total_ != nullptr) dispatched_total_->Increment();
+    }
+    if (tenant->queue.empty()) {
+      // An idle tenant starts its next busy period from zero credit —
+      // deficit must not accumulate across idle time.
+      tenant->deficit = 0;
+      active_.pop_front();
+      tenant->in_active_ring = false;
+    } else if (tenant->inflight >= tenant->quota.max_inflight) {
+      active_.pop_front();
+      tenant->in_active_ring = false;
+    } else if (tenant->deficit < 1) {
+      // Quantum spent: yield the front to the next tenant in the ring.
+      active_.pop_front();
+      active_.push_back(tenant);
+    } else {
+      break;  // Window closed mid-quantum; resume here next pump.
+    }
+  }
+}
+
+void TenantScheduler::RunBatch(std::vector<std::pair<Tenant*, Job>> batch) {
+  // A job may complete inline (the DiffService sheds at admission on the
+  // caller's thread), which re-enters OnDone -> Pump -> RunBatch on this
+  // same stack. Trampoline instead of recursing: the outermost RunBatch on
+  // each thread owns a work list, nested calls append to it, and a shed
+  // storm drains iteratively at constant stack depth.
+  struct Deferred {
+    TenantScheduler* self;
+    Tenant* tenant;
+    Job job;
+  };
+  thread_local std::vector<Deferred>* running = nullptr;
+  if (running != nullptr) {
+    for (auto& [tenant, job] : batch) {
+      running->push_back(Deferred{this, tenant, std::move(job)});
+    }
+    return;
+  }
+  std::vector<Deferred> work;
+  work.reserve(batch.size());
+  for (auto& [tenant, job] : batch) {
+    work.push_back(Deferred{this, tenant, std::move(job)});
+  }
+  running = &work;
+  for (size_t i = 0; i < work.size(); ++i) {  // `work` may grow mid-loop.
+    TenantScheduler* self = work[i].self;
+    Tenant* tenant = work[i].tenant;
+    Job job = std::move(work[i].job);
+    job([self, tenant]() { self->OnDone(tenant); });
+  }
+  running = nullptr;
+}
+
+void TenantScheduler::OnDone(Tenant* tenant) {
+  std::vector<std::pair<Tenant*, Job>> batch;
+  {
+    MutexLock lock(&mu_);
+    --dispatched_;
+    --tenant->inflight;
+    if (!tenant->queue.empty() && !tenant->in_active_ring) {
+      tenant->in_active_ring = true;
+      active_.push_back(tenant);
+    }
+    PumpLocked(&batch);
+    if (queued_ == 0 && dispatched_ == 0) idle_cv_.SignalAll();
+  }
+  RunBatch(std::move(batch));
+}
+
+void TenantScheduler::Drain() {
+  MutexLock lock(&mu_);
+  draining_ = true;
+}
+
+bool TenantScheduler::AwaitIdle(double timeout_seconds) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_seconds));
+  MutexLock lock(&mu_);
+  while (queued_ != 0 || dispatched_ != 0) {
+    const double remaining =
+        std::chrono::duration<double>(deadline - Clock::now()).count();
+    if (remaining <= 0.0) return false;
+    idle_cv_.WaitFor(&mu_, remaining);
+  }
+  return true;
+}
+
+size_t TenantScheduler::CancelQueued(const Status& reason) {
+  std::vector<std::function<void(const Status&)>> cancels;
+  {
+    MutexLock lock(&mu_);
+    for (auto& [name, tenant] : tenants_) {
+      while (!tenant->queue.empty()) {
+        cancels.push_back(std::move(tenant->queue.front().cancel));
+        tenant->queue.pop_front();
+        --queued_;
+      }
+      tenant->deficit = 0;
+      tenant->in_active_ring = false;
+    }
+    active_.clear();
+    if (queued_ == 0 && dispatched_ == 0) idle_cv_.SignalAll();
+  }
+  for (auto& cancel : cancels) {
+    if (cancelled_ != nullptr) cancelled_->Increment();
+    if (cancel) cancel(reason);
+  }
+  return cancels.size();
+}
+
+size_t TenantScheduler::queued() const {
+  MutexLock lock(&mu_);
+  return queued_;
+}
+
+size_t TenantScheduler::dispatched() const {
+  MutexLock lock(&mu_);
+  return dispatched_;
+}
+
+}  // namespace net
+}  // namespace treediff

@@ -1,0 +1,166 @@
+#ifndef TREEDIFF_NET_ADMISSION_H_
+#define TREEDIFF_NET_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace treediff {
+namespace net {
+
+/// Per-tenant admission limits and fair-share weight.
+struct TenantQuota {
+  /// Fair-share weight: the deficit quantum a tenant earns per scheduling
+  /// round. A weight-3 tenant dispatches ~3x the requests of a weight-1
+  /// tenant when both have backlog. Clamped to >= 1.
+  uint32_t weight = 1;
+
+  /// Most requests a tenant may have waiting in its queue; an enqueue
+  /// beyond this is shed with kResourceExhausted. Clamped to >= 1.
+  size_t max_queued = 256;
+
+  /// Most requests a tenant may have dispatched-but-unfinished at once.
+  /// A tenant at this cap keeps its backlog queued while others dispatch —
+  /// the quota half of multi-tenant isolation. Clamped to >= 1.
+  size_t max_inflight = 64;
+};
+
+struct TenantSchedulerOptions {
+  /// Quota for tenants with no explicit entry (including the anonymous
+  /// empty-string tenant).
+  TenantQuota default_quota;
+
+  /// Named per-tenant overrides.
+  std::map<std::string, TenantQuota> tenants;
+
+  /// Total dispatched-but-unfinished requests across all tenants. This is
+  /// the scheduler's concurrency window into the DiffService pool: small
+  /// enough that the pool queue never sheds what the scheduler admitted,
+  /// large enough to keep every worker busy. Clamped to >= 1.
+  size_t max_dispatched = 16;
+
+  /// Most distinct tenants tracked at once. A frame naming a brand-new
+  /// tenant beyond this is shed — a garbage-tenant flood must not grow
+  /// server state without bound. Tenants named in `tenants` are always
+  /// admitted. Clamped to >= 1.
+  size_t max_tenants = 1024;
+};
+
+/// Weighted deficit-round-robin fair-share scheduler — the multi-tenant
+/// admission stage between the network front end's decoded frames and the
+/// DiffService thread pool.
+///
+/// Each tenant owns a FIFO of jobs and a deficit counter. Dispatch visits
+/// tenants with backlog round-robin; a visit tops the tenant's deficit up
+/// by its weight and dispatches one job per deficit unit until the deficit,
+/// the tenant's backlog, its inflight cap, or the global dispatch window
+/// runs out. The result is the classic DRR guarantee: over any busy
+/// interval, tenants with backlog receive service proportional to their
+/// weights, and one tenant flooding its queue cannot starve the others —
+/// its surplus waits in its own queue (and is shed at its own quota), not
+/// in front of everyone else's traffic.
+///
+/// A job is an opaque closure `run(done)`: the scheduler calls `run` when
+/// the job is dispatched, and the job must call `done()` exactly once when
+/// it has fully finished (for the network server: when the response has
+/// been handed back, not merely when the request was forwarded). `done` is
+/// what returns the dispatch slot and the tenant's inflight unit.
+///
+/// Thread-safety: every method may be called from any thread. Jobs run
+/// outside the scheduler lock, on whichever thread called Enqueue or
+/// `done` — the scheduler adds no threads of its own.
+class TenantScheduler {
+ public:
+  using Done = std::function<void()>;
+  using Job = std::function<void(Done done)>;
+
+  /// `registry` (optional) receives the scheduler's counters.
+  TenantScheduler(TenantSchedulerOptions options, MetricsRegistry* registry);
+  ~TenantScheduler();
+
+  TenantScheduler(const TenantScheduler&) = delete;
+  TenantScheduler& operator=(const TenantScheduler&) = delete;
+
+  /// Admits one job for `tenant`, or rejects it (tenant queue full,
+  /// distinct-tenant cap, or draining) — the caller answers a rejection
+  /// with an error response. `cancel` is invoked instead of `run` if the
+  /// job is cancelled while still queued (shutdown past its deadline);
+  /// exactly one of run/cancel is eventually invoked for an admitted job.
+  Status Enqueue(const std::string& tenant, Job run,
+                 std::function<void(const Status&)> cancel) EXCLUDES(mu_);
+
+  /// Stops admitting; every later Enqueue fails with kUnavailable.
+  void Drain() EXCLUDES(mu_);
+
+  /// Blocks until no job is queued or dispatched, or `timeout_seconds`
+  /// elapses. Returns whether the scheduler went idle.
+  bool AwaitIdle(double timeout_seconds) EXCLUDES(mu_);
+
+  /// Cancels every still-queued job: each job's `cancel` runs (outside the
+  /// lock) with `reason`. Dispatched jobs are untouched — they finish on
+  /// their own. Returns how many were cancelled.
+  size_t CancelQueued(const Status& reason) EXCLUDES(mu_);
+
+  size_t queued() const EXCLUDES(mu_);
+  size_t dispatched() const EXCLUDES(mu_);
+
+ private:
+  struct Tenant {
+    std::string name;
+    TenantQuota quota;
+    uint64_t deficit = 0;
+    size_t inflight = 0;
+    bool in_active_ring = false;
+    struct Pending {
+      Job run;
+      std::function<void(const Status&)> cancel;
+    };
+    std::deque<Pending> queue;
+  };
+
+  /// The tenant record, created on demand (subject to max_tenants; null
+  /// when the cap rejects a new tenant).
+  Tenant* FindOrCreateTenant(const std::string& name) REQUIRES(mu_);
+
+  /// Moves dispatchable jobs from tenant queues into `batch`, DRR order.
+  void PumpLocked(std::vector<std::pair<Tenant*, Job>>* batch) REQUIRES(mu_);
+
+  /// Runs a dispatched batch outside the lock.
+  void RunBatch(std::vector<std::pair<Tenant*, Job>> batch) EXCLUDES(mu_);
+
+  /// Job-completion bookkeeping: frees the slot, reactivates the tenant,
+  /// pumps again.
+  void OnDone(Tenant* tenant) EXCLUDES(mu_);
+
+  const TenantSchedulerOptions options_;
+
+  mutable Mutex mu_;
+  CondVar idle_cv_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_ GUARDED_BY(mu_);
+  std::deque<Tenant*> active_ GUARDED_BY(mu_);  // Tenants with backlog.
+  size_t queued_ GUARDED_BY(mu_) = 0;
+  size_t dispatched_ GUARDED_BY(mu_) = 0;
+  bool draining_ GUARDED_BY(mu_) = false;
+
+  // Registered once; null-checked so the scheduler works registry-free.
+  Counter* enqueued_ = nullptr;
+  Counter* shed_queue_ = nullptr;
+  Counter* shed_tenants_ = nullptr;
+  Counter* cancelled_ = nullptr;
+  Counter* dispatched_total_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace treediff
+
+#endif  // TREEDIFF_NET_ADMISSION_H_

@@ -1,0 +1,148 @@
+#include "net/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+
+namespace treediff {
+namespace net {
+
+namespace {
+
+uint64_t ThisThreadId() {
+  return static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+}  // namespace
+
+EventLoop::~EventLoop() = default;
+
+Status EventLoop::Init() {
+  epoll_fd_ = OwnedFd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) {
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  wakeup_fd_ = OwnedFd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wakeup_fd_.valid()) {
+    return Status::Internal(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.fd = wakeup_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wakeup_fd_.get(), &ev) !=
+      0) {
+    return Status::Internal(std::string("epoll_ctl(wakeup): ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EventLoop::DrainWakeup() {
+  uint64_t count = 0;
+  // Nonblocking eventfd: one read clears the counter; EAGAIN means the
+  // wakeup was already consumed.
+  while (::read(wakeup_fd_.get(), &count, sizeof count) > 0) {
+  }
+}
+
+void EventLoop::Run() {
+  loop_thread_id_.store(ThisThreadId(), std::memory_order_relaxed);
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+
+  for (;;) {
+    const int n = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // A broken epoll fd is unrecoverable; exit the loop.
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_fd_.get()) {
+        DrainWakeup();
+        continue;
+      }
+      // The lookup (not a stored pointer) makes events for an fd that an
+      // earlier handler in this batch deregistered dissolve harmlessly,
+      // and the shared_ptr copy keeps the handler alive through its own
+      // self-deregistration.
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      const std::shared_ptr<Handler> handler = it->second;
+      (*handler)(events[i].events);
+    }
+
+    // Posted tasks run after the epoll batch, in post order.
+    std::vector<std::function<void()>> tasks;
+    bool stop = false;
+    {
+      MutexLock lock(&mu_);
+      tasks.swap(pending_);
+      stop = stop_;
+    }
+    for (auto& task : tasks) task();
+    if (stop) break;
+  }
+  loop_thread_id_.store(0, std::memory_order_relaxed);
+}
+
+void EventLoop::Stop() {
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+  }
+  const uint64_t one = 1;
+  // Best-effort: if the write fails the loop still exits on next wake.
+  (void)!::write(wakeup_fd_.get(), &one, sizeof one);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    MutexLock lock(&mu_);
+    pending_.push_back(std::move(task));
+  }
+  const uint64_t one = 1;
+  (void)!::write(wakeup_fd_.get(), &one, sizeof one);
+}
+
+Status EventLoop::Add(int fd, uint32_t events, Handler handler) {
+  epoll_event ev{};
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(ADD): ") +
+                            std::strerror(errno));
+  }
+  handlers_[fd] = std::make_shared<Handler>(std::move(handler));
+  return Status::Ok();
+}
+
+Status EventLoop::Mod(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events | EPOLLET;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(MOD): ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Del(int fd) {
+  // Deregistration failure (already-closed fd) has no recovery path.
+  (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+bool EventLoop::OnLoopThread() const {
+  return loop_thread_id_.load(std::memory_order_relaxed) == ThisThreadId();
+}
+
+}  // namespace net
+}  // namespace treediff

@@ -1,0 +1,87 @@
+#ifndef TREEDIFF_NET_EVENT_LOOP_H_
+#define TREEDIFF_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/socket.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace treediff {
+namespace net {
+
+/// One edge-triggered epoll event loop, the per-thread reactor of the
+/// network front end. A loop owns a set of registered fds and dispatches
+/// their readiness events to handlers on its own thread; other threads talk
+/// to it only through Post(), which enqueues a task and wakes the loop via
+/// an eventfd.
+///
+/// Everything except Post() and Stop() must be called on the loop thread
+/// (or before Run() starts). Handlers run on the loop thread; because
+/// registration is edge-triggered (EPOLLET is always added), a handler must
+/// drain its fd to EAGAIN before returning or it will not be called again
+/// for the data it left behind.
+class EventLoop {
+ public:
+  using Handler = std::function<void(uint32_t epoll_events)>;
+
+  EventLoop() = default;
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and the wakeup eventfd.
+  Status Init();
+
+  /// Runs until Stop(). Call from the thread that will own the loop.
+  void Run();
+
+  /// Asks the loop to exit after the current dispatch round. Thread-safe.
+  void Stop();
+
+  /// Enqueues `task` to run on the loop thread and wakes the loop.
+  /// Thread-safe; tasks run in Post order, after the current epoll batch.
+  void Post(std::function<void()> task);
+
+  /// Registers `fd` with `events` (EPOLLET is added implicitly). The
+  /// handler is invoked with the ready-event mask. Loop thread only.
+  Status Add(int fd, uint32_t events, Handler handler);
+
+  /// Changes the interest set of a registered fd. Loop thread only.
+  Status Mod(int fd, uint32_t events);
+
+  /// Deregisters `fd` (does not close it). Safe against events for the fd
+  /// still sitting in the current dispatch batch. Loop thread only.
+  void Del(int fd);
+
+  /// Whether the calling thread is the one inside Run(). For assertions.
+  bool OnLoopThread() const;
+
+ private:
+  void DrainWakeup();
+
+  OwnedFd epoll_fd_;
+  OwnedFd wakeup_fd_;
+
+  Mutex mu_;
+  std::vector<std::function<void()>> pending_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+
+  /// Loop-thread only. shared_ptr so a handler that deregisters (even its
+  /// own fd) cannot free a handler the current batch still references.
+  std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+
+  std::atomic<uint64_t> loop_thread_id_{0};
+};
+
+}  // namespace net
+}  // namespace treediff
+
+#endif  // TREEDIFF_NET_EVENT_LOOP_H_

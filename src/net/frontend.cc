@@ -1,0 +1,150 @@
+#include "net/frontend.h"
+
+#include <memory>
+#include <utility>
+
+namespace treediff {
+namespace net {
+
+DiffRequest::Format Frontend::ToFormat(uint8_t wire_format) {
+  return wire_format == kFormatXml ? DiffRequest::Format::kXml
+                                   : DiffRequest::Format::kSexpr;
+}
+
+WireResponse Frontend::ErrorResponse(const WireRequest& request,
+                                     const Status& status) {
+  WireResponse response;
+  response.opcode = request.opcode;
+  response.request_id = request.request_id;
+  response.status = static_cast<uint8_t>(status.code());
+  response.payload = status.message();
+  return response;
+}
+
+WireResponse Frontend::FromDiffResponse(const WireRequest& request,
+                                        const DiffResponse& diff) {
+  if (!diff.status.ok()) return ErrorResponse(request, diff.status);
+  WireResponse response;
+  response.opcode = request.opcode;
+  response.request_id = request.request_id;
+  response.rung = static_cast<uint8_t>(diff.rung);
+  response.value = static_cast<uint32_t>(diff.operations);
+  response.aux = static_cast<uint32_t>(diff.pruned_subtrees);
+  if (diff.degraded) response.flags |= kRespFlagDegraded;
+  if (diff.shed_degraded) response.flags |= kRespFlagShedDegraded;
+  if (diff.cache_hit_old) response.flags |= kRespFlagCacheOld;
+  if (diff.cache_hit_new) response.flags |= kRespFlagCacheNew;
+  if (diff.matching_cache_hit) response.flags |= kRespFlagMatchCache;
+  if (diff.chain_log_hit) response.flags |= kRespFlagChainLog;
+  response.payload = diff.script;
+  return response;
+}
+
+void Frontend::Execute(WireRequest request, Done done) {
+  switch (request.opcode) {
+    case Opcode::kPing: {
+      WireResponse response;
+      response.opcode = Opcode::kPing;
+      response.request_id = request.request_id;
+      done(std::move(response));
+      return;
+    }
+
+    case Opcode::kDiff:
+    case Opcode::kVdiff: {
+      DiffRequest diff;
+      diff.format = ToFormat(request.format);
+      if (request.opcode == Opcode::kDiff) {
+        diff.old_doc = std::move(request.old_doc);
+        diff.new_doc = std::move(request.new_doc);
+      } else {
+        diff.doc_id = std::move(request.doc_id);
+        diff.from_version = request.from_version;
+        diff.to_version = request.to_version;
+      }
+      diff.deadline_seconds =
+          static_cast<double>(request.deadline_ms) / 1000.0;
+      diff.want_script_text = (request.flags & kFlagNoScript) == 0;
+      // The correlation fields the completion needs; the documents were
+      // moved out above and are not copied again.
+      WireRequest header;
+      header.opcode = request.opcode;
+      header.request_id = request.request_id;
+      auto done_ptr = std::make_shared<Done>(std::move(done));
+      service_->Submit(std::move(diff),
+                       [header, done_ptr](DiffResponse response) {
+                         (*done_ptr)(FromDiffResponse(header, response));
+                       });
+      return;
+    }
+
+    case Opcode::kOpen:
+    case Opcode::kCommit:
+    case Opcode::kMetrics:
+      ExecuteControl(std::move(request), std::move(done));
+      return;
+  }
+  // Unreachable: the decoder validated the opcode.
+  done(ErrorResponse(request, Status::Internal("unhandled opcode")));
+}
+
+void Frontend::ExecuteControl(WireRequest req, Done done_fn) {
+  // Shared, not moved into the closure: if TrySubmit declines, the shed
+  // path below still needs both the request (for correlation fields) and
+  // the callback (which must fire exactly once).
+  auto state = std::make_shared<std::pair<WireRequest, Done>>(
+      std::move(req), std::move(done_fn));
+  auto task = [this, state]() {
+    WireRequest& request = state->first;
+    Done& done = state->second;
+    switch (request.opcode) {
+      case Opcode::kOpen: {
+        const Status status = service_->CreateStore(
+            request.doc_id, request.old_doc, ToFormat(request.format));
+        if (!status.ok()) {
+          done(ErrorResponse(request, status));
+          return;
+        }
+        WireResponse response;
+        response.opcode = Opcode::kOpen;
+        response.request_id = request.request_id;
+        done(std::move(response));
+        return;
+      }
+      case Opcode::kCommit: {
+        const StatusOr<int> version = service_->CommitVersion(
+            request.doc_id, request.old_doc, ToFormat(request.format));
+        if (!version.ok()) {
+          done(ErrorResponse(request, version.status()));
+          return;
+        }
+        WireResponse response;
+        response.opcode = Opcode::kCommit;
+        response.request_id = request.request_id;
+        response.value = static_cast<uint32_t>(*version);
+        done(std::move(response));
+        return;
+      }
+      case Opcode::kMetrics: {
+        WireResponse response;
+        response.opcode = Opcode::kMetrics;
+        response.request_id = request.request_id;
+        response.payload = service_->metrics().PrometheusExposition();
+        done(std::move(response));
+        return;
+      }
+      default:
+        done(ErrorResponse(request,
+                           Status::Internal("bad control opcode")));
+        return;
+    }
+  };
+  if (!control_pool_->TrySubmit(std::move(task))) {
+    (state->second)(ErrorResponse(
+        state->first,
+        Status::ResourceExhausted("control queue full: request shed")));
+  }
+}
+
+}  // namespace net
+}  // namespace treediff

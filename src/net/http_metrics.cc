@@ -1,0 +1,93 @@
+#include "net/http_metrics.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace treediff {
+namespace net {
+
+Status MetricsHttpServer::Start() {
+  StatusOr<OwnedFd> listener = ListenTcp(options_.host, options_.port, 16);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  StatusOr<uint16_t> port = LocalPort(listener_.get());
+  if (!port.ok()) return port.status();
+  port_ = *port;
+  thread_ = std::thread([this] { Serve(); });
+  return Status::Ok();
+}
+
+void MetricsHttpServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  listener_.Reset();
+}
+
+void MetricsHttpServer::Serve() {
+  // Polling accept with a short timeout instead of a blocking accept:
+  // Stop() only has to flip a flag, never races a close against a thread
+  // blocked in accept().
+  pollfd pfd{};
+  pfd.fd = listener_.get();
+  pfd.events = POLLIN;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // Timeout, EINTR, or transient error.
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleOne(fd);
+    (void)::close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleOne(int fd) {
+  // A scraper's request line fits in one segment; a peer that trickles
+  // can stall this for at most the receive timeout.
+  timeval timeout{};
+  timeout.tv_sec = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+  char buf[4096];
+  const ssize_t n = ::recv(fd, buf, sizeof buf - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+
+  // "GET <path> ..." — anything else is a 404/405.
+  std::string head(buf);
+  std::string body;
+  std::string status_line;
+  const size_t sp1 = head.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : head.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? "" : head.substr(0, sp1);
+  const std::string path = sp2 == std::string::npos
+                               ? ""
+                               : head.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    status_line = "HTTP/1.0 405 Method Not Allowed\r\n";
+    body = "method not allowed\n";
+  } else if (path == "/metrics") {
+    status_line = "HTTP/1.0 200 OK\r\n";
+    body = registry_->PrometheusExposition();
+  } else {
+    status_line = "HTTP/1.0 404 Not Found\r\n";
+    body = "not found; try /metrics\n";
+  }
+
+  std::string response = status_line;
+  response +=
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+  response += body;
+  // Best-effort: a scraper that hung up mid-response loses nothing.
+  WriteAll(fd, response.data(), response.size()).IgnoreError();
+}
+
+}  // namespace net
+}  // namespace treediff

@@ -1,0 +1,60 @@
+#ifndef TREEDIFF_NET_HTTP_METRICS_H_
+#define TREEDIFF_NET_HTTP_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "util/metrics.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace treediff {
+namespace net {
+
+/// A deliberately minimal HTTP/1.0 endpoint serving the metrics registry
+/// in Prometheus text exposition format — just enough protocol for
+/// `curl`/Prometheus to scrape `GET /metrics`. One thread, one request per
+/// connection, no keep-alive: scraping is a once-per-interval operation,
+/// not a throughput surface. Everything else 404s.
+class MetricsHttpServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral.
+  };
+
+  /// `registry` is borrowed and must outlive the server.
+  MetricsHttpServer(const MetricsRegistry* registry, Options options)
+      : registry_(registry), options_(std::move(options)) {}
+  ~MetricsHttpServer() { Stop(); }
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds and spawns the serving thread.
+  Status Start();
+
+  /// Closes the listener and joins the thread. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+  void HandleOne(int fd);
+
+  const MetricsRegistry* registry_;
+  Options options_;
+  OwnedFd listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace net
+}  // namespace treediff
+
+#endif  // TREEDIFF_NET_HTTP_METRICS_H_

@@ -1,0 +1,259 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <sys/epoll.h>
+#include <unistd.h>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/socket.h"
+
+namespace treediff {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Conn {
+  OwnedFd fd;
+  FrameDecoder decoder;
+  std::string out;
+  size_t out_pos = 0;
+  bool want_write = false;
+  bool dead = false;
+  /// request_id -> send timestamp, for latency matching under pipelining
+  /// (responses complete out of order across the server's workers).
+  std::unordered_map<uint64_t, Clock::time_point> inflight;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = static_cast<size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1,
+                       p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+}  // namespace
+
+StatusOr<LoadGenResult> RunLoadGen(const LoadGenOptions& options) {
+  if (!options.make_request) {
+    return Status::InvalidArgument("LoadGenOptions.make_request is required");
+  }
+  const size_t num_conns = std::max<size_t>(options.connections, 1);
+  const size_t pipeline = std::max<size_t>(options.pipeline, 1);
+  const uint64_t total = std::max<uint64_t>(options.total_requests, 1);
+  const bool open_loop = options.open_loop_rps > 0;
+
+  OwnedFd epoll_fd(::epoll_create1(0));
+  if (!epoll_fd.valid()) {
+    return Status::Internal("epoll_create1 failed");
+  }
+
+  std::vector<Conn> conns(num_conns);
+  for (size_t i = 0; i < num_conns; ++i) {
+    StatusOr<OwnedFd> fd = ConnectTcp(options.host, options.port);
+    if (!fd.ok()) return fd.status();
+    conns[i].fd = std::move(*fd);
+    TREEDIFF_RETURN_IF_ERROR(SetNonBlocking(conns[i].fd.get()));
+    SetNoDelay(conns[i].fd.get()).IgnoreError();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = i;
+    if (::epoll_ctl(epoll_fd.get(), EPOLL_CTL_ADD, conns[i].fd.get(), &ev) !=
+        0) {
+      return Status::Internal("epoll_ctl ADD failed");
+    }
+  }
+
+  LoadGenResult result;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(std::min<uint64_t>(total, 1u << 22));
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point give_up =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.max_run_seconds));
+
+  auto update_interest = [&](size_t i) {
+    Conn& c = conns[i];
+    const bool pending = c.out_pos < c.out.size();
+    if (pending == c.want_write || c.dead) return;
+    c.want_write = pending;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (pending ? EPOLLOUT : 0u);
+    ev.data.u64 = i;
+    (void)::epoll_ctl(epoll_fd.get(), EPOLL_CTL_MOD, c.fd.get(), &ev);
+  };
+
+  auto kill_conn = [&](size_t i) {
+    Conn& c = conns[i];
+    if (c.dead) return;
+    c.dead = true;
+    ++result.connections_lost;
+    // In-flight requests on a dead connection will never complete; count
+    // them as transport errors so the run can still terminate.
+    result.completed += c.inflight.size();
+    result.errors[static_cast<uint8_t>(Code::kUnavailable)] +=
+        c.inflight.size();
+    c.inflight.clear();
+    (void)::epoll_ctl(epoll_fd.get(), EPOLL_CTL_DEL, c.fd.get(), nullptr);
+    c.fd.Reset();
+  };
+
+  auto flush = [&](size_t i) {
+    Conn& c = conns[i];
+    while (!c.dead && c.out_pos < c.out.size()) {
+      const ssize_t n = ::write(c.fd.get(), c.out.data() + c.out_pos,
+                                c.out.size() - c.out_pos);
+      if (n > 0) {
+        c.out_pos += static_cast<size_t>(n);
+        result.bytes_written += static_cast<uint64_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      kill_conn(i);
+      return;
+    }
+    if (c.out_pos == c.out.size()) {
+      c.out.clear();
+      c.out_pos = 0;
+    }
+    update_interest(i);
+  };
+
+  auto send_one = [&](size_t i) {
+    Conn& c = conns[i];
+    if (c.dead) return;
+    WireRequest request = options.make_request(result.sent);
+    request.request_id = result.sent + 1;  // Unique per request.
+    c.inflight.emplace(request.request_id, Clock::now());
+    AppendRequest(request, &c.out);
+    ++result.sent;
+    flush(i);
+  };
+
+  auto read_ready = [&](size_t i) {
+    Conn& c = conns[i];
+    char buf[64 * 1024];
+    while (!c.dead) {
+      const ssize_t n = ::read(c.fd.get(), buf, sizeof buf);
+      if (n > 0) {
+        result.bytes_read += static_cast<uint64_t>(n);
+        c.decoder.Append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      kill_conn(i);  // EOF or hard error.
+      return;
+    }
+    for (;;) {
+      WireResponse response;
+      Status error = Status::Ok();
+      const DecodeResult r = c.decoder.NextResponse(&response, &error);
+      if (r == DecodeResult::kNeedMore) break;
+      if (r != DecodeResult::kFrame) {
+        kill_conn(i);
+        return;
+      }
+      ++result.completed;
+      if (response.ok()) {
+        ++result.ok;
+      } else {
+        ++result.errors[response.status];
+      }
+      auto it = c.inflight.find(response.request_id);
+      if (it != c.inflight.end()) {
+        latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      it->second)
+                .count());
+        c.inflight.erase(it);
+      }
+      if (!open_loop && result.sent < total) send_one(i);
+    }
+  };
+
+  // Closed loop: prime every connection to its pipeline depth.
+  if (!open_loop) {
+    for (size_t i = 0; i < num_conns && result.sent < total; ++i) {
+      for (size_t d = 0; d < pipeline && result.sent < total; ++d) {
+        send_one(i);
+      }
+    }
+  }
+
+  size_t rr = 0;  // Open-loop round-robin cursor.
+  std::vector<epoll_event> events(256);
+  while (result.completed < total) {
+    if (Clock::now() > give_up) {
+      return Status::DeadlineExceeded(
+          "load generation exceeded max_run_seconds with " +
+          std::to_string(total - result.completed) +
+          " requests unanswered");
+    }
+    size_t live = 0;
+    for (const Conn& c : conns) {
+      if (!c.dead) ++live;
+    }
+    if (live == 0) {
+      return Status::Unavailable("all load-generator connections died");
+    }
+
+    // Open loop: issue everything the schedule says is due, regardless of
+    // completions.
+    if (open_loop && result.sent < total) {
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      const uint64_t due = std::min<uint64_t>(
+          total,
+          static_cast<uint64_t>(elapsed * options.open_loop_rps));
+      while (result.sent < due) {
+        for (size_t tries = 0; tries < num_conns; ++tries) {
+          const size_t i = rr++ % num_conns;
+          if (!conns[i].dead) {
+            send_one(i);
+            break;
+          }
+        }
+      }
+    }
+
+    const int timeout_ms = open_loop ? 1 : 100;
+    const int n = ::epoll_wait(epoll_fd.get(), events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    for (int e = 0; e < n; ++e) {
+      const size_t i = static_cast<size_t>(events[e].data.u64);
+      if (conns[i].dead) continue;
+      if ((events[e].events & (EPOLLERR | EPOLLHUP)) != 0) {
+        kill_conn(i);
+        continue;
+      }
+      if ((events[e].events & EPOLLOUT) != 0) flush(i);
+      if ((events[e].events & EPOLLIN) != 0) read_ready(i);
+    }
+  }
+
+  result.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.throughput_rps =
+      result.elapsed_seconds > 0
+          ? static_cast<double>(result.completed) / result.elapsed_seconds
+          : 0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.p50_ms = Percentile(latencies_ms, 0.50);
+  result.p95_ms = Percentile(latencies_ms, 0.95);
+  result.p99_ms = Percentile(latencies_ms, 0.99);
+  result.max_ms = latencies_ms.empty() ? 0 : latencies_ms.back();
+  return result;
+}
+
+}  // namespace net
+}  // namespace treediff

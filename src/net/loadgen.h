@@ -1,0 +1,81 @@
+#ifndef TREEDIFF_NET_LOADGEN_H_
+#define TREEDIFF_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace treediff {
+namespace net {
+
+/// Multi-connection load generator for the binary protocol, shared by
+/// tools/treediff_client and bench/net_throughput. One thread drives all
+/// connections with a (level-triggered) epoll loop and non-blocking
+/// sockets — plenty to saturate a loopback server, and the single-threaded
+/// design keeps the latency bookkeeping trivial.
+///
+/// Two driving modes:
+///  - closed loop (open_loop_rps == 0): every connection keeps `pipeline`
+///    requests in flight; a completion immediately triggers the next send.
+///    Measures capacity — how fast the server can go.
+///  - open loop (open_loop_rps > 0): requests are issued on a fixed
+///    aggregate schedule regardless of completions, round-robin across
+///    connections. Measures behavior under a fixed offered load, including
+///    the queueing that a closed loop hides (coordinated omission).
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  size_t connections = 64;
+
+  /// Closed-loop: in-flight requests per connection.
+  size_t pipeline = 8;
+
+  /// Total requests to issue. In open-loop mode the run also ends when the
+  /// schedule (duration at open_loop_rps) completes, whichever is smaller.
+  uint64_t total_requests = 10000;
+
+  /// Open-loop aggregate send rate; 0 selects closed loop.
+  double open_loop_rps = 0;
+
+  /// Builds the i-th request. The request_id is overwritten by the driver
+  /// (it encodes the connection and sequence for latency matching).
+  std::function<WireRequest(uint64_t seq)> make_request;
+
+  /// Abort switch: give up if the run exceeds this wall-clock budget.
+  double max_run_seconds = 120;
+};
+
+struct LoadGenResult {
+  uint64_t sent = 0;
+  uint64_t completed = 0;
+  uint64_t ok = 0;
+  std::map<uint8_t, uint64_t> errors;  // status byte -> count
+  uint64_t connections_lost = 0;
+
+  double elapsed_seconds = 0;
+  double throughput_rps = 0;
+
+  // Completion latency (send to response decode), milliseconds.
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+};
+
+/// Runs one load-generation pass. Fails (rather than fabricating numbers)
+/// if connections cannot be established or the run exceeds its budget with
+/// requests still unanswered.
+StatusOr<LoadGenResult> RunLoadGen(const LoadGenOptions& options);
+
+}  // namespace net
+}  // namespace treediff
+
+#endif  // TREEDIFF_NET_LOADGEN_H_

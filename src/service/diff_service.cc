@@ -267,7 +267,8 @@ Status DiffService::GuardedStoreOp(
   return last;
 }
 
-std::future<DiffResponse> DiffService::Submit(DiffRequest request) {
+void DiffService::Submit(DiffRequest request,
+                         std::function<void(DiffResponse)> done) {
   requests_->Increment();
   const Clock::time_point submitted = Clock::now();
 
@@ -282,13 +283,15 @@ std::future<DiffResponse> DiffService::Submit(DiffRequest request) {
     shed_degraded = fraction >= options_.degrade_queue_fraction;
   }
 
-  auto promise = std::make_shared<std::promise<DiffResponse>>();
-  std::future<DiffResponse> future = promise->get_future();
+  // Shared, not moved into the lambda directly: the shed path below still
+  // needs the callback when TrySubmit declines the closure.
+  auto done_ptr =
+      std::make_shared<std::function<void(DiffResponse)>>(std::move(done));
 
   const bool admitted = pool_.TrySubmit(
-      [this, promise, request = std::move(request), submitted,
+      [this, done_ptr, request = std::move(request), submitted,
        shed_degraded]() mutable {
-        promise->set_value(Process(request, submitted, shed_degraded));
+        (*done_ptr)(Process(request, submitted, shed_degraded));
       });
   if (!admitted) {
     shed_queue_full_->Increment();
@@ -297,8 +300,16 @@ std::future<DiffResponse> DiffService::Submit(DiffRequest request) {
     shed.status =
         Status::ResourceExhausted("request queue full: request shed");
     shed.total_seconds = Seconds(Clock::now() - submitted);
-    promise->set_value(std::move(shed));
+    (*done_ptr)(std::move(shed));
   }
+}
+
+std::future<DiffResponse> DiffService::Submit(DiffRequest request) {
+  auto promise = std::make_shared<std::promise<DiffResponse>>();
+  std::future<DiffResponse> future = promise->get_future();
+  Submit(std::move(request), [promise](DiffResponse response) {
+    promise->set_value(std::move(response));
+  });
   return future;
 }
 

@@ -191,6 +191,15 @@ class DiffService {
   /// (immediately, with kResourceExhausted, when the queue is full).
   std::future<DiffResponse> Submit(DiffRequest request);
 
+  /// The async path the network front end builds on: enqueues a request and
+  /// invokes `done` exactly once with the response. `done` runs on a worker
+  /// thread for served requests, or inline on the caller's thread when the
+  /// request is shed at admission (full queue) — callers that care about
+  /// re-entrancy must tolerate the inline case. `done` must not throw and
+  /// should be cheap; heavy completion work belongs on the caller's own
+  /// executor.
+  void Submit(DiffRequest request, std::function<void(DiffResponse)> done);
+
   /// Submit + wait.
   DiffResponse SubmitSync(DiffRequest request);
 

@@ -49,6 +49,13 @@ class Histogram {
   /// Upper bound of bucket `i` (inclusive).
   static double BucketBound(int i);
 
+  /// Observations in bucket `i` (i == kBuckets is the overflow bucket).
+  /// Exposed for the Prometheus exposition, which needs cumulative
+  /// per-bucket counts, not just quantile estimates.
+  uint64_t BucketCount(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+
  private:
   std::array<std::atomic<uint64_t>, kBuckets + 1> buckets_{};
   std::atomic<uint64_t> count_{0};
@@ -70,6 +77,26 @@ class MetricsRegistry {
   ///   <name> <value>
   ///   <name>_count <n> / <name>_sum <s> / <name>{quantile="0.5"} <v> ...
   std::string TextExposition() const EXCLUDES(mu_);
+
+  /// Prometheus text exposition format (version 0.0.4), the wire format a
+  /// Prometheus scraper expects from the HTTP `/metrics` endpoint:
+  ///
+  ///   # HELP <base> <base>
+  ///   # TYPE <base> counter
+  ///   <name> <value>
+  ///
+  /// for counters, and for histograms the cumulative-bucket form
+  ///
+  ///   # TYPE <name> histogram
+  ///   <name>_bucket{le="<bound>"} <cumulative count>
+  ///   ...
+  ///   <name>_bucket{le="+Inf"} <total>
+  ///   <name>_sum <sum> / <name>_count <total>
+  ///
+  /// Registered names may already carry labels (`foo_total{k="v"}`); the
+  /// base name for # HELP / # TYPE is everything before the '{', and the
+  /// header lines are emitted once per base name.
+  std::string PrometheusExposition() const EXCLUDES(mu_);
 
  private:
   mutable Mutex mu_;

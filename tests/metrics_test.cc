@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -102,6 +103,70 @@ TEST(MetricsRegistryTest, TextExposition) {
   EXPECT_NE(text.find("lat_seconds_sum 0.5\n"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds{quantile=\"0.5\"}"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds{quantile=\"0.99\"}"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusCountersWithSharedHeaders) {
+  MetricsRegistry registry;
+  registry.counter("req_total{tenant=\"a\"}")->Increment(1);
+  registry.counter("req_total{tenant=\"b\"}")->Increment(2);
+  registry.counter("up_total")->Increment(5);
+  const std::string text = registry.PrometheusExposition();
+
+  // One # HELP / # TYPE pair per BASE name: the two labeled series share
+  // a single header, emitted before the first of them.
+  EXPECT_NE(text.find("# HELP req_total"), std::string::npos);
+  const size_t first_type = text.find("# TYPE req_total counter");
+  ASSERT_NE(first_type, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE req_total counter", first_type + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE up_total counter"), std::string::npos);
+
+  EXPECT_NE(text.find("req_total{tenant=\"a\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total{tenant=\"b\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("up_total 5\n"), std::string::npos);
+  EXPECT_LT(first_type, text.find("req_total{tenant=\"a\"}"));
+}
+
+TEST(MetricsRegistryTest, PrometheusHistogramCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat_seconds");
+  h->Observe(0.0005);
+  h->Observe(0.5);
+  h->Observe(0.5);
+  const std::string text = registry.PrometheusExposition();
+
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 1.0005\n"), std::string::npos);
+
+  // Bucket counts must be CUMULATIVE and non-decreasing, ending at _count.
+  uint64_t previous = 0;
+  size_t buckets_seen = 0;
+  size_t at = 0;
+  const std::string prefix = "lat_seconds_bucket{le=\"";
+  while ((at = text.find(prefix, at)) != std::string::npos) {
+    const size_t space = text.find(' ', at);
+    ASSERT_NE(space, std::string::npos);
+    const uint64_t value = std::stoull(text.substr(space + 1));
+    EXPECT_GE(value, previous);
+    previous = value;
+    ++buckets_seen;
+    at = space;
+  }
+  EXPECT_EQ(buckets_seen, static_cast<size_t>(Histogram::kBuckets) + 1);
+  EXPECT_EQ(previous, 3u);  // The +Inf bucket equals the total count.
+}
+
+TEST(MetricsRegistryTest, PrometheusEmptyHistogramIsWellFormed) {
+  MetricsRegistry registry;
+  registry.histogram("idle_seconds");
+  const std::string text = registry.PrometheusExposition();
+  EXPECT_NE(text.find("idle_seconds_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("idle_seconds_count 0\n"), std::string::npos);
+  EXPECT_NE(text.find("idle_seconds_sum 0\n"), std::string::npos);
 }
 
 }  // namespace

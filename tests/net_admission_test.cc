@@ -1,0 +1,258 @@
+// TenantScheduler tests: weighted deficit-round-robin dispatch order,
+// per-tenant queue and inflight quotas, the distinct-tenant cap that keeps
+// a garbage-tenant flood from growing server state, drain/cancel shutdown
+// semantics, and the inline-completion trampoline (a shed storm must drain
+// at constant stack depth).
+
+#include "net/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace treediff {
+namespace net {
+namespace {
+
+/// A job that records its tag and completes inline when dispatched.
+TenantScheduler::Job Recording(std::vector<std::string>* order,
+                               std::string tag) {
+  return [order, tag = std::move(tag)](TenantScheduler::Done done) {
+    order->push_back(tag);
+    done();
+  };
+}
+
+/// A job that parks its completion for the test to fire later.
+TenantScheduler::Job Holding(std::vector<TenantScheduler::Done>* parked) {
+  return [parked](TenantScheduler::Done done) {
+    parked->push_back(std::move(done));
+  };
+}
+
+std::function<void(const Status&)> NoCancel() {
+  return [](const Status&) { ADD_FAILURE() << "unexpected cancel"; };
+}
+
+TEST(TenantSchedulerTest, WeightedDeficitRoundRobinOrder) {
+  // Window of 1 serializes dispatch, so the DRR order is fully observable:
+  // weight-3 tenant A must get exactly 3 dispatches per round to tenant
+  // B's 1, even though the window forces one dispatch per pump.
+  TenantSchedulerOptions options;
+  options.max_dispatched = 1;
+  options.tenants["A"] = TenantQuota{3, 256, 64};
+  options.tenants["B"] = TenantQuota{1, 256, 64};
+  TenantScheduler scheduler(options, nullptr);
+
+  std::vector<TenantScheduler::Done> blocker;
+  ASSERT_TRUE(scheduler.Enqueue("Z", Holding(&blocker), NoCancel()).ok());
+  ASSERT_EQ(blocker.size(), 1u);  // Occupies the whole window.
+
+  std::vector<std::string> order;
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(scheduler.Enqueue("A", Recording(&order, "A"), NoCancel()).ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(scheduler.Enqueue("B", Recording(&order, "B"), NoCancel()).ok());
+  }
+  EXPECT_EQ(scheduler.queued(), 12u);
+  EXPECT_TRUE(order.empty());
+
+  blocker[0]();  // Release the window; the cascade drains everything.
+  ASSERT_TRUE(scheduler.AwaitIdle(5.0));
+  const std::vector<std::string> expected = {"A", "A", "A", "B", "A", "A",
+                                             "A", "B", "A", "A", "A", "B"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TenantSchedulerTest, EqualWeightsAlternate) {
+  TenantSchedulerOptions options;
+  options.max_dispatched = 1;
+  TenantScheduler scheduler(options, nullptr);
+
+  std::vector<TenantScheduler::Done> blocker;
+  ASSERT_TRUE(scheduler.Enqueue("Z", Holding(&blocker), NoCancel()).ok());
+  std::vector<std::string> order;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(scheduler.Enqueue("x", Recording(&order, "x"), NoCancel()).ok());
+    ASSERT_TRUE(scheduler.Enqueue("y", Recording(&order, "y"), NoCancel()).ok());
+  }
+  blocker[0]();
+  ASSERT_TRUE(scheduler.AwaitIdle(5.0));
+  const std::vector<std::string> expected = {"x", "y", "x", "y", "x", "y"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TenantSchedulerTest, QueueQuotaSheds) {
+  MetricsRegistry metrics;
+  TenantSchedulerOptions options;
+  options.max_dispatched = 1;
+  options.default_quota.max_queued = 2;
+  TenantScheduler scheduler(options, &metrics);
+
+  std::vector<TenantScheduler::Done> blocker;
+  ASSERT_TRUE(scheduler.Enqueue("Z", Holding(&blocker), NoCancel()).ok());
+
+  std::vector<std::string> order;
+  ASSERT_TRUE(scheduler.Enqueue("t", Recording(&order, "1"), NoCancel()).ok());
+  ASSERT_TRUE(scheduler.Enqueue("t", Recording(&order, "2"), NoCancel()).ok());
+  const Status shed =
+      scheduler.Enqueue("t", Recording(&order, "3"), [](const Status&) {});
+  EXPECT_EQ(shed.code(), Code::kResourceExhausted);
+  EXPECT_EQ(metrics.counter("net_shed_tenant_quota_total")->Value(), 1u);
+
+  blocker[0]();
+  ASSERT_TRUE(scheduler.AwaitIdle(5.0));
+  const std::vector<std::string> expected = {"1", "2"};
+  EXPECT_EQ(order, expected);  // The shed job never ran.
+}
+
+TEST(TenantSchedulerTest, InflightCapHoldsBacklogInOwnQueue) {
+  TenantSchedulerOptions options;
+  options.max_dispatched = 16;
+  options.tenants["capped"] = TenantQuota{1, 256, 2};
+  TenantScheduler scheduler(options, nullptr);
+
+  std::vector<TenantScheduler::Done> parked;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(scheduler.Enqueue("capped", Holding(&parked), NoCancel()).ok());
+  }
+  // Only max_inflight jobs dispatched; the rest wait in the tenant queue
+  // without consuming window slots another tenant could use.
+  EXPECT_EQ(parked.size(), 2u);
+  EXPECT_EQ(scheduler.queued(), 3u);
+  EXPECT_EQ(scheduler.dispatched(), 2u);
+
+  std::vector<std::string> other;
+  ASSERT_TRUE(
+      scheduler.Enqueue("other", Recording(&other, "o"), NoCancel()).ok());
+  EXPECT_EQ(other.size(), 1u);  // Unrelated tenant sails through.
+
+  parked[0]();  // One completion admits exactly one more.
+  EXPECT_EQ(parked.size(), 3u);
+  EXPECT_EQ(scheduler.queued(), 2u);
+  // Fire the rest; the index loop tolerates `parked` growing as freed
+  // slots admit queued jobs.
+  for (size_t next = 1; next < parked.size(); ++next) parked[next]();
+  EXPECT_EQ(parked.size(), 5u);
+  EXPECT_TRUE(scheduler.AwaitIdle(1.0));
+}
+
+TEST(TenantSchedulerTest, DistinctTenantCapShedsNovelTenants) {
+  MetricsRegistry metrics;
+  TenantSchedulerOptions options;
+  options.max_tenants = 2;
+  options.tenants["vip"] = TenantQuota{2, 256, 64};
+  TenantScheduler scheduler(options, &metrics);
+
+  std::vector<std::string> order;
+  ASSERT_TRUE(scheduler.Enqueue("g1", Recording(&order, "a"), NoCancel()).ok());
+  ASSERT_TRUE(scheduler.Enqueue("g2", Recording(&order, "b"), NoCancel()).ok());
+  // The table is full: a flood of novel tenant ids is shed, state stays put.
+  for (int i = 0; i < 50; ++i) {
+    const Status shed = scheduler.Enqueue("garbage-" + std::to_string(i),
+                                          Recording(&order, "x"),
+                                          [](const Status&) {});
+    EXPECT_EQ(shed.code(), Code::kResourceExhausted);
+  }
+  EXPECT_EQ(metrics.counter("net_shed_tenant_cap_total")->Value(), 50u);
+  // A configured tenant is admitted past the cap — the operator named it.
+  EXPECT_TRUE(scheduler.Enqueue("vip", Recording(&order, "v"), NoCancel()).ok());
+  ASSERT_TRUE(scheduler.AwaitIdle(5.0));
+  const std::vector<std::string> expected = {"a", "b", "v"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TenantSchedulerTest, DrainRefusesNewWork) {
+  TenantScheduler scheduler(TenantSchedulerOptions{}, nullptr);
+  scheduler.Drain();
+  std::vector<std::string> order;
+  const Status refused =
+      scheduler.Enqueue("t", Recording(&order, "x"), [](const Status&) {});
+  EXPECT_EQ(refused.code(), Code::kUnavailable);
+  EXPECT_TRUE(order.empty());
+}
+
+TEST(TenantSchedulerTest, CancelQueuedRunsCancelNotRun) {
+  MetricsRegistry metrics;
+  TenantSchedulerOptions options;
+  options.max_dispatched = 1;
+  TenantScheduler scheduler(options, &metrics);
+
+  std::vector<TenantScheduler::Done> blocker;
+  ASSERT_TRUE(scheduler.Enqueue("Z", Holding(&blocker), NoCancel()).ok());
+
+  std::vector<Status> cancelled;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(scheduler
+                    .Enqueue(
+                        "t",
+                        [](TenantScheduler::Done) {
+                          ADD_FAILURE() << "cancelled job must not run";
+                        },
+                        [&cancelled](const Status& s) {
+                          cancelled.push_back(s);
+                        })
+                    .ok());
+  }
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.CancelQueued(Status::Unavailable("shutting down")), 4u);
+  ASSERT_EQ(cancelled.size(), 4u);
+  for (const Status& s : cancelled) {
+    EXPECT_EQ(s.code(), Code::kUnavailable);
+  }
+  EXPECT_EQ(metrics.counter("net_jobs_cancelled_total")->Value(), 4u);
+  EXPECT_EQ(scheduler.queued(), 0u);
+
+  blocker[0]();  // The dispatched blocker still completes normally.
+  EXPECT_TRUE(scheduler.AwaitIdle(5.0));
+}
+
+TEST(TenantSchedulerTest, AwaitIdleTimesOutWhileJobHeld) {
+  TenantScheduler scheduler(TenantSchedulerOptions{}, nullptr);
+  std::vector<TenantScheduler::Done> parked;
+  ASSERT_TRUE(scheduler.Enqueue("t", Holding(&parked), NoCancel()).ok());
+  EXPECT_FALSE(scheduler.AwaitIdle(0.05));
+  parked[0]();
+  EXPECT_TRUE(scheduler.AwaitIdle(5.0));
+}
+
+TEST(TenantSchedulerTest, InlineCompletionStormStaysFlat) {
+  // Every job completes inline on the enqueueing thread — the regression
+  // shape for the trampoline: without it, Enqueue -> run -> done -> pump
+  // -> run recurses once per queued job and a deep backlog overflows the
+  // stack.
+  TenantSchedulerOptions options;
+  options.max_dispatched = 2;
+  options.default_quota.max_queued = 100000;
+  TenantScheduler scheduler(options, nullptr);
+
+  std::vector<TenantScheduler::Done> blocker;
+  ASSERT_TRUE(scheduler.Enqueue("Z", Holding(&blocker), NoCancel()).ok());
+  ASSERT_TRUE(scheduler.Enqueue("Z", Holding(&blocker), NoCancel()).ok());
+
+  int completed = 0;
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_TRUE(scheduler
+                    .Enqueue(
+                        "storm",
+                        [&completed](TenantScheduler::Done done) {
+                          ++completed;
+                          done();
+                        },
+                        NoCancel())
+                    .ok());
+  }
+  blocker[0]();  // One release drains the entire backlog iteratively.
+  EXPECT_EQ(completed, 50000);
+  blocker[1]();
+  EXPECT_TRUE(scheduler.AwaitIdle(5.0));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace treediff

@@ -1,0 +1,255 @@
+// treediff_client: command-line client and load generator for the binary
+// protocol served by treediff_serve --port (docs/network.md).
+//
+// One-shot commands (connect, one request, print, exit):
+//
+//   treediff_client --port P ping
+//   treediff_client --port P diff <sexpr|xml> <old_doc> <new_doc>
+//   treediff_client --port P metrics
+//
+// Load generation (the interesting mode):
+//
+//   treediff_client --port P load [--connections N] [--pipeline D]
+//       [--requests N] [--rps R] [--tenant NAME] [--format sexpr|xml]
+//       [--old DOC] [--new DOC] [--json]
+//
+// With --rps 0 (default) the generator runs CLOSED loop: every connection
+// keeps D requests in flight and a completion immediately triggers the next
+// send — this measures server capacity. With --rps > 0 it runs OPEN loop:
+// requests are issued on a fixed aggregate schedule regardless of
+// completions — this measures latency under a fixed offered load without
+// the coordinated-omission blind spot of closed-loop drivers.
+//
+// --tenant stamps every request with a tenant id, which the server's
+// fair-share admission uses for isolation; run two clients with different
+// tenants to watch the weighted-deficit scheduler arbitrate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/client.h"
+#include "net/loadgen.h"
+#include "net/wire.h"
+
+namespace {
+
+using treediff::net::kFormatSexpr;
+using treediff::net::kFormatXml;
+using treediff::net::LoadGenOptions;
+using treediff::net::LoadGenResult;
+using treediff::net::Opcode;
+using treediff::net::SimpleClient;
+using treediff::net::WireRequest;
+using treediff::net::WireResponse;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: treediff_client [--host H] --port P <command>\n"
+      "  ping\n"
+      "  diff <sexpr|xml> <old_doc> <new_doc>\n"
+      "  metrics\n"
+      "  load [--connections N] [--pipeline D] [--requests N] [--rps R]\n"
+      "       [--tenant NAME] [--format sexpr|xml] [--old DOC] [--new DOC]\n"
+      "       [--json]\n");
+  return 2;
+}
+
+bool ParseFormat(const std::string& name, uint8_t* format) {
+  if (name == "sexpr") {
+    *format = kFormatSexpr;
+    return true;
+  }
+  if (name == "xml") {
+    *format = kFormatXml;
+    return true;
+  }
+  return false;
+}
+
+void PrintResult(const LoadGenResult& r, bool json) {
+  if (json) {
+    std::printf(
+        "{\"sent\": %llu, \"completed\": %llu, \"ok\": %llu, "
+        "\"errors\": %llu, \"connections_lost\": %llu, "
+        "\"elapsed_seconds\": %.3f, \"throughput_rps\": %.1f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"max_ms\": %.3f, \"bytes_written\": %llu, \"bytes_read\": %llu}\n",
+        static_cast<unsigned long long>(r.sent),
+        static_cast<unsigned long long>(r.completed),
+        static_cast<unsigned long long>(r.ok),
+        static_cast<unsigned long long>(r.completed - r.ok),
+        static_cast<unsigned long long>(r.connections_lost),
+        r.elapsed_seconds, r.throughput_rps, r.p50_ms, r.p95_ms, r.p99_ms,
+        r.max_ms, static_cast<unsigned long long>(r.bytes_written),
+        static_cast<unsigned long long>(r.bytes_read));
+    return;
+  }
+  std::printf("sent %llu, completed %llu (%llu ok) in %.3fs = %.1f req/s\n",
+              static_cast<unsigned long long>(r.sent),
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.ok), r.elapsed_seconds,
+              r.throughput_rps);
+  std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
+              r.p50_ms, r.p95_ms, r.p99_ms, r.max_ms);
+  for (const auto& [code, count] : r.errors) {
+    std::printf("errors %s: %llu\n",
+                treediff::CodeName(static_cast<treediff::Code>(code)),
+                static_cast<unsigned long long>(count));
+  }
+  if (r.connections_lost > 0) {
+    std::printf("connections lost: %llu\n",
+                static_cast<unsigned long long>(r.connections_lost));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else {
+      break;
+    }
+  }
+  if (port <= 0 || port > 65535 || i >= argc) return Usage();
+  const std::string command = argv[i++];
+
+  if (command == "ping" || command == "metrics" || command == "diff") {
+    SimpleClient client;
+    const treediff::Status connected =
+        client.Connect(host, static_cast<uint16_t>(port));
+    if (!connected.ok()) {
+      std::fprintf(stderr, "treediff_client: %s\n",
+                   connected.ToString().c_str());
+      return 1;
+    }
+    if (command == "ping") {
+      const treediff::Status status = client.Ping();
+      if (!status.ok()) {
+        std::fprintf(stderr, "treediff_client: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("PONG\n");
+      return 0;
+    }
+    if (command == "metrics") {
+      std::string text;
+      const treediff::Status status = client.Metrics(&text);
+      if (!status.ok()) {
+        std::fprintf(stderr, "treediff_client: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::fputs(text.c_str(), stdout);
+      return 0;
+    }
+    // diff <format> <old> <new>
+    if (argc - i < 3) return Usage();
+    uint8_t format = kFormatSexpr;
+    if (!ParseFormat(argv[i], &format)) return Usage();
+    WireResponse response;
+    const treediff::Status status =
+        client.Diff(argv[i + 1], argv[i + 2], format, &response);
+    if (!status.ok()) {
+      std::fprintf(stderr, "treediff_client: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (!response.ok()) {
+      std::fprintf(stderr, "treediff_client: ERR %s %s\n",
+                   treediff::CodeName(response.code()),
+                   response.payload.c_str());
+      return 1;
+    }
+    std::printf("ops=%u pruned=%u flags=0x%02x\n%s",
+                response.value, response.aux, response.flags,
+                response.payload.c_str());
+    return 0;
+  }
+
+  if (command != "load") return Usage();
+
+  LoadGenOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  std::string tenant;
+  uint8_t format = kFormatSexpr;
+  std::string old_doc =
+      "(D (P (S \"alpha beta gamma\") (S \"delta epsilon\")))";
+  std::string new_doc =
+      "(D (P (S \"alpha beta zeta\") (S \"delta epsilon\") (S \"theta\")))";
+  bool json = false;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--connections") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.connections = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--pipeline") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.pipeline = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--requests") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.total_requests = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--rps") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.open_loop_rps = std::atof(v);
+    } else if (arg == "--tenant") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      tenant = v;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr || !ParseFormat(v, &format)) return Usage();
+    } else if (arg == "--old") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      old_doc = v;
+    } else if (arg == "--new") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      new_doc = v;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  options.make_request = [&](uint64_t) {
+    WireRequest request;
+    request.opcode = Opcode::kDiff;
+    request.format = format;
+    request.tenant = tenant;
+    request.flags = treediff::net::kFlagNoScript;
+    request.old_doc = old_doc;
+    request.new_doc = new_doc;
+    return request;
+  };
+
+  const treediff::StatusOr<LoadGenResult> result =
+      treediff::net::RunLoadGen(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "treediff_client: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  PrintResult(*result, json);
+  return 0;
+}

@@ -1,7 +1,19 @@
-// treediff_serve: the DiffService behind a newline-delimited request
-// protocol on stdin/stdout, so any process that can spawn a child and write
-// lines can use the concurrent diff service (and so the CI can drive it
-// from a shell script).
+// treediff_serve: the DiffService behind two serving surfaces.
+//
+// The primary surface is the binary-protocol TCP server (src/net): pass
+// --port (0 = ephemeral; the bound ports are printed to stderr) and clients
+// speak the length-prefixed protocol of docs/network.md, with pipelining,
+// multi-tenant fair-share admission, and a Prometheus /metrics endpoint on
+// --metrics-port. SIGTERM (or SIGINT) triggers a graceful shutdown: the
+// acceptor stops, in-flight requests drain up to --drain seconds, whatever
+// is still queued is answered with an error response, then the process
+// exits.
+//
+// The newline-delimited stdin/stdout protocol below is kept as a *compat
+// shim* for shell scripts and the CI: the line commands are decoded into
+// the same wire-request structs and executed by the same net::Frontend the
+// TCP server uses, so the two surfaces cannot drift apart. New clients
+// should prefer the binary protocol.
 //
 // Requests are one line each, fields separated by tabs. Documents travel
 // inline in a field, which works because both front ends accept single-line
@@ -26,6 +38,11 @@
 //   METRICS                             dump the metrics registry
 //   QUIT                                exit (EOF works too)
 //
+// OPENR and STATUS are line-only: replicated-store setup and health
+// inspection are operator actions, not request traffic. (The TCP surface
+// exposes metrics at GET /metrics in Prometheus text format instead of the
+// METRICS dump.)
+//
 // <format> is "sexpr" or "xml". Responses:
 //
 //   OK [<field>...]      success; DIFF/VDIFF append rung=<name> ops=<n>
@@ -36,6 +53,8 @@
 //
 // Usage: treediff_serve [--threads N] [--queue N] [--deadline SECONDS]
 //                        [--incremental on|off] [--store-dir DIR]
+//                        [--port N] [--metrics-port N] [--net-threads N]
+//                        [--drain SECONDS] [--no-stdin]
 //
 // --incremental (default on) turns on incremental serving: the share-map
 // pre-pass prunes unchanged subtrees out of every diff, repeated diffs of
@@ -43,25 +62,56 @@
 // VDIFFs are answered straight from the store's commit log. STATUS gains a
 // PRUNE line with the cumulative counters.
 
+#include <atomic>
 #include <cerrno>
 #include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/diff_context.h"
+#include "net/frontend.h"
+#include "net/server.h"
+#include "net/wire.h"
 #include "service/diff_service.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using treediff::DiffRequest;
-using treediff::DiffResponse;
+using treediff::DiffRung;
 using treediff::DiffRungName;
 using treediff::DiffService;
 using treediff::DiffServiceOptions;
+using treediff::net::Frontend;
+using treediff::net::NetServer;
+using treediff::net::NetServerOptions;
+using treediff::net::Opcode;
+using treediff::net::WireRequest;
+using treediff::net::WireResponse;
+
+std::atomic<bool> g_shutdown{false};
+
+void OnSignal(int) { g_shutdown.store(true, std::memory_order_relaxed); }
+
+/// SIGTERM/SIGINT set the flag and — installed without SA_RESTART — make
+/// the blocking stdin read fail with EINTR, so the line loop falls out and
+/// the main thread runs the graceful drain.
+void InstallSignalHandlers() {
+  struct sigaction action{};
+  action.sa_handler = OnSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // Deliberately no SA_RESTART.
+  (void)sigaction(SIGTERM, &action, nullptr);
+  (void)sigaction(SIGINT, &action, nullptr);
+}
 
 std::vector<std::string> SplitTabs(const std::string& line) {
   std::vector<std::string> fields;
@@ -92,13 +142,13 @@ bool ParseInt(const std::string& text, int* out) {
   return true;
 }
 
-bool ParseFormat(const std::string& name, DiffRequest::Format* format) {
+bool ParseWireFormat(const std::string& name, uint8_t* format) {
   if (name == "sexpr") {
-    *format = DiffRequest::Format::kSexpr;
+    *format = treediff::net::kFormatSexpr;
     return true;
   }
   if (name == "xml") {
-    *format = DiffRequest::Format::kXml;
+    *format = treediff::net::kFormatXml;
     return true;
   }
   return false;
@@ -109,20 +159,42 @@ void PrintError(const treediff::Status& status) {
             << status.message() << "\n";
 }
 
-void PrintDiffResponse(const DiffResponse& response) {
-  if (!response.status.ok()) {
-    PrintError(response.status);
+void PrintWireError(const WireResponse& response) {
+  std::cout << "ERR " << treediff::CodeName(response.code()) << " "
+            << response.payload << "\n";
+}
+
+/// Runs one wire request through the shared frontend, synchronously — the
+/// line protocol is strictly request/response.
+WireResponse CallFrontend(Frontend& frontend, WireRequest request) {
+  std::promise<WireResponse> promise;
+  std::future<WireResponse> future = promise.get_future();
+  frontend.Execute(std::move(request), [&promise](WireResponse response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
+}
+
+void PrintDiffResponse(const WireResponse& response) {
+  if (!response.ok()) {
+    PrintWireError(response);
     return;
   }
-  std::cout << "OK rung=" << DiffRungName(response.rung)
-            << " ops=" << response.operations
-            << " degraded=" << (response.degraded ? 1 : 0) << " cache="
-            << (response.cache_hit_old ? 1 : 0)
-            << (response.cache_hit_new ? 1 : 0)
-            << " pruned=" << response.pruned_subtrees
-            << " mcache=" << (response.matching_cache_hit ? 1 : 0)
-            << " chain=" << (response.chain_log_hit ? 1 : 0) << "\n";
-  std::cout << response.script;
+  using treediff::net::kRespFlagCacheNew;
+  using treediff::net::kRespFlagCacheOld;
+  using treediff::net::kRespFlagChainLog;
+  using treediff::net::kRespFlagDegraded;
+  using treediff::net::kRespFlagMatchCache;
+  std::cout << "OK rung=" << DiffRungName(static_cast<DiffRung>(response.rung))
+            << " ops=" << response.value
+            << " degraded=" << ((response.flags & kRespFlagDegraded) ? 1 : 0)
+            << " cache=" << ((response.flags & kRespFlagCacheOld) ? 1 : 0)
+            << ((response.flags & kRespFlagCacheNew) ? 1 : 0)
+            << " pruned=" << response.aux
+            << " mcache=" << ((response.flags & kRespFlagMatchCache) ? 1 : 0)
+            << " chain=" << ((response.flags & kRespFlagChainLog) ? 1 : 0)
+            << "\n";
+  std::cout << response.payload;
   std::cout << ".\n";
 }
 
@@ -133,6 +205,9 @@ int main(int argc, char** argv) {
   options.incremental = true;  // The serving tool defaults to incremental.
   double default_deadline = 0.0;
   std::string store_dir = ".";
+  bool net_enabled = false;
+  bool stdin_enabled = true;
+  NetServerOptions net_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -180,19 +255,82 @@ int main(int argc, char** argv) {
                      "treediff_serve: --incremental wants on|off\n");
         return 2;
       }
+    } else if (arg == "--port") {
+      const char* v = next();
+      int port = 0;
+      if (v == nullptr || !ParseInt(v, &port) || port < 0 || port > 65535) {
+        std::fprintf(stderr, "treediff_serve: --port wants 0..65535\n");
+        return 2;
+      }
+      net_enabled = true;
+      net_options.port = static_cast<uint16_t>(port);
+    } else if (arg == "--metrics-port") {
+      const char* v = next();
+      int port = 0;
+      if (v == nullptr || !ParseInt(v, &port) || port < 0 || port > 65535) {
+        std::fprintf(stderr,
+                     "treediff_serve: --metrics-port wants 0..65535\n");
+        return 2;
+      }
+      net_options.metrics_port = static_cast<uint16_t>(port);
+    } else if (arg == "--net-threads") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt(v, &net_options.num_event_threads) ||
+          net_options.num_event_threads < 1) {
+        std::fprintf(stderr,
+                     "treediff_serve: --net-threads wants a positive "
+                     "integer\n");
+        return 2;
+      }
+    } else if (arg == "--drain") {
+      const char* v = next();
+      char* end = nullptr;
+      const double drain = v != nullptr ? std::strtod(v, &end) : -1;
+      if (v == nullptr || end != v + std::strlen(v) || drain < 0) {
+        std::fprintf(stderr, "treediff_serve: --drain wants seconds (>= 0)\n");
+        return 2;
+      }
+      net_options.drain_deadline_seconds = drain;
+    } else if (arg == "--no-stdin") {
+      stdin_enabled = false;
     } else {
       std::fprintf(stderr,
                    "usage: treediff_serve [--threads N] [--queue N] "
                    "[--deadline SECONDS] [--incremental on|off] "
-                   "[--store-dir DIR]\n");
+                   "[--store-dir DIR] [--port N] [--metrics-port N] "
+                   "[--net-threads N] [--drain SECONDS] [--no-stdin]\n");
       return 2;
     }
   }
   options.default_deadline_seconds = default_deadline;
 
+  InstallSignalHandlers();
+
   DiffService service(options);
+
+  // The line protocol's executor: the same Frontend class the TCP server
+  // wraps, over the same service. One control thread is plenty for a
+  // synchronous line loop.
+  treediff::ThreadPool control_pool(treediff::ThreadPool::Options{1, 16});
+  Frontend frontend(&service, &control_pool);
+
+  std::unique_ptr<NetServer> net_server;
+  if (net_enabled) {
+    net_server = std::make_unique<NetServer>(&service, net_options);
+    const treediff::Status started = net_server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "treediff_serve: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "treediff_serve: listening on %s:%u (metrics :%u)\n",
+                 net_options.host.c_str(), net_server->port(),
+                 net_server->metrics_port());
+  }
+
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (stdin_enabled && !g_shutdown.load(std::memory_order_relaxed) &&
+         std::getline(std::cin, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> f = SplitTabs(line);
     const std::string& cmd = f[0];
@@ -235,14 +373,17 @@ int main(int argc, char** argv) {
     }
 
     if (cmd == "METRICS") {
+      // Line-only legacy dump; the TCP surface serves Prometheus text at
+      // GET /metrics instead.
       std::cout << service.metrics().TextExposition() << ".\n";
       std::cout.flush();
       continue;
     }
 
     if (cmd == "DIFF" && f.size() == 4) {
-      DiffRequest request;
-      if (!ParseFormat(f[1], &request.format)) {
+      WireRequest request;
+      request.opcode = Opcode::kDiff;
+      if (!ParseWireFormat(f[1], &request.format)) {
         PrintError(treediff::Status::InvalidArgument(
             "unknown format \"" + f[1] + "\" (want sexpr|xml)"));
         std::cout.flush();
@@ -250,38 +391,45 @@ int main(int argc, char** argv) {
       }
       request.old_doc = f[2];
       request.new_doc = f[3];
-      PrintDiffResponse(service.SubmitSync(std::move(request)));
+      PrintDiffResponse(CallFrontend(frontend, std::move(request)));
       std::cout.flush();
       continue;
     }
 
     if (cmd == "OPEN" && f.size() == 4) {
-      DiffRequest::Format format;
-      if (!ParseFormat(f[2], &format)) {
+      WireRequest request;
+      request.opcode = Opcode::kOpen;
+      if (!ParseWireFormat(f[2], &request.format)) {
         PrintError(treediff::Status::InvalidArgument(
             "unknown format \"" + f[2] + "\" (want sexpr|xml)"));
         std::cout.flush();
         continue;
       }
-      const treediff::Status status = service.CreateStore(f[1], f[3], format);
-      if (status.ok()) {
+      request.doc_id = f[1];
+      request.old_doc = f[3];
+      const WireResponse response = CallFrontend(frontend, std::move(request));
+      if (response.ok()) {
         std::cout << "OK doc=" << f[1] << " version=0\n";
       } else {
-        PrintError(status);
+        PrintWireError(response);
       }
       std::cout.flush();
       continue;
     }
 
     if (cmd == "OPENR" && f.size() == 5) {
+      // Line-only: replicated-store creation is an operator action with
+      // host-local file paths, not request traffic for the wire protocol.
       DiffRequest::Format format;
+      uint8_t wire_format = 0;
       int replicas = 0;
-      if (!ParseFormat(f[2], &format)) {
+      if (!ParseWireFormat(f[2], &wire_format)) {
         PrintError(treediff::Status::InvalidArgument(
             "unknown format \"" + f[2] + "\" (want sexpr|xml)"));
         std::cout.flush();
         continue;
       }
+      format = Frontend::ToFormat(wire_format);
       if (!ParseInt(f[3], &replicas) || replicas < 1) {
         PrintError(treediff::Status::InvalidArgument(
             "bad replica count \"" + f[3] + "\" (want a positive integer)"));
@@ -289,10 +437,10 @@ int main(int argc, char** argv) {
         continue;
       }
       std::vector<treediff::ReplicaConfig> configs;
-      for (int i = 0; i < replicas; ++i) {
+      for (int r = 0; r < replicas; ++r) {
         treediff::ReplicaConfig config;
         config.path =
-            store_dir + "/" + f[1] + ".r" + std::to_string(i) + ".log";
+            store_dir + "/" + f[1] + ".r" + std::to_string(r) + ".log";
         configs.push_back(std::move(config));
       }
       const treediff::Status status = service.CreateReplicatedStore(
@@ -309,36 +457,42 @@ int main(int argc, char** argv) {
     }
 
     if (cmd == "COMMIT" && f.size() == 4) {
-      DiffRequest::Format format;
-      if (!ParseFormat(f[2], &format)) {
+      WireRequest request;
+      request.opcode = Opcode::kCommit;
+      if (!ParseWireFormat(f[2], &request.format)) {
         PrintError(treediff::Status::InvalidArgument(
             "unknown format \"" + f[2] + "\" (want sexpr|xml)"));
         std::cout.flush();
         continue;
       }
-      const treediff::StatusOr<int> version =
-          service.CommitVersion(f[1], f[3], format);
-      if (version.ok()) {
-        std::cout << "OK version=" << *version << "\n";
+      request.doc_id = f[1];
+      request.old_doc = f[3];
+      const WireResponse response = CallFrontend(frontend, std::move(request));
+      if (response.ok()) {
+        std::cout << "OK version=" << response.value << "\n";
       } else {
-        PrintError(version.status());
+        PrintWireError(response);
       }
       std::cout.flush();
       continue;
     }
 
     if (cmd == "VDIFF" && f.size() == 4) {
-      DiffRequest request;
+      WireRequest request;
+      request.opcode = Opcode::kVdiff;
       request.doc_id = f[1];
-      if (!ParseInt(f[2], &request.from_version) ||
-          !ParseInt(f[3], &request.to_version)) {
+      int from = 0;
+      int to = 0;
+      if (!ParseInt(f[2], &from) || !ParseInt(f[3], &to)) {
         PrintError(treediff::Status::InvalidArgument(
             "bad version number \"" + f[2] + "\"/\"" + f[3] +
             "\" (want base-10 integers)"));
         std::cout.flush();
         continue;
       }
-      PrintDiffResponse(service.SubmitSync(std::move(request)));
+      request.from_version = from;
+      request.to_version = to;
+      PrintDiffResponse(CallFrontend(frontend, std::move(request)));
       std::cout.flush();
       continue;
     }
@@ -347,6 +501,20 @@ int main(int argc, char** argv) {
         "bad request \"" + cmd + "\" (or wrong field count); commands: "
         "DIFF OPEN OPENR COMMIT VDIFF STATUS METRICS QUIT"));
     std::cout.flush();
+  }
+
+  // No stdin loop (--no-stdin): park until a signal asks for shutdown.
+  while (!stdin_enabled && net_server != nullptr &&
+         !g_shutdown.load(std::memory_order_relaxed)) {
+    pause();  // Any handled signal (SIGTERM/SIGINT) wakes this.
+  }
+
+  // Graceful shutdown: stop accepting, drain in-flight network requests up
+  // to the drain deadline (late ones get error responses, not silence),
+  // then stop the service pool.
+  if (net_server != nullptr) {
+    std::fprintf(stderr, "treediff_serve: draining\n");
+    net_server->Shutdown();
   }
   service.Shutdown();
   // A response the peer never received is an error path, not a success:
